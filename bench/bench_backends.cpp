@@ -1,0 +1,110 @@
+// E11 — ablation: count-based vs agent-level stepping (google-benchmark).
+//
+// The count-based backend samples the exact one-round transition in Theta(k)
+// work (a handful of binomial draws); the agent backend pays Theta(n*h). The
+// crossover justifies DESIGN.md's choice of count-based as the default and
+// quantifies what the exact-law trick buys (10^4-10^6x at large n).
+#include <benchmark/benchmark.h>
+
+#include "core/backend.hpp"
+#include "core/majority.hpp"
+#include "core/trials.hpp"
+#include "core/undecided.hpp"
+#include "core/workloads.hpp"
+
+namespace plurality {
+namespace {
+
+void BM_CountBasedStep(benchmark::State& state) {
+  const auto n = static_cast<count_t>(state.range(0));
+  const auto k = static_cast<state_t>(state.range(1));
+  ThreeMajority dynamics;
+  Configuration config = workloads::additive_bias(n, k, n / 10);
+  rng::Xoshiro256pp gen(1);
+  for (auto _ : state) {
+    Configuration c = config;
+    step_count_based(dynamics, c, gen);
+    benchmark::DoNotOptimize(c.n());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CountBasedStep)
+    ->ArgsProduct({{1000, 1000000, 1000000000}, {2, 8, 64}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AgentStep(benchmark::State& state) {
+  const auto n = static_cast<count_t>(state.range(0));
+  const auto k = static_cast<state_t>(state.range(1));
+  ThreeMajority dynamics;
+  AgentSimulation sim(dynamics, workloads::additive_bias(n, k, n / 10), 1);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.configuration().n());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AgentStep)
+    ->ArgsProduct({{1000, 100000, 1000000}, {2, 8, 64}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CountBasedStepConditional(benchmark::State& state) {
+  // Stateful dynamics pay one multinomial per populated own-state class.
+  const auto n = static_cast<count_t>(state.range(0));
+  const auto k = static_cast<state_t>(state.range(1));
+  UndecidedState dynamics;
+  Configuration config = UndecidedState::extend_with_undecided(
+      workloads::additive_bias(n, k, n / 10));
+  rng::Xoshiro256pp gen(1);
+  for (auto _ : state) {
+    Configuration c = config;
+    step_count_based(dynamics, c, gen);
+    benchmark::DoNotOptimize(c.n());
+  }
+}
+BENCHMARK(BM_CountBasedStepConditional)
+    ->ArgsProduct({{1000000}, {8, 64, 256}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FullRunToConsensus(benchmark::State& state) {
+  // End-to-end: a complete biased run at the given n (count-based).
+  const auto n = static_cast<count_t>(state.range(0));
+  ThreeMajority dynamics;
+  const Configuration start = workloads::additive_bias(n, 8, n / 5);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    rng::Xoshiro256pp gen(seed++);
+    RunOptions options;
+    const RunResult result = run_dynamics(dynamics, start, options, gen);
+    benchmark::DoNotOptimize(result.rounds);
+  }
+}
+BENCHMARK(BM_FullRunToConsensus)
+    ->Arg(100000)
+    ->Arg(10000000)
+    ->Arg(1000000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelTrials(benchmark::State& state) {
+  // Trial-level OpenMP parallelism (the experiment harness's axis). The
+  // workload is a near-balanced k = 32 start, whose ~k log n round count
+  // makes each trial heavy enough to amortize the fork/join.
+  const bool parallel = state.range(0) != 0;
+  ThreeMajority dynamics;
+  const Configuration start = workloads::near_balanced(200000, 32, 0.25);
+  for (auto _ : state) {
+    TrialOptions options;
+    options.trials = 16;
+    options.seed = 7;
+    options.parallel = parallel;
+    const TrialSummary summary = run_trials(dynamics, start, options);
+    benchmark::DoNotOptimize(summary.plurality_wins);
+  }
+}
+BENCHMARK(BM_ParallelTrials)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace plurality
+
+BENCHMARK_MAIN();

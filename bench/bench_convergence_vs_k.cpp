@@ -1,0 +1,107 @@
+// E1 — Theorem 1 / Corollary 1: 3-majority convergence time vs k.
+//
+// Workload: additive-bias configurations at a fixed multiple of the
+// critical bias scale sqrt(min{2k, (n/ln n)^(1/3)} n ln n). The paper
+// predicts convergence in O(min{2k, (n/ln n)^(1/3)} log n) rounds w.h.p.
+// with the initial plurality winning; the table reports measured rounds,
+// the normalized ratio rounds / (min-factor * ln n) (which should flatten
+// to a constant), and the plurality win rate (which should be ~100%).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/experiment.hpp"
+#include "core/majority.hpp"
+#include "core/trials.hpp"
+#include "core/workloads.hpp"
+#include "stats/quantile.hpp"
+#include "stats/regression.hpp"
+#include "support/format.hpp"
+
+namespace plurality::bench {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Experiment exp("E1", "3-majority convergence time vs k",
+                 "Theorem 1 / Corollary 1 (upper bound)", "bench_convergence_vs_k");
+  exp.cli().add_uint("n", 0, "number of nodes (0 = mode default)");
+  exp.cli().add_double("bias-mult", 2.0,
+                       "initial bias as a multiple of the critical scale");
+  if (!exp.parse(argc, argv)) return 0;
+
+  const count_t n = exp.cli().get_uint("n") != 0
+                        ? exp.cli().get_uint("n")
+                        : exp.scaled<count_t>(100'000, 1'000'000, 10'000'000);
+  const std::uint64_t trials = exp.trials() != 0 ? exp.trials()
+                                                 : exp.scaled<std::uint64_t>(10, 30, 100);
+  const double mult = exp.cli().get_double("bias-mult");
+  const double ln_n = std::log(static_cast<double>(n));
+
+  exp.record().add("workload", "additive_bias(n, k, mult * critical_bias_scale(n, k))");
+  exp.record().add("n", format_count(n));
+  exp.record().add("bias multiplier", format_sig(mult, 3));
+  exp.record().add("trials/point", std::to_string(trials));
+  exp.record().set_expectation(
+      "UPPER bound: rounds <= C * min{2k, (n/ln n)^(1/3)} * ln n with one "
+      "constant C across all k, and plurality win rate ~100% at the paper's "
+      "bias (the matching linear-in-k growth is E2's lower bound)");
+  exp.print_header();
+
+  ThreeMajority dynamics;
+  io::Table table({"k", "min-factor", "bias s", "s/critical", "rounds (mean ± ci)",
+                   "rounds p95", "rounds/(factor*ln n)", "win rate"});
+  std::vector<double> xs, ys;
+
+  for (state_t k : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    const double critical = workloads::critical_bias_scale(n, k);
+    const auto s = static_cast<count_t>(mult * critical);
+    if (s >= n / 2) {
+      std::cout << "[skip] k=" << k << ": required bias " << s
+                << " is a constant fraction of n at this scale\n";
+      continue;
+    }
+    const double factor =
+        std::min(2.0 * k, std::cbrt(static_cast<double>(n) / ln_n));
+    const Configuration start = workloads::additive_bias(n, k, s);
+
+    TrialOptions options;
+    options.trials = trials;
+    options.seed = exp.seed() + k;
+    options.run.max_rounds = exp.max_rounds();
+    const TrialSummary summary = run_trials(dynamics, start, options);
+
+    const double normalized = summary.rounds.mean() / (factor * ln_n);
+    const double p95 = stats::quantile(summary.round_samples, 0.95);
+    table.row()
+        .cell(static_cast<std::uint64_t>(k))
+        .cell(factor, 4)
+        .cell(s)
+        .cell(static_cast<double>(s) / critical, 3)
+        .cell(mean_ci_cell(summary.rounds.mean(), summary.rounds.ci95_halfwidth()))
+        .cell(p95, 4)
+        .cell(normalized, 3)
+        .percent(summary.win_rate());
+    xs.push_back(factor * ln_n);
+    ys.push_back(summary.rounds.mean());
+  }
+  exp.emit(table);
+
+  if (!xs.empty()) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) worst = std::max(worst, ys[i] / xs[i]);
+    std::cout << "\nUpper-bound constant: max over k of rounds/(min-factor * ln n) = "
+              << format_sig(worst, 4)
+              << "\n(Theorem 1/Corollary 1 predict this stays bounded by one constant as"
+              << "\n k and n grow; the paper's own constant is far more conservative."
+              << "\n At this n the threshold bias already reaches n/k for larger k, so"
+              << "\n the visible growth saturates — the tight linear-in-k regime is"
+              << "\n exercised from below by bench_lower_bound/E2.)\n";
+  }
+  exp.finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace plurality::bench
+
+int main(int argc, char** argv) { return plurality::bench::run(argc, argv); }

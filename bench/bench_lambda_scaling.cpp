@@ -1,0 +1,86 @@
+// E1b — Theorem 1's lambda regimes (Corollaries 2 and 3): convergence time
+// vs the plurality share c1 = 2n/lambda.
+//
+// Workload: k = lambda colors, color 0 holding share 2/lambda, the rest
+// balanced, so c1 >= n/lambda holds with bias ~ n/lambda (far above the
+// sqrt(lambda n log n) threshold at these n). The paper predicts
+// O(lambda log n) rounds; the normalized column rounds/(lambda ln n)
+// should flatten.
+#include <cmath>
+#include <iostream>
+
+#include "common/experiment.hpp"
+#include "core/majority.hpp"
+#include "core/trials.hpp"
+#include "core/workloads.hpp"
+#include "stats/regression.hpp"
+#include "support/format.hpp"
+
+namespace plurality::bench {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Experiment exp("E1b", "3-majority convergence vs plurality share (lambda)",
+                 "Theorem 1 with lambda = n/c1; Corollaries 2-3", "bench_lambda_scaling");
+  exp.cli().add_uint("n", 0, "number of nodes (0 = mode default)");
+  if (!exp.parse(argc, argv)) return 0;
+
+  const count_t n = exp.cli().get_uint("n") != 0
+                        ? exp.cli().get_uint("n")
+                        : exp.scaled<count_t>(100'000, 1'000'000, 10'000'000);
+  const std::uint64_t trials =
+      exp.trials() != 0 ? exp.trials() : exp.scaled<std::uint64_t>(10, 30, 100);
+  const double ln_n = std::log(static_cast<double>(n));
+
+  exp.record().add("workload", "k = lambda colors; c1 = 2n/lambda; rest balanced");
+  exp.record().add("n", format_count(n));
+  exp.record().add("trials/point", std::to_string(trials));
+  exp.record().set_expectation(
+      "rounds ~ c * lambda * ln n (flat normalized column); Corollary 3: "
+      "constant lambda => O(log n)");
+  exp.print_header();
+
+  ThreeMajority dynamics;
+  io::Table table({"lambda", "k", "c1/n", "bias s", "s/sqrt(lambda n ln n)",
+                   "rounds (mean ± ci)", "rounds/(lambda*ln n)", "win rate"});
+  std::vector<double> xs, ys;
+
+  for (state_t lambda : {4, 8, 16, 32, 64}) {
+    const state_t k = lambda;
+    const double share = 2.0 / static_cast<double>(lambda);
+    const Configuration start = workloads::plurality_share(n, k, share);
+    const count_t s = start.bias(k);
+    const double threshold = workloads::critical_bias_scale_lambda(n, lambda);
+
+    TrialOptions options;
+    options.trials = trials;
+    options.seed = exp.seed() + lambda;
+    options.run.max_rounds = exp.max_rounds();
+    const TrialSummary summary = run_trials(dynamics, start, options);
+
+    table.row()
+        .cell(static_cast<std::uint64_t>(lambda))
+        .cell(static_cast<std::uint64_t>(k))
+        .cell(share, 3)
+        .cell(s)
+        .cell(static_cast<double>(s) / threshold, 3)
+        .cell(mean_ci_cell(summary.rounds.mean(), summary.rounds.ci95_halfwidth()))
+        .cell(summary.rounds.mean() / (lambda * ln_n), 3)
+        .percent(summary.win_rate());
+    xs.push_back(lambda * ln_n);
+    ys.push_back(summary.rounds.mean());
+  }
+  exp.emit(table);
+
+  const auto fit = stats::proportional_fit(xs, ys);
+  std::cout << "\nProportional fit rounds ~ c * lambda * ln n:  c = "
+            << format_sig(fit.slope, 4) << ", R^2 = " << format_sig(fit.r_squared, 4)
+            << "\n";
+  exp.finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace plurality::bench
+
+int main(int argc, char** argv) { return plurality::bench::run(argc, argv); }

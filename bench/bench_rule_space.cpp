@@ -1,0 +1,92 @@
+// E4 — Theorem 3: among 3-input dynamics, only the clear-majority +
+// uniform rules (the class M3) solve plurality consensus.
+//
+// Every named rule is run from Lemma 8's configuration with the plurality
+// placed on BOTH the lowest and the highest color label: a label-biased
+// rule can fake success on one labeling but not both. The table shows each
+// rule's Definition-2/3 properties next to its measured plurality win
+// rates — the paper predicts win ~100% on both labelings iff the rule is
+// in M3.
+#include <iostream>
+
+#include "common/experiment.hpp"
+#include "core/rule_table.hpp"
+#include "core/trials.hpp"
+#include "core/workloads.hpp"
+#include "support/format.hpp"
+
+namespace plurality::bench {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Experiment exp("E4", "the space of 3-input dynamics as plurality solvers",
+                 "Theorem 3 (Definitions 2-4, Lemmas 7-8)", "bench_rule_space");
+  exp.cli().add_uint("n", 0, "number of nodes (0 = mode default)");
+  exp.cli().add_double("eta", 0.04, "bias fraction: s = eta * n (Theorem 3(b) regime)");
+  if (!exp.parse(argc, argv)) return 0;
+
+  const count_t n = exp.cli().get_uint("n") != 0 ? exp.cli().get_uint("n")
+                                                 : exp.scaled<count_t>(9'000, 60'000, 600'000);
+  const std::uint64_t trials =
+      exp.trials() != 0 ? exp.trials() : exp.scaled<std::uint64_t>(20, 60, 200);
+  const double eta = exp.cli().get_double("eta");
+  const auto s = static_cast<count_t>(eta * static_cast<double>(n));
+  const count_t third = n / 3;
+
+  exp.record().add("workload",
+                   "Lemma 8 config (n/3+s, n/3, n/3-s), plurality on low AND high label");
+  exp.record().add("n", format_count(n));
+  exp.record().add("s = eta*n", format_count(s));
+  exp.record().add("trials/rule/labeling", std::to_string(trials));
+  exp.record().set_expectation(
+      "win ~100% on both labelings iff clear-majority AND uniform (class M3)");
+  exp.print_header();
+
+  const Configuration plurality_low({third + s, third, third - s});
+  const Configuration plurality_high({third - s, third, third + s});
+
+  io::Table table({"rule", "clear-majority", "uniform", "in M3",
+                   "win (plur.=low)", "win (plur.=high)", "consensus rate",
+                   "solver verdict"});
+  constexpr state_t kPropertyK = 5;  // enough colors to exercise Defs. 2-3
+
+  for (const auto& named : all_named_rules()) {
+    const bool clear = has_clear_majority_property(named.rule, kPropertyK);
+    const bool uniform = has_uniform_property(named.rule, kPropertyK);
+    const bool m3 = clear && uniform;
+    ThreeInputDynamics dynamics(named.label, named.rule);
+
+    TrialOptions options;
+    options.trials = trials;
+    options.seed = exp.seed();
+    options.run.max_rounds = exp.max_rounds();
+    const TrialSummary low = run_trials(dynamics, plurality_low, options);
+    options.seed = exp.seed() + 1;
+    const TrialSummary high = run_trials(dynamics, plurality_high, options);
+
+    const double consensus_rate =
+        0.5 * (low.consensus_rate() + high.consensus_rate());
+    const bool solves = low.win_rate() > 0.9 && high.win_rate() > 0.9 &&
+                        consensus_rate > 0.99;
+    table.row()
+        .cell(named.label)
+        .cell(clear ? "yes" : "NO")
+        .cell(uniform ? "yes" : "NO")
+        .cell(m3 ? "yes" : "NO")
+        .percent(low.win_rate())
+        .percent(high.win_rate())
+        .percent(consensus_rate)
+        .cell(solves ? "solves plurality" : "FAILS");
+  }
+  exp.emit(table);
+
+  std::cout << "\n(Theorem 3: every (s, 1/4)-solver with s = o(n) must have both\n"
+               " properties — the table's verdict column must match the M3 column.)\n";
+  exp.finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace plurality::bench
+
+int main(int argc, char** argv) { return plurality::bench::run(argc, argv); }

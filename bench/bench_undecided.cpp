@@ -1,0 +1,138 @@
+// E10 — the undecided-state dynamics (related-work contrast, reference [4]).
+//
+// Two claims from the paper's discussion:
+//  (a) its convergence time is linear in the monochromatic distance
+//      md(c) = sum_j (c_j/c_max)^2 — swept here at fixed n, k by skewing
+//      the start, with a proportional fit of rounds vs md;
+//  (b) for k = omega(sqrt n) it can KILL the plurality in one round with
+//      constant probability (all plurality supporters defect), where
+//      3-majority from the same start still wins what it can.
+#include <cmath>
+#include <iostream>
+
+#include "common/experiment.hpp"
+#include "core/backend.hpp"
+#include "core/majority.hpp"
+#include "core/trials.hpp"
+#include "core/undecided.hpp"
+#include "core/workloads.hpp"
+#include "rng/stream.hpp"
+#include "stats/regression.hpp"
+#include "support/format.hpp"
+
+namespace plurality::bench {
+namespace {
+
+/// Configuration with one color holding `share` of n and the remaining mass
+/// balanced: md smoothly tunable from ~1 (share near 1) to k (balanced).
+Configuration skewed_config(count_t n, state_t k, double share) {
+  if (share <= 1.0 / static_cast<double>(k)) return workloads::balanced(n, k);
+  return workloads::plurality_share(n, k, share);
+}
+
+int run(int argc, const char* const* argv) {
+  Experiment exp("E10", "undecided-state dynamics: md-linear time and its failure mode",
+                 "Related-work contrast with [4] (Section 1)", "bench_undecided");
+  exp.cli().add_uint("n", 0, "number of nodes (0 = mode default)");
+  exp.cli().add_uint("k", 64, "number of colors for the md sweep");
+  if (!exp.parse(argc, argv)) return 0;
+
+  const count_t n = exp.cli().get_uint("n") != 0 ? exp.cli().get_uint("n")
+                                                 : exp.scaled<count_t>(65'536, 1'048'576, 8'388'608);
+  const auto k = static_cast<state_t>(exp.cli().get_uint("k"));
+  const std::uint64_t trials =
+      exp.trials() != 0 ? exp.trials() : exp.scaled<std::uint64_t>(10, 25, 80);
+
+  exp.record().add("workload (a)", "one dominant color with share alpha, rest balanced");
+  exp.record().add("workload (b)", "balanced k=omega(sqrt n) + tiny plurality");
+  exp.record().add("n", format_count(n));
+  exp.record().add("k", std::to_string(k));
+  exp.record().add("trials/point", std::to_string(trials));
+  exp.record().set_expectation(
+      "(a) rounds ~ c * md(c) at fixed n (linear fit, R^2 near 1); "
+      "(b) plurality dies in round 1 with constant probability");
+  exp.print_header();
+
+  // (a) md sweep.
+  UndecidedState undecided;
+  io::Table md_table({"share of top color", "md(c)", "rounds (mean ± ci)",
+                      "rounds/md", "win rate"});
+  std::vector<double> xs, ys;
+  for (const double share : {0.8, 0.5, 0.25, 0.12, 0.06, 0.03, 1.0 / k}) {
+    const Configuration colors = skewed_config(n, k, share);
+    const double md = colors.monochromatic_distance(k);
+    TrialOptions options;
+    options.trials = trials;
+    options.seed = exp.seed() + static_cast<std::uint64_t>(share * 1000);
+    options.run.max_rounds = exp.max_rounds();
+    const TrialSummary summary = run_trials(
+        undecided, UndecidedState::extend_with_undecided(colors), options);
+    md_table.row()
+        .cell(share, 3)
+        .cell(md, 4)
+        .cell(mean_ci_cell(summary.rounds.mean(), summary.rounds.ci95_halfwidth()))
+        .cell(summary.rounds.mean() / md, 3)
+        .percent(summary.win_rate());
+    xs.push_back(md);
+    ys.push_back(summary.rounds.mean());
+  }
+  std::cout << "(a) monochromatic-distance sweep (n = " << format_count(n)
+            << ", k = " << k << "):\n";
+  exp.emit(md_table, "md");
+  const auto fit = stats::linear_fit(xs, ys);
+  std::cout << "\nLinear fit rounds ~ a + b*md:  b = " << format_sig(fit.slope, 4)
+            << ", a = " << format_sig(fit.intercept, 4)
+            << ", R^2 = " << format_sig(fit.r_squared, 4) << "\n";
+
+  // (b) plurality-death probability at k = omega(sqrt n).
+  const count_t n_small = 10'000;
+  io::Table death_table({"k", "k/sqrt(n)", "plurality size", "P(dies in round 1)",
+                         "undecided final win", "3-majority final win"});
+  ThreeMajority majority;
+  for (const state_t big_k : {50, 200, 800, 2000}) {
+    Configuration colors = workloads::balanced(n_small, big_k);
+    colors.move_mass(1, 0, 2);  // tiny but strict plurality on color 0
+    const count_t plurality_size = colors.at(0);
+    const Configuration start = UndecidedState::extend_with_undecided(colors);
+
+    rng::StreamFactory streams(exp.seed() + big_k);
+    std::uint64_t died = 0;
+    const std::uint64_t probes = exp.scaled<std::uint64_t>(200, 500, 2000);
+    for (std::uint64_t t = 0; t < probes; ++t) {
+      rng::Xoshiro256pp gen = streams.stream(t);
+      Configuration c = start;
+      step_count_based(undecided, c, gen);
+      died += (c.at(0) == 0);
+    }
+
+    TrialOptions options;
+    options.trials = exp.scaled<std::uint64_t>(20, 50, 200);
+    options.seed = exp.seed() + 31 + big_k;
+    options.run.max_rounds = 200000;
+    const TrialSummary undecided_summary = run_trials(undecided, start, options);
+    const TrialSummary majority_summary = run_trials(majority, colors, options);
+
+    death_table.row()
+        .cell(static_cast<std::uint64_t>(big_k))
+        .cell(static_cast<double>(big_k) / std::sqrt(static_cast<double>(n_small)), 3)
+        .cell(plurality_size)
+        .percent(static_cast<double>(died) / static_cast<double>(probes))
+        .percent(undecided_summary.win_rate())
+        .percent(majority_summary.win_rate());
+  }
+  std::cout << "\n(b) plurality death at k = omega(sqrt n)  (n = "
+            << format_count(n_small) << "):\n";
+  exp.emit(death_table, "death");
+
+  std::cout << "\n(the paper: the undecided-state dynamics can be exponentially\n"
+               " faster than 3-majority when md is small, but is not a plurality\n"
+               " solver for k = omega(sqrt n) — its one-round death probability is\n"
+               " a constant there.)\n";
+  exp.finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace plurality::bench
+
+int main(int argc, char** argv) { return plurality::bench::run(argc, argv); }

@@ -1,0 +1,63 @@
+#include "common/experiment.hpp"
+
+#include "support/format.hpp"
+
+namespace plurality::bench {
+
+Experiment::Experiment(std::string id, std::string title, std::string paper_result,
+                       std::string binary_name)
+    : id_(id),
+      binary_name_(std::move(binary_name)),
+      cli_(binary_name_, title),
+      record_(std::move(id), std::move(title), std::move(paper_result)) {
+  cli_.add_uint("trials", 0, "independent trials per sweep point (0 = experiment default)");
+  cli_.add_uint("seed", 1, "master seed for the trial streams");
+  cli_.add_uint("max-rounds", 10'000'000, "per-run round cap");
+  cli_.add_string("csv", "", "write table rows to this CSV path (suffix appended per table)");
+  cli_.add_flag("quick", "CI-sized parameters");
+  cli_.add_flag("full", "paper-sized parameters (slow)");
+}
+
+bool Experiment::parse(int argc, const char* const* argv) {
+  return cli_.parse(argc, argv);
+}
+
+std::uint64_t Experiment::trials() const { return cli_.get_uint("trials"); }
+std::uint64_t Experiment::seed() const { return cli_.get_uint("seed"); }
+round_t Experiment::max_rounds() const { return cli_.get_uint("max-rounds"); }
+bool Experiment::quick() const { return cli_.flag("quick"); }
+bool Experiment::full() const { return cli_.flag("full"); }
+
+void Experiment::print_header() { record_.print(std::cout); }
+
+void Experiment::emit(const io::Table& table, const std::string& csv_suffix) {
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout.flush();
+  const std::string& base = cli_.get_string("csv");
+  if (!base.empty()) {
+    std::string path = base;
+    if (!csv_suffix.empty()) {
+      const auto dot = path.rfind('.');
+      if (dot == std::string::npos) {
+        path += "_" + csv_suffix;
+      } else {
+        path.insert(dot, "_" + csv_suffix);
+      }
+    }
+    io::CsvWriter csv(path, table.headers());
+    for (const auto& row : table.rows()) csv.add_row(row);
+    std::cout << "[csv] wrote " << table.row_count() << " rows to " << path << "\n";
+  }
+}
+
+void Experiment::finish() {
+  std::cout << "\n[" << id_ << "] done in " << format_duration(timer_.seconds())
+            << "\n";
+}
+
+std::string mean_ci_cell(double mean, double ci_halfwidth) {
+  return format_sig(mean, 4) + " ± " + format_sig(ci_halfwidth, 2);
+}
+
+}  // namespace plurality::bench

@@ -1,0 +1,75 @@
+// Shared harness for the experiment binaries (bench/bench_*).
+//
+// Every experiment binary:
+//   * announces itself with an ExperimentRecord header (experiment id,
+//     paper result, workload, expectation),
+//   * accepts the common CLI options (--trials, --seed, --max-rounds,
+//     --csv, --quick/--full),
+//   * prints paper-style tables and optionally mirrors them to CSV.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "io/record.hpp"
+#include "io/table.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+#include "support/types.hpp"
+
+namespace plurality::bench {
+
+class Experiment {
+ public:
+  /// Registers the common options. Call add_* for extra options before
+  /// parse().
+  Experiment(std::string id, std::string title, std::string paper_result,
+             std::string binary_name);
+
+  CliParser& cli() { return cli_; }
+
+  /// Parses argv; returns false if --help was printed (caller exits 0).
+  bool parse(int argc, const char* const* argv);
+
+  // Common knobs (valid after parse()).
+  [[nodiscard]] std::uint64_t trials() const;
+  [[nodiscard]] std::uint64_t seed() const;
+  [[nodiscard]] round_t max_rounds() const;
+  /// True when --quick (CI-sized run) was requested.
+  [[nodiscard]] bool quick() const;
+  /// True when --full (paper-sized run) was requested.
+  [[nodiscard]] bool full() const;
+
+  /// Picks quick/default/full value by mode.
+  template <typename T>
+  [[nodiscard]] T scaled(T quick_value, T default_value, T full_value) const {
+    if (quick()) return quick_value;
+    if (full()) return full_value;
+    return default_value;
+  }
+
+  /// Header block; call once before the sweep.
+  io::ExperimentRecord& record() { return record_; }
+  void print_header();
+
+  /// Emits the table to stdout and mirrors rows to --csv when given.
+  void emit(const io::Table& table, const std::string& csv_suffix = "");
+
+  /// Closing line with total wall time.
+  void finish();
+
+ private:
+  std::string id_;
+  std::string binary_name_;
+  CliParser cli_;
+  io::ExperimentRecord record_;
+  WallTimer timer_;
+};
+
+/// Formats "mean ± ci95" for table cells.
+std::string mean_ci_cell(double mean, double ci_halfwidth);
+
+}  // namespace plurality::bench

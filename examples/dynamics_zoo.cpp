@@ -1,0 +1,108 @@
+// The dynamics zoo: every protocol in the library racing from the same
+// starting configuration — a one-screen empirical summary of the paper.
+//
+//   $ ./dynamics_zoo --n 2e5 --k 6
+//
+// From a configuration with the plurality on an extreme color, watch:
+// 3-majority win the plurality; h-plurality win faster as h grows; the
+// median dynamics converge quickly but to the WRONG (median) color; the
+// voter / 2-choices pair forget the bias; and the undecided-state protocol
+// race ahead using its one extra memory state.
+#include <iostream>
+#include <memory>
+
+#include "core/hplurality.hpp"
+#include "core/majority.hpp"
+#include "core/median.hpp"
+#include "core/trials.hpp"
+#include "core/undecided.hpp"
+#include "core/voter.hpp"
+#include "core/workloads.hpp"
+#include "io/table.hpp"
+#include "stats/quantile.hpp"
+#include "support/cli.hpp"
+#include "support/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plurality;
+
+  CliParser cli("dynamics_zoo", "all dynamics from one start, side by side");
+  cli.add_uint("n", 200'000, "number of nodes");
+  cli.add_uint("k", 6, "number of colors");
+  cli.add_uint("trials", 40, "trials per dynamics");
+  cli.add_uint("seed", 3, "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const count_t n = cli.get_uint("n");
+  const auto k = static_cast<state_t>(cli.get_uint("k"));
+  const std::uint64_t trials = cli.get_uint("trials");
+
+  // Plurality (30%) on color 0, an extreme of the ordered color range, so
+  // plurality and median disagree; the rest balanced.
+  const Configuration start = workloads::plurality_share(n, k, 0.3);
+  std::cout << "start: " << start.to_string() << "\n"
+            << "initial plurality: color 0 at "
+            << format_percent(static_cast<double>(start.at(0)) / static_cast<double>(n))
+            << " — value-median sits at color " << (k / 2) / 2 + 1 << "-ish\n\n";
+
+  const ThreeMajority majority;
+  const HPlurality h5(5), h9(9);
+  const MedianDynamics median;
+  const MedianOwnTwo median_own;
+  const Voter voter;
+  const TwoChoices two_choices;
+  const UndecidedState undecided;
+
+  struct Entry {
+    const Dynamics* dynamics;
+    const char* memory;
+  };
+  const Entry entries[] = {
+      {&majority, "none"},      {&h5, "none"},      {&h9, "none"},
+      {&median, "none"},        {&median_own, "own color"},
+      {&voter, "none"},         {&two_choices, "none"},
+      {&undecided, "1 extra state"},
+  };
+
+  io::Table table({"dynamics", "samples", "memory", "consensus rate",
+                   "plurality wins", "rounds (mean)", "rounds (p95)"});
+  for (const auto& entry : entries) {
+    const Dynamics& dynamics = *entry.dynamics;
+    const Configuration protocol_start =
+        dynamics.num_states(k) > k ? UndecidedState::extend_with_undecided(start)
+                                   : start;
+    TrialOptions options;
+    options.trials = trials;
+    options.seed = cli.get_uint("seed");
+    options.run.max_rounds = 2'000'000;
+    // Large-h exact laws are gated; fall back to the agent backend.
+    if (!dynamics.has_exact_law(protocol_start.k())) {
+      options.run.backend = Backend::Agent;
+      options.trials = std::min<std::uint64_t>(trials, 10);
+    }
+    const TrialSummary summary = run_trials(dynamics, protocol_start, options);
+    const bool finished = summary.rounds.count() > 0;
+    table.row()
+        .cell(dynamics.name())
+        .cell(static_cast<std::uint64_t>(dynamics.sample_arity()))
+        .cell(entry.memory)
+        .percent(summary.consensus_rate())
+        .percent(summary.win_rate())
+        .cell(finished ? format_sig(summary.rounds.mean(), 4) : std::string("> cap"))
+        .cell(finished ? format_sig(stats::quantile(summary.round_samples, 0.95), 4)
+                       : std::string("-"));
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nreading guide (all paper results, one table):\n"
+         "  * 3-majority / h-plurality: plurality wins ~100%; larger h is\n"
+         "    faster but by at most ~h^2 (Theorem 4)\n"
+         "  * median rules: fast consensus for any k, but on the median\n"
+         "    color, not the plurality (Theorem 3's non-uniform rules)\n"
+         "  * voter & 2-choices: identical by Section 1's equivalence, win\n"
+         "    only in proportion to the initial share\n"
+         "  * undecided-state: fastest here (md(c) is small) but needs the\n"
+         "    extra state and fails for k = omega(sqrt n)\n";
+  return 0;
+}

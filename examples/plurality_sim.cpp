@@ -1,0 +1,132 @@
+// plurality_sim — the general-purpose simulator CLI.
+//
+// Any dynamics in the library x any workload x any scale, with trial
+// statistics and optional per-round trajectories and CSV output:
+//
+//   $ ./plurality_sim --dynamics 3-majority --workload bias:2c --n 1e7 --k 8
+//   $ ./plurality_sim --dynamics 7-plurality --workload near-balanced:0.25 \
+//         --n 1e5 --k 16 --trials 50
+//   $ ./plurality_sim --dynamics undecided --workload zipf:0.8 --n 1e6 \
+//         --k 50 --trajectory
+//   $ ./plurality_sim --list
+#include <iostream>
+
+#include "core/registry.hpp"
+#include "core/trials.hpp"
+#include "core/undecided.hpp"
+#include "core/workloads.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "stats/quantile.hpp"
+#include "support/cli.hpp"
+#include "support/format.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plurality;
+
+  CliParser cli("plurality_sim", "run any dynamics on any workload at any scale");
+  cli.add_string("dynamics", "3-majority", "protocol name (see --list)");
+  cli.add_string("workload", "bias:2c", "initial configuration spec (see workloads.hpp)");
+  cli.add_uint("n", 1'000'000, "number of nodes");
+  cli.add_uint("k", 4, "number of colors");
+  cli.add_uint("trials", 20, "independent trials");
+  cli.add_uint("seed", 1, "master seed");
+  cli.add_uint("max-rounds", 10'000'000, "round cap per trial");
+  cli.add_flag("agent", "force the agent-level backend");
+  cli.add_flag("trajectory", "print one trial's round-by-round trajectory");
+  cli.add_string("csv", "", "write the trajectory to this CSV path");
+  cli.add_flag("list", "list dynamics names and workload specs, then exit");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.flag("list")) {
+    std::cout << "dynamics:\n";
+    for (const auto& name : dynamics_names()) std::cout << "  " << name << "\n";
+    std::cout << "workloads: balanced | bias:<s|mult'c'> | share:<x> | zipf:<theta>"
+                 " | near-balanced:<eps> | lemma10:<s> | theorem3:<s>\n";
+    return 0;
+  }
+
+  const count_t n = cli.get_uint("n");
+  const auto k = static_cast<state_t>(cli.get_uint("k"));
+  const auto dynamics = make_dynamics(cli.get_string("dynamics"));
+  Configuration start = workloads::parse_workload(cli.get_string("workload"), n, k);
+  if (dynamics->num_states(start.k()) > start.k()) {
+    start = UndecidedState::extend_with_undecided(start);
+  }
+  const state_t colors = dynamics->num_colors(start.k());
+
+  std::cout << "dynamics:  " << dynamics->name() << " (" << dynamics->sample_arity()
+            << " samples/node/round)\n"
+            << "workload:  " << cli.get_string("workload") << "  ->  n = "
+            << format_count(start.n()) << ", k = " << colors << ", bias s = "
+            << format_count(start.bias(colors)) << " (critical scale "
+            << format_count(static_cast<count_t>(workloads::critical_bias_scale(n, colors)))
+            << ")\n";
+
+  RunOptions run_options;
+  run_options.max_rounds = cli.get_uint("max-rounds");
+  if (cli.flag("agent") || !dynamics->has_exact_law(start.k())) {
+    run_options.backend = Backend::Agent;
+    std::cout << "backend:   agent-level (O(n*h) per round)\n";
+  } else {
+    std::cout << "backend:   count-based (exact multinomial, O(k) per round)\n";
+  }
+
+  if (cli.flag("trajectory")) {
+    rng::Xoshiro256pp gen(cli.get_uint("seed"));
+    run_options.record_trajectory = true;
+    const RunResult result = run_dynamics(*dynamics, start, run_options, gen);
+    io::Table table({"round", "plurality", "count", "bias", "minority"});
+    io::CsvWriter csv = cli.get_string("csv").empty()
+                            ? io::CsvWriter()
+                            : io::CsvWriter(cli.get_string("csv"), table.headers());
+    const std::size_t stride = std::max<std::size_t>(1, result.trajectory.size() / 32);
+    for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+      const auto& pt = result.trajectory[i];
+      csv.add_row({std::to_string(pt.round), std::to_string(pt.plurality_color),
+                   std::to_string(pt.plurality_count), std::to_string(pt.bias),
+                   std::to_string(pt.minority_mass)});
+      if (i % stride != 0 && i + 1 != result.trajectory.size()) continue;
+      table.row()
+          .cell(pt.round)
+          .cell(static_cast<std::uint64_t>(pt.plurality_color))
+          .cell(pt.plurality_count)
+          .cell(pt.bias)
+          .cell(pt.minority_mass);
+    }
+    table.print(std::cout);
+    std::cout << "\nstopped after " << result.rounds << " rounds: "
+              << (result.reason == StopReason::ColorConsensus
+                      ? (result.plurality_won ? "consensus on the initial plurality"
+                                              : "consensus on a NON-plurality color")
+                      : "no consensus within the round cap")
+              << "\n";
+    return 0;
+  }
+
+  WallTimer timer;
+  TrialOptions trial_options;
+  trial_options.trials = cli.get_uint("trials");
+  trial_options.seed = cli.get_uint("seed");
+  trial_options.run = run_options;
+  const TrialSummary summary = run_trials(*dynamics, start, trial_options);
+
+  io::Table table({"metric", "value"});
+  table.row().cell("trials").cell(summary.trials);
+  table.row().cell("consensus rate").cell(format_percent(summary.consensus_rate()));
+  table.row().cell("plurality win rate").cell(format_percent(summary.win_rate()));
+  const auto ci = summary.win_ci();
+  table.row().cell("win rate 95% CI").cell(
+      format_percent(ci.low) + " .. " + format_percent(ci.high));
+  if (summary.rounds.count() > 0) {
+    table.row().cell("rounds mean").cell(summary.rounds.mean(), 5);
+    table.row().cell("rounds min/max").cell(
+        format_sig(summary.rounds.min(), 4) + " / " + format_sig(summary.rounds.max(), 4));
+    table.row().cell("rounds p50").cell(stats::median(summary.round_samples), 5);
+    table.row().cell("rounds p95").cell(stats::quantile(summary.round_samples, 0.95), 5);
+  }
+  table.row().cell("wall time").cell(format_duration(timer.seconds()));
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Distributed item ranking — the paper's motivating application [21]:
+// every node initially prefers some item, and the network must agree on
+// the most popular one using only constant-size random samples per round.
+//
+//   $ ./ranking --n 1e6 --items 50 --theta 0.6 --trials 25
+//
+// Item popularity follows a Zipf(theta) law (realistic ranking workloads);
+// each trial draws every node's initial preference from that law, so the
+// realized plurality and bias fluctuate per trial. The example reports how
+// often the 3-majority dynamics elects the TRUE most popular item, how
+// long it takes, and how that compares with the voter baseline.
+#include <iostream>
+
+#include "core/majority.hpp"
+#include "core/trials.hpp"
+#include "core/voter.hpp"
+#include "core/workloads.hpp"
+#include "io/table.hpp"
+#include "rng/discrete.hpp"
+#include "support/cli.hpp"
+#include "support/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plurality;
+
+  CliParser cli("ranking", "agree on the most popular item via 3-majority sampling");
+  cli.add_uint("n", 1'000'000, "number of nodes");
+  cli.add_uint("items", 50, "number of items (colors)");
+  cli.add_double("theta", 0.6, "Zipf skew of item popularity (0 = uniform)");
+  cli.add_uint("trials", 25, "independent elections");
+  cli.add_uint("seed", 7, "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const count_t n = cli.get_uint("n");
+  const auto items = static_cast<state_t>(cli.get_uint("items"));
+  const double theta = cli.get_double("theta");
+  const std::uint64_t trials = cli.get_uint("trials");
+
+  std::vector<double> popularity = rng::zipf_weights(items, theta);
+  rng::normalize_weights(popularity);
+  std::cout << "item popularity: Zipf(theta=" << theta << ") over " << items
+            << " items; top item holds " << format_percent(popularity[0])
+            << " in expectation\n";
+  const double expected_bias =
+      static_cast<double>(n) * (popularity[0] - popularity[1]);
+  std::cout << "expected bias: " << format_count(static_cast<count_t>(expected_bias))
+            << " vs critical scale "
+            << format_count(static_cast<count_t>(workloads::critical_bias_scale(n, items)))
+            << "\n\n";
+
+  // Each trial samples node preferences i.i.d. from the popularity law.
+  const ConfigFactory workload = [&](std::uint64_t, rng::Xoshiro256pp& gen) {
+    return workloads::sample_from_weights(n, popularity, gen);
+  };
+
+  ThreeMajority majority;
+  Voter voter;
+  io::Table table({"protocol", "samples/round/node", "elects true top item",
+                   "rounds (mean)", "rounds (max)"});
+  for (const Dynamics* dynamics :
+       {static_cast<const Dynamics*>(&majority), static_cast<const Dynamics*>(&voter)}) {
+    TrialOptions options;
+    options.trials = trials;
+    options.seed = cli.get_uint("seed");
+    options.run.max_rounds = 5'000'000;
+    const TrialSummary summary = run_trials(*dynamics, workload, options);
+    table.row()
+        .cell(dynamics->name())
+        .cell(static_cast<std::uint64_t>(dynamics->sample_arity()))
+        .percent(summary.win_rate())
+        .cell(summary.rounds.count() > 0 ? format_sig(summary.rounds.mean(), 4) : "-")
+        .cell(summary.rounds.count() > 0 ? format_sig(summary.rounds.max(), 4) : "-");
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(three samples per node per round suffice to elect the plurality\n"
+               " item essentially always; one sample — the polling baseline — picks\n"
+               " an item with probability only proportional to its popularity.)\n";
+  return 0;
+}

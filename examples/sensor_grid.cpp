@@ -1,0 +1,89 @@
+// Plurality consensus on a sensor grid — the sparse-topology extension.
+//
+//   $ ./sensor_grid --side 100 --k 3
+//
+// A field of battery-powered sensors laid out as a torus measures a
+// discrete phenomenon (k classes) with noise; each sensor can only gossip
+// with its four physical neighbors. The clique theory does not apply
+// directly — this example shows how much locality costs by racing the same
+// protocol on the torus, on a random 8-regular overlay (as if the sensors
+// had a few long-range radio links), and on the idealized clique.
+#include <iostream>
+
+#include "core/majority.hpp"
+#include "core/workloads.hpp"
+#include "graph/agent_graph.hpp"
+#include "graph/builders.hpp"
+#include "io/table.hpp"
+#include "support/cli.hpp"
+#include "support/format.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plurality;
+
+  CliParser cli("sensor_grid", "3-majority gossip on physical vs overlay topologies");
+  cli.add_uint("side", 100, "torus side length (n = side^2 sensors)");
+  cli.add_uint("k", 3, "number of phenomenon classes");
+  cli.add_double("true-share", 0.45, "fraction of sensors observing the true class");
+  cli.add_uint("trials", 10, "independent runs per topology");
+  cli.add_uint("max-rounds", 50000, "round cap per run");
+  cli.add_uint("seed", 21, "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const count_t side = cli.get_uint("side");
+  const count_t n = side * side;
+  const auto k = static_cast<state_t>(cli.get_uint("k"));
+  const std::uint64_t trials = cli.get_uint("trials");
+  const auto max_rounds = static_cast<round_t>(cli.get_uint("max-rounds"));
+
+  const Configuration readings =
+      workloads::plurality_share(n, k, cli.get_double("true-share"));
+  std::cout << "sensors: " << format_count(n) << " on a " << side << "x" << side
+            << " torus; true class observed by "
+            << format_percent(cli.get_double("true-share")) << " of sensors\n\n";
+
+  rng::Xoshiro256pp topo_gen(cli.get_uint("seed"));
+  const auto torus = graph::torus(side, side);
+  const auto overlay = graph::random_regular(n, 8, topo_gen);
+  const auto clique = graph::Topology::complete(n);
+
+  struct Entry {
+    const char* name;
+    const graph::Topology* topology;
+  };
+  const Entry entries[] = {{"physical torus (deg 4)", &torus},
+                           {"radio overlay (8-regular)", &overlay},
+                           {"idealized clique", &clique}};
+
+  ThreeMajority dynamics;
+  io::Table table({"topology", "consensus rate", "true class wins",
+                   "rounds (mean)", "wall time/run"});
+  for (const auto& entry : entries) {
+    std::uint64_t consensus = 0, wins = 0;
+    double rounds_sum = 0;
+    WallTimer timer;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      graph::GraphSimulation sim(dynamics, *entry.topology, readings,
+                                 cli.get_uint("seed") + 100 + t);
+      const round_t used = sim.run_to_consensus(max_rounds);
+      if (!sim.configuration().color_consensus(k)) continue;
+      ++consensus;
+      rounds_sum += static_cast<double>(used);
+      wins += (sim.configuration().at(0) == n);
+    }
+    table.row()
+        .cell(entry.name)
+        .percent(static_cast<double>(consensus) / static_cast<double>(trials))
+        .percent(static_cast<double>(wins) / static_cast<double>(trials))
+        .cell(consensus > 0 ? format_sig(rounds_sum / static_cast<double>(consensus), 4)
+                            : std::string("> cap"))
+        .cell(format_duration(timer.seconds() / static_cast<double>(trials)));
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(a handful of long-range links recovers nearly clique-speed\n"
+               " consensus — the expander overlay is what gossip deployments\n"
+               " actually build.)\n";
+  return 0;
+}

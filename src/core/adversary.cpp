@@ -1,0 +1,60 @@
+#include "core/adversary.hpp"
+
+#include "rng/distributions.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+
+void BoostRunnerUp::corrupt(Configuration& config, state_t num_colors, round_t round,
+                            rng::Xoshiro256pp& gen) const {
+  (void)round;
+  (void)gen;
+  PLURALITY_REQUIRE(num_colors >= 2, "boost-runner-up: need >= 2 colors");
+  const state_t plurality = config.plurality(num_colors);
+  // Runner-up by count, lowest index on ties.
+  state_t runner = plurality == 0 ? 1 : 0;
+  for (state_t j = 0; j < num_colors; ++j) {
+    if (j == plurality) continue;
+    if (config.at(j) > config.at(runner)) runner = j;
+  }
+  config.move_mass(plurality, runner, budget());
+}
+
+void FeedWeakest::corrupt(Configuration& config, state_t num_colors, round_t round,
+                          rng::Xoshiro256pp& gen) const {
+  (void)round;
+  (void)gen;
+  PLURALITY_REQUIRE(num_colors >= 2, "feed-weakest: need >= 2 colors");
+  const state_t plurality = config.plurality(num_colors);
+  state_t weakest = plurality == 0 ? 1 : 0;
+  for (state_t j = 0; j < num_colors; ++j) {
+    if (j == plurality) continue;
+    if (config.at(j) < config.at(weakest)) weakest = j;
+  }
+  config.move_mass(plurality, weakest, budget());
+}
+
+void RandomCorruption::corrupt(Configuration& config, state_t num_colors, round_t round,
+                               rng::Xoshiro256pp& gen) const {
+  (void)round;
+  PLURALITY_REQUIRE(num_colors >= 2, "random corruption: need >= 2 colors");
+  const count_t n = config.n();
+  PLURALITY_CHECK(n > 0);
+  for (count_t i = 0; i < budget(); ++i) {
+    // Pick a uniform node (equivalently: a source state with probability
+    // proportional to its count) and send it to a uniform color.
+    count_t pick = rng::uniform_below(gen, n);
+    state_t source = 0;
+    for (state_t j = 0; j < config.k(); ++j) {
+      if (pick < config.at(j)) {
+        source = j;
+        break;
+      }
+      pick -= config.at(j);
+    }
+    const auto target = static_cast<state_t>(rng::uniform_below(gen, num_colors));
+    config.move_mass(source, target, 1);
+  }
+}
+
+}  // namespace plurality

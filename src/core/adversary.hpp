@@ -1,0 +1,73 @@
+// F-bounded dynamic adversaries (Section 3.1).
+//
+// The paper's adversary knows the full state at the end of each round and
+// may recolor up to F nodes arbitrarily before the next round begins; the
+// achievable goal then weakens to M-plurality consensus (all but M nodes on
+// the plurality) for M = Omega(F). Corollary 4: 3-majority reaches
+// O(s/lambda)-plurality consensus in O(lambda log n) rounds against any
+// F = o(s/lambda) adversary, and stays there.
+//
+// Strategies provided (strongest natural attacks on the clique):
+//   * BoostRunnerUp    — move F nodes from the current plurality to the
+//     current runner-up: the unique bias-minimizing single move, i.e. the
+//     worst case for the phase-1 bias-growth argument.
+//   * FeedWeakest      — move F nodes from the plurality to the smallest
+//     surviving color, maximally delaying Lemma 5's die-out.
+//   * RandomCorruption — recolor F uniformly random nodes to uniformly
+//     random colors (a noise baseline).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/configuration.hpp"
+#include "rng/xoshiro.hpp"
+#include "support/types.hpp"
+
+namespace plurality {
+
+class Adversary {
+ public:
+  explicit Adversary(count_t budget) : budget_(budget) {}
+  virtual ~Adversary() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Corruption budget F per round.
+  [[nodiscard]] count_t budget() const { return budget_; }
+
+  /// Applies the corruption for this round in place. `num_colors` is the
+  /// color prefix of the state space (adversaries recolor, they do not
+  /// create auxiliary states).
+  virtual void corrupt(Configuration& config, state_t num_colors, round_t round,
+                       rng::Xoshiro256pp& gen) const = 0;
+
+ private:
+  count_t budget_;
+};
+
+class BoostRunnerUp final : public Adversary {
+ public:
+  using Adversary::Adversary;
+  [[nodiscard]] std::string name() const override { return "boost-runner-up"; }
+  void corrupt(Configuration& config, state_t num_colors, round_t round,
+               rng::Xoshiro256pp& gen) const override;
+};
+
+class FeedWeakest final : public Adversary {
+ public:
+  using Adversary::Adversary;
+  [[nodiscard]] std::string name() const override { return "feed-weakest"; }
+  void corrupt(Configuration& config, state_t num_colors, round_t round,
+               rng::Xoshiro256pp& gen) const override;
+};
+
+class RandomCorruption final : public Adversary {
+ public:
+  using Adversary::Adversary;
+  [[nodiscard]] std::string name() const override { return "random"; }
+  void corrupt(Configuration& config, state_t num_colors, round_t round,
+               rng::Xoshiro256pp& gen) const override;
+};
+
+}  // namespace plurality

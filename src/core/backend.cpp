@@ -1,0 +1,100 @@
+#include "core/backend.hpp"
+
+#include <array>
+
+#include "rng/distributions.hpp"
+#include "rng/multinomial.hpp"
+#include "support/check.hpp"
+
+#if defined(PLURALITY_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace plurality {
+
+void step_count_based(const Dynamics& dynamics, Configuration& config,
+                      rng::Xoshiro256pp& gen) {
+  const state_t k = config.k();
+  PLURALITY_REQUIRE(dynamics.has_exact_law(k),
+                    "count-based step: dynamics '" << dynamics.name()
+                                                   << "' has no exact law at k=" << k);
+  const std::vector<double> counts = config.counts_real();
+  std::vector<double> law(k);
+  std::vector<count_t> next(k, 0);
+
+  if (!dynamics.law_depends_on_own_state()) {
+    dynamics.adoption_law(counts, law);
+    rng::multinomial(gen, config.n(), law, next);
+  } else {
+    // Nodes within one own-state class are i.i.d.; each class contributes
+    // its own multinomial and the class draws are independent given the
+    // configuration, so summing them samples the exact joint transition.
+    std::vector<count_t> class_next(k, 0);
+    for (state_t s = 0; s < k; ++s) {
+      const count_t class_size = config.at(s);
+      if (class_size == 0) continue;
+      dynamics.adoption_law_given(s, counts, law);
+      rng::multinomial(gen, class_size, law, class_next);
+      for (state_t j = 0; j < k; ++j) next[j] += class_next[j];
+    }
+  }
+
+  config = Configuration(std::move(next));
+}
+
+AgentSimulation::AgentSimulation(const Dynamics& dynamics, const Configuration& start,
+                                 std::uint64_t seed)
+    : dynamics_(dynamics), config_(start), streams_(seed) {
+  PLURALITY_REQUIRE(start.n() > 0, "AgentSimulation: empty configuration");
+  nodes_.reserve(start.n());
+  for (state_t j = 0; j < start.k(); ++j) {
+    nodes_.insert(nodes_.end(), start.at(j), j);
+  }
+  // No shuffle needed: sampling is uniform over the whole array, so the
+  // layout order carries no information.
+  scratch_.resize(nodes_.size());
+}
+
+void AgentSimulation::step() {
+  const std::size_t n = nodes_.size();
+  const state_t k = config_.k();
+  const unsigned arity = dynamics_.sample_arity();
+  PLURALITY_CHECK_MSG(arity <= 64, "agent backend supports sample arity <= 64");
+
+  const std::size_t chunk_size = (n + kChunks - 1) / kChunks;
+  std::array<std::vector<count_t>, kChunks> partial_counts;
+
+#if defined(PLURALITY_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (unsigned chunk = 0; chunk < kChunks; ++chunk) {
+    const std::size_t lo = static_cast<std::size_t>(chunk) * chunk_size;
+    const std::size_t hi = std::min(n, lo + chunk_size);
+    std::vector<count_t> local(k, 0);
+    if (lo < hi) {
+      rng::Xoshiro256pp gen = streams_.stream(round_ * kChunks + chunk);
+      state_t sample[64];
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (unsigned s = 0; s < arity; ++s) {
+          sample[s] = nodes_[rng::uniform_below(gen, n)];
+        }
+        const state_t next = dynamics_.apply_rule(
+            nodes_[i], std::span<const state_t>(sample, arity), k, gen);
+        scratch_[i] = next;
+        ++local[next];
+      }
+    }
+    partial_counts[chunk] = std::move(local);
+  }
+
+  nodes_.swap(scratch_);
+  Configuration next = Configuration::zeros(k);
+  for (const auto& local : partial_counts) {
+    if (local.empty()) continue;
+    for (state_t j = 0; j < k; ++j) next.set(j, next.at(j) + local[j]);
+  }
+  config_ = std::move(next);
+  ++round_;
+}
+
+}  // namespace plurality

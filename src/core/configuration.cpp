@@ -1,0 +1,143 @@
+#include "core/configuration.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+Configuration::Configuration(std::vector<count_t> counts) : counts_(std::move(counts)) {
+  PLURALITY_REQUIRE(!counts_.empty(), "Configuration: need at least one state");
+  n_ = std::accumulate(counts_.begin(), counts_.end(), count_t{0});
+}
+
+Configuration Configuration::zeros(state_t k) {
+  PLURALITY_REQUIRE(k >= 1, "Configuration::zeros: need at least one state");
+  return Configuration(std::vector<count_t>(k, 0));
+}
+
+count_t Configuration::at(state_t j) const {
+  PLURALITY_REQUIRE(j < k(), "Configuration: state " << j << " out of range (k=" << k() << ")");
+  return counts_[j];
+}
+
+void Configuration::set(state_t j, count_t value) {
+  PLURALITY_REQUIRE(j < k(), "Configuration: state " << j << " out of range (k=" << k() << ")");
+  n_ = n_ - counts_[j] + value;
+  counts_[j] = value;
+}
+
+count_t Configuration::move_mass(state_t from, state_t to, count_t amount) {
+  PLURALITY_REQUIRE(from < k() && to < k(), "Configuration::move_mass: state out of range");
+  if (from == to) return 0;
+  const count_t moved = std::min(amount, counts_[from]);
+  counts_[from] -= moved;
+  counts_[to] += moved;
+  return moved;
+}
+
+std::vector<double> Configuration::counts_real() const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t j = 0; j < counts_.size(); ++j) out[j] = static_cast<double>(counts_[j]);
+  return out;
+}
+
+std::vector<double> Configuration::shares() const {
+  PLURALITY_REQUIRE(n_ > 0, "Configuration::shares: empty configuration");
+  std::vector<double> out(counts_.size());
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    out[j] = static_cast<double>(counts_[j]) / static_cast<double>(n_);
+  }
+  return out;
+}
+
+state_t Configuration::plurality(state_t num_colors) const {
+  PLURALITY_REQUIRE(num_colors >= 1 && num_colors <= k(),
+                    "Configuration::plurality: bad color prefix " << num_colors);
+  state_t best = 0;
+  for (state_t j = 1; j < num_colors; ++j) {
+    if (counts_[j] > counts_[best]) best = j;
+  }
+  return best;
+}
+
+count_t Configuration::plurality_count(state_t num_colors) const {
+  return counts_[plurality(num_colors)];
+}
+
+count_t Configuration::runner_up_count(state_t num_colors) const {
+  PLURALITY_REQUIRE(num_colors >= 2, "runner_up_count: needs at least two colors");
+  const state_t first = plurality(num_colors);
+  count_t best = 0;
+  bool seen = false;
+  for (state_t j = 0; j < num_colors; ++j) {
+    if (j == first) continue;
+    if (!seen || counts_[j] > best) {
+      best = counts_[j];
+      seen = true;
+    }
+  }
+  return best;
+}
+
+count_t Configuration::bias(state_t num_colors) const {
+  if (num_colors < 2) return plurality_count(num_colors);
+  return plurality_count(num_colors) - runner_up_count(num_colors);
+}
+
+count_t Configuration::minority_mass(state_t num_colors) const {
+  // Mass on every state other than the plurality color, including any
+  // auxiliary (non-color) states: those nodes do not support the plurality.
+  return n_ - plurality_count(num_colors);
+}
+
+bool Configuration::monochromatic() const {
+  if (n_ == 0) return false;
+  for (count_t c : counts_) {
+    if (c == n_) return true;
+    if (c != 0) return false;
+  }
+  return false;  // unreachable given the sum invariant
+}
+
+bool Configuration::color_consensus(state_t num_colors) const {
+  PLURALITY_REQUIRE(num_colors >= 1 && num_colors <= k(),
+                    "color_consensus: bad color prefix " << num_colors);
+  if (n_ == 0) return false;
+  for (state_t j = 0; j < num_colors; ++j) {
+    if (counts_[j] == n_) return true;
+  }
+  return false;
+}
+
+double Configuration::monochromatic_distance(state_t num_colors) const {
+  const count_t cmax = plurality_count(num_colors);
+  PLURALITY_REQUIRE(cmax > 0, "monochromatic_distance: no colored nodes");
+  double sum = 0.0;
+  for (state_t j = 0; j < num_colors; ++j) {
+    const double ratio = static_cast<double>(counts_[j]) / static_cast<double>(cmax);
+    sum += ratio * ratio;
+  }
+  return sum;
+}
+
+Configuration Configuration::sorted_desc() const {
+  std::vector<count_t> sorted = counts_;
+  std::sort(sorted.begin(), sorted.end(), std::greater<count_t>());
+  return Configuration(std::move(sorted));
+}
+
+std::string Configuration::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    if (j) os << ", ";
+    os << counts_[j];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace plurality

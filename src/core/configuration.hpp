@@ -1,0 +1,97 @@
+// A k-state configuration: how many of the n nodes currently hold each
+// state. This is the entire Markov state of every dynamics in the paper —
+// on the clique, node identities are exchangeable, so the count vector is a
+// lossless description of the process.
+//
+// States 0..k-1 are "colors" for plain color dynamics; protocols with
+// auxiliary memory (the undecided-state dynamics) append their extra states
+// after the colors and tell the runner how many leading states are colors.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace plurality {
+
+class Configuration {
+ public:
+  Configuration() = default;
+
+  /// Takes ownership of a count vector; must be non-empty.
+  explicit Configuration(std::vector<count_t> counts);
+
+  /// All-zero configuration over `k` states (build up via set()).
+  static Configuration zeros(state_t k);
+
+  /// Number of states (colors + any auxiliary states).
+  [[nodiscard]] state_t k() const { return static_cast<state_t>(counts_.size()); }
+
+  /// Total number of nodes (cached sum of counts).
+  [[nodiscard]] count_t n() const { return n_; }
+
+  [[nodiscard]] count_t at(state_t j) const;
+  [[nodiscard]] count_t operator[](state_t j) const { return at(j); }
+
+  /// Replaces the count of state j, keeping the cached total consistent.
+  void set(state_t j, count_t value);
+
+  /// Moves `amount` nodes from state `from` to state `to`; `amount` is
+  /// clamped to the available count. Returns the amount actually moved.
+  count_t move_mass(state_t from, state_t to, count_t amount);
+
+  [[nodiscard]] std::span<const count_t> counts() const { return counts_; }
+
+  /// Counts as doubles (the common input format of adoption laws).
+  [[nodiscard]] std::vector<double> counts_real() const;
+
+  /// Fractions c_j / n.
+  [[nodiscard]] std::vector<double> shares() const;
+
+  // --- Analysis over the first `num_colors` states (the color prefix). ---
+  // All of these take the number of leading color states; passing k() (the
+  // default via the overloads below) treats every state as a color.
+
+  /// Index of the largest color (smallest index wins ties).
+  [[nodiscard]] state_t plurality(state_t num_colors) const;
+  [[nodiscard]] state_t plurality_all() const { return plurality(k()); }
+
+  [[nodiscard]] count_t plurality_count(state_t num_colors) const;
+
+  /// Second-largest color count (as a value; equals the largest when tied).
+  [[nodiscard]] count_t runner_up_count(state_t num_colors) const;
+
+  /// The paper's bias s(c) = c_(1) - c_(2) (largest minus second largest).
+  [[nodiscard]] count_t bias(state_t num_colors) const;
+  [[nodiscard]] count_t bias_all() const { return bias(k()); }
+
+  /// Nodes not holding the plurality color (the mass Lemma 4 tracks).
+  [[nodiscard]] count_t minority_mass(state_t num_colors) const;
+
+  /// True if every node holds one single state.
+  [[nodiscard]] bool monochromatic() const;
+
+  /// True if every node holds the same *color* (a state below num_colors).
+  [[nodiscard]] bool color_consensus(state_t num_colors) const;
+
+  /// Monochromatic distance of [4]: sum_j (c_j / c_max)^2 over colors.
+  [[nodiscard]] double monochromatic_distance(state_t num_colors) const;
+
+  /// Copy with color counts sorted descending (analysis convenience).
+  [[nodiscard]] Configuration sorted_desc() const;
+
+  /// "(c0, c1, ...)" for logs and test failure messages.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Configuration& a, const Configuration& b) {
+    return a.counts_ == b.counts_;
+  }
+
+ private:
+  std::vector<count_t> counts_;
+  count_t n_ = 0;
+};
+
+}  // namespace plurality

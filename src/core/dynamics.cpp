@@ -1,0 +1,20 @@
+#include "core/dynamics.hpp"
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+void Dynamics::adoption_law(std::span<const double> counts, std::span<double> out) const {
+  (void)counts;
+  (void)out;
+  PLURALITY_CHECK_MSG(false, "dynamics '" << name()
+                                          << "' did not implement a shared adoption law");
+}
+
+void Dynamics::adoption_law_given(state_t own, std::span<const double> counts,
+                                  std::span<double> out) const {
+  (void)own;
+  adoption_law(counts, out);
+}
+
+}  // namespace plurality

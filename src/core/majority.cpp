@@ -1,0 +1,45 @@
+#include "core/majority.hpp"
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+void ThreeMajority::adoption_law(std::span<const double> counts, std::span<double> out) const {
+  PLURALITY_REQUIRE(counts.size() == out.size(), "3-majority law: size mismatch");
+  double n = 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) {
+    PLURALITY_REQUIRE(c >= 0.0, "3-majority law: negative count");
+    n += c;
+    sum_sq += c * c;
+  }
+  PLURALITY_REQUIRE(n > 0.0, "3-majority law: empty configuration");
+  const double n2 = n * n;
+  const double n3 = n2 * n;
+  // Lemma 1: p_j = (c_j / n^3) (n^2 + n c_j - sum_h c_h^2).
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    out[j] = counts[j] / n3 * (n2 + n * counts[j] - sum_sq);
+  }
+}
+
+state_t ThreeMajority::apply_rule(state_t own, std::span<const state_t> sampled,
+                                  state_t states, rng::Xoshiro256pp& gen) const {
+  (void)own;
+  (void)states;
+  (void)gen;
+  PLURALITY_CHECK(sampled.size() == 3);
+  const state_t a = sampled[0], b = sampled[1], c = sampled[2];
+  if (a == b || a == c) return a;
+  if (b == c) return b;
+  return a;  // three distinct colors: take the first (paper's rule)
+}
+
+double ThreeMajority::expected_bias_growth_bound(double c1, double n) {
+  PLURALITY_REQUIRE(n > 0.0 && c1 >= 0.0 && c1 <= n,
+                    "expected_bias_growth_bound: need 0 <= c1 <= n");
+  // Lemma 2: mu_1 - mu_j >= s (1 + (c1/n)(1 - c1/n)).
+  const double share = c1 / n;
+  return 1.0 + share * (1.0 - share);
+}
+
+}  // namespace plurality

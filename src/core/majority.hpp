@@ -1,0 +1,38 @@
+// The 3-majority dynamics — the paper's protagonist.
+//
+//   "At every round, every node samples three nodes (including itself and
+//    with repetitions) independently and uniformly at random and recolors
+//    itself according to the majority of the colors it sees. If it sees
+//    three different colors, it chooses the first one."
+//
+// The adoption law is Lemma 1's closed form:
+//
+//   mu_j(c) / n = (c_j / n^3) * (n^2 + n*c_j - sum_h c_h^2)
+//
+// The all-distinct tie rule does not affect the law (the paper notes that
+// picking the second, third, or a uniformly random sample is equivalent);
+// apply_rule implements "first" and the law is tested against a brute-force
+// enumeration of all ordered triples.
+#pragma once
+
+#include "core/dynamics.hpp"
+
+namespace plurality {
+
+class ThreeMajority final : public Dynamics {
+ public:
+  [[nodiscard]] std::string name() const override { return "3-majority"; }
+  [[nodiscard]] unsigned sample_arity() const override { return 3; }
+
+  void adoption_law(std::span<const double> counts, std::span<double> out) const override;
+
+  [[nodiscard]] state_t apply_rule(state_t own, std::span<const state_t> sampled,
+                                   state_t states, rng::Xoshiro256pp& gen) const override;
+
+  /// Lemma 2's guaranteed expected-bias growth: given the sorted
+  /// configuration, a lower bound on (mu_1 - mu_j) / s. Used by tests and
+  /// the phase-structure experiment (E8).
+  static double expected_bias_growth_bound(double c1, double n);
+};
+
+}  // namespace plurality

@@ -1,0 +1,269 @@
+#include "core/markov_exact.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+namespace {
+
+/// log pmf of a trinomial: P(counts | n, probs). Zero-probability categories
+/// must have zero counts or the pmf is 0 (returns -inf).
+double trinomial_log_pmf(count_t n, const std::array<double, 3>& probs,
+                         const std::array<count_t, 3>& counts) {
+  double log_p = std::lgamma(static_cast<double>(n) + 1.0);
+  for (int j = 0; j < 3; ++j) {
+    const double cd = static_cast<double>(counts[j]);
+    log_p -= std::lgamma(cd + 1.0);
+    if (counts[j] > 0) {
+      if (probs[j] <= 0.0) return -INFINITY;
+      log_p += cd * std::log(probs[j]);
+    }
+  }
+  return log_p;
+}
+
+double binomial_log_pmf_local(count_t n, double p, count_t x) {
+  const double nd = static_cast<double>(n);
+  const double xd = static_cast<double>(x);
+  if (p <= 0.0) return x == 0 ? 0.0 : -INFINITY;
+  if (p >= 1.0) return x == n ? 0.0 : -INFINITY;
+  return std::lgamma(nd + 1.0) - std::lgamma(xd + 1.0) - std::lgamma(nd - xd + 1.0) +
+         xd * std::log(p) + (nd - xd) * std::log1p(-p);
+}
+
+}  // namespace
+
+void solve_dense(std::vector<double>& a, std::vector<double>& b, std::size_t m) {
+  std::vector<std::vector<double>> rhs = {std::move(b)};
+  solve_dense_multi(a, rhs, m);
+  b = std::move(rhs[0]);
+}
+
+void solve_dense_multi(std::vector<double>& a, std::vector<std::vector<double>>& rhs,
+                       std::size_t m) {
+  PLURALITY_REQUIRE(a.size() == m * m, "solve_dense: matrix size mismatch");
+  for (const auto& b : rhs) {
+    PLURALITY_REQUIRE(b.size() == m, "solve_dense: rhs size mismatch");
+  }
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    double best = std::fabs(a[col * m + col]);
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double mag = std::fabs(a[row * m + col]);
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    PLURALITY_CHECK_MSG(best > 0.0, "solve_dense: singular matrix at column " << col);
+    if (pivot != col) {
+      for (std::size_t j = col; j < m; ++j) std::swap(a[col * m + j], a[pivot * m + j]);
+      for (auto& b : rhs) std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * m + col];
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double factor = a[row * m + col] * inv;
+      if (factor == 0.0) continue;
+      a[row * m + col] = 0.0;
+      for (std::size_t j = col + 1; j < m; ++j) {
+        a[row * m + j] -= factor * a[col * m + j];
+      }
+      for (auto& b : rhs) b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  for (auto& b : rhs) {
+    for (std::size_t row = m; row-- > 0;) {
+      double acc = b[row];
+      for (std::size_t j = row + 1; j < m; ++j) acc -= a[row * m + j] * b[j];
+      b[row] = acc / a[row * m + row];
+    }
+  }
+}
+
+AbsorptionK2 analyze_k2(const Dynamics& dynamics, count_t n) {
+  PLURALITY_REQUIRE(!dynamics.law_depends_on_own_state(),
+                    "analyze_k2: requires an i.i.d. adoption law");
+  PLURALITY_REQUIRE(n >= 2, "analyze_k2: n >= 2");
+  PLURALITY_REQUIRE(n <= 2000, "analyze_k2: n too large for a dense solve");
+
+  // Adoption probability of color 0 from every configuration (i, n-i).
+  std::vector<double> p0(n + 1);
+  std::vector<double> law(2);
+  for (count_t i = 0; i <= n; ++i) {
+    const double counts[2] = {static_cast<double>(i), static_cast<double>(n - i)};
+    dynamics.adoption_law(std::span<const double>(counts, 2), law);
+    p0[i] = law[0];
+  }
+  PLURALITY_CHECK_MSG(p0[0] <= 1e-12 && p0[n] >= 1.0 - 1e-12,
+                      "analyze_k2: monochromatic states are not absorbing for '"
+                          << dynamics.name() << "'");
+
+  // Transient states 1..n-1. (I - Q) u = r where r is the one-step jump
+  // probability into the all-color-0 absorbing state; (I - Q) t = 1.
+  const std::size_t m = n - 1;
+  std::vector<double> a(m * m, 0.0);
+  std::vector<double> r_win(m, 0.0);
+  std::vector<double> ones(m, 1.0);
+  for (std::size_t row = 0; row < m; ++row) {
+    const count_t i = row + 1;
+    for (std::size_t col = 0; col < m; ++col) {
+      const count_t j = col + 1;
+      const double q = std::exp(binomial_log_pmf_local(n, p0[i], j));
+      a[row * m + col] = (row == col ? 1.0 : 0.0) - q;
+    }
+    r_win[row] = std::exp(binomial_log_pmf_local(n, p0[i], n));
+  }
+  std::vector<std::vector<double>> rhs = {std::move(r_win), std::move(ones)};
+  solve_dense_multi(a, rhs, m);
+
+  AbsorptionK2 result;
+  result.n = n;
+  result.win_color0.assign(n + 1, 0.0);
+  result.expected_rounds.assign(n + 1, 0.0);
+  result.win_color0[n] = 1.0;
+  for (std::size_t row = 0; row < m; ++row) {
+    result.win_color0[row + 1] = rhs[0][row];
+    result.expected_rounds[row + 1] = rhs[1][row];
+  }
+  return result;
+}
+
+TransientK2 evolve_k2(const Dynamics& dynamics, count_t n, count_t start_c0,
+                      round_t rounds) {
+  PLURALITY_REQUIRE(!dynamics.law_depends_on_own_state(),
+                    "evolve_k2: requires an i.i.d. adoption law");
+  PLURALITY_REQUIRE(n >= 2, "evolve_k2: n >= 2");
+  PLURALITY_REQUIRE(n <= 2000, "evolve_k2: n too large for the dense pmf table");
+  PLURALITY_REQUIRE(start_c0 <= n, "evolve_k2: start_c0 > n");
+
+  // Transition pmf table: row i = Binomial(n, p0(i)) over next c0.
+  std::vector<double> law(2);
+  std::vector<double> pmf((n + 1) * (n + 1), 0.0);
+  for (count_t i = 0; i <= n; ++i) {
+    const double counts[2] = {static_cast<double>(i), static_cast<double>(n - i)};
+    dynamics.adoption_law(std::span<const double>(counts, 2), law);
+    for (count_t j = 0; j <= n; ++j) {
+      pmf[i * (n + 1) + j] = std::exp(binomial_log_pmf_local(n, law[0], j));
+    }
+  }
+
+  TransientK2 result;
+  result.n = n;
+  std::vector<double> dist(n + 1, 0.0);
+  dist[start_c0] = 1.0;
+  result.distribution.push_back(dist);
+  result.absorbed_by_round.push_back(dist[0] + dist[n]);
+  result.win0_by_round.push_back(dist[n]);
+
+  std::vector<double> next(n + 1, 0.0);
+  for (round_t t = 1; t <= rounds; ++t) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (count_t i = 0; i <= n; ++i) {
+      const double mass = dist[i];
+      if (mass == 0.0) continue;
+      const double* row = &pmf[i * (n + 1)];
+      for (count_t j = 0; j <= n; ++j) next[j] += mass * row[j];
+    }
+    dist.swap(next);
+    result.distribution.push_back(dist);
+    result.absorbed_by_round.push_back(dist[0] + dist[n]);
+    result.win0_by_round.push_back(dist[n]);
+  }
+  return result;
+}
+
+std::size_t AbsorptionK3::index(count_t c0, count_t c1) const {
+  PLURALITY_REQUIRE(c0 + c1 <= n, "AbsorptionK3::index: invalid composition");
+  // Row offset for c0: sum_{a<c0} (n - a + 1) = c0 (n + 1) - c0 (c0 - 1)/2.
+  const std::size_t offset =
+      static_cast<std::size_t>(c0) * (n + 1) - static_cast<std::size_t>(c0) * (c0 - 1) / 2;
+  return offset + c1;
+}
+
+std::size_t AbsorptionK3::num_states() const {
+  return static_cast<std::size_t>(n + 1) * (n + 2) / 2;
+}
+
+AbsorptionK3 analyze_k3(const Dynamics& dynamics, count_t n) {
+  PLURALITY_REQUIRE(!dynamics.law_depends_on_own_state(),
+                    "analyze_k3: requires an i.i.d. adoption law");
+  PLURALITY_REQUIRE(n >= 3, "analyze_k3: n >= 3");
+  PLURALITY_REQUIRE(n <= 80, "analyze_k3: state space too large for a dense solve");
+
+  AbsorptionK3 result;
+  result.n = n;
+  const std::size_t num_states = result.num_states();
+
+  // Enumerate states and split transient vs absorbing.
+  struct State {
+    count_t c0, c1;
+  };
+  std::vector<State> states;
+  states.reserve(num_states);
+  for (count_t c0 = 0; c0 <= n; ++c0) {
+    for (count_t c1 = 0; c1 + c0 <= n; ++c1) states.push_back({c0, c1});
+  }
+  const std::size_t abs0 = result.index(n, 0);
+  const std::size_t abs1 = result.index(0, n);
+  const std::size_t abs2 = result.index(0, 0);
+
+  std::vector<std::size_t> transient;  // dense row id -> state id
+  std::vector<std::ptrdiff_t> row_of(num_states, -1);
+  for (std::size_t s = 0; s < num_states; ++s) {
+    if (s == abs0 || s == abs1 || s == abs2) continue;
+    row_of[s] = static_cast<std::ptrdiff_t>(transient.size());
+    transient.push_back(s);
+  }
+  const std::size_t m = transient.size();
+
+  // Per-state adoption law.
+  std::vector<std::array<double, 3>> laws(num_states);
+  std::vector<double> law(3);
+  for (std::size_t s = 0; s < num_states; ++s) {
+    const double counts[3] = {static_cast<double>(states[s].c0),
+                              static_cast<double>(states[s].c1),
+                              static_cast<double>(n - states[s].c0 - states[s].c1)};
+    dynamics.adoption_law(std::span<const double>(counts, 3), law);
+    laws[s] = {law[0], law[1], law[2]};
+  }
+
+  // (I - Q) with four right-hand sides: one-step jump probabilities into the
+  // three absorbing corners, plus all-ones for expected time.
+  std::vector<double> a(m * m, 0.0);
+  std::vector<std::vector<double>> rhs(4, std::vector<double>(m, 0.0));
+  for (std::size_t row = 0; row < m; ++row) {
+    const std::size_t s = transient[row];
+    const auto& p = laws[s];
+    for (std::size_t t = 0; t < num_states; ++t) {
+      const std::array<count_t, 3> next = {states[t].c0, states[t].c1,
+                                           n - states[t].c0 - states[t].c1};
+      const double prob = std::exp(trinomial_log_pmf(n, p, next));
+      if (prob == 0.0) continue;
+      if (t == abs0) rhs[0][row] = prob;
+      else if (t == abs1) rhs[1][row] = prob;
+      else if (t == abs2) rhs[2][row] = prob;
+      else a[row * m + static_cast<std::size_t>(row_of[t])] -= prob;
+    }
+    a[row * m + row] += 1.0;
+    rhs[3][row] = 1.0;
+  }
+  solve_dense_multi(a, rhs, m);
+
+  result.win.assign(num_states, {0.0, 0.0, 0.0});
+  result.expected_rounds.assign(num_states, 0.0);
+  result.win[abs0] = {1.0, 0.0, 0.0};
+  result.win[abs1] = {0.0, 1.0, 0.0};
+  result.win[abs2] = {0.0, 0.0, 1.0};
+  for (std::size_t row = 0; row < m; ++row) {
+    const std::size_t s = transient[row];
+    result.win[s] = {rhs[0][row], rhs[1][row], rhs[2][row]};
+    result.expected_rounds[s] = rhs[3][row];
+  }
+  return result;
+}
+
+}  // namespace plurality

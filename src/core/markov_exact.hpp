@@ -1,0 +1,78 @@
+// Exact finite-n Markov analysis of i.i.d.-law dynamics on the clique.
+//
+// For k = 2 the chain state is c_0 in {0..n}; one round is exactly
+// C' ~ Binomial(n, p_0(c)) by the i.i.d.-update argument, so the full
+// transition matrix is a matrix of binomial pmfs. For k = 3 states are the
+// compositions (c_0, c_1) with c_0 + c_1 <= n and rows are trinomial pmfs.
+//
+// From the transition matrix we solve the absorption equations
+//     (I - Q) u = b
+// by dense Gaussian elimination: exact win probabilities per color and
+// exact expected absorption times for every start. This is the ground
+// truth the simulators are validated against (E14), and it turns paper
+// statements like "the voter converges to a minority with constant
+// probability" into exact numbers (the voter's win probability is
+// exactly c_j / n — a martingale identity the tests check to 1e-10).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "support/types.hpp"
+
+namespace plurality {
+
+struct AbsorptionK2 {
+  count_t n = 0;
+  /// win_color0[i] = P(absorb at all-color-0 | c_0 = i), i = 0..n.
+  std::vector<double> win_color0;
+  /// expected_rounds[i] = E[rounds to absorption | c_0 = i].
+  std::vector<double> expected_rounds;
+};
+
+/// Exact k=2 analysis. Requires an i.i.d. adoption law and modest n
+/// (O(n^3) solve; n <= ~400 is comfortable).
+AbsorptionK2 analyze_k2(const Dynamics& dynamics, count_t n);
+
+struct AbsorptionK3 {
+  count_t n = 0;
+  /// States are compositions (c0, c1) with c0 + c1 <= n; index via index().
+  [[nodiscard]] std::size_t index(count_t c0, count_t c1) const;
+  [[nodiscard]] std::size_t num_states() const;
+  /// win[state][j] = P(absorb at all-color-j | state).
+  std::vector<std::array<double, 3>> win;
+  std::vector<double> expected_rounds;
+};
+
+/// Exact k=3 analysis; states grow as (n+1)(n+2)/2, keep n <= ~60.
+AbsorptionK3 analyze_k3(const Dynamics& dynamics, count_t n);
+
+/// Exact transient analysis for k = 2: the full distribution of C_0 pushed
+/// forward round by round. This turns "w.h.p." statements into exact
+/// finite-n curves P(consensus by round t).
+struct TransientK2 {
+  count_t n = 0;
+  /// distribution[t][i] = P(C_0 = i after t rounds); index 0 is the start.
+  std::vector<std::vector<double>> distribution;
+  /// P(chain is monochromatic by round t) — the consensus CDF over rounds.
+  std::vector<double> absorbed_by_round;
+  /// P(absorbed at all-color-0 by round t).
+  std::vector<double> win0_by_round;
+};
+
+/// Evolves the exact distribution for `rounds` rounds from C_0 = start_c0.
+/// Requires an i.i.d. adoption law; O(rounds * n^2) after an O(n^2) pmf
+/// table build, fine for n <= ~2000.
+TransientK2 evolve_k2(const Dynamics& dynamics, count_t n, count_t start_c0,
+                      round_t rounds);
+
+/// Dense Gaussian elimination with partial pivoting solving A x = b in
+/// place (A is row-major, size m x m). Exposed for tests.
+void solve_dense(std::vector<double>& a, std::vector<double>& b, std::size_t m);
+
+/// Dense solve with multiple right-hand sides (column-major rhs vectors).
+void solve_dense_multi(std::vector<double>& a, std::vector<std::vector<double>>& rhs,
+                       std::size_t m);
+
+}  // namespace plurality

@@ -1,0 +1,63 @@
+#include "core/mean_field.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+std::vector<double> mean_field_step(const Dynamics& dynamics,
+                                    std::span<const double> counts) {
+  const std::size_t k = counts.size();
+  PLURALITY_REQUIRE(k >= 1, "mean_field_step: empty state space");
+  double n = 0.0;
+  for (double c : counts) {
+    PLURALITY_REQUIRE(c >= 0.0, "mean_field_step: negative count");
+    n += c;
+  }
+  PLURALITY_REQUIRE(n > 0.0, "mean_field_step: zero mass");
+
+  std::vector<double> next(k, 0.0);
+  std::vector<double> law(k);
+  if (!dynamics.law_depends_on_own_state()) {
+    dynamics.adoption_law(counts, law);
+    for (std::size_t j = 0; j < k; ++j) next[j] = n * law[j];
+  } else {
+    for (std::size_t s = 0; s < k; ++s) {
+      if (counts[s] <= 0.0) continue;
+      dynamics.adoption_law_given(static_cast<state_t>(s), counts, law);
+      for (std::size_t j = 0; j < k; ++j) next[j] += counts[s] * law[j];
+    }
+  }
+  return next;
+}
+
+MeanFieldResult mean_field_trajectory(const Dynamics& dynamics, std::vector<double> start,
+                                      const MeanFieldOptions& options) {
+  MeanFieldResult result;
+  result.trajectory.push_back(start);
+
+  std::vector<double> current = std::move(start);
+  for (round_t round = 1; round <= options.max_rounds; ++round) {
+    std::vector<double> next = mean_field_step(dynamics, current);
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < next.size(); ++j) {
+      max_delta = std::max(max_delta, std::fabs(next[j] - current[j]));
+    }
+    current = std::move(next);
+    result.rounds = round;
+    if (options.record_trajectory) {
+      result.trajectory.push_back(current);
+    }
+    if (max_delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (!options.record_trajectory) {
+    result.trajectory.push_back(current);
+  }
+  return result;
+}
+
+}  // namespace plurality

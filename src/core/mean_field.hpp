@@ -1,0 +1,43 @@
+// Deterministic mean-field iteration of a dynamics: replaces the random
+// round by its expectation, x <- n * law(x) (and the per-class analogue for
+// stateful protocols). This is the infinite-n limit of the process; the
+// paper's drift lemmas (Lemmas 2-4) are statements about exactly this map
+// plus concentration. Used to predict phase boundaries, locate fixed
+// points, and cross-validate kernels against simulation averages.
+#pragma once
+
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "support/types.hpp"
+
+namespace plurality {
+
+struct MeanFieldResult {
+  /// trajectory[t] = real-valued counts after t rounds (index 0 = start).
+  std::vector<std::vector<double>> trajectory;
+  /// True if the iteration reached a fixed point within tolerance.
+  bool converged = false;
+  /// Rounds actually executed.
+  round_t rounds = 0;
+};
+
+struct MeanFieldOptions {
+  round_t max_rounds = 10'000;
+  /// Fixed-point tolerance: max_j |x'_j - x_j| <= tol stops the iteration.
+  double tolerance = 1e-9;
+  /// Keep every step (true) or just first/last (false).
+  bool record_trajectory = true;
+};
+
+/// Iterates the expected-update map from `start` (real-valued counts in the
+/// dynamics' state space).
+MeanFieldResult mean_field_trajectory(const Dynamics& dynamics,
+                                      std::vector<double> start,
+                                      const MeanFieldOptions& options = {});
+
+/// One application of the expected-update map.
+std::vector<double> mean_field_step(const Dynamics& dynamics,
+                                    std::span<const double> counts);
+
+}  // namespace plurality

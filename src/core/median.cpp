@@ -1,0 +1,89 @@
+#include "core/median.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+namespace {
+
+double total(std::span<const double> counts) {
+  double n = 0.0;
+  for (double c : counts) {
+    PLURALITY_REQUIRE(c >= 0.0, "median law: negative count");
+    n += c;
+  }
+  PLURALITY_REQUIRE(n > 0.0, "median law: empty configuration");
+  return n;
+}
+
+/// G(x) = P(at least 2 of 3 iid uniform-[0,1]-quantile draws land <= x).
+double g3(double x) { return x * x * (3.0 - 2.0 * x); }
+
+}  // namespace
+
+void MedianDynamics::adoption_law(std::span<const double> counts,
+                                  std::span<double> out) const {
+  PLURALITY_REQUIRE(counts.size() == out.size(), "3-median law: size mismatch");
+  const double n = total(counts);
+  double cdf_prev = 0.0;   // F(j-1)
+  double gprev = 0.0;      // G(F(j-1))
+  double cum = 0.0;
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    cum += counts[j];
+    const double cdf = std::min(cum / n, 1.0);
+    const double g = g3(cdf);
+    out[j] = g - gprev;
+    cdf_prev = cdf;
+    gprev = g;
+  }
+  (void)cdf_prev;
+}
+
+namespace {
+
+state_t median_of_three(state_t a, state_t b, state_t c) {
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  return b;
+}
+
+}  // namespace
+
+state_t MedianDynamics::apply_rule(state_t own, std::span<const state_t> sampled,
+                                   state_t states, rng::Xoshiro256pp& gen) const {
+  (void)own;
+  (void)states;
+  (void)gen;
+  PLURALITY_CHECK(sampled.size() == 3);
+  return median_of_three(sampled[0], sampled[1], sampled[2]);
+}
+
+void MedianOwnTwo::adoption_law_given(state_t own, std::span<const double> counts,
+                                      std::span<double> out) const {
+  PLURALITY_REQUIRE(counts.size() == out.size(), "median(own+2) law: size mismatch");
+  PLURALITY_REQUIRE(own < counts.size(), "median(own+2) law: own state out of range");
+  const double n = total(counts);
+  // P(median(own, X, Y) <= t) is (1 - (1-F)^2) for t >= own and F^2 below.
+  double cum = 0.0;
+  double cdf_med_prev = 0.0;
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    cum += counts[j];
+    const double f = std::min(cum / n, 1.0);
+    const double cdf_med = j >= own ? 1.0 - (1.0 - f) * (1.0 - f) : f * f;
+    out[j] = cdf_med - cdf_med_prev;
+    cdf_med_prev = cdf_med;
+  }
+}
+
+state_t MedianOwnTwo::apply_rule(state_t own, std::span<const state_t> sampled,
+                                 state_t states, rng::Xoshiro256pp& gen) const {
+  (void)states;
+  (void)gen;
+  PLURALITY_CHECK(sampled.size() == 2);
+  return median_of_three(own, sampled[0], sampled[1]);
+}
+
+}  // namespace plurality

@@ -1,0 +1,52 @@
+// Median dynamics — the paper's key comparison point (Doerr et al.,
+// SPAA'11: "Stabilizing consensus with the power of two choices").
+//
+// Colors are treated as ordered values 0 < 1 < ... < k-1. Two variants:
+//
+//  * MedianDynamics — the D3-class version: sample three nodes, adopt the
+//    median of the three sampled values. As a 3-input rule it has the
+//    clear-majority property but NOT the uniform property (on a distinct
+//    triple the middle value always wins: delta = (0, 6, 0)), which is
+//    exactly why Theorem 3 rules it out as a plurality solver. For k = 2
+//    the median of three IS the majority of three, so the two dynamics
+//    coincide — the equivalence noted in the paper's introduction.
+//
+//  * MedianOwnTwo — Doerr et al.'s actual protocol: a node takes the median
+//    of its OWN value and two uniformly sampled values. Its law depends on
+//    the node's current state, exercising the per-class multinomial path.
+//
+// Both laws come from the order-statistics identity: the median of three
+// i.i.d. draws satisfies P(med <= t) = G(F(t)) with G(x) = 3x^2 - 2x^3,
+// and for the own-value variant P(med <= t | own = v) = 1-(1-F)^2 if v <= t,
+// else F^2.
+#pragma once
+
+#include "core/dynamics.hpp"
+
+namespace plurality {
+
+class MedianDynamics final : public Dynamics {
+ public:
+  [[nodiscard]] std::string name() const override { return "3-median"; }
+  [[nodiscard]] unsigned sample_arity() const override { return 3; }
+
+  void adoption_law(std::span<const double> counts, std::span<double> out) const override;
+
+  [[nodiscard]] state_t apply_rule(state_t own, std::span<const state_t> sampled,
+                                   state_t states, rng::Xoshiro256pp& gen) const override;
+};
+
+class MedianOwnTwo final : public Dynamics {
+ public:
+  [[nodiscard]] std::string name() const override { return "median(own+2)"; }
+  [[nodiscard]] unsigned sample_arity() const override { return 2; }
+  [[nodiscard]] bool law_depends_on_own_state() const override { return true; }
+
+  void adoption_law_given(state_t own, std::span<const double> counts,
+                          std::span<double> out) const override;
+
+  [[nodiscard]] state_t apply_rule(state_t own, std::span<const state_t> sampled,
+                                   state_t states, rng::Xoshiro256pp& gen) const override;
+};
+
+}  // namespace plurality

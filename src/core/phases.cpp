@@ -1,0 +1,87 @@
+#include "core/phases.hpp"
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+Phase classify_phase(const TrajectoryPoint& point, count_t n, double last_step_boundary) {
+  PLURALITY_REQUIRE(n > 0, "classify_phase: empty population");
+  const double c1 = static_cast<double>(point.plurality_count);
+  const double nd = static_cast<double>(n);
+  if (c1 >= nd - last_step_boundary) return Phase::LastStep;
+  if (c1 > 2.0 * nd / 3.0) return Phase::MinorityDecay;
+  return Phase::BiasGrowth;
+}
+
+double PhaseReport::bias_violation_rate() const {
+  return bias_growth_steps == 0
+             ? 0.0
+             : static_cast<double>(bias_growth_violations) /
+                   static_cast<double>(bias_growth_steps);
+}
+
+double PhaseReport::decay_violation_rate() const {
+  return minority_decay_steps == 0
+             ? 0.0
+             : static_cast<double>(minority_decay_violations) /
+                   static_cast<double>(minority_decay_steps);
+}
+
+void PhaseReport::merge(const PhaseReport& other) {
+  rounds_phase1.merge(other.rounds_phase1);
+  rounds_phase2.merge(other.rounds_phase2);
+  rounds_phase3.merge(other.rounds_phase3);
+  bias_growth.merge(other.bias_growth);
+  bias_growth_steps += other.bias_growth_steps;
+  bias_growth_violations += other.bias_growth_violations;
+  minority_decay.merge(other.minority_decay);
+  minority_decay_steps += other.minority_decay_steps;
+  minority_decay_violations += other.minority_decay_violations;
+}
+
+PhaseReport analyze_phases(std::span<const TrajectoryPoint> trajectory, count_t n,
+                           double last_step_boundary) {
+  PLURALITY_REQUIRE(trajectory.size() >= 2, "analyze_phases: need >= 2 points");
+  PhaseReport report;
+  std::uint64_t in_phase1 = 0, in_phase2 = 0, in_phase3 = 0;
+
+  for (std::size_t i = 0; i + 1 < trajectory.size(); ++i) {
+    const TrajectoryPoint& cur = trajectory[i];
+    const TrajectoryPoint& nxt = trajectory[i + 1];
+    const double nd = static_cast<double>(n);
+    switch (classify_phase(cur, n, last_step_boundary)) {
+      case Phase::BiasGrowth: {
+        ++in_phase1;
+        if (cur.bias > 0) {
+          const double growth =
+              static_cast<double>(nxt.bias) / static_cast<double>(cur.bias);
+          const double bound = 1.0 + static_cast<double>(cur.plurality_count) / (4.0 * nd);
+          report.bias_growth.add(growth);
+          ++report.bias_growth_steps;
+          report.bias_growth_violations += (growth < bound);
+        }
+        break;
+      }
+      case Phase::MinorityDecay: {
+        ++in_phase2;
+        if (cur.minority_mass > 0) {
+          const double decay = static_cast<double>(nxt.minority_mass) /
+                               static_cast<double>(cur.minority_mass);
+          report.minority_decay.add(decay);
+          ++report.minority_decay_steps;
+          report.minority_decay_violations += (decay > 8.0 / 9.0);
+        }
+        break;
+      }
+      case Phase::LastStep:
+        ++in_phase3;
+        break;
+    }
+  }
+  report.rounds_phase1.add(static_cast<double>(in_phase1));
+  report.rounds_phase2.add(static_cast<double>(in_phase2));
+  report.rounds_phase3.add(static_cast<double>(in_phase3));
+  return report;
+}
+
+}  // namespace plurality

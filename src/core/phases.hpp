@@ -1,0 +1,64 @@
+// Phase decomposition of 3-majority trajectories, following the structure
+// of the Theorem 1 proof:
+//
+//   phase 1 (Lemma 3): n/lambda <= c1 <= 2n/3 — the bias s(t) multiplies by
+//           at least 1 + c1/(4n) per round w.h.p.;
+//   phase 2 (Lemma 4): 2n/3 < c1 < n - polylog — the total minority mass
+//           decays by a factor <= 8/9 per round w.h.p.;
+//   phase 3 (Lemma 5): c1 >= n - polylog — everything else dies, w.h.p. in
+//           one round.
+//
+// This module classifies recorded trajectories into those phases and
+// aggregates the per-round statistics each lemma bounds. Used by the E8
+// bench and by tests that pin the drift structure.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "stats/summary.hpp"
+#include "support/types.hpp"
+
+namespace plurality {
+
+enum class Phase {
+  BiasGrowth,     // Lemma 3 regime
+  MinorityDecay,  // Lemma 4 regime
+  LastStep,       // Lemma 5 regime
+};
+
+/// Which phase a trajectory point belongs to, given n and the phase-3
+/// boundary (the paper's n - polylog; callers pick the polylog).
+Phase classify_phase(const TrajectoryPoint& point, count_t n, double last_step_boundary);
+
+struct PhaseReport {
+  // Rounds spent per phase.
+  stats::OnlineStats rounds_phase1;
+  stats::OnlineStats rounds_phase2;
+  stats::OnlineStats rounds_phase3;
+
+  // Lemma 3: observed per-round bias growth factors and the fraction of
+  // steps violating the 1 + c1/(4n) bound (w.h.p. => rare).
+  stats::OnlineStats bias_growth;
+  std::uint64_t bias_growth_steps = 0;
+  std::uint64_t bias_growth_violations = 0;
+
+  // Lemma 4: observed per-round minority decay factors vs 8/9.
+  stats::OnlineStats minority_decay;
+  std::uint64_t minority_decay_steps = 0;
+  std::uint64_t minority_decay_violations = 0;
+
+  [[nodiscard]] double bias_violation_rate() const;
+  [[nodiscard]] double decay_violation_rate() const;
+
+  /// Merges another report (parallel trial aggregation).
+  void merge(const PhaseReport& other);
+};
+
+/// Decomposes one recorded trajectory. `last_step_boundary` is the phase-3
+/// entry threshold measured in nodes below n (e.g. log^2 n).
+PhaseReport analyze_phases(std::span<const TrajectoryPoint> trajectory, count_t n,
+                           double last_step_boundary);
+
+}  // namespace plurality

@@ -1,0 +1,72 @@
+#include "core/registry.hpp"
+
+#include <charconv>
+
+#include "core/hplurality.hpp"
+#include "core/majority.hpp"
+#include "core/median.hpp"
+#include "core/rule_table.hpp"
+#include "core/undecided.hpp"
+#include "core/voter.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+
+std::unique_ptr<Dynamics> make_dynamics(const std::string& name) {
+  if (name == "3-majority") return std::make_unique<ThreeMajority>();
+  if (name == "voter") return std::make_unique<Voter>();
+  if (name == "2-choices") return std::make_unique<TwoChoices>();
+  if (name == "3-median") return std::make_unique<MedianDynamics>();
+  if (name == "median-own2") return std::make_unique<MedianOwnTwo>();
+  if (name == "undecided") return std::make_unique<UndecidedState>();
+
+  if (const auto pos = name.find("-plurality");
+      pos != std::string::npos && pos + 10 == name.size()) {
+    unsigned h = 0;
+    const auto [ptr, ec] = std::from_chars(name.data(), name.data() + pos, h);
+    PLURALITY_REQUIRE(ec == std::errc() && ptr == name.data() + pos && h >= 1,
+                      "make_dynamics: malformed h-plurality name '" << name << "'");
+    return std::make_unique<HPlurality>(h);
+  }
+
+  if (name.rfind("rule:", 0) == 0) {
+    const std::string rule = name.substr(5);
+    if (rule == "first") {
+      return std::make_unique<ThreeInputDynamics>("first-sample", rule_first_sample());
+    }
+    if (rule == "min") {
+      return std::make_unique<ThreeInputDynamics>("min", rule_min());
+    }
+    if (rule == "median") {
+      return std::make_unique<ThreeInputDynamics>("median-table", rule_median());
+    }
+    if (rule == "majority-tie-lowest") {
+      return std::make_unique<ThreeInputDynamics>("majority/tie-lowest",
+                                                  rule_majority_tie_lowest());
+    }
+    if (rule == "majority-tie-cond") {
+      return std::make_unique<ThreeInputDynamics>("majority/tie-cond",
+                                                  rule_majority_tie_conditional());
+    }
+    if (rule == "majority-tie-last") {
+      return std::make_unique<ThreeInputDynamics>("majority/tie-last",
+                                                  rule_majority_tie_last());
+    }
+  }
+  PLURALITY_REQUIRE(false, "make_dynamics: unknown dynamics '"
+                               << name << "'; known: 3-majority, voter, 2-choices, "
+                               << "3-median, median-own2, undecided, <h>-plurality, "
+                               << "rule:{first,min,median,majority-tie-lowest,"
+                               << "majority-tie-cond,majority-tie-last}");
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> dynamics_names() {
+  return {"3-majority",  "voter",     "2-choices",
+          "3-median",    "median-own2", "undecided",
+          "5-plurality", "rule:first", "rule:min",
+          "rule:median", "rule:majority-tie-lowest",
+          "rule:majority-tie-cond", "rule:majority-tie-last"};
+}
+
+}  // namespace plurality

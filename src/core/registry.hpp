@@ -1,0 +1,27 @@
+// Name-based factory over every dynamics in the library — the entry point
+// for generic tools (plurality_sim) and sweep scripts that choose a
+// protocol on the command line.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dynamics.hpp"
+
+namespace plurality {
+
+/// Creates a dynamics by name. Accepted names:
+///   "3-majority", "voter", "2-choices", "3-median", "median-own2",
+///   "undecided", "<h>-plurality" (e.g. "7-plurality"),
+///   and the 3-input rule tables "rule:first", "rule:min", "rule:median",
+///   "rule:majority-tie-lowest", "rule:majority-tie-cond",
+///   "rule:majority-tie-last".
+/// Throws CheckError for unknown names.
+std::unique_ptr<Dynamics> make_dynamics(const std::string& name);
+
+/// All canonical names accepted by make_dynamics (one per protocol; the
+/// h-plurality family is represented by "5-plurality").
+std::vector<std::string> dynamics_names();
+
+}  // namespace plurality

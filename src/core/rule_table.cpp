@@ -1,0 +1,176 @@
+#include "core/rule_table.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+ThreeInputDynamics::ThreeInputDynamics(std::string name, Rule3 rule)
+    : name_(std::move(name)), rule_(std::move(rule)) {
+  PLURALITY_REQUIRE(static_cast<bool>(rule_), "ThreeInputDynamics: empty rule");
+}
+
+void ThreeInputDynamics::adoption_law(std::span<const double> counts,
+                                      std::span<double> out) const {
+  PLURALITY_REQUIRE(counts.size() == out.size(), "3-input law: size mismatch");
+  const auto k = static_cast<state_t>(counts.size());
+  PLURALITY_REQUIRE(has_exact_law(k), "3-input law: k=" << k << " exceeds the k<=256 guard");
+  double n = 0.0;
+  for (double c : counts) {
+    PLURALITY_REQUIRE(c >= 0.0, "3-input law: negative count");
+    n += c;
+  }
+  PLURALITY_REQUIRE(n > 0.0, "3-input law: empty configuration");
+  for (double& p : out) p = 0.0;
+  const double n3 = n * n * n;
+  for (state_t a = 0; a < k; ++a) {
+    if (counts[a] == 0.0) continue;
+    for (state_t b = 0; b < k; ++b) {
+      if (counts[b] == 0.0) continue;
+      const double wab = counts[a] * counts[b];
+      for (state_t c = 0; c < k; ++c) {
+        if (counts[c] == 0.0) continue;
+        out[rule_(a, b, c)] += wab * counts[c] / n3;
+      }
+    }
+  }
+}
+
+state_t ThreeInputDynamics::apply_rule(state_t own, std::span<const state_t> sampled,
+                                       state_t states, rng::Xoshiro256pp& gen) const {
+  (void)own;
+  (void)states;
+  (void)gen;
+  PLURALITY_CHECK(sampled.size() == 3);
+  return rule_(sampled[0], sampled[1], sampled[2]);
+}
+
+bool has_clear_majority_property(const Rule3& rule, state_t k) {
+  for (state_t a = 0; a < k; ++a) {
+    for (state_t b = 0; b < k; ++b) {
+      if (a == b) continue;
+      if (rule(a, a, b) != a) return false;
+      if (rule(a, b, a) != a) return false;
+      if (rule(b, a, a) != a) return false;
+    }
+  }
+  return true;
+}
+
+std::array<int, 3> rule_deltas(const Rule3& rule, state_t r, state_t g, state_t b) {
+  PLURALITY_REQUIRE(r != g && g != b && r != b, "rule_deltas: colors must be distinct");
+  const state_t perms[6][3] = {{r, g, b}, {r, b, g}, {g, r, b},
+                               {g, b, r}, {b, r, g}, {b, g, r}};
+  std::array<int, 3> deltas = {0, 0, 0};
+  for (const auto& p : perms) {
+    const state_t winner = rule(p[0], p[1], p[2]);
+    if (winner == r) ++deltas[0];
+    else if (winner == g) ++deltas[1];
+    else if (winner == b) ++deltas[2];
+    else PLURALITY_CHECK_MSG(false, "rule returned a color outside its inputs");
+  }
+  return deltas;
+}
+
+bool has_uniform_property(const Rule3& rule, state_t k) {
+  for (state_t r = 0; r < k; ++r) {
+    for (state_t g = r + 1; g < k; ++g) {
+      for (state_t b = g + 1; b < k; ++b) {
+        const auto d = rule_deltas(rule, r, g, b);
+        if (d[0] != 2 || d[1] != 2 || d[2] != 2) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_three_majority_class(const Rule3& rule, state_t k) {
+  return has_clear_majority_property(rule, k) && has_uniform_property(rule, k);
+}
+
+bool returns_an_input(const Rule3& rule, state_t k) {
+  for (state_t a = 0; a < k; ++a) {
+    for (state_t b = 0; b < k; ++b) {
+      for (state_t c = 0; c < k; ++c) {
+        const state_t out = rule(a, b, c);
+        if (out != a && out != b && out != c) return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+state_t clear_majority_or_sentinel(state_t a, state_t b, state_t c) {
+  if (a == b || a == c) return a;
+  if (b == c) return b;
+  return static_cast<state_t>(~0u);  // all distinct
+}
+
+state_t median3(state_t a, state_t b, state_t c) {
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  return b;
+}
+
+constexpr state_t kDistinct = static_cast<state_t>(~0u);
+
+}  // namespace
+
+Rule3 rule_majority_tie_first() {
+  return [](state_t a, state_t b, state_t c) {
+    const state_t m = clear_majority_or_sentinel(a, b, c);
+    return m != kDistinct ? m : a;
+  };
+}
+
+Rule3 rule_majority_tie_last() {
+  return [](state_t a, state_t b, state_t c) {
+    const state_t m = clear_majority_or_sentinel(a, b, c);
+    return m != kDistinct ? m : c;
+  };
+}
+
+Rule3 rule_first_sample() {
+  return [](state_t a, state_t, state_t) { return a; };
+}
+
+Rule3 rule_min() {
+  return [](state_t a, state_t b, state_t c) { return std::min({a, b, c}); };
+}
+
+Rule3 rule_median() {
+  return [](state_t a, state_t b, state_t c) { return median3(a, b, c); };
+}
+
+Rule3 rule_majority_tie_lowest() {
+  return [](state_t a, state_t b, state_t c) {
+    const state_t m = clear_majority_or_sentinel(a, b, c);
+    return m != kDistinct ? m : std::min({a, b, c});
+  };
+}
+
+Rule3 rule_majority_tie_conditional() {
+  return [](state_t a, state_t b, state_t c) {
+    const state_t m = clear_majority_or_sentinel(a, b, c);
+    if (m != kDistinct) return m;
+    return a < b ? a : c;
+  };
+}
+
+std::vector<NamedRule> all_named_rules() {
+  return {
+      {"majority/tie-first", rule_majority_tie_first()},
+      {"majority/tie-last", rule_majority_tie_last()},
+      {"first-sample", rule_first_sample()},
+      {"min", rule_min()},
+      {"median", rule_median()},
+      {"majority/tie-lowest", rule_majority_tie_lowest()},
+      {"majority/tie-cond", rule_majority_tie_conditional()},
+  };
+}
+
+}  // namespace plurality

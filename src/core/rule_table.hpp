@@ -1,0 +1,106 @@
+// The full space of 3-input dynamics (Definitions 1-4) and the property
+// checkers behind Theorem 3.
+//
+// A 3-input dynamics is a deterministic rule f : [k]^3 -> [k] with
+// f(x1,x2,x3) in {x1,x2,x3} (Definition 1). Theorem 3 shows a protocol can
+// only be a plurality-consensus solver if f has:
+//   * the clear-majority property (Definition 2): on any triple with a
+//     repeated color, f returns that color;
+//   * the uniform property (Definition 3): for any three distinct colors
+//     (r,g,b), each color wins on exactly 2 of the 6 orderings.
+// The protocols satisfying both form the 3-majority class M3 (Definition 4).
+//
+// ThreeInputDynamics wraps any such rule as a Dynamics whose exact law is
+// computed by brute-force enumeration of the k^3 ordered triples — slow but
+// independent of any closed form, which is exactly what makes it useful as
+// a cross-check and as the vehicle for the negative results (E4).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dynamics.hpp"
+
+namespace plurality {
+
+/// The deterministic 3-input rule type. Must return one of its arguments;
+/// anonymity requires it to be label-equivariant, which all the built-in
+/// rules are (they use only equality/order comparisons).
+using Rule3 = std::function<state_t(state_t, state_t, state_t)>;
+
+class ThreeInputDynamics final : public Dynamics {
+ public:
+  ThreeInputDynamics(std::string name, Rule3 rule);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] unsigned sample_arity() const override { return 3; }
+
+  /// O(k^3) brute-force law: sums ordered-triple probabilities onto f's
+  /// outputs. Guarded at k <= 256 (16.7M triple evaluations).
+  void adoption_law(std::span<const double> counts, std::span<double> out) const override;
+  [[nodiscard]] bool has_exact_law(state_t states) const override { return states <= 256; }
+
+  [[nodiscard]] state_t apply_rule(state_t own, std::span<const state_t> sampled,
+                                   state_t states, rng::Xoshiro256pp& gen) const override;
+
+  [[nodiscard]] const Rule3& rule() const { return rule_; }
+
+ private:
+  std::string name_;
+  Rule3 rule_;
+};
+
+// --- Property checkers (Definitions 2 and 3), over colors [0, k). ---
+
+/// Definition 2: f returns the repeated color on every clear-majority triple.
+bool has_clear_majority_property(const Rule3& rule, state_t k);
+
+/// The counters (delta_r, delta_g, delta_b) of Definition 3 for one
+/// distinct triple: how many of the 6 orderings each color wins.
+std::array<int, 3> rule_deltas(const Rule3& rule, state_t r, state_t g, state_t b);
+
+/// Definition 3: every distinct triple has deltas (2,2,2).
+bool has_uniform_property(const Rule3& rule, state_t k);
+
+/// Definition 4: membership in the 3-majority class M3.
+bool is_three_majority_class(const Rule3& rule, state_t k);
+
+/// Validates the Definition-1 constraint f(x) in {x1,x2,x3} on all triples.
+bool returns_an_input(const Rule3& rule, state_t k);
+
+// --- The named rules used by the experiments. ---
+
+/// Canonical 3-majority: clear majority, else the first sample. In M3.
+Rule3 rule_majority_tie_first();
+
+/// Clear majority, else the LAST sample. Also in M3 (equivalent protocol).
+Rule3 rule_majority_tie_last();
+
+/// f = x1. Uniform but no clear-majority: the voter in disguise — the
+/// paper's example that consensus != plurality consensus.
+Rule3 rule_first_sample();
+
+/// f = min(x1,x2,x3). Neither property; drifts to the smallest color label.
+Rule3 rule_min();
+
+/// f = median. Clear-majority but non-uniform (deltas (0,6,0)): the median
+/// dynamics of Doerr et al., Theorem 3's motivating non-solver.
+Rule3 rule_median();
+
+/// Clear majority, else min. Clear-majority but non-uniform (deltas (6,0,0)).
+Rule3 rule_majority_tie_lowest();
+
+/// Clear majority, else (x1 < x2 ? x1 : x3). Clear-majority, non-uniform
+/// with deltas {3,2,1} — Lemma 8's "hardest case" delta pattern (relabeled).
+Rule3 rule_majority_tie_conditional();
+
+/// Convenience factory for all named rules with their display names.
+struct NamedRule {
+  const char* label;
+  Rule3 rule;
+};
+std::vector<NamedRule> all_named_rules();
+
+}  // namespace plurality

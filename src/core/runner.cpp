@@ -1,0 +1,112 @@
+#include "core/runner.hpp"
+
+#include <memory>
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+namespace {
+
+TrajectoryPoint snapshot(const Configuration& config, state_t num_colors, round_t round) {
+  const state_t plurality = config.plurality(num_colors);
+  return TrajectoryPoint{
+      .round = round,
+      .plurality_color = plurality,
+      .plurality_count = config.at(plurality),
+      .runner_up_count = num_colors >= 2 ? config.runner_up_count(num_colors) : 0,
+      .bias = config.bias(num_colors),
+      .minority_mass = config.minority_mass(num_colors),
+  };
+}
+
+}  // namespace
+
+RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
+                       const RunOptions& options, rng::Xoshiro256pp& gen) {
+  const state_t states = start.k();
+  const state_t num_colors = dynamics.num_colors(states);
+  PLURALITY_REQUIRE(num_colors >= 1 && num_colors <= states,
+                    "run_dynamics: start configuration has " << states
+                        << " states but dynamics expects "
+                        << dynamics.num_states(num_colors));
+  PLURALITY_REQUIRE(start.n() > 0, "run_dynamics: empty configuration");
+  PLURALITY_REQUIRE(options.adversary == nullptr || options.backend == Backend::CountBased,
+                    "run_dynamics: adversaries are supported on the count-based backend");
+
+  RunResult result;
+  result.initial_plurality = start.plurality(num_colors);
+
+  Configuration config = start;
+  std::unique_ptr<AgentSimulation> agents;
+  if (options.backend == Backend::Agent) {
+    // Derive the agent seed from the caller's generator so independent
+    // trials get independent agent streams.
+    agents = std::make_unique<AgentSimulation>(dynamics, start, gen());
+  }
+
+  if (options.record_trajectory) {
+    result.trajectory.push_back(snapshot(config, num_colors, 0));
+  }
+
+  auto finish = [&](round_t rounds, StopReason reason) {
+    result.rounds = rounds;
+    result.reason = reason;
+    if (reason == StopReason::ColorConsensus) {
+      result.winner = config.plurality(num_colors);
+      result.plurality_won = (result.winner == result.initial_plurality);
+    }
+    result.final_config = std::move(config);
+    return result;
+  };
+
+  // Round 0 checks: a start that is already absorbed/stopping.
+  if (config.color_consensus(num_colors)) return finish(0, StopReason::ColorConsensus);
+  if (options.stop_predicate && options.stop_predicate(config, 0)) {
+    return finish(0, StopReason::PredicateMet);
+  }
+
+  for (round_t round = 1; round <= options.max_rounds; ++round) {
+    if (options.backend == Backend::CountBased) {
+      step_count_based(dynamics, config, gen);
+      if (options.adversary != nullptr) {
+        options.adversary->corrupt(config, num_colors, round, gen);
+      }
+    } else {
+      agents->step();
+      config = agents->configuration();
+    }
+
+    if (options.record_trajectory) {
+      result.trajectory.push_back(snapshot(config, num_colors, round));
+    }
+    if (config.color_consensus(num_colors)) {
+      return finish(round, StopReason::ColorConsensus);
+    }
+    if (config.monochromatic()) {
+      // All mass in one non-color state (e.g. all-undecided): absorbing but
+      // not a consensus on any color.
+      return finish(round, StopReason::NonColorAbsorbed);
+    }
+    if (options.stop_predicate && options.stop_predicate(config, round)) {
+      return finish(round, StopReason::PredicateMet);
+    }
+  }
+  return finish(options.max_rounds, StopReason::RoundLimit);
+}
+
+std::function<bool(const Configuration&, round_t)> stop_when_any_color_reaches(
+    count_t threshold, state_t num_colors) {
+  return [threshold, num_colors](const Configuration& config, round_t) {
+    return config.plurality_count(num_colors) >= threshold;
+  };
+}
+
+std::function<bool(const Configuration&, round_t)> stop_at_m_plurality(count_t m,
+                                                                       state_t color) {
+  return [m, color](const Configuration& config, round_t) {
+    return config.n() - config.at(color) <= m;
+  };
+}
+
+}  // namespace plurality

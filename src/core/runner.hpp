@@ -1,0 +1,81 @@
+// Single-run driver: advances a dynamics from an initial configuration
+// until color consensus (or another absorbing/stop condition), optionally
+// recording the per-round trajectory the phase-structure analysis (E8)
+// needs and applying an F-bounded adversary after each protocol step
+// (Section 3.1's  Random -> Adversary  round split).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/adversary.hpp"
+#include "core/backend.hpp"
+#include "core/configuration.hpp"
+#include "core/dynamics.hpp"
+#include "rng/xoshiro.hpp"
+#include "support/types.hpp"
+
+namespace plurality {
+
+/// One sampled point of a run's trajectory (colors only; auxiliary states
+/// count toward minority_mass).
+struct TrajectoryPoint {
+  round_t round;
+  state_t plurality_color;
+  count_t plurality_count;
+  count_t runner_up_count;
+  count_t bias;
+  count_t minority_mass;
+};
+
+enum class StopReason {
+  ColorConsensus,   // all n nodes on one color — the absorbing goal state
+  NonColorAbsorbed, // absorbed in a non-color state (all-undecided)
+  PredicateMet,     // caller's stop_predicate returned true
+  RoundLimit,       // max_rounds exhausted without absorption
+};
+
+struct RunResult {
+  round_t rounds = 0;
+  StopReason reason = StopReason::RoundLimit;
+  /// Winning color; only meaningful for ColorConsensus.
+  state_t winner = 0;
+  /// Plurality color of the INITIAL configuration (lowest index on ties).
+  state_t initial_plurality = 0;
+  /// reason == ColorConsensus && winner == initial_plurality.
+  bool plurality_won = false;
+  /// Final configuration at stop time.
+  Configuration final_config;
+  /// Per-round trajectory; empty unless RunOptions::record_trajectory.
+  std::vector<TrajectoryPoint> trajectory;
+};
+
+struct RunOptions {
+  round_t max_rounds = 1'000'000;
+  bool record_trajectory = false;
+  Backend backend = Backend::CountBased;
+  /// Applied after every protocol step (count-based backend only).
+  const Adversary* adversary = nullptr;
+  /// Optional extra stop condition, checked after each round:
+  /// (configuration, round) -> stop?
+  std::function<bool(const Configuration&, round_t)> stop_predicate;
+};
+
+/// Runs `dynamics` from `start` (already in the dynamics' state space —
+/// use UndecidedState::extend_with_undecided for protocols with auxiliary
+/// states). Advances `gen` as its randomness source.
+RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
+                       const RunOptions& options, rng::Xoshiro256pp& gen);
+
+/// Stop predicate for Theorem 2-style experiments: stop once any color
+/// reaches `threshold` nodes.
+std::function<bool(const Configuration&, round_t)> stop_when_any_color_reaches(
+    count_t threshold, state_t num_colors);
+
+/// Stop predicate for Corollary 4: stop once all but at most M nodes hold
+/// `color`.
+std::function<bool(const Configuration&, round_t)> stop_at_m_plurality(
+    count_t m, state_t color);
+
+}  // namespace plurality

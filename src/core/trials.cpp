@@ -1,0 +1,98 @@
+#include "core/trials.hpp"
+
+#include "support/check.hpp"
+
+#if defined(PLURALITY_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace plurality {
+
+double TrialSummary::win_rate() const {
+  PLURALITY_REQUIRE(trials > 0, "TrialSummary::win_rate: no trials");
+  return static_cast<double>(plurality_wins) / static_cast<double>(trials);
+}
+
+double TrialSummary::consensus_rate() const {
+  PLURALITY_REQUIRE(trials > 0, "TrialSummary::consensus_rate: no trials");
+  return static_cast<double>(consensus_count) / static_cast<double>(trials);
+}
+
+stats::ProportionCi TrialSummary::win_ci() const {
+  return stats::wilson_interval(plurality_wins, trials);
+}
+
+TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
+                        const TrialOptions& options) {
+  PLURALITY_REQUIRE(options.trials > 0, "run_trials: need at least one trial");
+  RunOptions run_options = options.run;
+  run_options.record_trajectory = false;  // trajectories cost memory x trials
+
+  const rng::StreamFactory streams(options.seed);
+  TrialSummary summary;
+  summary.trials = options.trials;
+  summary.round_samples.resize(options.trials, -1.0);
+
+  std::vector<std::uint8_t> won(options.trials, 0);
+  std::vector<std::uint8_t> consensus(options.trials, 0);
+  std::vector<std::uint8_t> limited(options.trials, 0);
+  std::vector<std::uint8_t> predicate(options.trials, 0);
+
+  const auto body = [&](std::uint64_t trial) {
+    rng::Xoshiro256pp gen = streams.stream(trial);
+    const Configuration start = factory(trial, gen);
+    const RunResult result = run_dynamics(dynamics, start, run_options, gen);
+    switch (result.reason) {
+      case StopReason::ColorConsensus:
+        consensus[trial] = 1;
+        won[trial] = result.plurality_won ? 1 : 0;
+        summary.round_samples[trial] = static_cast<double>(result.rounds);
+        break;
+      case StopReason::PredicateMet:
+        predicate[trial] = 1;
+        summary.round_samples[trial] = static_cast<double>(result.rounds);
+        break;
+      case StopReason::RoundLimit:
+        limited[trial] = 1;
+        break;
+      case StopReason::NonColorAbsorbed:
+        break;
+    }
+  };
+
+#if defined(PLURALITY_HAVE_OPENMP)
+  if (options.parallel) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial);
+  } else {
+    for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial);
+  }
+#else
+  for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial);
+#endif
+
+  std::vector<double> kept;
+  kept.reserve(options.trials);
+  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+    summary.consensus_count += consensus[trial];
+    summary.plurality_wins += won[trial];
+    summary.round_limit_hits += limited[trial];
+    summary.predicate_stops += predicate[trial];
+    if (summary.round_samples[trial] >= 0.0) {
+      summary.rounds.add(summary.round_samples[trial]);
+      kept.push_back(summary.round_samples[trial]);
+    }
+  }
+  summary.round_samples = std::move(kept);
+  return summary;
+}
+
+TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,
+                        const TrialOptions& options) {
+  return run_trials(
+      dynamics,
+      [&start](std::uint64_t, rng::Xoshiro256pp&) { return start; },
+      options);
+}
+
+}  // namespace plurality

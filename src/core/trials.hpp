@@ -1,0 +1,51 @@
+// Multi-trial experiment driver: R independent runs of a dynamics,
+// OpenMP-parallel over trials, each trial on its own hash-derived RNG
+// stream so results are identical no matter how many threads execute them.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "rng/stream.hpp"
+#include "stats/summary.hpp"
+
+namespace plurality {
+
+/// Builds the start configuration for one trial (may itself be random,
+/// e.g. sampled Zipf workloads). Must be thread-safe / pure.
+using ConfigFactory = std::function<Configuration(std::uint64_t trial, rng::Xoshiro256pp&)>;
+
+struct TrialSummary {
+  std::uint64_t trials = 0;
+  std::uint64_t consensus_count = 0;    // reached some color consensus
+  std::uint64_t plurality_wins = 0;     // ... on the initial plurality color
+  std::uint64_t round_limit_hits = 0;
+  std::uint64_t predicate_stops = 0;
+  /// Rounds over trials that stopped before the round limit (consensus or
+  /// predicate), i.e. the quantity the theorems bound.
+  stats::OnlineStats rounds;
+  /// Raw per-trial round counts, same filter as `rounds` (for quantiles).
+  std::vector<double> round_samples;
+
+  [[nodiscard]] double win_rate() const;
+  [[nodiscard]] double consensus_rate() const;
+  [[nodiscard]] stats::ProportionCi win_ci() const;
+};
+
+struct TrialOptions {
+  std::uint64_t trials = 100;
+  std::uint64_t seed = 1;
+  bool parallel = true;
+  RunOptions run;  // per-run options (trajectories are force-disabled)
+};
+
+/// Runs `options.trials` independent runs from factory-generated starts.
+TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
+                        const TrialOptions& options);
+
+/// Convenience overload: every trial starts from the same configuration.
+TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,
+                        const TrialOptions& options);
+
+}  // namespace plurality

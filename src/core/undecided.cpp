@@ -1,0 +1,54 @@
+#include "core/undecided.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+void UndecidedState::adoption_law_given(state_t own, std::span<const double> counts,
+                                        std::span<double> out) const {
+  PLURALITY_REQUIRE(counts.size() == out.size(), "undecided law: size mismatch");
+  PLURALITY_REQUIRE(counts.size() >= 2, "undecided law: need >= 1 color + undecided");
+  PLURALITY_REQUIRE(own < counts.size(), "undecided law: own state out of range");
+  const auto undecided = static_cast<state_t>(counts.size() - 1);
+  double n = 0.0;
+  for (double c : counts) {
+    PLURALITY_REQUIRE(c >= 0.0, "undecided law: negative count");
+    n += c;
+  }
+  PLURALITY_REQUIRE(n > 0.0, "undecided law: empty configuration");
+  const double q = counts[undecided];
+
+  for (double& p : out) p = 0.0;
+  if (own == undecided) {
+    // Adopt whatever color is sampled; stay undecided on an undecided pull.
+    for (state_t j = 0; j < undecided; ++j) out[j] = counts[j] / n;
+    out[undecided] = q / n;
+  } else {
+    // Keep own color on seeing own color or an undecided node; otherwise
+    // become undecided.
+    out[own] = (counts[own] + q) / n;
+    out[undecided] = (n - counts[own] - q) / n;
+  }
+}
+
+state_t UndecidedState::apply_rule(state_t own, std::span<const state_t> sampled,
+                                   state_t states, rng::Xoshiro256pp& gen) const {
+  (void)gen;
+  PLURALITY_CHECK(sampled.size() == 1);
+  PLURALITY_CHECK(states >= 2);
+  const state_t undecided = states - 1;
+  const state_t seen = sampled[0];
+  if (own == undecided) return seen;          // adopt sampled color (or stay)
+  if (seen == own || seen == undecided) return own;  // confirmation / no info
+  return undecided;                           // conflicting color: back off
+}
+
+Configuration UndecidedState::extend_with_undecided(const Configuration& colors) {
+  std::vector<count_t> extended(colors.counts().begin(), colors.counts().end());
+  extended.push_back(0);
+  return Configuration(std::move(extended));
+}
+
+}  // namespace plurality

@@ -1,0 +1,48 @@
+// The undecided-state dynamics (Angluin–Aspnes–Eisenstat's third-state
+// protocol in the synchronous pull model; analyzed for general k in
+// Becchetti et al., SODA'15 — reference [4] of the paper).
+//
+// Each node pulls ONE uniform sample per round:
+//   * a colored node that sees a DIFFERENT color becomes undecided
+//     (seeing its own color or an undecided node leaves it unchanged);
+//   * an undecided node adopts the sampled color (stays undecided when it
+//     samples another undecided node).
+//
+// States: 0..k-1 are colors, state k is "undecided". The initial
+// configuration has zero undecided mass (extend_with_undecided()).
+//
+// The paper's discussion (Section 1) makes two claims we reproduce in E10:
+// convergence time is linear in the monochromatic distance md(c) = sum_j
+// (c_j/c_max)^2 — exponentially faster than 3-majority on configurations
+// with many tiny colors — but for k = omega(sqrt n) there are configurations
+// where the plurality color disappears in one round with constant
+// probability.
+#pragma once
+
+#include "core/configuration.hpp"
+#include "core/dynamics.hpp"
+
+namespace plurality {
+
+class UndecidedState final : public Dynamics {
+ public:
+  [[nodiscard]] std::string name() const override { return "undecided-state"; }
+  [[nodiscard]] unsigned sample_arity() const override { return 1; }
+  [[nodiscard]] state_t num_states(state_t num_colors) const override {
+    return num_colors + 1;
+  }
+  [[nodiscard]] state_t num_colors(state_t states) const override { return states - 1; }
+  [[nodiscard]] bool law_depends_on_own_state() const override { return true; }
+
+  void adoption_law_given(state_t own, std::span<const double> counts,
+                          std::span<double> out) const override;
+
+  [[nodiscard]] state_t apply_rule(state_t own, std::span<const state_t> sampled,
+                                   state_t states, rng::Xoshiro256pp& gen) const override;
+
+  /// Adapts a pure-color configuration to this protocol's state space by
+  /// appending an empty undecided state.
+  [[nodiscard]] static Configuration extend_with_undecided(const Configuration& colors);
+};
+
+}  // namespace plurality

@@ -1,0 +1,45 @@
+#include "core/voter.hpp"
+
+#include "rng/distributions.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+
+void Voter::adoption_law(std::span<const double> counts, std::span<double> out) const {
+  PLURALITY_REQUIRE(counts.size() == out.size(), "voter law: size mismatch");
+  double n = 0.0;
+  for (double c : counts) n += c;
+  PLURALITY_REQUIRE(n > 0.0, "voter law: empty configuration");
+  for (std::size_t j = 0; j < counts.size(); ++j) out[j] = counts[j] / n;
+}
+
+state_t Voter::apply_rule(state_t own, std::span<const state_t> sampled,
+                          state_t states, rng::Xoshiro256pp& gen) const {
+  (void)own;
+  (void)states;
+  (void)gen;
+  PLURALITY_CHECK(sampled.size() == 1);
+  return sampled[0];
+}
+
+void TwoChoices::adoption_law(std::span<const double> counts, std::span<double> out) const {
+  PLURALITY_REQUIRE(counts.size() == out.size(), "2-choices law: size mismatch");
+  double n = 0.0;
+  for (double c : counts) n += c;
+  PLURALITY_REQUIRE(n > 0.0, "2-choices law: empty configuration");
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    const double share = counts[j] / n;
+    out[j] = share * share + share * (1.0 - share);
+  }
+}
+
+state_t TwoChoices::apply_rule(state_t own, std::span<const state_t> sampled,
+                               state_t states, rng::Xoshiro256pp& gen) const {
+  (void)own;
+  (void)states;
+  PLURALITY_CHECK(sampled.size() == 2);
+  if (sampled[0] == sampled[1]) return sampled[0];
+  return rng::bernoulli(gen, 0.5) ? sampled[0] : sampled[1];
+}
+
+}  // namespace plurality

@@ -1,0 +1,44 @@
+// The voter / polling dynamics (1-majority) and the 2-choices rule with
+// uniform tie-breaking.
+//
+// The paper (Section 1) observes that sampling TWO nodes and breaking the
+// tie uniformly is *equivalent* to the polling process: the adoption law of
+// both is exactly p_j = c_j / n. We implement the two protocols separately
+// — different node rules, independently derived laws — precisely so the
+// equivalence is a testable theorem of the code rather than an assumption
+// (experiment E9).
+//
+// The voter process is a martingale in each color count, so it converges to
+// a minority color with constant probability even from bias s = Θ(n): the
+// exact win probability from the Markov solver is c_j/n.
+#pragma once
+
+#include "core/dynamics.hpp"
+
+namespace plurality {
+
+class Voter final : public Dynamics {
+ public:
+  [[nodiscard]] std::string name() const override { return "voter"; }
+  [[nodiscard]] unsigned sample_arity() const override { return 1; }
+
+  void adoption_law(std::span<const double> counts, std::span<double> out) const override;
+
+  [[nodiscard]] state_t apply_rule(state_t own, std::span<const state_t> sampled,
+                                   state_t states, rng::Xoshiro256pp& gen) const override;
+};
+
+class TwoChoices final : public Dynamics {
+ public:
+  [[nodiscard]] std::string name() const override { return "2-choices(uniform-tie)"; }
+  [[nodiscard]] unsigned sample_arity() const override { return 2; }
+
+  /// Derived independently of Voter:
+  ///   p_j = (c_j/n)^2 + 2 * (c_j/n) * (1 - c_j/n) * 1/2  —  equals c_j/n.
+  void adoption_law(std::span<const double> counts, std::span<double> out) const override;
+
+  [[nodiscard]] state_t apply_rule(state_t own, std::span<const state_t> sampled,
+                                   state_t states, rng::Xoshiro256pp& gen) const override;
+};
+
+}  // namespace plurality

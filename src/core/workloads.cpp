@@ -1,0 +1,206 @@
+#include "core/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/discrete.hpp"
+#include "rng/multinomial.hpp"
+#include "support/check.hpp"
+
+namespace plurality::workloads {
+
+std::vector<count_t> largest_remainder_round(count_t n, std::span<const double> targets) {
+  PLURALITY_REQUIRE(!targets.empty(), "largest_remainder_round: empty targets");
+  double total = 0.0;
+  for (double t : targets) {
+    PLURALITY_REQUIRE(t >= 0.0, "largest_remainder_round: negative target");
+    total += t;
+  }
+  PLURALITY_REQUIRE(total > 0.0, "largest_remainder_round: zero total");
+
+  const std::size_t k = targets.size();
+  std::vector<count_t> counts(k);
+  std::vector<std::pair<double, std::size_t>> remainders(k);
+  count_t assigned = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double exact = static_cast<double>(n) * targets[j] / total;
+    const double floored = std::floor(exact);
+    counts[j] = static_cast<count_t>(floored);
+    assigned += counts[j];
+    remainders[j] = {exact - floored, j};
+  }
+  PLURALITY_CHECK(assigned <= n);
+  count_t leftover = n - assigned;
+  // Hand the leftover units to the largest fractional parts (index order
+  // breaks ties so the result is deterministic).
+  std::sort(remainders.begin(), remainders.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (std::size_t i = 0; leftover > 0; ++i, --leftover) {
+    PLURALITY_CHECK(i < k);
+    ++counts[remainders[i].second];
+  }
+  return counts;
+}
+
+Configuration balanced(count_t n, state_t k) {
+  PLURALITY_REQUIRE(k >= 1, "balanced: k must be positive");
+  PLURALITY_REQUIRE(n >= k, "balanced: need n >= k so every color is populated");
+  std::vector<count_t> counts(k, n / k);
+  for (state_t j = 0; j < static_cast<state_t>(n % k); ++j) ++counts[j];
+  return Configuration(std::move(counts));
+}
+
+Configuration additive_bias(count_t n, state_t k, count_t s) {
+  PLURALITY_REQUIRE(k >= 2, "additive_bias: need k >= 2");
+  PLURALITY_REQUIRE(s <= n, "additive_bias: bias exceeds n");
+  PLURALITY_REQUIRE(n - s >= k, "additive_bias: too little residual mass");
+  Configuration base = balanced(n - s, k);
+  std::vector<count_t> counts(base.counts().begin(), base.counts().end());
+  counts[0] += s;
+  return Configuration(std::move(counts));
+}
+
+Configuration plurality_share(count_t n, state_t k, double share) {
+  PLURALITY_REQUIRE(k >= 2, "plurality_share: need k >= 2");
+  PLURALITY_REQUIRE(share > 0.0 && share < 1.0, "plurality_share: share in (0,1)");
+  const auto c0 = static_cast<count_t>(std::llround(share * static_cast<double>(n)));
+  PLURALITY_REQUIRE(c0 >= 1 && n - c0 >= static_cast<count_t>(k) - 1,
+                    "plurality_share: share leaves colors empty");
+  Configuration rest = balanced(n - c0, k - 1);
+  std::vector<count_t> counts;
+  counts.reserve(k);
+  counts.push_back(c0);
+  counts.insert(counts.end(), rest.counts().begin(), rest.counts().end());
+  return Configuration(std::move(counts));
+}
+
+Configuration lemma10(count_t n, state_t k, count_t s) {
+  PLURALITY_REQUIRE(k >= 2, "lemma10: need k >= 2");
+  PLURALITY_REQUIRE(s < n, "lemma10: bias exceeds n");
+  const count_t x = (n - s) / k;
+  PLURALITY_REQUIRE(x >= 1, "lemma10: x = (n-s)/k must be positive");
+  PLURALITY_REQUIRE(s <= x, "lemma10: requires s <= x (see Lemma 10's proof)");
+  std::vector<count_t> counts(k, x);
+  counts[0] = x + s;
+  // Rounding slack from the integer division goes to the last color(s),
+  // keeping c_0 - c_j >= s - slack; slack < k.
+  count_t assigned = x * k + s;
+  PLURALITY_CHECK(assigned <= n);
+  count_t leftover = n - assigned;
+  for (state_t j = k; j-- > 1 && leftover > 0;) {
+    ++counts[j];
+    --leftover;
+  }
+  counts[0] += leftover;  // k-1 colors were not enough (tiny k): give to 0
+  return Configuration(std::move(counts));
+}
+
+Configuration theorem3(count_t n, count_t s) {
+  PLURALITY_REQUIRE(n >= 6, "theorem3: n too small");
+  const count_t third = n / 3;
+  PLURALITY_REQUIRE(s < third, "theorem3: s must be below n/3");
+  std::vector<count_t> counts = {third + s, third, third - s};
+  count_t leftover = n - 3 * third;
+  // Leftover (0..2) goes to the middle color: it never changes which color
+  // is the plurality or the magnitude relations c0 > c1 > c2.
+  counts[1] += leftover;
+  return Configuration(std::move(counts));
+}
+
+Configuration near_balanced(count_t n, state_t k, double epsilon) {
+  PLURALITY_REQUIRE(k >= 2, "near_balanced: need k >= 2");
+  PLURALITY_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "near_balanced: epsilon in (0,1)");
+  Configuration base = balanced(n, k);
+  std::vector<count_t> counts(base.counts().begin(), base.counts().end());
+  const double per_color = static_cast<double>(n) / static_cast<double>(k);
+  auto imbalance =
+      static_cast<count_t>(std::floor(std::pow(per_color, 1.0 - epsilon)));
+  // Take the imbalance from the tail colors without emptying them.
+  count_t need = imbalance;
+  for (state_t j = k; j-- > 1 && need > 0;) {
+    const count_t take = std::min(need, counts[j] > 1 ? counts[j] - 1 : 0);
+    counts[j] -= take;
+    need -= take;
+  }
+  counts[0] += imbalance - need;
+  return Configuration(std::move(counts));
+}
+
+Configuration zipf(count_t n, state_t k, double theta) {
+  PLURALITY_REQUIRE(k >= 1, "zipf: k must be positive");
+  const std::vector<double> weights = rng::zipf_weights(k, theta);
+  return Configuration(largest_remainder_round(n, weights));
+}
+
+Configuration sample_from_weights(count_t n, std::span<const double> weights,
+                                  rng::Xoshiro256pp& gen) {
+  std::vector<double> probs(weights.begin(), weights.end());
+  rng::normalize_weights(probs);
+  std::vector<count_t> counts(weights.size(), 0);
+  rng::multinomial(gen, n, probs, counts);
+  return Configuration(std::move(counts));
+}
+
+Configuration parse_workload(const std::string& spec, count_t n, state_t k) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const auto parse_num = [&](const std::string& text) {
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(text, &pos);
+      PLURALITY_REQUIRE(pos == text.size(),
+                        "parse_workload: trailing garbage in '" << text << "'");
+      return v;
+    } catch (const CheckError&) {
+      throw;
+    } catch (const std::exception&) {
+      PLURALITY_REQUIRE(false, "parse_workload: expected a number, got '" << text << "'");
+      return 0.0;  // unreachable
+    }
+  };
+
+  if (kind == "balanced") {
+    PLURALITY_REQUIRE(arg.empty(), "parse_workload: 'balanced' takes no argument");
+    return balanced(n, k);
+  }
+  if (kind == "bias") {
+    PLURALITY_REQUIRE(!arg.empty(), "parse_workload: 'bias:<s>' needs a value");
+    if (arg.back() == 'c') {
+      const double mult = parse_num(arg.substr(0, arg.size() - 1));
+      return additive_bias(n, k,
+                           static_cast<count_t>(mult * critical_bias_scale(n, k)));
+    }
+    return additive_bias(n, k, static_cast<count_t>(parse_num(arg)));
+  }
+  if (kind == "share") return plurality_share(n, k, parse_num(arg));
+  if (kind == "zipf") return zipf(n, k, parse_num(arg));
+  if (kind == "near-balanced") return near_balanced(n, k, parse_num(arg));
+  if (kind == "lemma10") return lemma10(n, k, static_cast<count_t>(parse_num(arg)));
+  if (kind == "theorem3") return theorem3(n, static_cast<count_t>(parse_num(arg)));
+  PLURALITY_REQUIRE(false, "parse_workload: unknown workload '"
+                               << kind << "'; known: balanced, bias, share, zipf, "
+                               << "near-balanced, lemma10, theorem3");
+  return balanced(n, k);  // unreachable
+}
+
+double critical_bias_scale(count_t n, state_t k) {
+  PLURALITY_REQUIRE(n >= 3, "critical_bias_scale: n too small");
+  const double nd = static_cast<double>(n);
+  const double ln_n = std::log(nd);
+  const double lambda =
+      std::min(2.0 * static_cast<double>(k), std::cbrt(nd / ln_n));
+  return std::sqrt(lambda * nd * ln_n);
+}
+
+double critical_bias_scale_lambda(count_t n, double lambda) {
+  PLURALITY_REQUIRE(n >= 3, "critical_bias_scale_lambda: n too small");
+  PLURALITY_REQUIRE(lambda >= 1.0, "critical_bias_scale_lambda: lambda >= 1");
+  const double nd = static_cast<double>(n);
+  return std::sqrt(lambda * nd * std::log(nd));
+}
+
+}  // namespace plurality::workloads

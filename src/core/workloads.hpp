@@ -1,0 +1,75 @@
+// Initial-configuration generators for every workload the paper's
+// statements quantify over. Each generator guarantees counts sum exactly
+// to n (largest-remainder rounding where fractions appear).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "rng/xoshiro.hpp"
+#include "support/types.hpp"
+
+namespace plurality::workloads {
+
+/// Perfectly balanced: floor(n/k) everywhere, the remainder spread one each
+/// over the first (n mod k) colors.
+Configuration balanced(count_t n, state_t k);
+
+/// Additive bias s toward color 0: the other n - s nodes split evenly, then
+/// color 0 receives the s extra supporters. bias() is s up to rounding (and
+/// exactly s when k divides n - s). Requires s <= n.
+Configuration additive_bias(count_t n, state_t k, count_t s);
+
+/// Plurality share control (Theorem 1's lambda = n / c1): color 0 holds
+/// round(share * n) nodes, the rest are balanced over colors 1..k-1.
+Configuration plurality_share(count_t n, state_t k, double share);
+
+/// Lemma 10's configuration: x = (n - s) / k; c = (x + s, x, ..., x).
+Configuration lemma10(count_t n, state_t k, count_t s);
+
+/// Lemma 8 / Theorem 3's three-color configuration (n/3 + s, n/3, n/3 - s).
+Configuration theorem3(count_t n, count_t s);
+
+/// Theorem 2's near-balanced start: max_j c_j <= n/k + (n/k)^(1-epsilon).
+/// Color 0 gets the full allowed imbalance (the worst case for the lower
+/// bound), compensated by the last color.
+Configuration near_balanced(count_t n, state_t k, double epsilon);
+
+/// Zipf-shaped configuration (the distributed-ranking motivation): color
+/// ranks follow c_j ∝ 1/(j+1)^theta, deterministically rounded by largest
+/// remainder. theta = 0 is balanced.
+Configuration zipf(count_t n, state_t k, double theta);
+
+/// Samples each node's color i.i.d. from explicit weights — a random
+/// workload with the same shape (for trial-to-trial variability).
+Configuration sample_from_weights(count_t n, std::span<const double> weights,
+                                  rng::Xoshiro256pp& gen);
+
+/// The paper's critical-bias scale sqrt(min{2k, (n/ln n)^(1/3)} · n · ln n)
+/// — Corollary 1's threshold without the 72·sqrt(2) proof constant.
+/// Benches sweep multiples of this.
+double critical_bias_scale(count_t n, state_t k);
+
+/// Theorem 1's threshold scale for a given lambda: sqrt(lambda · n · ln n).
+double critical_bias_scale_lambda(count_t n, double lambda);
+
+/// Largest-remainder (Hamilton) rounding of nonnegative targets to integer
+/// counts summing exactly to n. Exposed for tests.
+std::vector<count_t> largest_remainder_round(count_t n, std::span<const double> targets);
+
+/// Parses a workload specification string into a configuration — the CLI
+/// surface used by the plurality_sim tool. Accepted forms:
+///   "balanced"                    balanced(n, k)
+///   "bias:<s>"                    additive_bias(n, k, s); s may carry a
+///                                 trailing 'c' meaning s = <v> * critical
+///                                 bias scale (e.g. "bias:2c")
+///   "share:<x>"                   plurality_share(n, k, x)
+///   "zipf:<theta>"                zipf(n, k, theta)
+///   "near-balanced:<eps>"         near_balanced(n, k, eps)
+///   "lemma10:<s>"                 lemma10(n, k, s)
+///   "theorem3:<s>"                theorem3(n, s) (forces k = 3)
+/// Throws CheckError on malformed specs.
+Configuration parse_workload(const std::string& spec, count_t n, state_t k);
+
+}  // namespace plurality::workloads

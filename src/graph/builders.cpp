@@ -1,0 +1,121 @@
+#include "graph/builders.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "support/check.hpp"
+
+namespace plurality::graph {
+
+Topology cycle(count_t n) {
+  PLURALITY_REQUIRE(n >= 3, "cycle: need n >= 3");
+  std::vector<std::pair<count_t, count_t>> edges;
+  edges.reserve(n);
+  for (count_t v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Topology::from_edges(n, edges);
+}
+
+Topology torus(count_t rows, count_t cols) {
+  PLURALITY_REQUIRE(rows >= 3 && cols >= 3, "torus: need rows, cols >= 3");
+  const count_t n = rows * cols;
+  std::vector<std::pair<count_t, count_t>> edges;
+  edges.reserve(2 * n);
+  auto id = [cols](count_t r, count_t c) { return r * cols + c; };
+  for (count_t r = 0; r < rows; ++r) {
+    for (count_t c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return Topology::from_edges(n, edges);
+}
+
+Topology random_regular(count_t n, count_t d, rng::Xoshiro256pp& gen) {
+  PLURALITY_REQUIRE(n >= 2 && d >= 1, "random_regular: need n >= 2, d >= 1");
+  PLURALITY_REQUIRE((n * d) % 2 == 0, "random_regular: n*d must be even");
+  PLURALITY_REQUIRE(d < n, "random_regular: d must be below n");
+
+  // Steger–Wormald incremental pairing: repeatedly match two random free
+  // stubs, rejecting matches that would create a self-loop or a parallel
+  // edge. For d = o(sqrt n) the process gets stuck only with small
+  // probability, in which case we restart from scratch.
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    std::vector<count_t> stubs;
+    stubs.reserve(n * d);
+    for (count_t v = 0; v < n; ++v) {
+      for (count_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    std::vector<std::pair<count_t, count_t>> edges;
+    edges.reserve(stubs.size() / 2);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(stubs.size());
+    bool stuck = false;
+    while (!stubs.empty()) {
+      bool matched = false;
+      for (int tries = 0; tries < 200; ++tries) {
+        const std::size_t i = rng::uniform_below(gen, stubs.size());
+        std::size_t j = rng::uniform_below(gen, stubs.size() - 1);
+        if (j >= i) ++j;
+        const count_t u = stubs[i], v = stubs[j];
+        if (u == v) continue;
+        const std::uint64_t key = std::min(u, v) * n + std::max(u, v);
+        if (seen.count(key)) continue;
+        seen.insert(key);
+        edges.emplace_back(u, v);
+        // Swap-pop both stubs (larger index first keeps i/j valid).
+        const std::size_t hi = std::max(i, j), lo = std::min(i, j);
+        stubs[hi] = stubs.back();
+        stubs.pop_back();
+        stubs[lo] = stubs.back();
+        stubs.pop_back();
+        matched = true;
+        break;
+      }
+      if (!matched) {
+        stuck = true;
+        break;
+      }
+    }
+    if (!stuck) return Topology::from_edges(n, edges);
+  }
+  PLURALITY_CHECK_MSG(false, "random_regular: failed to build a simple graph "
+                             "(n=" << n << ", d=" << d << "); d too close to n?");
+  return Topology::complete(n);  // unreachable
+}
+
+Topology erdos_renyi(count_t n, std::uint64_t m, rng::Xoshiro256pp& gen,
+                     bool patch_isolated) {
+  PLURALITY_REQUIRE(n >= 2, "erdos_renyi: need n >= 2");
+  const std::uint64_t max_edges = n * (n - 1) / 2;
+  PLURALITY_REQUIRE(m <= max_edges, "erdos_renyi: m exceeds the edge universe");
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  std::vector<std::pair<count_t, count_t>> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const count_t u = rng::uniform_below(gen, n);
+    const count_t v = rng::uniform_below(gen, n);
+    if (u == v) continue;
+    const std::uint64_t key = std::min(u, v) * n + std::max(u, v);
+    if (chosen.insert(key).second) edges.emplace_back(u, v);
+  }
+  if (patch_isolated) {
+    std::vector<std::uint8_t> has_edge(n, 0);
+    for (const auto& [u, v] : edges) {
+      has_edge[u] = 1;
+      has_edge[v] = 1;
+    }
+    for (count_t v = 0; v < n; ++v) {
+      if (has_edge[v]) continue;
+      count_t u = v;
+      while (u == v) u = rng::uniform_below(gen, n);
+      edges.emplace_back(v, u);
+    }
+  }
+  return Topology::from_edges(n, edges);
+}
+
+}  // namespace plurality::graph

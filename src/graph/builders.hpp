@@ -1,0 +1,30 @@
+// Standard topology generators for the sparse-graph extension experiments
+// (E13): structured graphs (cycle, torus) and random graphs (d-regular via
+// the configuration model, Erdős–Rényi G(n, m)).
+#pragma once
+
+#include "graph/topology.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace plurality::graph {
+
+/// Cycle C_n (n >= 3).
+Topology cycle(count_t n);
+
+/// rows x cols torus grid (4-regular, wrap-around; rows, cols >= 3).
+Topology torus(count_t rows, count_t cols);
+
+/// Random d-regular multigraph via the configuration model: d*n stubs
+/// paired uniformly (d*n must be even). Self-loops and parallel edges are
+/// re-paired with bounded retries; a handful may survive for tiny n, which
+/// only perturbs sampling weights marginally.
+Topology random_regular(count_t n, count_t d, rng::Xoshiro256pp& gen);
+
+/// Erdős–Rényi G(n, m): m distinct edges (no self-loops) chosen uniformly.
+/// With `patch_isolated`, every degree-0 vertex is afterwards attached to a
+/// uniform random partner (adding a few edges beyond m) so that sampling
+/// dynamics are well-defined on every node.
+Topology erdos_renyi(count_t n, std::uint64_t m, rng::Xoshiro256pp& gen,
+                     bool patch_isolated = false);
+
+}  // namespace plurality::graph

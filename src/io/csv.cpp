@@ -1,0 +1,46 @@
+#include "io/csv.hpp"
+
+#include "support/check.hpp"
+
+namespace plurality::io {
+
+CsvWriter::CsvWriter() = default;
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : active_(true), columns_(columns.size()), out_(path) {
+  PLURALITY_REQUIRE(out_.good(), "CsvWriter: cannot open '" << path << "'");
+  PLURALITY_REQUIRE(!columns.empty(), "CsvWriter: need at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (!active_) return;
+  PLURALITY_REQUIRE(cells.size() == columns_,
+                    "CsvWriter: row width " << cells.size() << " != header width "
+                                            << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace plurality::io

@@ -1,0 +1,34 @@
+// CSV emission for experiment results (machine-readable companion to the
+// console tables; plotting scripts consume these).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace plurality::io {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row immediately.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// No-op writer (when the user did not pass --csv).
+  CsvWriter();
+
+  /// Whether rows will actually be written anywhere.
+  [[nodiscard]] bool active() const { return active_; }
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// RFC-4180 style escaping of one field.
+  static std::string escape(const std::string& field);
+
+ private:
+  bool active_ = false;
+  std::size_t columns_ = 0;
+  std::ofstream out_;
+};
+
+}  // namespace plurality::io

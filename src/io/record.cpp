@@ -1,0 +1,31 @@
+#include "io/record.hpp"
+
+#include "support/format.hpp"
+
+namespace plurality::io {
+
+ExperimentRecord::ExperimentRecord(std::string id, std::string title,
+                                   std::string paper_result)
+    : id_(std::move(id)), title_(std::move(title)), paper_result_(std::move(paper_result)) {}
+
+void ExperimentRecord::add(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, value);
+}
+
+void ExperimentRecord::set_expectation(std::string text) { expectation_ = std::move(text); }
+
+void ExperimentRecord::print(std::ostream& os) const {
+  const std::string rule(78, '=');
+  os << rule << '\n'
+     << "[" << id_ << "] " << title_ << '\n'
+     << "Reproduces: " << paper_result_ << '\n';
+  std::size_t width = 0;
+  for (const auto& [k, v] : fields_) width = std::max(width, k.size());
+  for (const auto& [k, v] : fields_) {
+    os << "  " << pad_right(k + ':', width + 1) << ' ' << v << '\n';
+  }
+  if (!expectation_.empty()) os << "Paper expectation: " << expectation_ << '\n';
+  os << rule << '\n';
+}
+
+}  // namespace plurality::io

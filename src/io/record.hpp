@@ -1,0 +1,35 @@
+// Experiment header records: every bench binary announces what it
+// reproduces (paper result id, workload, parameters, expectation) in a
+// uniform block so EXPERIMENTS.md can be cross-checked against raw output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace plurality::io {
+
+class ExperimentRecord {
+ public:
+  /// `id` is the DESIGN.md experiment id (e.g. "E1"); `paper_result` the
+  /// paper statement being reproduced (e.g. "Theorem 1 / Corollary 1").
+  ExperimentRecord(std::string id, std::string title, std::string paper_result);
+
+  /// Adds a parameter/metadata line.
+  void add(const std::string& key, const std::string& value);
+
+  /// One-sentence statement of what the paper predicts the table should show.
+  void set_expectation(std::string text);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::string paper_result_;
+  std::string expectation_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace plurality::io

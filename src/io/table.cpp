@@ -1,0 +1,91 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace plurality::io {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PLURALITY_REQUIRE(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PLURALITY_REQUIRE(cells.size() == headers_.size(),
+                    "Table: row has " << cells.size() << " cells, expected "
+                                      << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& text) {
+  cells_.push_back(text);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(const char* text) {
+  cells_.emplace_back(text);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double v, int sig_digits) {
+  cells_.push_back(format_sig(v, sig_digits));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::uint64_t v) {
+  cells_.push_back(format_count(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(int v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::percent(double fraction, int decimals) {
+  cells_.push_back(format_percent(fraction, decimals));
+  return *this;
+}
+
+Table::RowBuilder Table::row() { return RowBuilder(*this); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << pad_left(cells[c], widths[c]) << " |";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace plurality::io

@@ -1,0 +1,57 @@
+// Aligned console tables — every bench binary reports its experiment in the
+// same paper-style tabular format.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace plurality::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Cell helpers: convert-and-append builder for the current row.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& cell(const std::string& text);
+    RowBuilder& cell(const char* text);
+    RowBuilder& cell(double v, int sig_digits = 4);
+    RowBuilder& cell(std::uint64_t v);
+    RowBuilder& cell(std::int64_t v);
+    RowBuilder& cell(int v);
+    RowBuilder& percent(double fraction, int decimals = 1);
+
+   private:
+    friend class Table;
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  /// Starts a builder; the row is committed when the builder is destroyed.
+  RowBuilder row();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders with column separators and a header rule.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plurality::io

@@ -1,0 +1,79 @@
+#include "population/mean_field.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace plurality::population {
+
+std::vector<double> population_drift(const PairDynamics& protocol,
+                                     std::span<const double> counts) {
+  const std::size_t k = counts.size();
+  PLURALITY_REQUIRE(k >= 1, "population_drift: empty state space");
+  double n = 0.0;
+  for (double c : counts) {
+    PLURALITY_REQUIRE(c >= 0.0, "population_drift: negative count");
+    n += c;
+  }
+  PLURALITY_REQUIRE(n >= 2.0, "population_drift: need at least two nodes");
+
+  std::vector<double> drift(k, 0.0);
+  const auto states = static_cast<state_t>(k);
+  for (state_t a = 0; a < states; ++a) {
+    if (counts[a] <= 0.0) continue;
+    for (state_t b = 0; b < states; ++b) {
+      // Ordered pair of distinct nodes: initiator state a, responder b.
+      const double pair_weight =
+          counts[a] / n * ((counts[b] - (a == b ? 1.0 : 0.0)) / (n - 1.0));
+      if (pair_weight <= 0.0) continue;
+      const auto [a_next, b_next] = protocol.interact(a, b, states);
+      if (a_next != a) {
+        drift[a] -= pair_weight;
+        drift[a_next] += pair_weight;
+      }
+      if (b_next != b) {
+        drift[b] -= pair_weight;
+        drift[b_next] += pair_weight;
+      }
+    }
+  }
+  return drift;
+}
+
+PopulationMeanFieldResult population_mean_field(
+    const PairDynamics& protocol, std::vector<double> start,
+    const PopulationMeanFieldOptions& options) {
+  double n = 0.0;
+  for (double c : start) n += c;
+  PLURALITY_REQUIRE(n >= 2.0, "population_mean_field: need at least two nodes");
+  const std::uint64_t record_every =
+      options.record_every != 0
+          ? options.record_every
+          : static_cast<std::uint64_t>(std::llround(n));
+
+  PopulationMeanFieldResult result;
+  result.trajectory.push_back(start);
+  std::vector<double> current = std::move(start);
+
+  for (std::uint64_t step = 1; step <= options.max_steps; ++step) {
+    const std::vector<double> drift = population_drift(protocol, current);
+    double max_drift = 0.0;
+    for (std::size_t j = 0; j < current.size(); ++j) {
+      current[j] += drift[j];
+      if (current[j] < 0.0) current[j] = 0.0;  // Euler-step round-off guard
+      max_drift = std::max(max_drift, std::fabs(drift[j]));
+    }
+    result.steps = step;
+    if (step % record_every == 0) {
+      result.trajectory.push_back(current);
+      if (max_drift <= options.tolerance) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  if (result.trajectory.back() != current) result.trajectory.push_back(current);
+  return result;
+}
+
+}  // namespace plurality::population

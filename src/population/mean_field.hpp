@@ -1,0 +1,45 @@
+// Mean-field (fluid-limit) analysis of population protocols: the expected
+// per-interaction drift, computed generically from any PairDynamics by
+// enumerating ordered state pairs — no per-protocol closed form needed.
+// Integrating the drift is the ODE method of [21]/[8], which the paper
+// notes "does not work for the discrete-time parallel model" — here it
+// serves as the deterministic skeleton of the sequential simulator and is
+// cross-validated against it in tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "population/pair_dynamics.hpp"
+#include "support/types.hpp"
+
+namespace plurality::population {
+
+/// Expected change of the count vector in ONE interaction from real-valued
+/// counts (sum n >= 2). O(k^2) pair enumeration.
+std::vector<double> population_drift(const PairDynamics& protocol,
+                                     std::span<const double> counts);
+
+struct PopulationMeanFieldResult {
+  /// trajectory[t] = counts after t * record_every interactions.
+  std::vector<std::vector<double>> trajectory;
+  bool converged = false;
+  /// Interactions actually integrated.
+  std::uint64_t steps = 0;
+};
+
+struct PopulationMeanFieldOptions {
+  std::uint64_t max_steps = 100'000'000;
+  /// Record (and check convergence) every this many interactions; defaults
+  /// to ~n per record when 0 (one "parallel round").
+  std::uint64_t record_every = 0;
+  double tolerance = 1e-9;
+};
+
+/// Forward-Euler integration of the drift, one interaction per step (the
+/// exact mean map of the discrete chain, not a continuum approximation).
+PopulationMeanFieldResult population_mean_field(const PairDynamics& protocol,
+                                                std::vector<double> start,
+                                                const PopulationMeanFieldOptions& options = {});
+
+}  // namespace plurality::population

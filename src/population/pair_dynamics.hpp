@@ -1,0 +1,42 @@
+// The population model (sequential pairwise interactions) — the OTHER
+// distributed model the paper positions itself against (Section 1 and
+// related work: Angluin-Aspnes-Eisenstat [2], Perron-Vasudevan-Vojnovic
+// [21], Draief-Vojnovic [8]).
+//
+// Instead of synchronous rounds, one ordered pair of DISTINCT nodes
+// (initiator, responder) is drawn uniformly at random per step and both may
+// update their states via a deterministic transition function
+//   delta : (initiator, responder) -> (initiator', responder').
+// "Parallel time" is conventionally steps / n.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "support/types.hpp"
+
+namespace plurality::population {
+
+/// A population protocol's pairwise transition function.
+class PairDynamics {
+ public:
+  virtual ~PairDynamics() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Markov states used for a k-color instance (k, or k+1 with a blank /
+  /// undecided auxiliary state).
+  [[nodiscard]] virtual state_t num_states(state_t num_colors) const { return num_colors; }
+
+  /// How many leading states are colors.
+  [[nodiscard]] virtual state_t num_colors(state_t states) const { return states; }
+
+  /// The transition: returns (initiator', responder'). `states` is the
+  /// state-space size so protocols can locate auxiliary states (always
+  /// trailing).
+  [[nodiscard]] virtual std::pair<state_t, state_t> interact(state_t initiator,
+                                                             state_t responder,
+                                                             state_t states) const = 0;
+};
+
+}  // namespace plurality::population

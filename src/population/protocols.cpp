@@ -1,0 +1,38 @@
+#include "population/protocols.hpp"
+
+#include "support/check.hpp"
+
+namespace plurality::population {
+
+std::pair<state_t, state_t> UndecidedPopulation::interact(state_t initiator,
+                                                          state_t responder,
+                                                          state_t states) const {
+  PLURALITY_CHECK(states >= 2);
+  const state_t undecided = states - 1;
+  if (responder == undecided) {
+    // Blank responder copies a colored initiator (stays blank otherwise).
+    return {initiator, initiator == undecided ? undecided : initiator};
+  }
+  if (initiator != undecided && initiator != responder) {
+    // Conflicting colors: the responder backs off to undecided.
+    return {initiator, undecided};
+  }
+  return {initiator, responder};
+}
+
+std::pair<state_t, state_t> SequentialVoter::interact(state_t initiator,
+                                                      state_t responder,
+                                                      state_t states) const {
+  (void)states;
+  (void)responder;
+  return {initiator, initiator};
+}
+
+std::pair<state_t, state_t> FrozenProtocol::interact(state_t initiator,
+                                                     state_t responder,
+                                                     state_t states) const {
+  (void)states;
+  return {initiator, responder};
+}
+
+}  // namespace plurality::population

@@ -1,0 +1,53 @@
+// Concrete population protocols from the paper's related work.
+#pragma once
+
+#include "population/pair_dynamics.hpp"
+
+namespace plurality::population {
+
+/// The undecided-state ("third state") protocol of Angluin, Aspnes &
+/// Eisenstat [2], in its natural multivalued (k-color) generalization as
+/// discussed in [21], [8], [3]: states are the k colors plus one trailing
+/// undecided state; only the RESPONDER updates (one-way protocol):
+///   * responder undecided, initiator colored    -> adopt initiator's color
+///   * responder colored, initiator different color -> become undecided
+///   * otherwise (same color / initiator undecided) -> unchanged.
+///
+/// For k = 2 this is the approximate-majority protocol: correct w.h.p.
+/// from bias omega(sqrt(n log n)) within O(n log n) interactions. For
+/// k >= 3 the paper notes it does NOT converge to the plurality even from
+/// bias s = Theta(n) on some configurations — bench_population measures
+/// exactly that.
+class UndecidedPopulation final : public PairDynamics {
+ public:
+  [[nodiscard]] std::string name() const override { return "undecided(population)"; }
+  [[nodiscard]] state_t num_states(state_t num_colors) const override {
+    return num_colors + 1;
+  }
+  [[nodiscard]] state_t num_colors(state_t states) const override { return states - 1; }
+  [[nodiscard]] std::pair<state_t, state_t> interact(state_t initiator, state_t responder,
+                                                     state_t states) const override;
+};
+
+/// Sequential voter model: the responder adopts the initiator's color.
+/// Each color count is a martingale, so the win probability from any start
+/// is exactly c_j / n — the baseline showing why one-sample rules forget
+/// the plurality (same phenomenon as the synchronous polling process).
+class SequentialVoter final : public PairDynamics {
+ public:
+  [[nodiscard]] std::string name() const override { return "voter(population)"; }
+  [[nodiscard]] std::pair<state_t, state_t> interact(state_t initiator, state_t responder,
+                                                     state_t states) const override;
+};
+
+/// Two-way "annihilation-free" comparison protocol used as a sanity
+/// baseline: on a conflict both nodes keep their colors (no dynamics at
+/// all). Useful in tests to pin the simulator's bookkeeping.
+class FrozenProtocol final : public PairDynamics {
+ public:
+  [[nodiscard]] std::string name() const override { return "frozen"; }
+  [[nodiscard]] std::pair<state_t, state_t> interact(state_t initiator, state_t responder,
+                                                     state_t states) const override;
+};
+
+}  // namespace plurality::population

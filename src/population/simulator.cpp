@@ -1,0 +1,130 @@
+#include "population/simulator.hpp"
+
+#include "rng/distributions.hpp"
+#include "rng/stream.hpp"
+#include "support/check.hpp"
+
+namespace plurality::population {
+
+namespace {
+
+/// Draws a state with probability weight[s] / total via inverse CDF scan.
+/// k is small in every experiment here, so the linear scan beats alias
+/// tables that would need rebuilding after every count update.
+state_t draw_state(const Configuration& config, count_t total, count_t exclude_one_of,
+                   bool exclude, rng::Xoshiro256pp& gen) {
+  count_t pick = rng::uniform_below(gen, total);
+  for (state_t s = 0; s < config.k(); ++s) {
+    count_t weight = config.at(s);
+    if (exclude && s == exclude_one_of) --weight;
+    if (pick < weight) return s;
+    pick -= weight;
+  }
+  PLURALITY_CHECK_MSG(false, "draw_state: weights did not cover the range");
+  return 0;
+}
+
+}  // namespace
+
+bool population_step(const PairDynamics& protocol, Configuration& config,
+                     rng::Xoshiro256pp& gen) {
+  const count_t n = config.n();
+  PLURALITY_REQUIRE(n >= 2, "population_step: need at least two nodes");
+  const state_t states = config.k();
+
+  const state_t initiator = draw_state(config, n, 0, false, gen);
+  const state_t responder = draw_state(config, n - 1, initiator, true, gen);
+  const auto [initiator_next, responder_next] =
+      protocol.interact(initiator, responder, states);
+  PLURALITY_CHECK_MSG(initiator_next < states && responder_next < states,
+                      "protocol '" << protocol.name() << "' returned a state out of range");
+
+  if (initiator_next == initiator && responder_next == responder) return false;
+  config.set(initiator, config.at(initiator) - 1);
+  config.set(responder, config.at(responder) - 1);
+  config.set(initiator_next, config.at(initiator_next) + 1);
+  config.set(responder_next, config.at(responder_next) + 1);
+  return true;
+}
+
+PopulationRunResult run_population(const PairDynamics& protocol,
+                                   const Configuration& start,
+                                   const PopulationRunOptions& options,
+                                   rng::Xoshiro256pp& gen) {
+  const state_t states = start.k();
+  const state_t num_colors = protocol.num_colors(states);
+  PLURALITY_REQUIRE(num_colors >= 1 && num_colors <= states,
+                    "run_population: configuration/state-space mismatch");
+  PLURALITY_REQUIRE(start.n() >= 2, "run_population: need at least two nodes");
+
+  PopulationRunResult result;
+  result.initial_plurality = start.plurality(num_colors);
+  Configuration config = start;
+
+  const step_t interval = options.check_interval == 0 ? 1 : options.check_interval;
+
+  auto finish = [&](step_t steps, PopulationStopReason reason) {
+    result.steps = steps;
+    result.reason = reason;
+    if (reason == PopulationStopReason::ColorConsensus) {
+      result.winner = config.plurality(num_colors);
+      result.plurality_won = (result.winner == result.initial_plurality);
+    }
+    result.final_config = std::move(config);
+    return result;
+  };
+
+  if (config.color_consensus(num_colors)) {
+    return finish(0, PopulationStopReason::ColorConsensus);
+  }
+
+  for (step_t step = 1; step <= options.max_steps; ++step) {
+    population_step(protocol, config, gen);
+    if (step % interval == 0 || config.monochromatic()) {
+      if (config.color_consensus(num_colors)) {
+        return finish(step, PopulationStopReason::ColorConsensus);
+      }
+      if (config.monochromatic()) {
+        return finish(step, PopulationStopReason::NonColorAbsorbed);
+      }
+    }
+  }
+  return finish(options.max_steps, PopulationStopReason::StepLimit);
+}
+
+double PopulationTrialSummary::win_rate() const {
+  PLURALITY_REQUIRE(trials > 0, "PopulationTrialSummary::win_rate: no trials");
+  return static_cast<double>(plurality_wins) / static_cast<double>(trials);
+}
+
+PopulationTrialSummary run_population_trials(const PairDynamics& protocol,
+                                             const Configuration& start,
+                                             std::uint64_t trials,
+                                             const PopulationRunOptions& options,
+                                             std::uint64_t seed) {
+  PLURALITY_REQUIRE(trials > 0, "run_population_trials: need at least one trial");
+  const rng::StreamFactory streams(seed);
+  PopulationTrialSummary summary;
+  summary.trials = trials;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    rng::Xoshiro256pp gen = streams.stream(t);
+    const PopulationRunResult result = run_population(protocol, start, options, gen);
+    switch (result.reason) {
+      case PopulationStopReason::ColorConsensus:
+        ++summary.consensus_count;
+        summary.plurality_wins += result.plurality_won ? 1 : 0;
+        summary.steps.add(static_cast<double>(result.steps));
+        break;
+      case PopulationStopReason::NonColorAbsorbed:
+      case PopulationStopReason::Frozen:
+        summary.steps.add(static_cast<double>(result.steps));
+        break;
+      case PopulationStopReason::StepLimit:
+        ++summary.step_limit_hits;
+        break;
+    }
+  }
+  return summary;
+}
+
+}  // namespace plurality::population

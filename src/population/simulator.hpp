@@ -1,0 +1,77 @@
+// Count-based simulator for population protocols.
+//
+// Exactly as in the synchronous core, node identities are exchangeable on
+// the clique, so the count vector is the whole Markov state. One step:
+// draw the initiator's state with probability c_s/n, the responder's with
+// probability (c_q - [q == initiator]) / (n - 1) (ordered pair of DISTINCT
+// nodes), apply the transition, update two counters. Theta(k) per step.
+#pragma once
+
+#include <functional>
+
+#include "core/configuration.hpp"
+#include "population/pair_dynamics.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/summary.hpp"
+#include "support/types.hpp"
+
+namespace plurality::population {
+
+/// Number of pairwise interactions (sequential steps).
+using step_t = std::uint64_t;
+
+enum class PopulationStopReason {
+  ColorConsensus,    // all nodes on one color
+  NonColorAbsorbed,  // absorbed with no color holding all nodes (all blank)
+  Frozen,            // no transition can ever change the state again
+  StepLimit,
+};
+
+struct PopulationRunResult {
+  step_t steps = 0;
+  PopulationStopReason reason = PopulationStopReason::StepLimit;
+  state_t winner = 0;            // valid for ColorConsensus
+  state_t initial_plurality = 0;
+  bool plurality_won = false;
+  Configuration final_config;
+  /// steps / n — the conventional parallel-time normalization.
+  [[nodiscard]] double parallel_time(count_t n) const {
+    return static_cast<double>(steps) / static_cast<double>(n);
+  }
+};
+
+struct PopulationRunOptions {
+  step_t max_steps = 1'000'000'000;
+  /// Absorption is checked every `check_interval` steps (and on every step
+  /// that empties or fills a state). 0 = every step.
+  step_t check_interval = 0;
+};
+
+/// One interaction step in place; returns true if the configuration changed.
+bool population_step(const PairDynamics& protocol, Configuration& config,
+                     rng::Xoshiro256pp& gen);
+
+/// Runs until color consensus, absorption, or the step cap.
+PopulationRunResult run_population(const PairDynamics& protocol,
+                                   const Configuration& start,
+                                   const PopulationRunOptions& options,
+                                   rng::Xoshiro256pp& gen);
+
+/// Multi-trial driver (sequential model is cheap; trials loop inline).
+struct PopulationTrialSummary {
+  std::uint64_t trials = 0;
+  std::uint64_t consensus_count = 0;
+  std::uint64_t plurality_wins = 0;
+  std::uint64_t step_limit_hits = 0;
+  stats::OnlineStats steps;  // over trials that reached consensus/absorption
+
+  [[nodiscard]] double win_rate() const;
+};
+
+PopulationTrialSummary run_population_trials(const PairDynamics& protocol,
+                                             const Configuration& start,
+                                             std::uint64_t trials,
+                                             const PopulationRunOptions& options,
+                                             std::uint64_t seed);
+
+}  // namespace plurality::population

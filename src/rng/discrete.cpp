@@ -1,0 +1,77 @@
+#include "rng/discrete.hpp"
+
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "support/check.hpp"
+
+namespace plurality::rng {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t k = weights.size();
+  PLURALITY_REQUIRE(k >= 1, "AliasTable: empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    PLURALITY_REQUIRE(w >= 0.0, "AliasTable: negative weight");
+    total += w;
+  }
+  PLURALITY_REQUIRE(total > 0.0, "AliasTable: all weights zero");
+
+  normalized_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) normalized_[i] = weights[i] / total;
+
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+
+  // Vose's stable partition into "small" (scaled prob < 1) and "large".
+  std::vector<double> scaled(k);
+  for (std::size_t i = 0; i < k; ++i) scaled[i] = normalized_[i] * static_cast<double>(k);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly 1 up to rounding.
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;
+}
+
+std::uint32_t AliasTable::sample(Xoshiro256pp& gen) const {
+  const auto bucket = static_cast<std::uint32_t>(uniform_below(gen, prob_.size()));
+  return gen.next_double() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+std::vector<double> zipf_weights(std::size_t k, double theta) {
+  PLURALITY_REQUIRE(k >= 1, "zipf_weights: k must be positive");
+  PLURALITY_REQUIRE(theta >= 0.0, "zipf_weights: theta must be nonnegative");
+  std::vector<double> w(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -theta);
+  }
+  return w;
+}
+
+void normalize_weights(std::span<double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    PLURALITY_REQUIRE(w >= 0.0, "normalize_weights: negative weight");
+    total += w;
+  }
+  PLURALITY_REQUIRE(total > 0.0, "normalize_weights: zero total");
+  for (double& w : weights) w /= total;
+}
+
+}  // namespace plurality::rng

@@ -1,0 +1,42 @@
+// Weighted discrete sampling (Walker/Vose alias method) and the Zipf
+// workload distribution used by the ranking examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/xoshiro.hpp"
+
+namespace plurality::rng {
+
+/// O(k) construction, O(1) sampling from a fixed discrete distribution.
+class AliasTable {
+ public:
+  /// Builds from relative weights (any positive scale; zeros allowed,
+  /// at least one weight must be positive).
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its weight.
+  [[nodiscard]] std::uint32_t sample(Xoshiro256pp& gen) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+  /// The normalized probability of index i (for tests).
+  [[nodiscard]] double probability(std::size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;          // acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;  // fallback index per bucket
+  std::vector<double> normalized_;
+};
+
+/// Zipf(theta) relative weights over ranks 1..k: w_i ∝ 1 / (i+1)^theta.
+/// theta = 0 is uniform; larger theta is more skewed.
+std::vector<double> zipf_weights(std::size_t k, double theta);
+
+/// Normalizes weights in place to sum to 1. Weights must be nonnegative with
+/// positive sum.
+void normalize_weights(std::span<double> weights);
+
+}  // namespace plurality::rng

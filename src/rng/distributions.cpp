@@ -1,0 +1,60 @@
+#include "rng/distributions.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace plurality::rng {
+
+std::uint64_t uniform_below(Xoshiro256pp& gen, std::uint64_t bound) {
+  PLURALITY_REQUIRE(bound != 0, "uniform_below: bound must be positive");
+  // Lemire (2019): multiply a 64-bit word by the bound and keep the high
+  // half; reject the small biased fringe so every residue is exactly
+  // equally likely.
+  std::uint64_t x = gen();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = gen();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t uniform_in(Xoshiro256pp& gen, std::uint64_t lo, std::uint64_t hi) {
+  PLURALITY_REQUIRE(lo <= hi, "uniform_in: empty range");
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ULL) return gen();
+  return lo + uniform_below(gen, span + 1);
+}
+
+double uniform01(Xoshiro256pp& gen) { return gen.next_double(); }
+
+bool bernoulli(Xoshiro256pp& gen, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return gen.next_double() < p;
+}
+
+double standard_normal(Xoshiro256pp& gen) {
+  // Marsaglia polar method; ~1.27 uniform pairs per normal on average.
+  while (true) {
+    const double u = 2.0 * gen.next_double() - 1.0;
+    const double v = 2.0 * gen.next_double() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double standard_exponential(Xoshiro256pp& gen) {
+  // -log(1 - U) with U in [0,1) keeps the argument strictly positive.
+  return -std::log1p(-gen.next_double());
+}
+
+}  // namespace plurality::rng

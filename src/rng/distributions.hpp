@@ -1,0 +1,45 @@
+// Basic exact distributions over a Xoshiro256pp source.
+//
+// All samplers here are *exact* (rejection-based where needed), never
+// approximations: the count-based simulator IS the Markov chain the paper
+// analyzes, so distributional error would silently bias every experiment.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/xoshiro.hpp"
+
+namespace plurality::rng {
+
+/// Uniform integer in [0, bound) via Lemire's multiply-shift with rejection.
+/// bound must be nonzero.
+std::uint64_t uniform_below(Xoshiro256pp& gen, std::uint64_t bound);
+
+/// Uniform integer in [lo, hi] inclusive.
+std::uint64_t uniform_in(Xoshiro256pp& gen, std::uint64_t lo, std::uint64_t hi);
+
+/// Uniform double in [0, 1).
+double uniform01(Xoshiro256pp& gen);
+
+/// Bernoulli(p) trial; p is clamped to [0, 1].
+bool bernoulli(Xoshiro256pp& gen, double p);
+
+/// Standard normal via the Marsaglia polar method (exact up to double
+/// rounding; no tail truncation).
+double standard_normal(Xoshiro256pp& gen);
+
+/// Exponential(rate = 1) via inversion.
+double standard_exponential(Xoshiro256pp& gen);
+
+/// Fisher–Yates shuffle of a span-like range [first, first + count).
+template <typename T>
+void shuffle(Xoshiro256pp& gen, T* first, std::size_t count) {
+  for (std::size_t i = count; i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(uniform_below(gen, i));
+    T tmp = first[i - 1];
+    first[i - 1] = first[j];
+    first[j] = tmp;
+  }
+}
+
+}  // namespace plurality::rng

@@ -1,0 +1,43 @@
+#include "rng/multinomial.hpp"
+
+#include <vector>
+
+#include "rng/binomial.hpp"
+#include "support/check.hpp"
+
+namespace plurality::rng {
+
+void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+                 std::span<count_t> out) {
+  const std::size_t k = probs.size();
+  PLURALITY_REQUIRE(out.size() == k, "multinomial: out size mismatch");
+  PLURALITY_REQUIRE(k >= 1, "multinomial: need at least one category");
+
+  // Backward suffix sums keep the conditional probabilities stable: the
+  // subtraction-based running remainder loses precision after many
+  // categories, suffix sums do not.
+  std::vector<double> suffix(k + 1, 0.0);
+  for (std::size_t j = k; j-- > 0;) {
+    double w = probs[j];
+    PLURALITY_REQUIRE(w > -1e-9, "multinomial: negative weight " << w << " at " << j);
+    if (w < 0.0) w = 0.0;
+    suffix[j] = suffix[j + 1] + w;
+  }
+  PLURALITY_REQUIRE(suffix[0] > 0.0, "multinomial: all weights zero");
+
+  count_t remaining = n;
+  for (std::size_t j = 0; j + 1 < k; ++j) {
+    if (remaining == 0 || suffix[j] <= 0.0) {
+      out[j] = 0;
+      continue;
+    }
+    double pc = probs[j] <= 0.0 ? 0.0 : probs[j] / suffix[j];
+    if (pc > 1.0) pc = 1.0;
+    const count_t draw = binomial(gen, remaining, pc);
+    out[j] = draw;
+    remaining -= draw;
+  }
+  out[k - 1] = remaining;
+}
+
+}  // namespace plurality::rng

@@ -1,0 +1,24 @@
+// Exact Multinomial(n, p_0..p_{k-1}) sampling via conditional binomials.
+//
+// This is THE inner loop of the count-based simulator: one multinomial draw
+// per round replaces n independent per-node updates. k binomial draws give
+// the exact joint distribution: X_0 ~ Bin(n, p_0), then X_1 | X_0 ~
+// Bin(n - X_0, p_1 / (1 - p_0)), and so on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rng/xoshiro.hpp"
+#include "support/types.hpp"
+
+namespace plurality::rng {
+
+/// Draws a multinomial sample. `probs` need not be normalized exactly to 1
+/// (kernel formulas carry ~1e-15 float error); it is treated as relative
+/// weights with nonnegativity enforced up to -1e-9 slack. `out` receives the
+/// counts, out.size() == probs.size(), and the counts always sum to n.
+void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+                 std::span<count_t> out);
+
+}  // namespace plurality::rng

@@ -1,0 +1,39 @@
+// SplitMix64 — Steele, Lea & Flood's 64-bit mixer (public domain reference
+// algorithm). Used (a) to expand a single user seed into full engine state,
+// and (b) as the avalanche mixer behind hash-derived parallel substreams.
+#pragma once
+
+#include <cstdint>
+
+namespace plurality::rng {
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless avalanche of a single value (the SplitMix64 finalizer).
+constexpr std::uint64_t splitmix64_mix(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64_next(s);
+}
+
+/// Minimal engine wrapper, handy as a cheap independent generator in tests.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() { return splitmix64_next(state_); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace plurality::rng

@@ -1,0 +1,20 @@
+#include "rng/stream.hpp"
+
+#include "rng/splitmix.hpp"
+
+namespace plurality::rng {
+
+Xoshiro256pp StreamFactory::stream(std::uint64_t index) const {
+  // Two avalanche rounds over a keyed combination; constants are arbitrary
+  // odd numbers to separate the (seed, index) domains.
+  std::uint64_t h = splitmix64_mix(master_seed_ ^ 0x9e3779b97f4a7c15ULL);
+  h = splitmix64_mix(h + 0x165667b19e3779f9ULL * index + 1);
+  return Xoshiro256pp(h);
+}
+
+StreamFactory StreamFactory::child(std::uint64_t tag) const {
+  std::uint64_t h = splitmix64_mix(master_seed_ + 0xd1b54a32d192ed03ULL * (tag + 1));
+  return StreamFactory(h);
+}
+
+}  // namespace plurality::rng

@@ -1,0 +1,47 @@
+#include "rng/xoshiro.hpp"
+
+#include "rng/splitmix.hpp"
+#include "support/check.hpp"
+
+namespace plurality::rng {
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64_next(sm);
+  // SplitMix64 is a bijection sequence; four consecutive outputs are never
+  // all zero, so the state is always valid.
+}
+
+Xoshiro256pp::Xoshiro256pp(const std::array<std::uint64_t, 4>& state) : s_(state) {
+  PLURALITY_REQUIRE(state[0] | state[1] | state[2] | state[3],
+                    "xoshiro256++ state must not be all zero");
+}
+
+void Xoshiro256pp::apply_jump(const std::array<std::uint64_t, 4>& poly) {
+  std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+  for (std::uint64_t word : poly) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        acc[0] ^= s_[0];
+        acc[1] ^= s_[1];
+        acc[2] ^= s_[2];
+        acc[3] ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_ = acc;
+}
+
+void Xoshiro256pp::jump() {
+  // Characteristic-polynomial constants from the reference implementation.
+  apply_jump({0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+              0x39abdc4529b1661cULL});
+}
+
+void Xoshiro256pp::long_jump() {
+  apply_jump({0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+              0x39109bb02acbe635ULL});
+}
+
+}  // namespace plurality::rng

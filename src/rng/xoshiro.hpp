@@ -1,0 +1,60 @@
+// xoshiro256++ — Blackman & Vigna's general-purpose 64-bit generator
+// (public-domain reference algorithm, 2019). Chosen over std::mt19937_64 for
+// (a) 4x smaller state — one per OpenMP thread / trial stream, (b) ~2x faster
+// output, (c) jump()/long_jump() giving 2^128 / 2^192-step disjoint
+// subsequences for parallel simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace plurality::rng {
+
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one word via SplitMix64, per the
+  /// reference recommendation (avoids the all-zero state for every seed).
+  explicit Xoshiro256pp(std::uint64_t seed = 0xdeadbeefcafef00dULL);
+
+  /// Constructs from an explicit 256-bit state (must not be all zero).
+  explicit Xoshiro256pp(const std::array<std::uint64_t, 4>& state);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 uniform random bits.
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Advances 2^128 steps: partitions the period into disjoint streams.
+  void jump();
+
+  /// Advances 2^192 steps: coarser partition for nested parallelism.
+  void long_jump();
+
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const { return s_; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int r) {
+    return (x << r) | (x >> (64 - r));
+  }
+  void apply_jump(const std::array<std::uint64_t, 4>& poly);
+
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace plurality::rng

@@ -1,0 +1,136 @@
+#include "stats/chi_square.hpp"
+
+#include <vector>
+
+#include "stats/special.hpp"
+#include "support/check.hpp"
+
+namespace plurality::stats {
+
+namespace {
+
+// Pools adjacent cells until every expected count reaches the floor;
+// standard practice to keep the chi-square approximation honest.
+void pool_cells(std::vector<double>& expected, std::vector<double>& observed,
+                double min_expected) {
+  std::vector<double> pe, po;
+  double accum_e = 0.0, accum_o = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    accum_e += expected[i];
+    accum_o += observed[i];
+    if (accum_e >= min_expected) {
+      pe.push_back(accum_e);
+      po.push_back(accum_o);
+      accum_e = accum_o = 0.0;
+    }
+  }
+  if (accum_e > 0.0 || accum_o > 0.0) {
+    if (!pe.empty()) {
+      pe.back() += accum_e;
+      po.back() += accum_o;
+    } else {
+      pe.push_back(accum_e);
+      po.push_back(accum_o);
+    }
+  }
+  expected.swap(pe);
+  observed.swap(po);
+}
+
+}  // namespace
+
+ChiSquareResult chi_square_gof(std::span<const std::uint64_t> observed,
+                               std::span<const double> expected_probs,
+                               double min_expected) {
+  PLURALITY_REQUIRE(observed.size() == expected_probs.size(),
+                    "chi_square_gof: size mismatch");
+  PLURALITY_REQUIRE(observed.size() >= 2, "chi_square_gof: need at least 2 cells");
+  std::uint64_t total = 0;
+  for (auto o : observed) total += o;
+  PLURALITY_REQUIRE(total > 0, "chi_square_gof: no observations");
+  double prob_total = 0.0;
+  for (double p : expected_probs) {
+    PLURALITY_REQUIRE(p >= 0.0, "chi_square_gof: negative expected probability");
+    prob_total += p;
+  }
+  PLURALITY_REQUIRE(prob_total > 0.0, "chi_square_gof: zero expected mass");
+
+  std::vector<double> expected(observed.size());
+  std::vector<double> obs(observed.size());
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    expected[i] = static_cast<double>(total) * expected_probs[i] / prob_total;
+    obs[i] = static_cast<double>(observed[i]);
+  }
+  pool_cells(expected, obs, min_expected);
+  PLURALITY_REQUIRE(expected.size() >= 2,
+                    "chi_square_gof: pooling left fewer than 2 cells — "
+                    "increase sample size");
+
+  double stat = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const double diff = obs[i] - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  const double dof = static_cast<double>(expected.size() - 1);
+  return {stat, dof, chi_square_sf(stat, dof)};
+}
+
+ChiSquareResult chi_square_two_sample(std::span<const std::uint64_t> a,
+                                      std::span<const std::uint64_t> b,
+                                      double min_expected) {
+  PLURALITY_REQUIRE(a.size() == b.size(), "chi_square_two_sample: size mismatch");
+  PLURALITY_REQUIRE(a.size() >= 2, "chi_square_two_sample: need at least 2 cells");
+  double na = 0, nb = 0;
+  for (auto v : a) na += static_cast<double>(v);
+  for (auto v : b) nb += static_cast<double>(v);
+  PLURALITY_REQUIRE(na > 0 && nb > 0, "chi_square_two_sample: empty sample");
+
+  // Contingency-table statistic with cells pooled on the pooled expectation.
+  std::vector<double> ea(a.size()), oa(a.size()), eb(a.size()), ob(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double row = static_cast<double>(a[i]) + static_cast<double>(b[i]);
+    ea[i] = row * na / (na + nb);
+    eb[i] = row * nb / (na + nb);
+    oa[i] = static_cast<double>(a[i]);
+    ob[i] = static_cast<double>(b[i]);
+  }
+  // Pool identically on both rows: pool based on min of the two expectations.
+  std::vector<double> pea, poa, peb, pob;
+  double ae = 0, ao = 0, be = 0, bo = 0;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    ae += ea[i];
+    ao += oa[i];
+    be += eb[i];
+    bo += ob[i];
+    if (ae >= min_expected && be >= min_expected) {
+      pea.push_back(ae);
+      poa.push_back(ao);
+      peb.push_back(be);
+      pob.push_back(bo);
+      ae = ao = be = bo = 0;
+    }
+  }
+  if ((ae > 0 || be > 0) && !pea.empty()) {
+    pea.back() += ae;
+    poa.back() += ao;
+    peb.back() += be;
+    pob.back() += bo;
+  } else if (ae > 0 || be > 0) {
+    pea.push_back(ae);
+    poa.push_back(ao);
+    peb.push_back(be);
+    pob.push_back(bo);
+  }
+  PLURALITY_REQUIRE(pea.size() >= 2,
+                    "chi_square_two_sample: pooling left fewer than 2 cells");
+
+  double stat = 0.0;
+  for (std::size_t i = 0; i < pea.size(); ++i) {
+    if (pea[i] > 0) stat += (poa[i] - pea[i]) * (poa[i] - pea[i]) / pea[i];
+    if (peb[i] > 0) stat += (pob[i] - peb[i]) * (pob[i] - peb[i]) / peb[i];
+  }
+  const double dof = static_cast<double>(pea.size() - 1);
+  return {stat, dof, chi_square_sf(stat, dof)};
+}
+
+}  // namespace plurality::stats

@@ -1,0 +1,62 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace plurality::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  PLURALITY_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
+  PLURALITY_REQUIRE(bins >= 1, "Histogram: need at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+  PLURALITY_REQUIRE(i < counts_.size(), "Histogram: bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  PLURALITY_REQUIRE(i < counts_.size(), "Histogram: bin index out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i) + (hi_ - lo_) / static_cast<double>(counts_.size()); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) * static_cast<double>(width) /
+                     static_cast<double>(peak)));
+    os << pad_left(format_sig(bin_low(i), 3), 10) << " | " << std::string(bar, '#')
+       << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_ != 0) os << "  underflow: " << underflow_ << '\n';
+  if (overflow_ != 0) os << "  overflow:  " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace plurality::stats

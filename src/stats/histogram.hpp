@@ -1,0 +1,39 @@
+// Fixed-bin histogram with ASCII rendering for quick-look distributions in
+// example programs and experiment logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plurality::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal-width buckets; values outside the range
+  /// are counted in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+  [[nodiscard]] double bin_high(std::size_t i) const;
+
+  /// Multi-line ASCII bar rendering (one line per bin).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace plurality::stats

@@ -1,0 +1,44 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace plurality::stats {
+
+namespace {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  PLURALITY_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double pos = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double quantile(std::span<const double> values, double q) {
+  PLURALITY_REQUIRE(!values.empty(), "quantile: empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+std::vector<double> quantiles(std::span<const double> values, std::span<const double> qs) {
+  PLURALITY_REQUIRE(!values.empty(), "quantiles: empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantile_sorted(sorted, q));
+  return out;
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+}  // namespace plurality::stats

@@ -1,0 +1,18 @@
+// Quantiles of finite samples (linear interpolation, R type-7 convention).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace plurality::stats {
+
+/// q-th quantile (q in [0,1]) of the sample; copies and sorts internally.
+double quantile(std::span<const double> values, double q);
+
+/// Several quantiles sharing one sort.
+std::vector<double> quantiles(std::span<const double> values, std::span<const double> qs);
+
+/// Median shortcut.
+double median(std::span<const double> values);
+
+}  // namespace plurality::stats

@@ -1,0 +1,66 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace plurality::stats {
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  PLURALITY_REQUIRE(x.size() == y.size(), "linear_fit: size mismatch");
+  PLURALITY_REQUIRE(x.size() >= 2, "linear_fit: need at least 2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  PLURALITY_REQUIRE(sxx > 0.0, "linear_fit: all x identical");
+  const double slope = sxy / sxx;
+  const double intercept = my - slope * mx;
+  double r2 = 1.0;
+  if (syy > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double resid = y[i] - (intercept + slope * x[i]);
+      ss_res += resid * resid;
+    }
+    r2 = 1.0 - ss_res / syy;
+  }
+  return {intercept, slope, r2};
+}
+
+LinearFit proportional_fit(std::span<const double> x, std::span<const double> y) {
+  PLURALITY_REQUIRE(x.size() == y.size(), "proportional_fit: size mismatch");
+  PLURALITY_REQUIRE(!x.empty(), "proportional_fit: empty sample");
+  double sxx = 0, sxy = 0, syy = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+    sy += y[i];
+  }
+  PLURALITY_REQUIRE(sxx > 0.0, "proportional_fit: all x zero");
+  const double slope = sxy / sxx;
+  const double my = sy / static_cast<double>(x.size());
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ss_tot += (y[i] - my) * (y[i] - my);
+    const double resid = y[i] - slope * x[i];
+    ss_res += resid * resid;
+  }
+  const double r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return {0.0, slope, r2};
+}
+
+}  // namespace plurality::stats

@@ -1,0 +1,22 @@
+// Ordinary least squares in one variable — used to fit measured convergence
+// times against the paper's predicted scalings (e.g. T vs k·log n) and report
+// slope + R².
+#pragma once
+
+#include <span>
+
+namespace plurality::stats {
+
+struct LinearFit {
+  double intercept;
+  double slope;
+  double r_squared;
+};
+
+/// Fits y ≈ intercept + slope · x. Needs at least 2 points with distinct x.
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fits y ≈ slope · x through the origin (for pure proportionality checks).
+LinearFit proportional_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace plurality::stats

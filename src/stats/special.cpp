@@ -1,0 +1,85 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace plurality::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+
+// Series expansion of P(a,x); converges fast for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Lentz continued fraction for Q(a,x); converges fast for x >= a + 1.
+double gamma_q_cont_fraction(double a, double x) {
+  const double tiny = std::numeric_limits<double>::min() / kEpsilon;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  PLURALITY_REQUIRE(a > 0.0, "gamma_p: a must be positive");
+  PLURALITY_REQUIRE(x >= 0.0, "gamma_p: x must be nonnegative");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_cont_fraction(a, x);
+}
+
+double gamma_q(double a, double x) {
+  PLURALITY_REQUIRE(a > 0.0, "gamma_q: a must be positive");
+  PLURALITY_REQUIRE(x >= 0.0, "gamma_q: x must be nonnegative");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cont_fraction(a, x);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+double chi_square_cdf(double x, double dof) {
+  PLURALITY_REQUIRE(dof > 0.0, "chi_square_cdf: dof must be positive");
+  if (x <= 0.0) return 0.0;
+  return gamma_p(dof / 2.0, x / 2.0);
+}
+
+double chi_square_sf(double x, double dof) {
+  PLURALITY_REQUIRE(dof > 0.0, "chi_square_sf: dof must be positive");
+  if (x <= 0.0) return 1.0;
+  return gamma_q(dof / 2.0, x / 2.0);
+}
+
+}  // namespace plurality::stats

@@ -1,0 +1,27 @@
+// Special functions implemented from scratch (no external math deps):
+// regularized incomplete gamma (series + continued fraction), normal CDF,
+// and chi-square CDF/SF built on them. Used by the goodness-of-fit tests
+// that validate the RNG substrate and the backend-equivalence properties.
+#pragma once
+
+namespace plurality::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Standard normal CDF Φ(z).
+double normal_cdf(double z);
+
+/// Standard normal survival function 1 - Φ(z).
+double normal_sf(double z);
+
+/// Chi-square CDF with `dof` degrees of freedom at statistic x.
+double chi_square_cdf(double x, double dof);
+
+/// Chi-square upper tail (p-value of a GOF statistic).
+double chi_square_sf(double x, double dof);
+
+}  // namespace plurality::stats

@@ -1,0 +1,87 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace plurality::stats {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double OnlineStats::mean() const {
+  PLURALITY_REQUIRE(n_ > 0, "OnlineStats::mean on empty accumulator");
+  return mean_;
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::sem() const {
+  PLURALITY_REQUIRE(n_ > 0, "OnlineStats::sem on empty accumulator");
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double OnlineStats::min() const {
+  PLURALITY_REQUIRE(n_ > 0, "OnlineStats::min on empty accumulator");
+  return min_;
+}
+
+double OnlineStats::max() const {
+  PLURALITY_REQUIRE(n_ > 0, "OnlineStats::max on empty accumulator");
+  return max_;
+}
+
+double OnlineStats::ci95_halfwidth() const { return 1.959963984540054 * sem(); }
+
+OnlineStats summarize(std::span<const double> values) {
+  OnlineStats acc;
+  for (double v : values) acc.add(v);
+  return acc;
+}
+
+ProportionCi wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
+  PLURALITY_REQUIRE(trials > 0, "wilson_interval: zero trials");
+  PLURALITY_REQUIRE(successes <= trials, "wilson_interval: successes > trials");
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return {phat, std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+}  // namespace plurality::stats

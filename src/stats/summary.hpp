@@ -1,0 +1,53 @@
+// Streaming and batch summary statistics for experiment aggregation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace plurality::stats {
+
+/// Welford's online accumulator: numerically stable single-pass mean and
+/// variance, plus extrema. Mergeable (parallel reduction over trials).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (Chan et al. parallel formula).
+  void merge(const OnlineStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 observations.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
+
+  /// Normal-approximation 95% confidence half-width around the mean.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: accumulates a whole span.
+OnlineStats summarize(std::span<const double> values);
+
+/// Wilson score interval for a binomial proportion (successes out of trials)
+/// — used for "plurality wins" rates where counts are small or extreme.
+struct ProportionCi {
+  double estimate;
+  double low;
+  double high;
+};
+ProportionCi wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                             double z = 1.959963984540054);
+
+}  // namespace plurality::stats

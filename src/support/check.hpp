@@ -1,0 +1,51 @@
+// Checked-assertion macros used throughout the library.
+//
+// Unlike assert(), these stay enabled in release builds: the simulators are
+// the ground truth for the experiments, so silent corruption is worse than
+// the (negligible) branch cost. Violations throw, so tests can assert on
+// misuse and callers on a REPL can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace plurality {
+
+/// Thrown when a PLURALITY_CHECK / PLURALITY_REQUIRE condition fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace plurality
+
+/// Internal-invariant check: condition must hold or the library has a bug.
+#define PLURALITY_CHECK(cond)                                                \
+  do {                                                                       \
+    if (!(cond)) ::plurality::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Internal-invariant check with a formatted explanation.
+#define PLURALITY_CHECK_MSG(cond, msg)                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream plurality_check_os_;                                \
+      plurality_check_os_ << msg;                                            \
+      ::plurality::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                        plurality_check_os_.str());          \
+    }                                                                        \
+  } while (0)
+
+/// Precondition on caller-supplied arguments (public API contract).
+#define PLURALITY_REQUIRE(cond, msg) PLURALITY_CHECK_MSG(cond, msg)

@@ -1,0 +1,233 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace plurality {
+
+namespace {
+
+std::int64_t parse_int(const std::string& name, const std::string& text) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  PLURALITY_REQUIRE(ec == std::errc() && ptr == text.data() + text.size(),
+                    "option --" << name << ": expected integer, got '" << text << "'");
+  return value;
+}
+
+std::uint64_t parse_uint(const std::string& name, const std::string& text) {
+  // Accept scientific shorthand like 1e6 for node counts.
+  if (text.find_first_of("eE.") != std::string::npos) {
+    double d = 0.0;
+    try {
+      d = std::stod(text);
+    } catch (const std::exception&) {
+      PLURALITY_REQUIRE(false, "option --" << name << ": expected count, got '" << text << "'");
+    }
+    PLURALITY_REQUIRE(d >= 0 && d <= 9.2e18 && d == static_cast<double>(static_cast<std::uint64_t>(d)),
+                      "option --" << name << ": '" << text << "' is not an exact nonnegative count");
+    return static_cast<std::uint64_t>(d);
+  }
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  PLURALITY_REQUIRE(ec == std::errc() && ptr == text.data() + text.size(),
+                    "option --" << name << ": expected nonnegative integer, got '" << text << "'");
+  return value;
+}
+
+double parse_double(const std::string& name, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(text, &pos);
+    PLURALITY_REQUIRE(pos == text.size(),
+                      "option --" << name << ": trailing garbage in '" << text << "'");
+    return v;
+  } catch (const CheckError&) {
+    throw;
+  } catch (const std::exception&) {
+    PLURALITY_REQUIRE(false, "option --" << name << ": expected number, got '" << text << "'");
+  }
+  return 0.0;  // unreachable
+}
+
+bool parse_bool(const std::string& name, const std::string& text) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") return true;
+  if (text == "false" || text == "0" || text == "no" || text == "off") return false;
+  PLURALITY_REQUIRE(false, "option --" << name << ": expected bool, got '" << text << "'");
+  return false;  // unreachable
+}
+
+}  // namespace
+
+CliParser::CliParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  PLURALITY_REQUIRE(!options_.count(name), "duplicate option --" << name);
+  Option opt;
+  opt.kind = Kind::Flag;
+  opt.help = help;
+  opt.default_text = "false";
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void CliParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  PLURALITY_REQUIRE(!options_.count(name), "duplicate option --" << name);
+  Option opt;
+  opt.kind = Kind::Int;
+  opt.help = help;
+  opt.int_value = default_value;
+  opt.default_text = std::to_string(default_value);
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void CliParser::add_uint(const std::string& name, std::uint64_t default_value,
+                         const std::string& help) {
+  PLURALITY_REQUIRE(!options_.count(name), "duplicate option --" << name);
+  Option opt;
+  opt.kind = Kind::Uint;
+  opt.help = help;
+  opt.uint_value = default_value;
+  opt.default_text = std::to_string(default_value);
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void CliParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  PLURALITY_REQUIRE(!options_.count(name), "duplicate option --" << name);
+  Option opt;
+  opt.kind = Kind::Double;
+  opt.help = help;
+  opt.double_value = default_value;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", default_value);
+  opt.default_text = buf;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void CliParser::add_string(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  PLURALITY_REQUIRE(!options_.count(name), "duplicate option --" << name);
+  Option opt;
+  opt.kind = Kind::String;
+  opt.help = help;
+  opt.string_value = default_value;
+  opt.default_text = default_value.empty() ? "\"\"" : default_value;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void CliParser::set_from_text(const std::string& name, Option& opt, const std::string& text) {
+  switch (opt.kind) {
+    case Kind::Flag:
+      opt.flag_value = parse_bool(name, text);
+      break;
+    case Kind::Int:
+      opt.int_value = parse_int(name, text);
+      break;
+    case Kind::Uint:
+      opt.uint_value = parse_uint(name, text);
+      break;
+    case Kind::Double:
+      opt.double_value = parse_double(name, text);
+      break;
+    case Kind::String:
+      opt.string_value = text;
+      break;
+  }
+  opt.provided = true;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::optional<std::string> value;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+    }
+    auto it = options_.find(name);
+    PLURALITY_REQUIRE(it != options_.end(), "unknown option --" << name);
+    Option& opt = it->second;
+    if (!value.has_value()) {
+      if (opt.kind == Kind::Flag) {
+        opt.flag_value = true;
+        opt.provided = true;
+        continue;
+      }
+      PLURALITY_REQUIRE(i + 1 < argc, "option --" << name << " requires a value");
+      value = argv[++i];
+    }
+    set_from_text(name, opt, *value);
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::lookup(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  PLURALITY_REQUIRE(it != options_.end(), "option --" << name << " was never registered");
+  PLURALITY_REQUIRE(it->second.kind == kind, "option --" << name << " accessed with wrong type");
+  return it->second;
+}
+
+bool CliParser::flag(const std::string& name) const { return lookup(name, Kind::Flag).flag_value; }
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return lookup(name, Kind::Int).int_value;
+}
+
+std::uint64_t CliParser::get_uint(const std::string& name) const {
+  return lookup(name, Kind::Uint).uint_value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return lookup(name, Kind::Double).double_value;
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return lookup(name, Kind::String).string_value;
+}
+
+bool CliParser::provided(const std::string& name) const {
+  auto it = options_.find(name);
+  PLURALITY_REQUIRE(it != options_.end(), "option --" << name << " was never registered");
+  return it->second.provided;
+}
+
+const std::vector<std::string>& CliParser::positional() const { return positional_; }
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << program_ << " — " << summary_ << "\n\nOptions:\n";
+  std::size_t width = 0;
+  for (const auto& name : order_) width = std::max(width, name.size());
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name << std::string(width - name.size() + 2, ' ') << opt.help
+       << " (default: " << opt.default_text << ")\n";
+  }
+  os << "  --help" << std::string(width >= 4 ? width - 4 + 2 : 2, ' ') << "show this text\n";
+  return os.str();
+}
+
+}  // namespace plurality

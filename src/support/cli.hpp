@@ -1,0 +1,78 @@
+// Minimal dependency-free command-line parser used by examples and benches.
+//
+// Supports `--name value`, `--name=value`, boolean flags (`--flag`,
+// `--flag=false`), positional arguments, typed getters with defaults, and
+// generated `--help` text. Unknown options are an error (typos in sweep
+// parameters silently running the wrong experiment is the failure mode we
+// care about).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace plurality {
+
+class CliParser {
+ public:
+  /// `program` and `summary` appear in the generated --help text.
+  CliParser(std::string program, std::string summary);
+
+  /// Registers an option. `name` excludes the leading dashes.
+  /// All registration must happen before parse().
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value, const std::string& help);
+  void add_uint(const std::string& name, std::uint64_t default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help text printed);
+  /// throws CheckError on malformed input or unknown options.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed getters; throw if the option was never registered.
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  /// True if the user explicitly supplied the option on the command line.
+  [[nodiscard]] bool provided(const std::string& name) const;
+
+  /// Arguments that did not start with '--', in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const;
+
+  /// The generated usage/help text.
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  enum class Kind { Flag, Int, Uint, Double, String };
+
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string default_text;
+    // Current values (only the member matching `kind` is meaningful).
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    std::uint64_t uint_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool provided = false;
+  };
+
+  const Option& lookup(const std::string& name, Kind kind) const;
+  void set_from_text(const std::string& name, Option& opt, const std::string& text);
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;  // registration order, for help text
+  std::vector<std::string> positional_;
+};
+
+}  // namespace plurality

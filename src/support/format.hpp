@@ -1,0 +1,31 @@
+// Small formatting helpers shared by tables, logs and experiment reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace plurality {
+
+/// Formats a double with `digits` significant digits ("0.00123", "1.23e+09").
+std::string format_sig(double v, int digits = 4);
+
+/// Formats a double with a fixed number of decimals ("3.142").
+std::string format_fixed(double v, int decimals = 3);
+
+/// Formats an integer with thousands separators ("1,234,567").
+std::string format_count(std::uint64_t v);
+
+/// Formats a count with an SI suffix ("1.2M", "34k", "987").
+std::string format_si(double v);
+
+/// Formats seconds as a human-readable duration ("1.2s", "3m04s", "842ms").
+std::string format_duration(double seconds);
+
+/// Formats a probability / rate as a percentage ("97.5%").
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Left/right-pads `s` with spaces to width `w` (no-op if already wider).
+std::string pad_left(const std::string& s, std::size_t w);
+std::string pad_right(const std::string& s, std::size_t w);
+
+}  // namespace plurality

@@ -1,0 +1,16 @@
+#include "support/timer.hpp"
+
+namespace plurality {
+
+WallTimer::WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+void WallTimer::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double WallTimer::seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double WallTimer::millis() const { return seconds() * 1e3; }
+
+}  // namespace plurality

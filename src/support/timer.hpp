@@ -1,0 +1,26 @@
+// Monotonic wall-clock timing for experiment harnesses and benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace plurality {
+
+/// Stopwatch over std::chrono::steady_clock. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer();
+
+  /// Restarts the stopwatch.
+  void reset();
+
+  /// Seconds elapsed since construction / last reset().
+  [[nodiscard]] double seconds() const;
+
+  /// Milliseconds elapsed since construction / last reset().
+  [[nodiscard]] double millis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace plurality

@@ -1,0 +1,20 @@
+// Shared numeric vocabulary for the whole library.
+#pragma once
+
+#include <cstdint>
+
+namespace plurality {
+
+/// Number of nodes holding a given color. Counts up to 2^63 keep every
+/// intermediate product `n * c_j` representable in long double / double math.
+using count_t = std::uint64_t;
+
+/// Color / state index. Colors are 0-based indices in [0, k); dynamics with
+/// auxiliary states (e.g. the undecided-state protocol) append them after
+/// the color range.
+using state_t = std::uint32_t;
+
+/// Round counter.
+using round_t = std::uint64_t;
+
+}  // namespace plurality

@@ -1,0 +1,97 @@
+// The bench/common experiment harness is library code too: test the CLI
+// surface, quick/full scaling, CSV mirroring, and header rendering.
+#include "common/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace plurality::bench {
+namespace {
+
+int parse(Experiment& exp, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"bench_test"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return exp.parse(static_cast<int>(argv.size()), argv.data()) ? 1 : 0;
+}
+
+TEST(ExperimentHarness, CommonOptionDefaults) {
+  Experiment exp("EX", "test", "Theorem 0", "bench_test");
+  ASSERT_EQ(parse(exp, {}), 1);
+  EXPECT_EQ(exp.trials(), 0u);
+  EXPECT_EQ(exp.seed(), 1u);
+  EXPECT_FALSE(exp.quick());
+  EXPECT_FALSE(exp.full());
+}
+
+TEST(ExperimentHarness, CommonOptionsParse) {
+  Experiment exp("EX", "test", "Theorem 0", "bench_test");
+  parse(exp, {"--trials", "42", "--seed", "9", "--quick"});
+  EXPECT_EQ(exp.trials(), 42u);
+  EXPECT_EQ(exp.seed(), 9u);
+  EXPECT_TRUE(exp.quick());
+}
+
+TEST(ExperimentHarness, ScaledPicksByMode) {
+  Experiment quick("EX", "t", "p", "b");
+  parse(quick, {"--quick"});
+  EXPECT_EQ(quick.scaled<int>(1, 2, 3), 1);
+
+  Experiment normal("EX", "t", "p", "b");
+  parse(normal, {});
+  EXPECT_EQ(normal.scaled<int>(1, 2, 3), 2);
+
+  Experiment full("EX", "t", "p", "b");
+  parse(full, {"--full"});
+  EXPECT_EQ(full.scaled<int>(1, 2, 3), 3);
+}
+
+TEST(ExperimentHarness, ExtraOptionsRegisterBeforeParse) {
+  Experiment exp("EX", "t", "p", "b");
+  exp.cli().add_uint("n", 100, "nodes");
+  parse(exp, {"--n", "5000"});
+  EXPECT_EQ(exp.cli().get_uint("n"), 5000u);
+}
+
+TEST(ExperimentHarness, HelpReturnsFalse) {
+  Experiment exp("EX", "t", "p", "b");
+  EXPECT_EQ(parse(exp, {"--help"}), 0);
+}
+
+TEST(ExperimentHarness, CsvMirroringWithSuffix) {
+  const std::string base = ::testing::TempDir() + "plurality_exp_test.csv";
+  const std::string suffixed = ::testing::TempDir() + "plurality_exp_test_tag.csv";
+  std::remove(base.c_str());
+  std::remove(suffixed.c_str());
+
+  Experiment exp("EX", "t", "p", "b");
+  parse(exp, {"--csv", base.c_str()});
+  io::Table table({"a", "b"});
+  table.row().cell("1").cell("2");
+  exp.emit(table, "tag");
+
+  std::ifstream in(suffixed);
+  ASSERT_TRUE(in.good()) << "expected " << suffixed;
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "a,b");
+  EXPECT_EQ(row, "1,2");
+  std::remove(suffixed.c_str());
+}
+
+TEST(ExperimentHarness, MeanCiCellFormat) {
+  EXPECT_EQ(mean_ci_cell(12.345, 0.678), "12.35 ± 0.68");
+}
+
+TEST(ExperimentHarness, UnknownOptionRejected) {
+  Experiment exp("EX", "t", "p", "b");
+  EXPECT_THROW(parse(exp, {"--nonexistent", "1"}), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::bench

@@ -1,0 +1,122 @@
+#include "core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/majority.hpp"
+#include "core/runner.hpp"
+#include "core/workloads.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(Adversary, BoostRunnerUpReducesBiasByTwiceF) {
+  BoostRunnerUp adversary(10);
+  Configuration c({100, 60, 40});
+  rng::Xoshiro256pp gen(1);
+  adversary.corrupt(c, 3, 0, gen);
+  EXPECT_EQ(c.at(0), 90u);
+  EXPECT_EQ(c.at(1), 70u);
+  EXPECT_EQ(c.at(2), 40u);
+  EXPECT_EQ(c.n(), 200u);
+}
+
+TEST(Adversary, BoostRunnerUpTracksCurrentLeaders) {
+  // Plurality/runner-up are re-identified each round, not fixed at start.
+  BoostRunnerUp adversary(5);
+  Configuration c({10, 80, 50});
+  rng::Xoshiro256pp gen(2);
+  adversary.corrupt(c, 3, 0, gen);
+  EXPECT_EQ(c.at(1), 75u);  // plurality was color 1
+  EXPECT_EQ(c.at(2), 55u);  // runner-up was color 2
+}
+
+TEST(Adversary, FeedWeakestTargetsSmallestColor) {
+  FeedWeakest adversary(7);
+  Configuration c({100, 60, 3});
+  rng::Xoshiro256pp gen(3);
+  adversary.corrupt(c, 3, 0, gen);
+  EXPECT_EQ(c.at(0), 93u);
+  EXPECT_EQ(c.at(2), 10u);
+}
+
+TEST(Adversary, BudgetClampsAtAvailableMass) {
+  BoostRunnerUp adversary(1000);
+  Configuration c({30, 20});
+  rng::Xoshiro256pp gen(4);
+  adversary.corrupt(c, 2, 0, gen);
+  EXPECT_EQ(c.at(0), 0u);
+  EXPECT_EQ(c.at(1), 50u);
+}
+
+TEST(Adversary, RandomCorruptionPreservesPopulation) {
+  RandomCorruption adversary(25);
+  Configuration c({300, 200, 100});
+  rng::Xoshiro256pp gen(5);
+  for (int round = 0; round < 20; ++round) {
+    adversary.corrupt(c, 3, round, gen);
+    EXPECT_EQ(c.n(), 600u);
+  }
+}
+
+TEST(Adversary, RandomCorruptionOnlyTargetsColors) {
+  // With a 4-state space whose last state is auxiliary, corruption may move
+  // mass OUT of the aux state but never into it.
+  RandomCorruption adversary(50);
+  Configuration c({100, 100, 100, 100});
+  rng::Xoshiro256pp gen(6);
+  for (int round = 0; round < 10; ++round) adversary.corrupt(c, 3, round, gen);
+  EXPECT_LE(c.at(3), 100u);
+  EXPECT_EQ(c.n(), 400u);
+}
+
+TEST(Adversary, CorollaryFourSmallFDoesNotStopConsensus) {
+  // F well below s/lambda: the 3-majority process still converges to
+  // (near-)plurality consensus; with F nodes corruptible per round, full
+  // consensus is impossible, so we stop at M-plurality with M = 2F.
+  ThreeMajority dynamics;
+  const count_t n = 20000;
+  const count_t s = 6000;
+  const count_t f = 20;
+  BoostRunnerUp adversary(f);
+  RunOptions options;
+  options.adversary = &adversary;
+  options.max_rounds = 2000;
+  options.stop_predicate = stop_at_m_plurality(2 * f, 0);
+  rng::Xoshiro256pp gen(7);
+  const RunResult result =
+      run_dynamics(dynamics, workloads::additive_bias(n, 3, s), options, gen);
+  EXPECT_EQ(result.reason, StopReason::PredicateMet);
+  EXPECT_GE(result.final_config.at(0), n - 2 * f);
+}
+
+TEST(Adversary, LargeFPreventsMPluralityConsensus) {
+  // F comparable to n: the adversary keeps the system far from consensus.
+  ThreeMajority dynamics;
+  const count_t n = 2000;
+  BoostRunnerUp adversary(n / 4);
+  RunOptions options;
+  options.adversary = &adversary;
+  options.max_rounds = 300;
+  rng::Xoshiro256pp gen(8);
+  const RunResult result =
+      run_dynamics(dynamics, workloads::additive_bias(n, 3, n / 5), options, gen);
+  EXPECT_EQ(result.reason, StopReason::RoundLimit);
+}
+
+TEST(Adversary, NamesAndBudgets) {
+  EXPECT_EQ(BoostRunnerUp(5).name(), "boost-runner-up");
+  EXPECT_EQ(FeedWeakest(5).name(), "feed-weakest");
+  EXPECT_EQ(RandomCorruption(5).name(), "random");
+  EXPECT_EQ(BoostRunnerUp(17).budget(), 17u);
+}
+
+TEST(Adversary, RequiresAtLeastTwoColors) {
+  BoostRunnerUp adversary(1);
+  Configuration c({10});
+  rng::Xoshiro256pp gen(9);
+  EXPECT_THROW(adversary.corrupt(c, 1, 0, gen), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,150 @@
+#include "core/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(Configuration, BasicAccessors) {
+  Configuration c({5, 3, 2});
+  EXPECT_EQ(c.k(), 3u);
+  EXPECT_EQ(c.n(), 10u);
+  EXPECT_EQ(c.at(0), 5u);
+  EXPECT_EQ(c[1], 3u);
+  EXPECT_EQ(c[2], 2u);
+}
+
+TEST(Configuration, EmptyVectorThrows) {
+  EXPECT_THROW(Configuration(std::vector<count_t>{}), CheckError);
+}
+
+TEST(Configuration, ZerosFactory) {
+  Configuration c = Configuration::zeros(4);
+  EXPECT_EQ(c.k(), 4u);
+  EXPECT_EQ(c.n(), 0u);
+}
+
+TEST(Configuration, SetMaintainsTotal) {
+  Configuration c({5, 3, 2});
+  c.set(1, 10);
+  EXPECT_EQ(c.n(), 17u);
+  EXPECT_EQ(c.at(1), 10u);
+  c.set(0, 0);
+  EXPECT_EQ(c.n(), 12u);
+}
+
+TEST(Configuration, MoveMassTransfersAndClamps) {
+  Configuration c({5, 3});
+  EXPECT_EQ(c.move_mass(0, 1, 2), 2u);
+  EXPECT_EQ(c.at(0), 3u);
+  EXPECT_EQ(c.at(1), 5u);
+  EXPECT_EQ(c.n(), 8u);
+  // Clamped at available mass.
+  EXPECT_EQ(c.move_mass(0, 1, 100), 3u);
+  EXPECT_EQ(c.at(0), 0u);
+  // Same-state move is a no-op.
+  EXPECT_EQ(c.move_mass(1, 1, 5), 0u);
+}
+
+TEST(Configuration, OutOfRangeAccessThrows) {
+  Configuration c({1, 2});
+  EXPECT_THROW(c.at(2), CheckError);
+  EXPECT_THROW(c.set(2, 1), CheckError);
+  EXPECT_THROW(c.move_mass(0, 5, 1), CheckError);
+}
+
+TEST(Configuration, PluralityAndRunnerUp) {
+  Configuration c({3, 7, 5});
+  EXPECT_EQ(c.plurality_all(), 1u);
+  EXPECT_EQ(c.plurality_count(3), 7u);
+  EXPECT_EQ(c.runner_up_count(3), 5u);
+}
+
+TEST(Configuration, PluralityTieBreaksToLowestIndex) {
+  Configuration c({5, 5, 2});
+  EXPECT_EQ(c.plurality_all(), 0u);
+  EXPECT_EQ(c.runner_up_count(3), 5u);
+  EXPECT_EQ(c.bias(3), 0u);
+}
+
+TEST(Configuration, BiasMatchesPaperDefinition) {
+  // s(c) = c_(1) - c_(2) over sorted counts.
+  Configuration c({2, 9, 4});
+  EXPECT_EQ(c.bias_all(), 5u);
+}
+
+TEST(Configuration, ColorPrefixRestrictsAnalysis) {
+  // Last state is auxiliary (e.g. undecided) and holds the most nodes;
+  // color analysis must ignore it.
+  Configuration c({4, 6, 100});
+  EXPECT_EQ(c.plurality(2), 1u);
+  EXPECT_EQ(c.bias(2), 2u);
+  EXPECT_EQ(c.minority_mass(2), 104u);
+}
+
+TEST(Configuration, MonochromaticDetection) {
+  EXPECT_TRUE(Configuration({0, 10, 0}).monochromatic());
+  EXPECT_FALSE(Configuration({1, 9, 0}).monochromatic());
+  EXPECT_FALSE(Configuration::zeros(3).monochromatic());
+}
+
+TEST(Configuration, ColorConsensusRespectsPrefix) {
+  Configuration all_undecided({0, 0, 10});
+  EXPECT_TRUE(all_undecided.monochromatic());
+  EXPECT_FALSE(all_undecided.color_consensus(2));
+  Configuration all_color0({10, 0, 0});
+  EXPECT_TRUE(all_color0.color_consensus(2));
+}
+
+TEST(Configuration, MinorityMass) {
+  Configuration c({7, 2, 1});
+  EXPECT_EQ(c.minority_mass(3), 3u);
+  Configuration mono({10, 0});
+  EXPECT_EQ(mono.minority_mass(2), 0u);
+}
+
+TEST(Configuration, MonochromaticDistanceMatchesDefinition) {
+  // md(c) = sum_j (c_j / c_max)^2 = 1 + (1/2)^2 + (1/4)^2 at (4, 2, 1).
+  Configuration c({4, 2, 1});
+  EXPECT_NEAR(c.monochromatic_distance(3), 1.0 + 0.25 + 0.0625, 1e-12);
+}
+
+TEST(Configuration, SortedDescCopies) {
+  Configuration c({2, 9, 4});
+  Configuration sorted = c.sorted_desc();
+  EXPECT_EQ(sorted.at(0), 9u);
+  EXPECT_EQ(sorted.at(1), 4u);
+  EXPECT_EQ(sorted.at(2), 2u);
+  EXPECT_EQ(c.at(0), 2u);  // original untouched
+}
+
+TEST(Configuration, SharesAndRealCounts) {
+  Configuration c({1, 3});
+  const auto shares = c.shares();
+  EXPECT_DOUBLE_EQ(shares[0], 0.25);
+  EXPECT_DOUBLE_EQ(shares[1], 0.75);
+  const auto real = c.counts_real();
+  EXPECT_DOUBLE_EQ(real[0], 1.0);
+  EXPECT_DOUBLE_EQ(real[1], 3.0);
+}
+
+TEST(Configuration, ToStringFormat) {
+  EXPECT_EQ(Configuration({1, 2, 3}).to_string(), "(1, 2, 3)");
+}
+
+TEST(Configuration, EqualityComparesCounts) {
+  EXPECT_EQ(Configuration({1, 2}), Configuration({1, 2}));
+  EXPECT_FALSE(Configuration({1, 2}) == Configuration({2, 1}));
+}
+
+TEST(Configuration, LargeCountsNoOverflow) {
+  const count_t big = 3'000'000'000ULL;
+  Configuration c({big, big, big});
+  EXPECT_EQ(c.n(), 9'000'000'000ULL);
+  EXPECT_EQ(c.bias(3), 0u);
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,145 @@
+// h-plurality kernel: enumeration DP vs brute force, the h=3 coincidence
+// with Lemma 1, and the law-cost gating (Theorem 4 infrastructure).
+#include "core/hplurality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.hpp"
+#include "core/majority.hpp"
+#include "kernel_test_utils.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(HPluralityKernel, HEqualsOneIsVoter) {
+  HPlurality h1(1);
+  const Configuration c({6, 3, 1});
+  std::vector<double> law(3);
+  h1.adoption_law(c.counts_real(), law);
+  EXPECT_NEAR(law[0], 0.6, 1e-12);
+  EXPECT_NEAR(law[1], 0.3, 1e-12);
+  EXPECT_NEAR(law[2], 0.1, 1e-12);
+}
+
+TEST(HPluralityKernel, HEqualsTwoIsVoterToo) {
+  // 2 samples with uniform tie-break: the paper's polling equivalence.
+  HPlurality h2(2);
+  const Configuration c({5, 3, 2});
+  std::vector<double> law(3);
+  h2.adoption_law(c.counts_real(), law);
+  EXPECT_NEAR(law[0], 0.5, 1e-12);
+  EXPECT_NEAR(law[1], 0.3, 1e-12);
+  EXPECT_NEAR(law[2], 0.2, 1e-12);
+}
+
+TEST(HPluralityKernel, HEqualsThreeMatchesLemma1) {
+  // 3-plurality (uniform tie) has the same law as 3-majority (tie-to-first):
+  // the tie rule is distributionally irrelevant, as the paper notes.
+  HPlurality h3(3);
+  ThreeMajority majority;
+  for (const Configuration& c :
+       {Configuration({5, 3, 2}), Configuration({7, 7, 7}), Configuration({9, 1}),
+        Configuration({4, 3, 2, 1})}) {
+    std::vector<double> law_h(c.k()), law_m(c.k());
+    h3.adoption_law(c.counts_real(), law_h);
+    majority.adoption_law(c.counts_real(), law_m);
+    testing::expect_laws_equal(law_h, law_m, 1e-12);
+  }
+}
+
+TEST(HPluralityKernel, LawSumsToOneAcrossH) {
+  const Configuration c({4, 3, 2, 1});
+  for (unsigned h : {1u, 2u, 3u, 4u, 5u, 7u}) {
+    HPlurality dynamics(h);
+    std::vector<double> law(4);
+    dynamics.adoption_law(c.counts_real(), law);
+    double total = 0;
+    for (double p : law) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-10) << "h=" << h;
+  }
+}
+
+TEST(HPluralityKernel, FiveSampleBruteForce) {
+  // k^h = 3^5 = 243 ordered samples; the rule has random tie-breaks so
+  // average many rule trials per sample (ties are rare but present).
+  HPlurality h5(5);
+  const Configuration c({4, 3, 3});
+  std::vector<double> law(3);
+  h5.adoption_law(c.counts_real(), law);
+  const auto brute = testing::brute_force_law(h5, c, 400);
+  for (state_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(law[j], brute[j], 0.01) << "j=" << j;
+  }
+}
+
+TEST(HPluralityKernel, LargerSamplesAmplifyThePlurality) {
+  // Monotonicity in h: the plurality color's adoption probability grows
+  // with the sample size (on a clearly biased configuration).
+  const Configuration c({50, 30, 20});
+  double prev = 0.0;
+  for (unsigned h : {1u, 3u, 5u, 9u, 13u}) {
+    HPlurality dynamics(h);
+    std::vector<double> law(3);
+    dynamics.adoption_law(c.counts_real(), law);
+    EXPECT_GT(law[0], prev) << "h=" << h;
+    prev = law[0];
+  }
+  EXPECT_GT(prev, 0.75);
+}
+
+TEST(HPluralityKernel, MonochromaticAbsorbing) {
+  HPlurality h7(7);
+  const Configuration c({0, 11, 0});
+  std::vector<double> law(3);
+  h7.adoption_law(c.counts_real(), law);
+  EXPECT_DOUBLE_EQ(law[1], 1.0);
+}
+
+TEST(HPluralityKernel, ExactLawCostFormula) {
+  HPlurality h3(3);
+  EXPECT_EQ(h3.exact_law_cost(2), 4u);    // C(4,3)
+  EXPECT_EQ(h3.exact_law_cost(3), 10u);   // C(5,3)
+  HPlurality h5(5);
+  EXPECT_EQ(h5.exact_law_cost(4), 56u);   // C(8,5)
+}
+
+TEST(HPluralityKernel, CostGateBlocksHugeEnumerations) {
+  HPlurality h17(17);
+  EXPECT_FALSE(h17.has_exact_law(32));  // C(48,17) ~ 1e13
+  EXPECT_TRUE(h17.has_exact_law(2));
+  std::vector<double> counts(32, 1.0), out(32);
+  EXPECT_THROW(h17.adoption_law(counts, out), CheckError);
+}
+
+TEST(HPluralityKernel, CostSaturatesInsteadOfOverflowing) {
+  HPlurality h31(31);
+  EXPECT_EQ(h31.exact_law_cost(1000), ~0ULL);
+}
+
+TEST(HPluralityKernel, RuleMatchesLawMonteCarlo) {
+  HPlurality h5(5);
+  testing::expect_rule_matches_law(h5, Configuration({8, 7, 5}), 0, 60000, 17);
+}
+
+TEST(HPluralityKernel, RuleTieBreaksUniformly) {
+  HPlurality h2(2);
+  rng::Xoshiro256pp gen(3);
+  const state_t pair[] = {0, 1};
+  int zeros = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) zeros += (h2.apply_rule(9, pair, 2, gen) == 0);
+  EXPECT_NEAR(zeros, kTrials / 2, 6 * 71);
+}
+
+TEST(HPluralityKernel, NameEncodesH) {
+  EXPECT_EQ(HPlurality(9).name(), "9-plurality");
+  EXPECT_EQ(HPlurality(9).sample_arity(), 9u);
+}
+
+TEST(HPluralityKernel, HZeroRejected) {
+  EXPECT_THROW(HPlurality(0), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality

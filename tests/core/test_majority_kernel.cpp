@@ -1,0 +1,127 @@
+// Validates the 3-majority kernel against the paper's Lemma 1 and Lemma 2
+// and against rule-level brute force.
+#include "core/majority.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "kernel_test_utils.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+std::vector<double> law_of(const Configuration& c) {
+  ThreeMajority dynamics;
+  std::vector<double> law(c.k());
+  dynamics.adoption_law(c.counts_real(), law);
+  return law;
+}
+
+TEST(MajorityKernel, LawSumsToOne) {
+  for (const Configuration& c :
+       {Configuration({10, 5, 3}), Configuration({1, 1, 1, 1}),
+        Configuration({100, 0, 50}), Configuration({7, 3})}) {
+    const auto law = law_of(c);
+    double total = 0;
+    for (double p : law) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12) << c.to_string();
+  }
+}
+
+TEST(MajorityKernel, MatchesLemma1ClosedFormByHand) {
+  // c = (2, 1), n = 3: p_0 = (2/27)(9 + 6 - 5) = 20/27.
+  const auto law = law_of(Configuration({2, 1}));
+  EXPECT_NEAR(law[0], 20.0 / 27.0, 1e-13);
+  EXPECT_NEAR(law[1], 7.0 / 27.0, 1e-13);
+}
+
+TEST(MajorityKernel, MatchesBruteForceEnumeration) {
+  ThreeMajority dynamics;
+  for (const Configuration& c :
+       {Configuration({5, 3, 2}), Configuration({4, 4, 4}), Configuration({9, 1}),
+        Configuration({6, 3, 2, 1}), Configuration({3, 3, 2, 1, 1})}) {
+    const auto brute = testing::brute_force_law(dynamics, c);
+    testing::expect_laws_equal(law_of(c), brute, 1e-12);
+  }
+}
+
+TEST(MajorityKernel, MonochromaticIsAbsorbing) {
+  const auto law = law_of(Configuration({0, 8, 0}));
+  EXPECT_DOUBLE_EQ(law[1], 1.0);
+  EXPECT_DOUBLE_EQ(law[0], 0.0);
+  EXPECT_DOUBLE_EQ(law[2], 0.0);
+}
+
+TEST(MajorityKernel, PermutationEquivariance) {
+  const auto law_a = law_of(Configuration({7, 2, 5}));
+  const auto law_b = law_of(Configuration({5, 7, 2}));  // cyclic shift
+  EXPECT_NEAR(law_a[0], law_b[1], 1e-15);
+  EXPECT_NEAR(law_a[1], law_b[2], 1e-15);
+  EXPECT_NEAR(law_a[2], law_b[0], 1e-15);
+}
+
+TEST(MajorityKernel, ExpectedBiasGrowsPerLemma2) {
+  // mu_1 - mu_j >= s (1 + (c1/n)(1 - c1/n)) for the sorted configuration.
+  for (const Configuration& c :
+       {Configuration({50, 30, 20}), Configuration({40, 35, 25}),
+        Configuration({60, 20, 20}), Configuration({450, 300, 250})}) {
+    const auto law = law_of(c);
+    const double n = static_cast<double>(c.n());
+    const double mu1 = n * law[0];
+    const double s = static_cast<double>(c.at(0) - c.at(1));
+    const double bound =
+        s * ThreeMajority::expected_bias_growth_bound(static_cast<double>(c.at(0)), n);
+    for (state_t j = 1; j < c.k(); ++j) {
+      const double muj = n * law[j];
+      EXPECT_GE(mu1 - muj, bound - 1e-9)
+          << c.to_string() << " color " << j;
+    }
+  }
+}
+
+TEST(MajorityKernel, BiasGrowthBoundFormula) {
+  EXPECT_DOUBLE_EQ(ThreeMajority::expected_bias_growth_bound(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(ThreeMajority::expected_bias_growth_bound(50.0, 100.0), 1.25);
+  EXPECT_DOUBLE_EQ(ThreeMajority::expected_bias_growth_bound(100.0, 100.0), 1.0);
+  EXPECT_THROW(ThreeMajority::expected_bias_growth_bound(101.0, 100.0), CheckError);
+}
+
+TEST(MajorityKernel, RuleImplementsMajorityTieFirst) {
+  ThreeMajority dynamics;
+  rng::Xoshiro256pp gen(1);
+  const state_t aab[] = {0, 0, 1};
+  const state_t aba[] = {0, 1, 0};
+  const state_t baa[] = {1, 0, 0};
+  const state_t abc[] = {2, 0, 1};
+  EXPECT_EQ(dynamics.apply_rule(9, aab, 3, gen), 0u);
+  EXPECT_EQ(dynamics.apply_rule(9, aba, 3, gen), 0u);
+  EXPECT_EQ(dynamics.apply_rule(9, baa, 3, gen), 0u);
+  EXPECT_EQ(dynamics.apply_rule(9, abc, 3, gen), 2u);  // all distinct: first
+}
+
+TEST(MajorityKernel, RuleMatchesLawMonteCarlo) {
+  ThreeMajority dynamics;
+  testing::expect_rule_matches_law(dynamics, Configuration({12, 7, 6}), 0, 60000, 42);
+}
+
+TEST(MajorityKernel, LawRejectsBadInput) {
+  ThreeMajority dynamics;
+  std::vector<double> out(2);
+  const std::vector<double> negative = {-1.0, 2.0};
+  EXPECT_THROW(dynamics.adoption_law(negative, out), CheckError);
+  const std::vector<double> empty_mass = {0.0, 0.0};
+  EXPECT_THROW(dynamics.adoption_law(empty_mass, out), CheckError);
+  const std::vector<double> mismatch = {1.0, 2.0, 3.0};
+  EXPECT_THROW(dynamics.adoption_law(mismatch, out), CheckError);
+}
+
+TEST(MajorityKernel, SampleArityIsThree) {
+  EXPECT_EQ(ThreeMajority().sample_arity(), 3u);
+  EXPECT_FALSE(ThreeMajority().law_depends_on_own_state());
+}
+
+}  // namespace
+}  // namespace plurality

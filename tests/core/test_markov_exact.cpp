@@ -1,0 +1,207 @@
+// Exact Markov analysis: linear-algebra kernel tests, the voter martingale
+// identity (exact win probability = c/n), and agreement with simulation.
+#include "core/markov_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/majority.hpp"
+#include "core/median.hpp"
+#include "core/trials.hpp"
+#include "core/voter.hpp"
+#include "stats/summary.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(SolveDense, TwoByTwo) {
+  // [2 1; 1 3] x = [5; 10] -> x = (1, 3).
+  std::vector<double> a = {2, 1, 1, 3};
+  std::vector<double> b = {5, 10};
+  solve_dense(a, b, 2);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SolveDense, PivotingHandlesZeroDiagonal) {
+  // [0 1; 1 0] x = [2; 3] -> x = (3, 2).
+  std::vector<double> a = {0, 1, 1, 0};
+  std::vector<double> b = {2, 3};
+  solve_dense(a, b, 2);
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(SolveDense, SingularMatrixThrows) {
+  std::vector<double> a = {1, 2, 2, 4};
+  std::vector<double> b = {1, 2};
+  EXPECT_THROW(solve_dense(a, b, 2), CheckError);
+}
+
+TEST(SolveDense, MultiRhsSharesFactorization) {
+  std::vector<double> a = {4, 1, 1, 3};
+  std::vector<std::vector<double>> rhs = {{1, 0}, {0, 1}};
+  solve_dense_multi(a, rhs, 2);
+  // Inverse of [4 1; 1 3] is (1/11) [3 -1; -1 4].
+  EXPECT_NEAR(rhs[0][0], 3.0 / 11.0, 1e-12);
+  EXPECT_NEAR(rhs[0][1], -1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(rhs[1][0], -1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(rhs[1][1], 4.0 / 11.0, 1e-12);
+}
+
+TEST(MarkovK2, VoterWinProbabilityIsExactlyLinear) {
+  // The voter count is a martingale: P(win | c0 = i) = i/n exactly. This
+  // exercises the entire pipeline (law -> transition matrix -> solve).
+  Voter voter;
+  const count_t n = 30;
+  const auto analysis = analyze_k2(voter, n);
+  for (count_t i = 0; i <= n; ++i) {
+    EXPECT_NEAR(analysis.win_color0[i], static_cast<double>(i) / n, 1e-9)
+        << "i=" << i;
+  }
+}
+
+TEST(MarkovK2, AbsorbingBoundariesAreExact) {
+  ThreeMajority majority;
+  const auto analysis = analyze_k2(majority, 20);
+  EXPECT_DOUBLE_EQ(analysis.win_color0[0], 0.0);
+  EXPECT_DOUBLE_EQ(analysis.win_color0[20], 1.0);
+  EXPECT_DOUBLE_EQ(analysis.expected_rounds[0], 0.0);
+  EXPECT_DOUBLE_EQ(analysis.expected_rounds[20], 0.0);
+}
+
+TEST(MarkovK2, MajorityWinProbabilityIsMonotoneAndSymmetric) {
+  ThreeMajority majority;
+  const count_t n = 40;
+  const auto analysis = analyze_k2(majority, n);
+  for (count_t i = 1; i <= n; ++i) {
+    EXPECT_GE(analysis.win_color0[i], analysis.win_color0[i - 1] - 1e-12);
+  }
+  for (count_t i = 0; i <= n; ++i) {
+    EXPECT_NEAR(analysis.win_color0[i] + analysis.win_color0[n - i], 1.0, 1e-9);
+  }
+  EXPECT_NEAR(analysis.win_color0[n / 2], 0.5, 1e-9);
+}
+
+TEST(MarkovK2, MajorityAmplifiesBiasBeyondVoter) {
+  // At the same biased start, 3-majority must win more often than the voter
+  // (whose win probability is exactly the share).
+  ThreeMajority majority;
+  Voter voter;
+  const count_t n = 40;
+  const auto maj = analyze_k2(majority, n);
+  const auto vot = analyze_k2(voter, n);
+  for (count_t i = n / 2 + 2; i < n; ++i) {
+    EXPECT_GT(maj.win_color0[i], vot.win_color0[i] + 0.01) << "i=" << i;
+  }
+}
+
+TEST(MarkovK2, ExpectedRoundsPositiveAndBoundedFromBias) {
+  ThreeMajority majority;
+  const count_t n = 40;
+  const auto analysis = analyze_k2(majority, n);
+  for (count_t i = 1; i < n; ++i) {
+    EXPECT_GT(analysis.expected_rounds[i], 0.0);
+    EXPECT_LT(analysis.expected_rounds[i], 1e4);
+  }
+}
+
+TEST(MarkovK2, SimulationMatchesExactWinProbability) {
+  ThreeMajority majority;
+  const count_t n = 50;
+  const count_t start_c0 = 30;
+  const auto analysis = analyze_k2(majority, n);
+  const double exact = analysis.win_color0[start_c0];
+
+  TrialOptions options;
+  options.trials = 4000;
+  options.seed = 9;
+  options.run.max_rounds = 100000;
+  const TrialSummary summary =
+      run_trials(majority, Configuration({start_c0, n - start_c0}), options);
+  const auto ci = stats::wilson_interval(summary.plurality_wins, summary.trials,
+                                         3.29);  // 99.9%
+  EXPECT_GE(exact, ci.low);
+  EXPECT_LE(exact, ci.high);
+}
+
+TEST(MarkovK2, SimulationMatchesExactExpectedRounds) {
+  ThreeMajority majority;
+  const count_t n = 50;
+  const count_t start_c0 = 35;
+  const auto analysis = analyze_k2(majority, n);
+  const double exact = analysis.expected_rounds[start_c0];
+
+  TrialOptions options;
+  options.trials = 4000;
+  options.seed = 10;
+  options.run.max_rounds = 100000;
+  const TrialSummary summary =
+      run_trials(majority, Configuration({start_c0, n - start_c0}), options);
+  EXPECT_EQ(summary.consensus_count, summary.trials);
+  EXPECT_NEAR(summary.rounds.mean(), exact, 6 * summary.rounds.sem());
+}
+
+TEST(MarkovK3, IndexingIsABijection) {
+  AbsorptionK3 dummy;
+  dummy.n = 10;
+  std::vector<std::uint8_t> hit(dummy.num_states(), 0);
+  for (count_t c0 = 0; c0 <= 10; ++c0) {
+    for (count_t c1 = 0; c0 + c1 <= 10; ++c1) {
+      const std::size_t idx = dummy.index(c0, c1);
+      ASSERT_LT(idx, dummy.num_states());
+      EXPECT_EQ(hit[idx], 0) << "collision at (" << c0 << "," << c1 << ")";
+      hit[idx] = 1;
+    }
+  }
+}
+
+TEST(MarkovK3, WinProbabilitiesFormADistribution) {
+  ThreeMajority majority;
+  const count_t n = 18;
+  const auto analysis = analyze_k3(majority, n);
+  for (count_t c0 = 0; c0 <= n; ++c0) {
+    for (count_t c1 = 0; c0 + c1 <= n; ++c1) {
+      const auto& w = analysis.win[analysis.index(c0, c1)];
+      EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-8)
+          << "(" << c0 << "," << c1 << ")";
+    }
+  }
+}
+
+TEST(MarkovK3, SymmetricStartIsFair) {
+  ThreeMajority majority;
+  const count_t n = 18;
+  const auto analysis = analyze_k3(majority, n);
+  const auto& w = analysis.win[analysis.index(6, 6)];  // (6,6,6)
+  EXPECT_NEAR(w[0], 1.0 / 3.0, 1e-8);
+  EXPECT_NEAR(w[1], 1.0 / 3.0, 1e-8);
+  EXPECT_NEAR(w[2], 1.0 / 3.0, 1e-8);
+}
+
+TEST(MarkovK3, PluralityColorIsFavored) {
+  ThreeMajority majority;
+  const count_t n = 18;
+  const auto analysis = analyze_k3(majority, n);
+  const auto& w = analysis.win[analysis.index(10, 5)];  // (10, 5, 3)
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[1], w[2]);
+  EXPECT_GT(w[0], 10.0 / 18.0);  // amplified beyond the voter share
+}
+
+TEST(MarkovExact, RejectsConditionalLawDynamics) {
+  MedianOwnTwo median_own;
+  EXPECT_THROW(analyze_k2(median_own, 10), CheckError);
+  EXPECT_THROW(analyze_k3(median_own, 10), CheckError);
+}
+
+TEST(MarkovExact, InvalidArgsThrow) {
+  Voter voter;
+  EXPECT_THROW(analyze_k2(voter, 1), CheckError);
+  EXPECT_THROW(analyze_k2(voter, 100000), CheckError);
+  EXPECT_THROW(analyze_k3(voter, 2), CheckError);
+  EXPECT_THROW(analyze_k3(voter, 5000), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality

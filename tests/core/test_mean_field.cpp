@@ -1,0 +1,129 @@
+#include "core/mean_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/backend.hpp"
+#include "core/majority.hpp"
+#include "core/undecided.hpp"
+#include "core/voter.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(MeanField, StepPreservesMass) {
+  ThreeMajority dynamics;
+  const std::vector<double> start = {500.0, 300.0, 200.0};
+  const auto next = mean_field_step(dynamics, start);
+  double total = 0;
+  for (double x : next) total += x;
+  EXPECT_NEAR(total, 1000.0, 1e-9);
+}
+
+TEST(MeanField, VoterIsAFixedPointEverywhere) {
+  // The voter's expected map is the identity (martingale): every
+  // configuration is a mean-field fixed point.
+  Voter dynamics;
+  const std::vector<double> start = {321.0, 456.0, 223.0};
+  const auto next = mean_field_step(dynamics, start);
+  for (std::size_t j = 0; j < start.size(); ++j) {
+    EXPECT_NEAR(next[j], start[j], 1e-9);
+  }
+}
+
+TEST(MeanField, MajorityDrainsTheMinorityDeterministically) {
+  ThreeMajority dynamics;
+  MeanFieldOptions options;
+  options.max_rounds = 2000;
+  const auto result =
+      mean_field_trajectory(dynamics, {600.0, 400.0}, options);
+  EXPECT_TRUE(result.converged);
+  const auto& final_state = result.trajectory.back();
+  EXPECT_NEAR(final_state[0], 1000.0, 1e-6);
+  EXPECT_NEAR(final_state[1], 0.0, 1e-6);
+}
+
+TEST(MeanField, BalancedBinaryIsUnstableFixedPoint) {
+  // (n/2, n/2) maps to itself under expectation — the drift only appears
+  // with an asymmetry.
+  ThreeMajority dynamics;
+  const std::vector<double> balanced = {500.0, 500.0};
+  const auto next = mean_field_step(dynamics, balanced);
+  EXPECT_NEAR(next[0], 500.0, 1e-9);
+  EXPECT_NEAR(next[1], 500.0, 1e-9);
+}
+
+TEST(MeanField, TrajectoryBiasGrowsPerLemma3Rate) {
+  // In phase 1 (c1 <= 2n/3) the bias must multiply by >= 1 + c1/(4n) each
+  // round — the mean-field trajectory should show at least that rate.
+  ThreeMajority dynamics;
+  MeanFieldOptions options;
+  options.max_rounds = 200;
+  const auto result = mean_field_trajectory(dynamics, {260.0, 240.0, 250.0, 250.0}, options);
+  const double n = 1000.0;
+  for (std::size_t t = 0; t + 1 < result.trajectory.size(); ++t) {
+    const auto& cur = result.trajectory[t];
+    const auto& nxt = result.trajectory[t + 1];
+    const double c1 = *std::max_element(cur.begin(), cur.end());
+    if (c1 > 2.0 * n / 3.0) break;
+    std::vector<double> sorted_cur(cur.begin(), cur.end());
+    std::sort(sorted_cur.rbegin(), sorted_cur.rend());
+    std::vector<double> sorted_nxt(nxt.begin(), nxt.end());
+    std::sort(sorted_nxt.rbegin(), sorted_nxt.rend());
+    const double bias_cur = sorted_cur[0] - sorted_cur[1];
+    const double bias_nxt = sorted_nxt[0] - sorted_nxt[1];
+    if (bias_cur < 1.0) continue;
+    EXPECT_GE(bias_nxt, bias_cur * (1.0 + c1 / (4.0 * n)) - 1e-9) << "round " << t;
+  }
+}
+
+TEST(MeanField, UndecidedConditionalLawSupported) {
+  UndecidedState dynamics;
+  const std::vector<double> start = {600.0, 400.0, 0.0};
+  const auto next = mean_field_step(dynamics, start);
+  double total = 0;
+  for (double x : next) total += x;
+  EXPECT_NEAR(total, 1000.0, 1e-9);
+  // One pull round: colored nodes meeting the other color become undecided:
+  // expected undecided = c0*c1/n + c1*c0/n = 480.
+  EXPECT_NEAR(next[2], 480.0, 1e-9);
+}
+
+TEST(MeanField, MatchesSimulationAverage) {
+  // The mean of many simulated one-round transitions approximates the
+  // mean-field step (exact in expectation).
+  ThreeMajority dynamics;
+  const Configuration start({700, 200, 100});
+  const auto mf = mean_field_step(dynamics, start.counts_real());
+  rng::Xoshiro256pp gen(3);
+  const int kTrials = 30000;
+  std::vector<double> sums(3, 0.0);
+  for (int t = 0; t < kTrials; ++t) {
+    Configuration c = start;
+    step_count_based(dynamics, c, gen);
+    for (state_t j = 0; j < 3; ++j) sums[j] += static_cast<double>(c.at(j));
+  }
+  for (state_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(sums[j] / kTrials, mf[j], 2.0) << "j=" << j;  // ~6 sigma
+  }
+}
+
+TEST(MeanField, RecordTrajectoryOffKeepsEndpoints) {
+  ThreeMajority dynamics;
+  MeanFieldOptions options;
+  options.record_trajectory = false;
+  options.max_rounds = 500;
+  const auto result = mean_field_trajectory(dynamics, {600.0, 400.0}, options);
+  EXPECT_EQ(result.trajectory.size(), 2u);
+  EXPECT_NEAR(result.trajectory.back()[0], 1000.0, 1e-6);
+}
+
+TEST(MeanField, InvalidInputsThrow) {
+  ThreeMajority dynamics;
+  EXPECT_THROW(mean_field_step(dynamics, std::vector<double>{}), CheckError);
+  EXPECT_THROW(mean_field_step(dynamics, std::vector<double>{0.0, 0.0}), CheckError);
+  EXPECT_THROW(mean_field_step(dynamics, std::vector<double>{-1.0, 2.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality

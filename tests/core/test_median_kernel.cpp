@@ -1,0 +1,116 @@
+// Median kernels (Doerr et al.'s comparison dynamics): order-statistics
+// closed forms vs brute force, and the k=2 coincidence with 3-majority.
+#include "core/median.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.hpp"
+#include "core/majority.hpp"
+#include "kernel_test_utils.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(MedianKernel, LawMatchesBruteForce) {
+  MedianDynamics median;
+  for (const Configuration& c :
+       {Configuration({5, 3, 2}), Configuration({1, 8, 1}), Configuration({4, 4, 4}),
+        Configuration({2, 3, 4, 1}), Configuration({10, 1, 1, 1, 7})}) {
+    std::vector<double> law(c.k());
+    median.adoption_law(c.counts_real(), law);
+    testing::expect_laws_equal(law, testing::brute_force_law(median, c), 1e-12);
+  }
+}
+
+TEST(MedianKernel, BinaryCaseEqualsThreeMajority) {
+  // For k = 2 the median of three samples IS the majority of three — the
+  // equivalence the paper uses to import Doerr et al.'s binary result.
+  MedianDynamics median;
+  ThreeMajority majority;
+  for (const Configuration& c :
+       {Configuration({5, 5}), Configuration({9, 1}), Configuration({30, 70})}) {
+    std::vector<double> law_median(2), law_majority(2);
+    median.adoption_law(c.counts_real(), law_median);
+    majority.adoption_law(c.counts_real(), law_majority);
+    EXPECT_NEAR(law_median[0], law_majority[0], 1e-12) << c.to_string();
+    EXPECT_NEAR(law_median[1], law_majority[1], 1e-12) << c.to_string();
+  }
+}
+
+TEST(MedianKernel, DriftsTowardMedianNotPlurality) {
+  // Plurality sits at an extreme color: the median dynamics must push mass
+  // toward the middle color instead — the root of the exponential gap.
+  MedianDynamics median;
+  const Configuration c({45, 30, 25});  // plurality = color 0 (an extreme)
+  std::vector<double> law(3);
+  median.adoption_law(c.counts_real(), law);
+  const double n = static_cast<double>(c.n());
+  // Expected change: color 1 (the median-straddling color) gains.
+  EXPECT_GT(n * law[1], static_cast<double>(c.at(1)));
+}
+
+TEST(MedianKernel, RuleReturnsMiddleValue) {
+  MedianDynamics median;
+  rng::Xoshiro256pp gen(1);
+  const state_t abc[] = {2, 0, 1};
+  EXPECT_EQ(median.apply_rule(9, abc, 3, gen), 1u);
+  const state_t aab[] = {2, 2, 0};
+  EXPECT_EQ(median.apply_rule(9, aab, 3, gen), 2u);
+  const state_t all_same[] = {1, 1, 1};
+  EXPECT_EQ(median.apply_rule(9, all_same, 3, gen), 1u);
+}
+
+TEST(MedianKernel, MonochromaticAbsorbing) {
+  MedianDynamics median;
+  const Configuration c({0, 9, 0});
+  std::vector<double> law(3);
+  median.adoption_law(c.counts_real(), law);
+  EXPECT_DOUBLE_EQ(law[1], 1.0);
+}
+
+TEST(MedianOwnTwoKernel, LawDependsOnOwnState) {
+  EXPECT_TRUE(MedianOwnTwo().law_depends_on_own_state());
+  EXPECT_EQ(MedianOwnTwo().sample_arity(), 2u);
+}
+
+TEST(MedianOwnTwoKernel, LawMatchesBruteForceOverOwnStates) {
+  // Brute-force P(median(own, X, Y) = j) by enumerating ordered pairs.
+  MedianOwnTwo median;
+  const Configuration c({4, 3, 2, 1});
+  const state_t k = c.k();
+  const double n = static_cast<double>(c.n());
+  for (state_t own = 0; own < k; ++own) {
+    std::vector<double> law(k);
+    median.adoption_law_given(own, c.counts_real(), law);
+    std::vector<double> brute(k, 0.0);
+    rng::Xoshiro256pp gen(1);
+    for (state_t x = 0; x < k; ++x) {
+      for (state_t y = 0; y < k; ++y) {
+        const double prob = (static_cast<double>(c.at(x)) / n) *
+                            (static_cast<double>(c.at(y)) / n);
+        const state_t sample[] = {x, y};
+        brute[median.apply_rule(own, sample, k, gen)] += prob;
+      }
+    }
+    testing::expect_laws_equal(law, brute, 1e-12);
+  }
+}
+
+TEST(MedianOwnTwoKernel, OwnValueAnchorsTheMedian) {
+  // A node at the extreme low color can only move up to the sample minimum;
+  // it can never jump past both samples.
+  MedianOwnTwo median;
+  rng::Xoshiro256pp gen(2);
+  const state_t high_pair[] = {3, 2};
+  EXPECT_EQ(median.apply_rule(0, high_pair, 4, gen), 2u);
+  const state_t split_pair[] = {0, 3};
+  EXPECT_EQ(median.apply_rule(1, split_pair, 4, gen), 1u);  // own is median
+}
+
+TEST(MedianOwnTwoKernel, MonteCarloAgreement) {
+  MedianOwnTwo median;
+  testing::expect_rule_matches_law(median, Configuration({6, 2, 5, 7}), 2, 60000, 11);
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,78 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(Registry, EveryListedNameConstructs) {
+  for (const auto& name : dynamics_names()) {
+    const auto dynamics = make_dynamics(name);
+    ASSERT_NE(dynamics, nullptr) << name;
+    EXPECT_FALSE(dynamics->name().empty()) << name;
+    EXPECT_GE(dynamics->sample_arity(), 1u) << name;
+  }
+}
+
+TEST(Registry, CanonicalNames) {
+  EXPECT_EQ(make_dynamics("3-majority")->name(), "3-majority");
+  EXPECT_EQ(make_dynamics("voter")->name(), "voter");
+  EXPECT_EQ(make_dynamics("2-choices")->name(), "2-choices(uniform-tie)");
+  EXPECT_EQ(make_dynamics("3-median")->name(), "3-median");
+  EXPECT_EQ(make_dynamics("median-own2")->name(), "median(own+2)");
+  EXPECT_EQ(make_dynamics("undecided")->name(), "undecided-state");
+}
+
+TEST(Registry, HPluralityFamilyParsesArbitraryH) {
+  EXPECT_EQ(make_dynamics("5-plurality")->sample_arity(), 5u);
+  EXPECT_EQ(make_dynamics("21-plurality")->sample_arity(), 21u);
+  EXPECT_EQ(make_dynamics("1-plurality")->sample_arity(), 1u);
+}
+
+TEST(Registry, RuleTableNames) {
+  EXPECT_EQ(make_dynamics("rule:first")->sample_arity(), 3u);
+  EXPECT_EQ(make_dynamics("rule:min")->name(), "min");
+  EXPECT_EQ(make_dynamics("rule:median")->name(), "median-table");
+  EXPECT_EQ(make_dynamics("rule:majority-tie-lowest")->sample_arity(), 3u);
+  EXPECT_EQ(make_dynamics("rule:majority-tie-cond")->sample_arity(), 3u);
+  EXPECT_EQ(make_dynamics("rule:majority-tie-last")->sample_arity(), 3u);
+}
+
+TEST(Registry, UndecidedHasAuxiliaryState) {
+  const auto dynamics = make_dynamics("undecided");
+  EXPECT_EQ(dynamics->num_states(4), 5u);
+}
+
+TEST(Registry, ConstructedDynamicsActuallyRun) {
+  // Each registry-built dynamics must produce a valid law or rule.
+  for (const auto& name : dynamics_names()) {
+    const auto dynamics = make_dynamics(name);
+    const state_t colors = 3;
+    const state_t states = dynamics->num_states(colors);
+    std::vector<double> counts(states, 10.0);
+    std::vector<double> law(states);
+    if (dynamics->law_depends_on_own_state()) {
+      dynamics->adoption_law_given(0, counts, law);
+    } else {
+      dynamics->adoption_law(counts, law);
+    }
+    double total = 0.0;
+    for (double p : law) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9) << name;
+  }
+}
+
+TEST(Registry, UnknownNamesThrow) {
+  EXPECT_THROW(make_dynamics("4-majority"), CheckError);
+  EXPECT_THROW(make_dynamics(""), CheckError);
+  EXPECT_THROW(make_dynamics("rule:bogus"), CheckError);
+  EXPECT_THROW(make_dynamics("x-plurality"), CheckError);
+  EXPECT_THROW(make_dynamics("0-plurality"), CheckError);
+  EXPECT_THROW(make_dynamics("plurality"), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,158 @@
+// Theorem 3 infrastructure: the clear-majority / uniform property checkers
+// (Definitions 2-4) and the named 3-input rules used by experiment E4.
+#include "core/rule_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "core/configuration.hpp"
+#include "core/majority.hpp"
+#include "kernel_test_utils.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+constexpr state_t kTestK = 5;
+
+TEST(RuleProperties, AllNamedRulesReturnAnInput) {
+  for (const auto& [label, rule] : all_named_rules()) {
+    EXPECT_TRUE(returns_an_input(rule, kTestK)) << label;
+  }
+}
+
+TEST(RuleProperties, MajorityTieFirstIsInM3) {
+  const Rule3 rule = rule_majority_tie_first();
+  EXPECT_TRUE(has_clear_majority_property(rule, kTestK));
+  EXPECT_TRUE(has_uniform_property(rule, kTestK));
+  EXPECT_TRUE(is_three_majority_class(rule, kTestK));
+}
+
+TEST(RuleProperties, MajorityTieLastIsInM3) {
+  // Equivalent protocol: the paper notes the all-distinct choice is
+  // irrelevant as long as it is position-uniform.
+  EXPECT_TRUE(is_three_majority_class(rule_majority_tie_last(), kTestK));
+}
+
+TEST(RuleProperties, FirstSampleIsUniformButNotClearMajority) {
+  const Rule3 rule = rule_first_sample();
+  EXPECT_FALSE(has_clear_majority_property(rule, kTestK));
+  EXPECT_TRUE(has_uniform_property(rule, kTestK));
+}
+
+TEST(RuleProperties, MinRuleHasNeitherProperty) {
+  const Rule3 rule = rule_min();
+  EXPECT_FALSE(has_clear_majority_property(rule, kTestK));
+  EXPECT_FALSE(has_uniform_property(rule, kTestK));
+}
+
+TEST(RuleProperties, MedianIsClearMajorityButNotUniform) {
+  // Exactly the paper's example of why median dynamics cannot solve
+  // plurality (Theorem 3 discussion).
+  const Rule3 rule = rule_median();
+  EXPECT_TRUE(has_clear_majority_property(rule, kTestK));
+  EXPECT_FALSE(has_uniform_property(rule, kTestK));
+}
+
+TEST(RuleProperties, MedianDeltasAreZeroSixZero) {
+  const auto d = rule_deltas(rule_median(), 0, 1, 2);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 6);
+  EXPECT_EQ(d[2], 0);
+}
+
+TEST(RuleProperties, MajorityTieLowestDeltas) {
+  const auto d = rule_deltas(rule_majority_tie_lowest(), 0, 1, 2);
+  EXPECT_EQ(d[0], 6);
+  EXPECT_EQ(d[1], 0);
+  EXPECT_EQ(d[2], 0);
+  EXPECT_TRUE(has_clear_majority_property(rule_majority_tie_lowest(), kTestK));
+  EXPECT_FALSE(has_uniform_property(rule_majority_tie_lowest(), kTestK));
+}
+
+TEST(RuleProperties, ConditionalRuleHasLemma8DeltaPattern) {
+  // deltas {1,2,3} in some order — the paper's Lemma 8 "hardest case"
+  // non-uniform pattern for a clear-majority rule.
+  const auto d = rule_deltas(rule_majority_tie_conditional(), 0, 1, 2);
+  std::array<int, 3> sorted = d;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted[0], 1);
+  EXPECT_EQ(sorted[1], 2);
+  EXPECT_EQ(sorted[2], 3);
+  EXPECT_TRUE(has_clear_majority_property(rule_majority_tie_conditional(), kTestK));
+  EXPECT_FALSE(has_uniform_property(rule_majority_tie_conditional(), kTestK));
+}
+
+TEST(RuleProperties, DeltasAlwaysSumToSix) {
+  for (const auto& [label, rule] : all_named_rules()) {
+    const auto d = rule_deltas(rule, 1, 3, 4);
+    EXPECT_EQ(d[0] + d[1] + d[2], 6) << label;
+  }
+}
+
+TEST(RuleProperties, DeltaRequiresDistinctColors) {
+  EXPECT_THROW(rule_deltas(rule_min(), 1, 1, 2), CheckError);
+}
+
+TEST(ThreeInputDynamics, LawMatchesClosedFormMajority) {
+  // The O(k^3) enumeration law for the majority rule table must equal the
+  // Lemma 1 closed form of ThreeMajority.
+  ThreeInputDynamics table("majority-table", rule_majority_tie_first());
+  ThreeMajority closed;
+  for (const Configuration& c :
+       {Configuration({5, 3, 2}), Configuration({7, 1, 1, 1}), Configuration({4, 6})}) {
+    std::vector<double> law_table(c.k()), law_closed(c.k());
+    table.adoption_law(c.counts_real(), law_table);
+    closed.adoption_law(c.counts_real(), law_closed);
+    testing::expect_laws_equal(law_table, law_closed, 1e-12);
+  }
+}
+
+TEST(ThreeInputDynamics, LawMatchesBruteForceForMinRule) {
+  ThreeInputDynamics table("min-table", rule_min());
+  const Configuration c({3, 4, 5});
+  std::vector<double> law(3);
+  table.adoption_law(c.counts_real(), law);
+  testing::expect_laws_equal(law, testing::brute_force_law(table, c), 1e-12);
+}
+
+TEST(ThreeInputDynamics, MinRuleDriftsToLowestColor) {
+  ThreeInputDynamics table("min-table", rule_min());
+  const Configuration c({2, 4, 4});  // color 0 is the smallest label, minority
+  std::vector<double> law(3);
+  table.adoption_law(c.counts_real(), law);
+  EXPECT_GT(static_cast<double>(c.n()) * law[0], static_cast<double>(c.at(0)));
+}
+
+TEST(ThreeInputDynamics, ApplyRuleDelegates) {
+  ThreeInputDynamics table("median-table", rule_median());
+  rng::Xoshiro256pp gen(1);
+  const state_t abc[] = {4, 0, 2};
+  EXPECT_EQ(table.apply_rule(9, abc, 5, gen), 2u);
+}
+
+TEST(ThreeInputDynamics, LargeKGuard) {
+  ThreeInputDynamics table("majority-table", rule_majority_tie_first());
+  EXPECT_TRUE(table.has_exact_law(256));
+  EXPECT_FALSE(table.has_exact_law(257));
+  std::vector<double> counts(300, 1.0), out(300);
+  EXPECT_THROW(table.adoption_law(counts, out), CheckError);
+}
+
+TEST(ThreeInputDynamics, EmptyRuleRejected) {
+  EXPECT_THROW(ThreeInputDynamics("broken", Rule3{}), CheckError);
+}
+
+TEST(RuleProperties, AllNamedRulesHaveLabels) {
+  const auto rules = all_named_rules();
+  EXPECT_EQ(rules.size(), 7u);
+  for (const auto& [label, rule] : rules) {
+    EXPECT_NE(label, nullptr);
+    EXPECT_TRUE(static_cast<bool>(rule));
+  }
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,124 @@
+// Exact transient distribution evolution (evolve_k2): the finite-n face of
+// every "w.h.p." statement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/majority.hpp"
+#include "core/markov_exact.hpp"
+#include "core/median.hpp"
+#include "core/voter.hpp"
+#include "rng/binomial.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(TransientK2, DistributionsStayNormalized) {
+  ThreeMajority dynamics;
+  const auto transient = evolve_k2(dynamics, 60, 36, 30);
+  ASSERT_EQ(transient.distribution.size(), 31u);
+  for (const auto& dist : transient.distribution) {
+    double total = 0.0;
+    for (double p : dist) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(TransientK2, StartIsAPointMass) {
+  Voter dynamics;
+  const auto transient = evolve_k2(dynamics, 40, 25, 1);
+  EXPECT_DOUBLE_EQ(transient.distribution[0][25], 1.0);
+  EXPECT_DOUBLE_EQ(transient.absorbed_by_round[0], 0.0);
+}
+
+TEST(TransientK2, OneRoundMatchesBinomialPmf) {
+  // After one round the distribution IS Binomial(n, p0(start)).
+  ThreeMajority dynamics;
+  const count_t n = 50;
+  const count_t start = 30;
+  const auto transient = evolve_k2(dynamics, n, start, 1);
+  std::vector<double> law(2);
+  const double counts[2] = {30.0, 20.0};
+  dynamics.adoption_law(std::span<const double>(counts, 2), law);
+  for (count_t j = 0; j <= n; ++j) {
+    EXPECT_NEAR(transient.distribution[1][j], rng::binomial_pmf(n, law[0], j), 1e-12)
+        << "j=" << j;
+  }
+}
+
+TEST(TransientK2, AbsorptionCdfIsMonotone) {
+  ThreeMajority dynamics;
+  const auto transient = evolve_k2(dynamics, 80, 48, 60);
+  for (std::size_t t = 1; t < transient.absorbed_by_round.size(); ++t) {
+    EXPECT_GE(transient.absorbed_by_round[t], transient.absorbed_by_round[t - 1] - 1e-12);
+    EXPECT_GE(transient.win0_by_round[t], transient.win0_by_round[t - 1] - 1e-12);
+  }
+}
+
+TEST(TransientK2, LimitMatchesAbsorptionSolver) {
+  // Evolving long enough must converge to the stationary split computed by
+  // the linear-solve analysis.
+  ThreeMajority dynamics;
+  const count_t n = 60;
+  const count_t start = 36;
+  const auto exact = analyze_k2(dynamics, n);
+  const auto transient = evolve_k2(dynamics, n, start, 200);
+  EXPECT_NEAR(transient.win0_by_round.back(), exact.win_color0[start], 1e-6);
+  EXPECT_NEAR(transient.absorbed_by_round.back(), 1.0, 1e-6);
+}
+
+TEST(TransientK2, VoterMeanIsConserved) {
+  // The voter martingale, seen through the transient distribution: the mean
+  // of C_0 stays exactly at the start for every round.
+  Voter dynamics;
+  const count_t n = 50;
+  const count_t start = 20;
+  const auto transient = evolve_k2(dynamics, n, start, 40);
+  for (const auto& dist : transient.distribution) {
+    double mean = 0.0;
+    for (count_t i = 0; i <= n; ++i) mean += static_cast<double>(i) * dist[i];
+    EXPECT_NEAR(mean, static_cast<double>(start), 1e-8);
+  }
+}
+
+TEST(TransientK2, MajorityAbsorbsFasterThanVoter) {
+  // P(consensus by round 20) should be near 1 for 3-majority and near 0
+  // for the voter at n = 100 from a biased start.
+  const count_t n = 100;
+  const count_t start = 65;
+  ThreeMajority majority;
+  Voter voter;
+  const auto fast = evolve_k2(majority, n, start, 20);
+  const auto slow = evolve_k2(voter, n, start, 20);
+  EXPECT_GT(fast.absorbed_by_round.back(), 0.99);
+  EXPECT_LT(slow.absorbed_by_round.back(), 0.5);
+}
+
+TEST(TransientK2, WhpCurveSharpensWithN) {
+  // Theorem 1's "w.h.p." concretely: at bias share 0.6, the probability of
+  // NOT being absorbed by round C*log(n) shrinks as n grows.
+  ThreeMajority dynamics;
+  double previous_failure = 1.0;
+  for (const count_t n : {50ull, 100ull, 200ull, 400ull}) {
+    const auto rounds = static_cast<round_t>(4.0 * std::log(static_cast<double>(n)));
+    const auto transient =
+        evolve_k2(dynamics, n, static_cast<count_t>(0.6 * static_cast<double>(n)), rounds);
+    const double failure = 1.0 - transient.absorbed_by_round.back();
+    EXPECT_LT(failure, previous_failure + 1e-12) << "n=" << n;
+    previous_failure = failure;
+  }
+  EXPECT_LT(previous_failure, 0.01);
+}
+
+TEST(TransientK2, RejectsBadInputs) {
+  Voter voter;
+  MedianOwnTwo conditional;
+  EXPECT_THROW(evolve_k2(conditional, 20, 10, 5), CheckError);
+  EXPECT_THROW(evolve_k2(voter, 1, 0, 5), CheckError);
+  EXPECT_THROW(evolve_k2(voter, 20, 21, 5), CheckError);
+  EXPECT_THROW(evolve_k2(voter, 100000, 10, 5), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,114 @@
+// Undecided-state kernel: per-own-state transition probabilities against
+// hand computation and rule-level brute force.
+#include "core/undecided.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.hpp"
+#include "kernel_test_utils.hpp"
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(UndecidedKernel, StateSpaceShape) {
+  UndecidedState dynamics;
+  EXPECT_EQ(dynamics.num_states(4), 5u);
+  EXPECT_EQ(dynamics.num_colors(5), 4u);
+  EXPECT_TRUE(dynamics.law_depends_on_own_state());
+  EXPECT_EQ(dynamics.sample_arity(), 1u);
+}
+
+TEST(UndecidedKernel, ExtendAppendsEmptyUndecided) {
+  const Configuration colors({3, 4});
+  const Configuration extended = UndecidedState::extend_with_undecided(colors);
+  EXPECT_EQ(extended.k(), 3u);
+  EXPECT_EQ(extended.n(), 7u);
+  EXPECT_EQ(extended.at(2), 0u);
+}
+
+TEST(UndecidedKernel, ColoredNodeLawByHand) {
+  // States: colors {0: 4, 1: 3}, undecided 3; n = 10.
+  // A color-0 node keeps 0 with prob (4 + 3)/10, else becomes undecided.
+  UndecidedState dynamics;
+  const Configuration c({4, 3, 3});
+  std::vector<double> law(3);
+  dynamics.adoption_law_given(0, c.counts_real(), law);
+  EXPECT_NEAR(law[0], 0.7, 1e-12);
+  EXPECT_NEAR(law[1], 0.0, 1e-12);
+  EXPECT_NEAR(law[2], 0.3, 1e-12);
+}
+
+TEST(UndecidedKernel, UndecidedNodeLawByHand) {
+  UndecidedState dynamics;
+  const Configuration c({4, 3, 3});
+  std::vector<double> law(3);
+  dynamics.adoption_law_given(2, c.counts_real(), law);
+  EXPECT_NEAR(law[0], 0.4, 1e-12);
+  EXPECT_NEAR(law[1], 0.3, 1e-12);
+  EXPECT_NEAR(law[2], 0.3, 1e-12);
+}
+
+TEST(UndecidedKernel, LawsSumToOneForEveryOwnState) {
+  UndecidedState dynamics;
+  const Configuration c({5, 0, 2, 3});
+  for (state_t own = 0; own < 4; ++own) {
+    std::vector<double> law(4);
+    dynamics.adoption_law_given(own, c.counts_real(), law);
+    double total = 0;
+    for (double p : law) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12) << "own=" << own;
+  }
+}
+
+TEST(UndecidedKernel, RuleTransitions) {
+  UndecidedState dynamics;
+  rng::Xoshiro256pp gen(1);
+  const state_t states = 4;  // colors 0..2, undecided = 3
+  const state_t see_own[] = {1};
+  EXPECT_EQ(dynamics.apply_rule(1, see_own, states, gen), 1u);
+  const state_t see_other[] = {2};
+  EXPECT_EQ(dynamics.apply_rule(1, see_other, states, gen), 3u);  // back off
+  const state_t see_undecided[] = {3};
+  EXPECT_EQ(dynamics.apply_rule(1, see_undecided, states, gen), 1u);  // keep
+  EXPECT_EQ(dynamics.apply_rule(3, see_other, states, gen), 2u);      // adopt
+  EXPECT_EQ(dynamics.apply_rule(3, see_undecided, states, gen), 3u);  // stay
+}
+
+TEST(UndecidedKernel, RuleMatchesLawMonteCarloColored) {
+  UndecidedState dynamics;
+  testing::expect_rule_matches_law(dynamics, Configuration({6, 4, 3, 2}), 1, 60000, 5);
+}
+
+TEST(UndecidedKernel, RuleMatchesLawMonteCarloUndecided) {
+  UndecidedState dynamics;
+  testing::expect_rule_matches_law(dynamics, Configuration({6, 4, 3, 2}), 3, 60000, 6);
+}
+
+TEST(UndecidedKernel, AllUndecidedIsAbsorbing) {
+  UndecidedState dynamics;
+  const Configuration c({0, 0, 9});
+  std::vector<double> law(3);
+  dynamics.adoption_law_given(2, c.counts_real(), law);
+  EXPECT_DOUBLE_EQ(law[2], 1.0);
+}
+
+TEST(UndecidedKernel, MonochromaticColorIsAbsorbing) {
+  UndecidedState dynamics;
+  const Configuration c({9, 0, 0});
+  std::vector<double> law(3);
+  dynamics.adoption_law_given(0, c.counts_real(), law);
+  EXPECT_DOUBLE_EQ(law[0], 1.0);
+}
+
+TEST(UndecidedKernel, InvalidInputsThrow) {
+  UndecidedState dynamics;
+  std::vector<double> out(3);
+  const std::vector<double> counts = {1.0, 2.0, 3.0};
+  EXPECT_THROW(dynamics.adoption_law_given(5, counts, out), CheckError);
+  std::vector<double> short_out(2);
+  EXPECT_THROW(dynamics.adoption_law_given(0, counts, short_out), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality

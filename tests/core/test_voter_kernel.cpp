@@ -1,0 +1,95 @@
+// Voter / 2-choices kernels, including the paper's Section-1 claim that
+// 2 samples + uniform tie-break IS the polling process (E9's exact core).
+#include "core/voter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.hpp"
+#include "kernel_test_utils.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(VoterKernel, LawIsProportionalToCounts) {
+  Voter voter;
+  const Configuration c({6, 3, 1});
+  std::vector<double> law(3);
+  voter.adoption_law(c.counts_real(), law);
+  EXPECT_DOUBLE_EQ(law[0], 0.6);
+  EXPECT_DOUBLE_EQ(law[1], 0.3);
+  EXPECT_DOUBLE_EQ(law[2], 0.1);
+}
+
+TEST(VoterKernel, MatchesBruteForce) {
+  Voter voter;
+  const Configuration c({5, 2, 3});
+  std::vector<double> law(3);
+  voter.adoption_law(c.counts_real(), law);
+  testing::expect_laws_equal(law, testing::brute_force_law(voter, c));
+}
+
+TEST(VoterKernel, RuleAdoptsTheSample) {
+  Voter voter;
+  rng::Xoshiro256pp gen(1);
+  const state_t s[] = {2};
+  EXPECT_EQ(voter.apply_rule(0, s, 3, gen), 2u);
+}
+
+TEST(TwoChoicesKernel, LawEqualsVoterExactly) {
+  // The paper's remark: 2-choices with uniform tie-break == polling.
+  // The two laws are derived independently; they must agree to the last bit
+  // of floating-point roundoff on every configuration.
+  Voter voter;
+  TwoChoices two;
+  for (const Configuration& c :
+       {Configuration({6, 3, 1}), Configuration({50, 50}), Configuration({1, 2, 3, 4}),
+        Configuration({999, 1}), Configuration({10, 0, 5})}) {
+    std::vector<double> voter_law(c.k()), two_law(c.k());
+    voter.adoption_law(c.counts_real(), voter_law);
+    two.adoption_law(c.counts_real(), two_law);
+    for (state_t j = 0; j < c.k(); ++j) {
+      EXPECT_NEAR(voter_law[j], two_law[j], 1e-15) << c.to_string() << " j=" << j;
+    }
+  }
+}
+
+TEST(TwoChoicesKernel, RuleMatchesLawMonteCarlo) {
+  // The randomized tie-break makes the rule-level equivalence statistical.
+  TwoChoices two;
+  testing::expect_rule_matches_law(two, Configuration({7, 5, 8}), 0, 60000, 7);
+}
+
+TEST(TwoChoicesKernel, RuleAdoptsEqualPair) {
+  TwoChoices two;
+  rng::Xoshiro256pp gen(2);
+  const state_t same[] = {1, 1};
+  EXPECT_EQ(two.apply_rule(0, same, 3, gen), 1u);
+}
+
+TEST(TwoChoicesKernel, TieBreakIsUniform) {
+  TwoChoices two;
+  rng::Xoshiro256pp gen(3);
+  const state_t pair[] = {0, 2};
+  int first = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    first += (two.apply_rule(9, pair, 3, gen) == 0);
+  }
+  EXPECT_NEAR(first, kTrials / 2, 6 * 71);  // 6 sigma
+}
+
+TEST(VoterKernel, ExpectationIsMartingale) {
+  // E[C'_j] = n * c_j / n = c_j for every color: the count is a martingale,
+  // which is why the voter forgets the initial bias.
+  Voter voter;
+  const Configuration c({123, 456, 421});
+  std::vector<double> law(3);
+  voter.adoption_law(c.counts_real(), law);
+  for (state_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(static_cast<double>(c.n()) * law[j], static_cast<double>(c.at(j)),
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace plurality

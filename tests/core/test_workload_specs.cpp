@@ -1,0 +1,65 @@
+// parse_workload: the CLI-facing workload grammar.
+#include <gtest/gtest.h>
+
+#include "core/workloads.hpp"
+#include "support/check.hpp"
+
+namespace plurality::workloads {
+namespace {
+
+TEST(WorkloadSpec, Balanced) {
+  const Configuration c = parse_workload("balanced", 100, 4);
+  EXPECT_EQ(c, balanced(100, 4));
+}
+
+TEST(WorkloadSpec, ExplicitBias) {
+  const Configuration c = parse_workload("bias:50", 1000, 4);
+  EXPECT_EQ(c, additive_bias(1000, 4, 50));
+}
+
+TEST(WorkloadSpec, CriticalMultipleBias) {
+  const count_t n = 100000;
+  const state_t k = 4;
+  const Configuration c = parse_workload("bias:2c", n, k);
+  const auto expected = static_cast<count_t>(2.0 * critical_bias_scale(n, k));
+  EXPECT_EQ(c, additive_bias(n, k, expected));
+}
+
+TEST(WorkloadSpec, Share) {
+  EXPECT_EQ(parse_workload("share:0.4", 1000, 5), plurality_share(1000, 5, 0.4));
+}
+
+TEST(WorkloadSpec, Zipf) {
+  EXPECT_EQ(parse_workload("zipf:1.0", 1000, 5), zipf(1000, 5, 1.0));
+}
+
+TEST(WorkloadSpec, NearBalanced) {
+  EXPECT_EQ(parse_workload("near-balanced:0.25", 100000, 8),
+            near_balanced(100000, 8, 0.25));
+}
+
+TEST(WorkloadSpec, Lemma10) {
+  EXPECT_EQ(parse_workload("lemma10:20", 1000, 4), lemma10(1000, 4, 20));
+}
+
+TEST(WorkloadSpec, Theorem3ForcesThreeColors) {
+  const Configuration c = parse_workload("theorem3:30", 999, 7);
+  EXPECT_EQ(c.k(), 3u);
+  EXPECT_EQ(c, theorem3(999, 30));
+}
+
+TEST(WorkloadSpec, MalformedSpecsThrow) {
+  EXPECT_THROW(parse_workload("bogus", 100, 4), CheckError);
+  EXPECT_THROW(parse_workload("bias:", 100, 4), CheckError);
+  EXPECT_THROW(parse_workload("bias:abc", 100, 4), CheckError);
+  EXPECT_THROW(parse_workload("share:1.5", 100, 4), CheckError);  // share in (0,1)
+  EXPECT_THROW(parse_workload("balanced:3", 100, 4), CheckError);
+  EXPECT_THROW(parse_workload("zipf:-1", 100, 4), CheckError);
+}
+
+TEST(WorkloadSpec, BiasWithTrailingGarbageThrows) {
+  EXPECT_THROW(parse_workload("bias:12x", 1000, 4), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::workloads

@@ -1,0 +1,160 @@
+#include "core/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/xoshiro.hpp"
+#include "support/check.hpp"
+
+namespace plurality::workloads {
+namespace {
+
+TEST(Workloads, BalancedSpreadsRemainder) {
+  const Configuration c = balanced(10, 3);
+  EXPECT_EQ(c.n(), 10u);
+  EXPECT_EQ(c.at(0), 4u);
+  EXPECT_EQ(c.at(1), 3u);
+  EXPECT_EQ(c.at(2), 3u);
+}
+
+TEST(Workloads, BalancedExactDivision) {
+  const Configuration c = balanced(12, 4);
+  for (state_t j = 0; j < 4; ++j) EXPECT_EQ(c.at(j), 3u);
+}
+
+TEST(Workloads, AdditiveBiasProducesRequestedBias) {
+  const Configuration c = additive_bias(1000, 4, 100);
+  EXPECT_EQ(c.n(), 1000u);
+  EXPECT_EQ(c.plurality_all(), 0u);
+  // (n - s) = 900 splits 225 each; color 0 has 325.
+  EXPECT_EQ(c.at(0), 325u);
+  EXPECT_EQ(c.bias_all(), 100u);
+}
+
+TEST(Workloads, AdditiveBiasRoundingKeepsBiasClose) {
+  const Configuration c = additive_bias(1003, 4, 100);
+  EXPECT_EQ(c.n(), 1003u);
+  const count_t bias = c.bias_all();
+  EXPECT_GE(bias, 99u);
+  EXPECT_LE(bias, 101u);
+}
+
+TEST(Workloads, AdditiveBiasValidation) {
+  EXPECT_THROW(additive_bias(10, 1, 1), CheckError);
+  EXPECT_THROW(additive_bias(10, 2, 11), CheckError);
+  EXPECT_THROW(additive_bias(10, 4, 8), CheckError);  // residual < k
+}
+
+TEST(Workloads, PluralityShareControlsLambda) {
+  const Configuration c = plurality_share(1000, 5, 0.4);
+  EXPECT_EQ(c.n(), 1000u);
+  EXPECT_EQ(c.at(0), 400u);
+  EXPECT_EQ(c.at(1), 150u);
+}
+
+TEST(Workloads, PluralityShareValidation) {
+  EXPECT_THROW(plurality_share(100, 2, 0.0), CheckError);
+  EXPECT_THROW(plurality_share(100, 2, 1.0), CheckError);
+}
+
+TEST(Workloads, Lemma10Shape) {
+  // x = (n - s)/k, config (x+s, x, ..., x).
+  const Configuration c = lemma10(1000, 4, 20);
+  EXPECT_EQ(c.n(), 1000u);
+  const count_t x = (1000 - 20) / 4;  // 245
+  EXPECT_EQ(c.at(0), x + 20);
+  for (state_t j = 1; j < 4; ++j) EXPECT_GE(c.at(j), x);
+}
+
+TEST(Workloads, Lemma10RequiresSmallBias) {
+  EXPECT_THROW(lemma10(100, 4, 50), CheckError);  // s > x
+}
+
+TEST(Workloads, Theorem3Shape) {
+  const Configuration c = theorem3(999, 30);
+  EXPECT_EQ(c.n(), 999u);
+  EXPECT_EQ(c.at(0), 363u);
+  EXPECT_EQ(c.at(1), 333u);
+  EXPECT_EQ(c.at(2), 303u);
+}
+
+TEST(Workloads, Theorem3NonDivisibleN) {
+  const Configuration c = theorem3(1000, 30);
+  EXPECT_EQ(c.n(), 1000u);
+  EXPECT_EQ(c.at(0), 363u);  // still the strict plurality
+  EXPECT_GT(c.at(0), c.at(1));
+  EXPECT_GT(c.at(1), c.at(2));
+}
+
+TEST(Workloads, NearBalancedRespectsTheorem2Cap) {
+  const count_t n = 100000;
+  const state_t k = 10;
+  const double eps = 0.3;
+  const Configuration c = near_balanced(n, k, eps);
+  EXPECT_EQ(c.n(), n);
+  const double cap = static_cast<double>(n) / k +
+                     std::pow(static_cast<double>(n) / k, 1.0 - eps);
+  EXPECT_LE(static_cast<double>(c.plurality_count(k)), cap + 1.0);
+  EXPECT_EQ(c.plurality_all(), 0u);
+  EXPECT_GT(c.bias_all(), 0u);
+}
+
+TEST(Workloads, ZipfThetaZeroIsBalanced) {
+  const Configuration c = zipf(100, 4, 0.0);
+  for (state_t j = 0; j < 4; ++j) EXPECT_EQ(c.at(j), 25u);
+}
+
+TEST(Workloads, ZipfIsSkewedAndExact) {
+  const Configuration c = zipf(1000, 5, 1.0);
+  EXPECT_EQ(c.n(), 1000u);
+  for (state_t j = 1; j < 5; ++j) EXPECT_LE(c.at(j), c.at(j - 1));
+  EXPECT_GT(c.at(0), 2 * c.at(4));
+}
+
+TEST(Workloads, SampleFromWeightsSumsToN) {
+  rng::Xoshiro256pp gen(1);
+  const std::vector<double> w = {1.0, 2.0, 1.0};
+  const Configuration c = sample_from_weights(1000, w, gen);
+  EXPECT_EQ(c.n(), 1000u);
+  EXPECT_EQ(c.k(), 3u);
+  // Middle color has twice the weight: should clearly dominate color 0.
+  EXPECT_GT(c.at(1), c.at(0));
+}
+
+TEST(Workloads, LargestRemainderExactness) {
+  const std::vector<double> targets = {1.0, 1.0, 1.0};
+  const auto counts = largest_remainder_round(10, targets);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 10u);
+  // 3.33 each; remainders equal, ties to lower index: (4, 3, 3).
+  EXPECT_EQ(counts[0], 4u);
+}
+
+TEST(Workloads, LargestRemainderHandlesZeros) {
+  const std::vector<double> targets = {0.0, 1.0};
+  const auto counts = largest_remainder_round(5, targets);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 5u);
+}
+
+TEST(Workloads, CriticalBiasScaleMatchesFormula) {
+  const count_t n = 1'000'000;
+  const state_t k = 2;
+  const double ln_n = std::log(1e6);
+  const double lambda = std::min(4.0, std::cbrt(1e6 / ln_n));
+  EXPECT_NEAR(critical_bias_scale(n, k), std::sqrt(lambda * 1e6 * ln_n), 1e-6);
+}
+
+TEST(Workloads, CriticalBiasScaleCapsAtCubeRoot) {
+  // For huge k the min is the cube-root term, independent of k.
+  const count_t n = 1'000'000;
+  EXPECT_DOUBLE_EQ(critical_bias_scale(n, 1000), critical_bias_scale(n, 2000));
+}
+
+TEST(Workloads, CriticalBiasLambdaFormula) {
+  EXPECT_NEAR(critical_bias_scale_lambda(10000, 4.0),
+              std::sqrt(4.0 * 10000 * std::log(10000.0)), 1e-9);
+}
+
+}  // namespace
+}  // namespace plurality::workloads

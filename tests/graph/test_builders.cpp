@@ -1,0 +1,110 @@
+#include "graph/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/check.hpp"
+
+namespace plurality::graph {
+namespace {
+
+TEST(Builders, CycleIsTwoRegularAndConnected) {
+  const Topology t = cycle(10);
+  EXPECT_EQ(t.num_nodes(), 10u);
+  EXPECT_EQ(t.min_degree(), 2u);
+  EXPECT_EQ(t.max_degree(), 2u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Builders, CycleNeighborsAreAdjacent) {
+  const Topology t = cycle(5);
+  const auto n0 = t.neighbors(0);
+  const std::set<count_t> neighbors(n0.begin(), n0.end());
+  EXPECT_EQ(neighbors, (std::set<count_t>{1, 4}));
+}
+
+TEST(Builders, CycleTooSmallThrows) {
+  EXPECT_THROW(cycle(2), CheckError);
+}
+
+TEST(Builders, TorusIsFourRegularAndConnected) {
+  const Topology t = torus(4, 5);
+  EXPECT_EQ(t.num_nodes(), 20u);
+  EXPECT_EQ(t.min_degree(), 4u);
+  EXPECT_EQ(t.max_degree(), 4u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Builders, TorusNeighborsWrapAround) {
+  const Topology t = torus(3, 3);
+  const auto n0 = t.neighbors(0);  // node (0,0)
+  const std::set<count_t> neighbors(n0.begin(), n0.end());
+  // Right (0,1)=1, left (0,2)=2, down (1,0)=3, up (2,0)=6.
+  EXPECT_EQ(neighbors, (std::set<count_t>{1, 2, 3, 6}));
+}
+
+TEST(Builders, RandomRegularHasExactDegrees) {
+  rng::Xoshiro256pp gen(1);
+  const Topology t = random_regular(200, 6, gen);
+  EXPECT_EQ(t.num_nodes(), 200u);
+  EXPECT_EQ(t.min_degree(), 6u);
+  EXPECT_EQ(t.max_degree(), 6u);
+}
+
+TEST(Builders, RandomRegularIsSimple) {
+  rng::Xoshiro256pp gen(2);
+  const Topology t = random_regular(100, 4, gen);
+  for (count_t v = 0; v < 100; ++v) {
+    const auto neigh = t.neighbors(v);
+    std::set<count_t> unique(neigh.begin(), neigh.end());
+    EXPECT_EQ(unique.size(), neigh.size()) << "parallel edge at " << v;
+    EXPECT_EQ(unique.count(v), 0u) << "self loop at " << v;
+  }
+}
+
+TEST(Builders, RandomRegularTypicallyConnected) {
+  // Random d-regular graphs with d >= 3 are connected w.h.p.
+  rng::Xoshiro256pp gen(3);
+  const Topology t = random_regular(300, 4, gen);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Builders, RandomRegularOddProductThrows) {
+  rng::Xoshiro256pp gen(4);
+  EXPECT_THROW(random_regular(5, 3, gen), CheckError);
+  EXPECT_THROW(random_regular(10, 10, gen), CheckError);  // d >= n
+}
+
+TEST(Builders, ErdosRenyiHasRequestedEdges) {
+  rng::Xoshiro256pp gen(5);
+  const Topology t = erdos_renyi(100, 400, gen);
+  EXPECT_EQ(t.num_arcs(), 800u);  // each edge stored in both directions
+}
+
+TEST(Builders, ErdosRenyiEdgesAreDistinctAndSimple) {
+  rng::Xoshiro256pp gen(6);
+  const Topology t = erdos_renyi(50, 200, gen);
+  std::set<std::pair<count_t, count_t>> seen;
+  for (count_t v = 0; v < 50; ++v) {
+    for (count_t u : t.neighbors(v)) {
+      EXPECT_NE(u, v);
+      if (v < u) seen.insert({v, u});
+    }
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(Builders, ErdosRenyiFullGraph) {
+  rng::Xoshiro256pp gen(7);
+  const Topology t = erdos_renyi(10, 45, gen);  // complete K10
+  EXPECT_EQ(t.min_degree(), 9u);
+}
+
+TEST(Builders, ErdosRenyiTooManyEdgesThrows) {
+  rng::Xoshiro256pp gen(8);
+  EXPECT_THROW(erdos_renyi(10, 46, gen), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::graph

@@ -1,0 +1,116 @@
+#include "graph/agent_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/backend.hpp"
+#include "core/majority.hpp"
+#include "core/voter.hpp"
+#include "core/workloads.hpp"
+#include "graph/builders.hpp"
+#include "stats/chi_square.hpp"
+#include "support/check.hpp"
+
+namespace plurality::graph {
+namespace {
+
+TEST(GraphSim, PreservesPopulation) {
+  ThreeMajority dynamics;
+  const Topology topo = torus(10, 10);
+  GraphSimulation sim(dynamics, topo, workloads::additive_bias(100, 3, 30), 1);
+  for (int round = 0; round < 20; ++round) {
+    sim.step();
+    EXPECT_EQ(sim.configuration().n(), 100u);
+  }
+}
+
+TEST(GraphSim, DeterministicForSeed) {
+  ThreeMajority dynamics;
+  const Topology topo = cycle(60);
+  GraphSimulation a(dynamics, topo, workloads::additive_bias(60, 2, 20), 7);
+  GraphSimulation b(dynamics, topo, workloads::additive_bias(60, 2, 20), 7);
+  for (int round = 0; round < 10; ++round) {
+    a.step();
+    b.step();
+    EXPECT_EQ(a.configuration(), b.configuration());
+  }
+}
+
+TEST(GraphSim, PopulationMismatchThrows) {
+  ThreeMajority dynamics;
+  const Topology topo = cycle(10);
+  EXPECT_THROW(
+      GraphSimulation(dynamics, topo, workloads::additive_bias(20, 2, 5), 1),
+      CheckError);
+}
+
+TEST(GraphSim, CompleteTopologyMatchesCliqueBackendInDistribution) {
+  // On Topology::complete, one GraphSimulation round must sample the same
+  // transition distribution as the clique count-based backend.
+  ThreeMajority dynamics;
+  const count_t n = 150;
+  const Configuration start({80, 40, 30});
+  const Topology topo = Topology::complete(n);
+
+  const int kTrials = 3000;
+  std::vector<std::uint64_t> graph_hist(n + 1, 0), count_hist(n + 1, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    GraphSimulation sim(dynamics, topo, start, 5000 + t, /*shuffle_layout=*/false);
+    sim.step();
+    ++graph_hist[sim.configuration().at(0)];
+  }
+  rng::Xoshiro256pp gen(9);
+  for (int t = 0; t < kTrials; ++t) {
+    Configuration c = start;
+    step_count_based(dynamics, c, gen);
+    ++count_hist[c.at(0)];
+  }
+  const auto result = stats::chi_square_two_sample(graph_hist, count_hist);
+  EXPECT_GT(result.p_value, 1e-6) << "stat=" << result.statistic;
+}
+
+TEST(GraphSim, ConsensusOnDenseRandomGraph) {
+  // Strong bias on a well-connected random regular graph: 3-majority should
+  // still reach consensus on the plurality.
+  ThreeMajority dynamics;
+  rng::Xoshiro256pp topo_gen(10);
+  const Topology topo = random_regular(500, 16, topo_gen);
+  GraphSimulation sim(dynamics, topo, workloads::additive_bias(500, 2, 300), 11);
+  const round_t rounds = sim.run_to_consensus(2000);
+  EXPECT_LT(rounds, 2000u);
+  EXPECT_TRUE(sim.configuration().color_consensus(2));
+  EXPECT_EQ(sim.configuration().at(0), 500u);
+}
+
+TEST(GraphSim, VoterOnCycleEventuallyAbsorbs) {
+  // The voter on a small cycle absorbs in reasonable time; mostly a smoke
+  // test of neighbor sampling on a sparse topology.
+  Voter dynamics;
+  const Topology topo = cycle(30);
+  GraphSimulation sim(dynamics, topo, workloads::balanced(30, 2), 12);
+  const round_t rounds = sim.run_to_consensus(200000);
+  EXPECT_LT(rounds, 200000u);
+  EXPECT_TRUE(sim.configuration().color_consensus(2));
+}
+
+TEST(GraphSim, ShuffleLayoutChangesNodePlacementNotCounts) {
+  ThreeMajority dynamics;
+  const Topology topo = cycle(50);
+  const Configuration start = workloads::additive_bias(50, 2, 10);
+  GraphSimulation plain(dynamics, topo, start, 13, /*shuffle_layout=*/false);
+  GraphSimulation shuffled(dynamics, topo, start, 13, /*shuffle_layout=*/true);
+  EXPECT_EQ(plain.configuration(), shuffled.configuration());
+  EXPECT_NE(plain.states(), shuffled.states());
+}
+
+TEST(GraphSim, RoundCounterAdvances) {
+  Voter dynamics;
+  const Topology topo = cycle(10);
+  GraphSimulation sim(dynamics, topo, workloads::balanced(10, 2), 14);
+  EXPECT_EQ(sim.round(), 0u);
+  sim.step();
+  sim.step();
+  EXPECT_EQ(sim.round(), 2u);
+}
+
+}  // namespace
+}  // namespace plurality::graph

@@ -1,0 +1,291 @@
+// Small-scale, fast assertions with the SHAPE of the paper's theorems.
+// The full quantitative sweeps live in bench/ (E1-E14); these tests pin the
+// qualitative content so a regression that breaks a theorem's direction
+// fails CI, not just an experiment rerun.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hplurality.hpp"
+#include "core/majority.hpp"
+#include "core/median.hpp"
+#include "core/rule_table.hpp"
+#include "core/runner.hpp"
+#include "core/trials.hpp"
+#include "core/undecided.hpp"
+#include "core/voter.hpp"
+#include "core/workloads.hpp"
+
+namespace plurality {
+namespace {
+
+TrialOptions quick_trials(std::uint64_t trials, std::uint64_t seed,
+                          round_t max_rounds = 200000) {
+  TrialOptions options;
+  options.trials = trials;
+  options.seed = seed;
+  options.run.max_rounds = max_rounds;
+  return options;
+}
+
+TEST(TheoremShapes, T1_MajorityWinsFastAtPaperBias) {
+  // Theorem 1 / Corollary 1: above the critical bias, 3-majority converges
+  // to the initial plurality w.h.p. in O(min{2k, ...} log n) rounds.
+  ThreeMajority dynamics;
+  const count_t n = 20000;
+  const state_t k = 4;
+  const auto s = static_cast<count_t>(2.0 * workloads::critical_bias_scale(n, k));
+  const Configuration start = workloads::additive_bias(n, k, s);
+  const TrialSummary summary = run_trials(dynamics, start, quick_trials(60, 101));
+  EXPECT_EQ(summary.plurality_wins, summary.trials);
+  // Generous cap at c * 2k * log n.
+  const double cap = 20.0 * 2 * k * std::log(static_cast<double>(n));
+  EXPECT_LT(summary.rounds.max(), cap);
+}
+
+TEST(TheoremShapes, T1_ConvergenceGrowsWithK) {
+  // The min{2k,...} factor: with bias fixed as a multiple of the k-specific
+  // critical scale, mean convergence time grows with k.
+  ThreeMajority dynamics;
+  const count_t n = 60000;
+  double previous_mean = 0.0;
+  for (state_t k : {2, 8, 32}) {
+    const auto s = static_cast<count_t>(1.5 * workloads::critical_bias_scale(n, k));
+    const Configuration start = workloads::additive_bias(n, k, s);
+    const TrialSummary summary =
+        run_trials(dynamics, start, quick_trials(30, 200 + k));
+    EXPECT_GT(summary.rounds.mean(), previous_mean) << "k=" << k;
+    previous_mean = summary.rounds.mean();
+  }
+}
+
+TEST(TheoremShapes, T2_NearBalancedStartIsSlowInK) {
+  // Theorem 2's engine (Lemma 6): the positive imbalance grows by at most a
+  // (1 + 3/k) factor per round, so from max_j c_j <= n/k + (n/k)^{1-eps} the
+  // rounds needed for the leader to just reach 2n/k scale linearly in k.
+  // eps = 0.25 keeps the start drift-dominated (imbalance >> sqrt(n/k)), so
+  // the multiplicative-growth picture is clean at this small scale.
+  ThreeMajority dynamics;
+  const count_t n = 65536;
+  std::vector<double> times;
+  for (state_t k : {4, 16}) {
+    TrialOptions options = quick_trials(20, 300 + k);
+    options.run.stop_predicate = stop_when_any_color_reaches(2 * (n / k), k);
+    const TrialSummary summary =
+        run_trials(dynamics, workloads::near_balanced(n, k, 0.25), options);
+    EXPECT_EQ(summary.predicate_stops, summary.trials) << "k=" << k;
+    times.push_back(summary.rounds.mean());
+  }
+  // k grew 4x; the doubling time should grow at least ~2x (asymptotically 4x).
+  EXPECT_GT(times[1], 2.0 * times[0]);
+}
+
+TEST(TheoremShapes, EQ2_VoterLosesWithConstantProbabilityDespiteHugeBias) {
+  // Section 1: the polling process converges to the minority with constant
+  // probability even at s = Theta(n). Exact lose probability at share 0.6
+  // is 0.4 (martingale); 400 trials put losses far above 100.
+  Voter dynamics;
+  const count_t n = 500;
+  const Configuration start({300, 200});
+  const TrialSummary summary = run_trials(dynamics, start, quick_trials(400, 400, 1000000));
+  EXPECT_EQ(summary.consensus_count, summary.trials);
+  const std::uint64_t losses = summary.consensus_count - summary.plurality_wins;
+  EXPECT_GT(losses, 100u);
+  EXPECT_LT(losses, 220u);  // ~160 expected
+}
+
+TEST(TheoremShapes, GAP_MedianReachesConsensusButMissesPlurality) {
+  // The median dynamics stabilizes on (a neighborhood of) the median color,
+  // not the plurality: start with the plurality at an extreme color but the
+  // median inside color 1.
+  MedianDynamics median;
+  ThreeMajority majority;
+  const Configuration start({4400, 3000, 2600});  // plurality 0; median color 1
+  const TrialSummary median_summary =
+      run_trials(median, start, quick_trials(60, 500));
+  EXPECT_EQ(median_summary.consensus_count, median_summary.trials);
+  // Median consensus lands on color 1 (the median), so plurality-win is rare.
+  EXPECT_LT(median_summary.win_rate(), 0.2);
+
+  const TrialSummary majority_summary =
+      run_trials(majority, start, quick_trials(60, 501));
+  EXPECT_GT(majority_summary.win_rate(), 0.95);
+}
+
+TEST(TheoremShapes, GAP_MedianIsFastRegardlessOfK) {
+  // Doerr et al.: median reaches stabilizing consensus in O(log n) for any
+  // k. With k = 64 near-balanced, the median dynamics still finishes in
+  // hundreds of rounds while 3-majority needs Omega(k log n).
+  MedianDynamics median;
+  const count_t n = 30000;
+  const state_t k = 64;
+  const Configuration start = workloads::near_balanced(n, k, 0.5);
+  const TrialSummary summary = run_trials(median, start, quick_trials(20, 600, 20000));
+  EXPECT_EQ(summary.consensus_count, summary.trials);
+  EXPECT_LT(summary.rounds.mean(), 500.0);
+}
+
+TEST(TheoremShapes, T3_NonUniformClearMajorityRuleMissesPlurality) {
+  // Lemma 8's configuration with the plurality on the HIGH color and a
+  // tie-to-lowest rule: the rule's label bias overrides the plurality.
+  ThreeInputDynamics biased("majority/tie-lowest", rule_majority_tie_lowest());
+  const count_t n = 9000;
+  const count_t s = 300;  // s = eta * n with small eta, per Theorem 3(b)
+  const count_t third = n / 3;
+  const Configuration start({third - s, third, third + s});  // plurality = color 2
+  const TrialSummary summary = run_trials(biased, start, quick_trials(60, 700));
+  EXPECT_EQ(summary.consensus_count, summary.trials);
+  EXPECT_LT(summary.win_rate(), 0.1);  // color 2 essentially never wins
+}
+
+TEST(TheoremShapes, T3_NoClearMajorityRuleActsLikeVoter) {
+  // first-sample (uniform, no clear-majority) is the voter: loses a
+  // constant fraction from a Theta(n) bias.
+  ThreeInputDynamics first("first-sample", rule_first_sample());
+  const Configuration start({300, 200});
+  const TrialSummary summary = run_trials(first, start, quick_trials(300, 800, 1000000));
+  const std::uint64_t losses = summary.consensus_count - summary.plurality_wins;
+  EXPECT_GT(losses, 60u);  // ~120 expected at lose prob 0.4
+}
+
+TEST(TheoremShapes, T4_LargerSamplesConvergeFasterButBoundedly) {
+  // h-plurality from a near-balanced start: h = 9 beats h = 3, and the
+  // speedup stays within the Theorem-4 ceiling (h'/h)^2 * polylog slack.
+  const count_t n = 20000;
+  const state_t k = 8;
+  const Configuration start = workloads::near_balanced(n, k, 0.5);
+  HPlurality h3(3), h9(9);
+  const TrialSummary s3 = run_trials(h3, start, quick_trials(20, 900, 100000));
+  const TrialSummary s9 = run_trials(h9, start, quick_trials(20, 901, 100000));
+  EXPECT_EQ(s3.consensus_count, s3.trials);
+  EXPECT_EQ(s9.consensus_count, s9.trials);
+  EXPECT_LT(s9.rounds.mean(), s3.rounds.mean());
+  const double speedup = s3.rounds.mean() / s9.rounds.mean();
+  EXPECT_LT(speedup, 9.0 * 4.0);  // (9/3)^2 with generous slack
+}
+
+TEST(TheoremShapes, L10_SmallBiasDecreasesInOneRoundWithConstantProbability) {
+  // Lemma 10: from (x+s, x, ..., x) with s <= sqrt(kn)/6, the bias DROPS in
+  // one round with probability >= 1/(16e) ~ 0.023.
+  ThreeMajority dynamics;
+  const count_t n = 10000;
+  const state_t k = 16;
+  const auto s = static_cast<count_t>(std::sqrt(static_cast<double>(k) * n) / 6.0);
+  const Configuration start = workloads::lemma10(n, k, s);
+  rng::Xoshiro256pp gen(1000);
+  int decreased = 0;
+  const int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    Configuration c = start;
+    step_count_based(dynamics, c, gen);
+    // Bias vs a FIXED non-plurality color (j = 1), as in the lemma.
+    const double new_bias =
+        static_cast<double>(c.at(0)) - static_cast<double>(c.at(1));
+    decreased += (new_bias < static_cast<double>(s));
+  }
+  EXPECT_GT(decreased, static_cast<int>(kTrials / 16.0 / std::exp(1.0)));
+}
+
+TEST(TheoremShapes, L10_LargeBiasGrowsMonotonically) {
+  // Contrast: well above the critical scale, the bias increases w.h.p. in
+  // every round (what the Theorem 1 proof relies on).
+  ThreeMajority dynamics;
+  const count_t n = 10000;
+  const state_t k = 4;
+  const auto s = static_cast<count_t>(2.0 * workloads::critical_bias_scale(n, k));
+  rng::Xoshiro256pp gen(1100);
+  int monotone_runs = 0;
+  const int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    Configuration c = workloads::additive_bias(n, k, s);
+    bool monotone = true;
+    count_t prev_bias = c.bias(k);
+    for (int round = 0; round < 10 && !c.color_consensus(k); ++round) {
+      step_count_based(dynamics, c, gen);
+      const count_t bias = c.bias(k);
+      if (bias < prev_bias) {
+        monotone = false;
+        break;
+      }
+      prev_bias = bias;
+    }
+    monotone_runs += monotone;
+  }
+  EXPECT_GE(monotone_runs, kTrials - 2);
+}
+
+TEST(TheoremShapes, UND_ConvergenceScalesWithMonochromaticDistance) {
+  // [4]'s headline: undecided-state convergence is linear in the
+  // monochromatic distance md(c) = sum_j (c_j/c_max)^2. A balanced k-color
+  // start has md = k; a skewed start with one dominant color has md ~ 1.
+  // Same n, same k: the round counts should differ by a large factor.
+  UndecidedState undecided;
+  const count_t n = 32768;
+  const state_t k = 32;
+
+  const Configuration balanced = workloads::balanced(n, k);  // md = 32
+  std::vector<count_t> skewed_counts(k, (n / 4) / (k - 1));
+  skewed_counts[0] = n - (k - 1) * ((n / 4) / (k - 1));      // md ~ 1.03
+  const Configuration skewed(std::move(skewed_counts));
+
+  const TrialSummary balanced_summary =
+      run_trials(undecided, UndecidedState::extend_with_undecided(balanced),
+                 quick_trials(20, 1200, 200000));
+  const TrialSummary skewed_summary =
+      run_trials(undecided, UndecidedState::extend_with_undecided(skewed),
+                 quick_trials(20, 1201, 200000));
+  EXPECT_EQ(balanced_summary.consensus_count, balanced_summary.trials);
+  EXPECT_EQ(skewed_summary.consensus_count, skewed_summary.trials);
+  // md ratio is ~31; demand at least a 3x separation in rounds.
+  EXPECT_GT(balanced_summary.rounds.mean(), 3.0 * skewed_summary.rounds.mean());
+  EXPECT_GT(skewed_summary.win_rate(), 0.9);
+}
+
+TEST(TheoremShapes, UND_PluralityCanDieInOneRoundWhenKIsHuge) {
+  // Section 1 / [4]: for k = omega(sqrt n) there are configurations where
+  // the undecided-state dynamics kills the plurality color in ONE round
+  // with constant probability (every plurality supporter pulls a different
+  // color and goes undecided).
+  UndecidedState undecided;
+  const count_t n = 900;
+  const state_t k = 300;
+  Configuration colors = workloads::balanced(n, k);  // 3 nodes per color
+  colors.move_mass(1, 0, 1);                         // plurality: c0 = 4
+  const Configuration start = UndecidedState::extend_with_undecided(colors);
+
+  rng::Xoshiro256pp gen(1250);
+  int died = 0;
+  const int kTrials = 1000;
+  for (int t = 0; t < kTrials; ++t) {
+    Configuration c = start;
+    step_count_based(undecided, c, gen);
+    died += (c.at(0) == 0);
+  }
+  // P(all 4 plurality nodes defect) ~ ((n - c0)/n)^4 ~ 0.982; even a very
+  // conservative bound shows it is a constant.
+  EXPECT_GT(died, kTrials / 2);
+}
+
+TEST(TheoremShapes, C4_AdversaryToleratedBelowBudget) {
+  // Corollary 4 shape: with F well below s/lambda, 3-majority still reaches
+  // and HOLDS O(F)-plurality consensus under continuous attack.
+  ThreeMajority dynamics;
+  const count_t n = 20000;
+  const count_t s = 6000;
+  const count_t f = 25;
+  BoostRunnerUp adversary(f);
+  RunOptions run;
+  run.adversary = &adversary;
+  run.max_rounds = 500;
+  rng::Xoshiro256pp gen(1300);
+  const RunResult result =
+      run_dynamics(dynamics, workloads::additive_bias(n, 3, s), run, gen);
+  // Either the adversary cannot even prevent full consensus (it corrupts
+  // BEFORE the next majority step, which can flip everyone back), or we are
+  // held at >= n - O(F) supporters; both satisfy M-plurality for M = 4F.
+  const count_t plurality_nodes = result.final_config.at(0);
+  EXPECT_GE(plurality_nodes, n - 4 * f);
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,83 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace plurality::io {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "plurality_csv_test.csv";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string read_file() {
+    std::ifstream in(path_);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"n", "k", "rounds"});
+    csv.add_row({"100", "2", "13"});
+    csv.add_row({"200", "4", "27"});
+  }
+  EXPECT_EQ(read_file(), "n,k,rounds\n100,2,13\n200,4,27\n");
+}
+
+TEST_F(CsvTest, EscapesCommasQuotesNewlines) {
+  {
+    CsvWriter csv(path_, {"note"});
+    csv.add_row({"a,b"});
+    csv.add_row({"say \"hi\""});
+    csv.add_row({"line1\nline2"});
+  }
+  EXPECT_EQ(read_file(), "note\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line1\nline2\"\n");
+}
+
+TEST_F(CsvTest, RowWidthMismatchThrows) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), CheckError);
+}
+
+TEST(Csv, InactiveWriterDropsRows) {
+  CsvWriter csv;
+  EXPECT_FALSE(csv.active());
+  csv.add_row({"anything", "goes"});  // no-op, no throw
+}
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, EscapeQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("\""), "\"\"\"\"");
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), CheckError);
+}
+
+TEST(Csv, EmptyColumnsThrow) {
+  const std::string path = ::testing::TempDir() + "plurality_csv_empty.csv";
+  EXPECT_THROW(CsvWriter(path, {}), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace plurality::io

@@ -1,0 +1,51 @@
+#include "io/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace plurality::io {
+namespace {
+
+TEST(Record, PrintsIdTitleAndPaperResult) {
+  ExperimentRecord rec("E1", "Convergence vs k", "Theorem 1 / Corollary 1");
+  std::ostringstream os;
+  rec.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("[E1]"), std::string::npos);
+  EXPECT_NE(out.find("Convergence vs k"), std::string::npos);
+  EXPECT_NE(out.find("Theorem 1 / Corollary 1"), std::string::npos);
+}
+
+TEST(Record, FieldsAppearInOrder) {
+  ExperimentRecord rec("E2", "t", "p");
+  rec.add("n", "1000000");
+  rec.add("trials", "50");
+  std::ostringstream os;
+  rec.print(os);
+  const std::string out = os.str();
+  const auto n_pos = out.find("n:");
+  const auto trials_pos = out.find("trials:");
+  ASSERT_NE(n_pos, std::string::npos);
+  ASSERT_NE(trials_pos, std::string::npos);
+  EXPECT_LT(n_pos, trials_pos);
+}
+
+TEST(Record, ExpectationLinePrinted) {
+  ExperimentRecord rec("E3", "t", "p");
+  rec.set_expectation("T grows linearly in k");
+  std::ostringstream os;
+  rec.print(os);
+  EXPECT_NE(os.str().find("Paper expectation: T grows linearly in k"),
+            std::string::npos);
+}
+
+TEST(Record, NoExpectationLineWhenUnset) {
+  ExperimentRecord rec("E4", "t", "p");
+  std::ostringstream os;
+  rec.print(os);
+  EXPECT_EQ(os.str().find("Paper expectation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plurality::io

@@ -1,0 +1,71 @@
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace plurality::io {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"k", "rounds"});
+  t.row().cell(std::uint64_t{2}).cell(12.5);
+  t.row().cell(std::uint64_t{4}).cell(30.25);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("k"), std::string::npos);
+  EXPECT_NE(out.find("rounds"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  EXPECT_NE(out.find("30.25"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell("long-value");
+  t.row().cell("longer-x").cell("y");
+  std::istringstream lines(t.to_string());
+  std::string first;
+  std::getline(lines, first);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.size(), first.size()) << "row width differs: " << line;
+  }
+}
+
+TEST(Table, RowBuilderCommitsOnDestruction) {
+  Table t({"x"});
+  { t.row().cell("value"); }
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, CellFormattingHelpers) {
+  Table t({"count", "sig", "pct", "int"});
+  t.row().cell(std::uint64_t{1234567}).cell(0.000123456, 3).percent(0.5).cell(-7);
+  const auto& row = t.rows()[0];
+  EXPECT_EQ(row[0], "1,234,567");
+  EXPECT_EQ(row[1], "0.000123");
+  EXPECT_EQ(row[2], "50.0%");
+  EXPECT_EQ(row[3], "-7");
+}
+
+TEST(Table, WrongCellCountThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+TEST(Table, PrintToStream) {
+  Table t({"h"});
+  t.row().cell("v");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace plurality::io

@@ -1,0 +1,128 @@
+#include "population/mean_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "population/protocols.hpp"
+#include "population/simulator.hpp"
+#include "rng/stream.hpp"
+#include "support/check.hpp"
+
+namespace plurality::population {
+namespace {
+
+TEST(PopulationDrift, FrozenProtocolHasZeroDrift) {
+  FrozenProtocol protocol;
+  const std::vector<double> counts = {30.0, 20.0, 10.0};
+  const auto drift = population_drift(protocol, counts);
+  for (double d : drift) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(PopulationDrift, VoterIsAMartingale) {
+  // Responder copies initiator: gains and losses cancel exactly.
+  SequentialVoter protocol;
+  const std::vector<double> counts = {37.0, 21.0, 42.0};
+  const auto drift = population_drift(protocol, counts);
+  for (double d : drift) EXPECT_NEAR(d, 0.0, 1e-12);
+}
+
+TEST(PopulationDrift, ConservesMass) {
+  UndecidedPopulation protocol;
+  const std::vector<double> counts = {40.0, 30.0, 20.0, 10.0};
+  const auto drift = population_drift(protocol, counts);
+  double total = 0.0;
+  for (double d : drift) total += d;
+  EXPECT_NEAR(total, 0.0, 1e-12);
+}
+
+TEST(PopulationDrift, UndecidedBinaryClosedForm) {
+  // For counts (a, b, q), one-way dynamics, ordered distinct pairs:
+  //   E[delta a] = a q / (n(n-1)) * ... gains from blank responders meeting
+  //   a-initiators minus a-responders meeting b-initiators.
+  UndecidedPopulation protocol;
+  const double a = 50.0, b = 30.0, q = 20.0;
+  const double n = a + b + q;
+  const auto drift = population_drift(protocol, std::vector<double>{a, b, q});
+  const double gain_a = (a / n) * (q / (n - 1.0));
+  const double loss_a = (b / n) * (a / (n - 1.0));
+  EXPECT_NEAR(drift[0], gain_a - loss_a, 1e-12);
+  const double gain_b = (b / n) * (q / (n - 1.0));
+  const double loss_b = (a / n) * (b / (n - 1.0));
+  EXPECT_NEAR(drift[1], gain_b - loss_b, 1e-12);
+}
+
+TEST(PopulationDrift, LeaderHasTheAdvantage) {
+  // Rich-get-richer: the larger color's drift exceeds the smaller one's.
+  UndecidedPopulation protocol;
+  const auto drift =
+      population_drift(protocol, std::vector<double>{60.0, 40.0, 10.0});
+  EXPECT_GT(drift[0], drift[1]);
+}
+
+TEST(PopulationDrift, RejectsBadInput) {
+  UndecidedPopulation protocol;
+  EXPECT_THROW(population_drift(protocol, std::vector<double>{1.0}), CheckError);
+  EXPECT_THROW(population_drift(protocol, std::vector<double>{-1.0, 5.0}), CheckError);
+}
+
+TEST(PopulationMeanField, BinaryMajorityFlowsToTheLeader) {
+  UndecidedPopulation protocol;
+  PopulationMeanFieldOptions options;
+  options.max_steps = 100'000'000;
+  const auto result =
+      population_mean_field(protocol, {550.0, 450.0, 0.0}, options);
+  EXPECT_TRUE(result.converged);
+  const auto& final_state = result.trajectory.back();
+  EXPECT_NEAR(final_state[0], 1000.0, 1.0);
+  EXPECT_NEAR(final_state[1], 0.0, 1.0);
+}
+
+TEST(PopulationMeanField, BalancedBinaryIsAFixedLine) {
+  // Symmetric starts stay symmetric under the deterministic flow: neither
+  // color can win without a fluctuation.
+  UndecidedPopulation protocol;
+  PopulationMeanFieldOptions options;
+  options.max_steps = 200'000;
+  const auto result = population_mean_field(protocol, {500.0, 500.0, 0.0}, options);
+  const auto& final_state = result.trajectory.back();
+  EXPECT_NEAR(final_state[0], final_state[1], 1e-6);
+}
+
+TEST(PopulationMeanField, TrajectoryMatchesSimulationAverage) {
+  // Deterministic flow vs the average of stochastic runs after n
+  // interactions (one parallel round).
+  UndecidedPopulation protocol;
+  const Configuration start({600, 400, 0});
+  const count_t n = start.n();
+
+  PopulationMeanFieldOptions options;
+  options.max_steps = n;
+  options.record_every = n;
+  const auto flow = population_mean_field(protocol, {600.0, 400.0, 0.0}, options);
+
+  rng::StreamFactory streams(7);
+  const int kTrials = 4000;
+  std::vector<double> sums(3, 0.0);
+  for (int t = 0; t < kTrials; ++t) {
+    rng::Xoshiro256pp gen = streams.stream(t);
+    Configuration c = start;
+    for (count_t step = 0; step < n; ++step) population_step(protocol, c, gen);
+    for (state_t j = 0; j < 3; ++j) sums[j] += static_cast<double>(c.at(j));
+  }
+  for (state_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(sums[j] / kTrials, flow.trajectory.back()[j], 5.0) << "state " << j;
+  }
+}
+
+TEST(PopulationMeanField, StepCapRespected) {
+  FrozenProtocol protocol;
+  PopulationMeanFieldOptions options;
+  options.max_steps = 10;
+  options.record_every = 5;
+  const auto result = population_mean_field(protocol, {5.0, 5.0}, options);
+  // Frozen protocol converges at the first convergence check.
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.steps, 10u);
+}
+
+}  // namespace
+}  // namespace plurality::population

@@ -1,0 +1,78 @@
+#include "population/protocols.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plurality::population {
+namespace {
+
+// State space: colors {0, 1, 2}, undecided = 3.
+constexpr state_t kStates = 4;
+constexpr state_t kUndecided = 3;
+
+TEST(UndecidedPopulationRule, BlankResponderAdoptsColoredInitiator) {
+  UndecidedPopulation protocol;
+  const auto [ini, res] = protocol.interact(1, kUndecided, kStates);
+  EXPECT_EQ(ini, 1u);
+  EXPECT_EQ(res, 1u);
+}
+
+TEST(UndecidedPopulationRule, BlankPairStaysBlank) {
+  UndecidedPopulation protocol;
+  const auto [ini, res] = protocol.interact(kUndecided, kUndecided, kStates);
+  EXPECT_EQ(ini, kUndecided);
+  EXPECT_EQ(res, kUndecided);
+}
+
+TEST(UndecidedPopulationRule, ConflictingColorsBlankTheResponder) {
+  UndecidedPopulation protocol;
+  const auto [ini, res] = protocol.interact(0, 2, kStates);
+  EXPECT_EQ(ini, 0u);
+  EXPECT_EQ(res, kUndecided);
+}
+
+TEST(UndecidedPopulationRule, SameColorIsStable) {
+  UndecidedPopulation protocol;
+  const auto [ini, res] = protocol.interact(2, 2, kStates);
+  EXPECT_EQ(ini, 2u);
+  EXPECT_EQ(res, 2u);
+}
+
+TEST(UndecidedPopulationRule, BlankInitiatorLeavesColoredResponder) {
+  UndecidedPopulation protocol;
+  const auto [ini, res] = protocol.interact(kUndecided, 1, kStates);
+  EXPECT_EQ(ini, kUndecided);
+  EXPECT_EQ(res, 1u);
+}
+
+TEST(UndecidedPopulationRule, StateSpaceShape) {
+  UndecidedPopulation protocol;
+  EXPECT_EQ(protocol.num_states(3), 4u);
+  EXPECT_EQ(protocol.num_colors(4), 3u);
+}
+
+TEST(SequentialVoterRule, ResponderCopiesInitiator) {
+  SequentialVoter protocol;
+  const auto [ini, res] = protocol.interact(2, 0, 3);
+  EXPECT_EQ(ini, 2u);
+  EXPECT_EQ(res, 2u);
+}
+
+TEST(SequentialVoterRule, NoAuxiliaryStates) {
+  SequentialVoter protocol;
+  EXPECT_EQ(protocol.num_states(5), 5u);
+  EXPECT_EQ(protocol.num_colors(5), 5u);
+}
+
+TEST(FrozenRule, NothingEverChanges) {
+  FrozenProtocol protocol;
+  for (state_t a = 0; a < 3; ++a) {
+    for (state_t b = 0; b < 3; ++b) {
+      const auto [ini, res] = protocol.interact(a, b, 3);
+      EXPECT_EQ(ini, a);
+      EXPECT_EQ(res, b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plurality::population

@@ -1,0 +1,165 @@
+#include "population/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/workloads.hpp"
+#include "population/protocols.hpp"
+#include "stats/summary.hpp"
+#include "support/check.hpp"
+
+namespace plurality::population {
+namespace {
+
+Configuration with_blank(const Configuration& colors) {
+  std::vector<count_t> counts(colors.counts().begin(), colors.counts().end());
+  counts.push_back(0);
+  return Configuration(std::move(counts));
+}
+
+TEST(PopulationStep, ConservesPopulation) {
+  UndecidedPopulation protocol;
+  rng::Xoshiro256pp gen(1);
+  Configuration config = with_blank(Configuration({30, 20, 10}));
+  for (int step = 0; step < 5000; ++step) {
+    population_step(protocol, config, gen);
+    ASSERT_EQ(config.n(), 60u);
+  }
+}
+
+TEST(PopulationStep, FrozenProtocolNeverChangesAnything) {
+  FrozenProtocol protocol;
+  rng::Xoshiro256pp gen(2);
+  Configuration config({5, 5});
+  for (int step = 0; step < 1000; ++step) {
+    EXPECT_FALSE(population_step(protocol, config, gen));
+  }
+  EXPECT_EQ(config, Configuration({5, 5}));
+}
+
+TEST(PopulationStep, RejectsTinyPopulations) {
+  SequentialVoter protocol;
+  rng::Xoshiro256pp gen(3);
+  Configuration config({1, 0});
+  EXPECT_THROW(population_step(protocol, config, gen), CheckError);
+}
+
+TEST(PopulationRun, MonochromaticStartStopsImmediately) {
+  SequentialVoter protocol;
+  rng::Xoshiro256pp gen(4);
+  const PopulationRunResult result =
+      run_population(protocol, Configuration({0, 50}), PopulationRunOptions{}, gen);
+  EXPECT_EQ(result.reason, PopulationStopReason::ColorConsensus);
+  EXPECT_EQ(result.steps, 0u);
+  EXPECT_EQ(result.winner, 1u);
+}
+
+TEST(PopulationRun, VoterReachesConsensus) {
+  SequentialVoter protocol;
+  rng::Xoshiro256pp gen(5);
+  const PopulationRunResult result =
+      run_population(protocol, Configuration({40, 60}), PopulationRunOptions{}, gen);
+  EXPECT_EQ(result.reason, PopulationStopReason::ColorConsensus);
+  EXPECT_TRUE(result.final_config.monochromatic());
+  EXPECT_GT(result.steps, 0u);
+}
+
+TEST(PopulationRun, VoterWinProbabilityIsTheShare) {
+  // Sequential voter: each count is a martingale, so P(color 0 wins) from
+  // (60, 40) is exactly 0.6. 2000 trials give sigma ~ 1.1%.
+  SequentialVoter protocol;
+  const PopulationRunOptions options;
+  const auto summary =
+      run_population_trials(protocol, Configuration({60, 40}), 2000, options, 7);
+  EXPECT_EQ(summary.consensus_count, summary.trials);
+  EXPECT_NEAR(summary.win_rate(), 0.6, 0.066);  // 6 sigma
+}
+
+TEST(PopulationRun, BinaryUndecidedMajorityIsCorrectWhp) {
+  // AAE approximate majority: from s = Theta(n) bias at k = 2, the protocol
+  // elects the majority essentially always.
+  UndecidedPopulation protocol;
+  const Configuration start = with_blank(Configuration({600, 400}));
+  const PopulationRunOptions options;
+  const auto summary = run_population_trials(protocol, start, 200, options, 8);
+  EXPECT_EQ(summary.consensus_count, summary.trials);
+  EXPECT_EQ(summary.plurality_wins, summary.trials);
+}
+
+TEST(PopulationRun, BinaryUndecidedRunsInNLogNInteractions) {
+  // O(n log n) interactions = O(log n) parallel time.
+  UndecidedPopulation protocol;
+  const count_t n = 4000;
+  const Configuration start =
+      with_blank(workloads::additive_bias(n, 2, n / 5));
+  const PopulationRunOptions options;
+  const auto summary = run_population_trials(protocol, start, 50, options, 9);
+  EXPECT_EQ(summary.consensus_count, summary.trials);
+  const double parallel_time = summary.steps.mean() / static_cast<double>(n);
+  EXPECT_LT(parallel_time, 20.0 * std::log(static_cast<double>(n)));
+}
+
+TEST(PopulationRun, MultivaluedUndecidedFailsPluralityFromThetaNBias) {
+  // The paper (Section 1, citing [2], [21]): the multivalued generalization
+  // does NOT converge to the plurality even with bias s = Theta(n). With
+  // the plurality at 28% and three rivals at 24% each (s = 0.04n), the
+  // minority colors blank each other into a soup the plurality cannot
+  // reliably dominate.
+  UndecidedPopulation protocol;
+  const count_t n = 2000;
+  const Configuration start = with_blank(Configuration({560, 480, 480, 480}));
+  const PopulationRunOptions options;
+  const auto summary = run_population_trials(protocol, start, 300, options, 10);
+  EXPECT_EQ(summary.consensus_count, summary.trials);
+  // Far from w.h.p. correctness: a constant fraction of trials elects a
+  // NON-plurality color.
+  EXPECT_LT(summary.win_rate(), 0.9);
+  EXPECT_GT(summary.win_rate(), 0.05);
+}
+
+TEST(PopulationRun, StepLimitReported) {
+  FrozenProtocol protocol;
+  rng::Xoshiro256pp gen(11);
+  PopulationRunOptions options;
+  options.max_steps = 100;
+  const PopulationRunResult result =
+      run_population(protocol, Configuration({5, 5}), options, gen);
+  EXPECT_EQ(result.reason, PopulationStopReason::StepLimit);
+  EXPECT_EQ(result.steps, 100u);
+}
+
+TEST(PopulationRun, CheckIntervalDoesNotChangeOutcome) {
+  SequentialVoter protocol;
+  const Configuration start({30, 30});
+  PopulationRunOptions every_step;
+  PopulationRunOptions batched;
+  batched.check_interval = 64;
+  rng::Xoshiro256pp gen_a(12), gen_b(12);
+  const auto a = run_population(protocol, start, every_step, gen_a);
+  const auto b = run_population(protocol, start, batched, gen_b);
+  // Identical randomness, identical trajectory; the batched checker may
+  // only overshoot the stopping time within one interval.
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_LE(b.steps - a.steps, 64u);
+}
+
+TEST(PopulationRun, DeterministicGivenSeed) {
+  UndecidedPopulation protocol;
+  const Configuration start = with_blank(Configuration({50, 30, 20}));
+  const PopulationRunOptions options;
+  rng::Xoshiro256pp gen_a(13), gen_b(13);
+  const auto a = run_population(protocol, start, options, gen_a);
+  const auto b = run_population(protocol, start, options, gen_b);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.winner, b.winner);
+}
+
+TEST(PopulationRun, ParallelTimeNormalization) {
+  PopulationRunResult result;
+  result.steps = 5000;
+  EXPECT_DOUBLE_EQ(result.parallel_time(1000), 5.0);
+}
+
+}  // namespace
+}  // namespace plurality::population

@@ -1,0 +1,166 @@
+#include "rng/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/chi_square.hpp"
+#include "support/check.hpp"
+
+namespace plurality::rng {
+namespace {
+
+TEST(BinomialPmf, SumsToOne) {
+  for (const double p : {0.01, 0.3, 0.5, 0.77}) {
+    const std::uint64_t n = 40;
+    double total = 0;
+    for (std::uint64_t x = 0; x <= n; ++x) total += binomial_pmf(n, p, x);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmf, MatchesSmallClosedForms) {
+  // Bin(3, 0.5): (1/8, 3/8, 3/8, 1/8).
+  EXPECT_NEAR(binomial_pmf(3, 0.5, 0), 0.125, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 0.5, 1), 0.375, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 0.5, 2), 0.375, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 0.5, 3), 0.125, 1e-12);
+  // Bin(2, 0.25): (9/16, 6/16, 1/16).
+  EXPECT_NEAR(binomial_pmf(2, 0.25, 0), 9.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(2, 0.25, 1), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(2, 0.25, 2), 1.0 / 16.0, 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 1.0, 4), 0.0);
+}
+
+TEST(BinomialPmf, XBeyondNThrows) {
+  EXPECT_THROW(binomial_log_pmf(5, 0.5, 6), CheckError);
+}
+
+TEST(BinomialSample, EdgeCases) {
+  Xoshiro256pp gen(1);
+  EXPECT_EQ(binomial(gen, 0, 0.5), 0u);
+  EXPECT_EQ(binomial(gen, 100, 0.0), 0u);
+  EXPECT_EQ(binomial(gen, 100, 1.0), 100u);
+  EXPECT_EQ(binomial(gen, 100, -0.1), 0u);
+  EXPECT_EQ(binomial(gen, 100, 1.1), 100u);
+}
+
+TEST(BinomialSample, AlwaysWithinSupport) {
+  Xoshiro256pp gen(2);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_LE(binomial(gen, 50, 0.37), 50u);
+  }
+}
+
+TEST(BinomialSample, MeanAndVarianceSmallRegime) {
+  // np = 8 -> inversion path.
+  Xoshiro256pp gen(3);
+  const std::uint64_t n = 80;
+  const double p = 0.1;
+  const int kSamples = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = static_cast<double>(binomial(gen, n, p));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, n * p, 0.05);                  // sigma/sqrt(N) ~ 0.006
+  EXPECT_NEAR(var, n * p * (1 - p), 0.15);
+}
+
+TEST(BinomialSample, MeanAndVarianceLargeRegime) {
+  // np = 3e8 -> BTRS path with huge n.
+  Xoshiro256pp gen(4);
+  const std::uint64_t n = 1'000'000'000;
+  const double p = 0.3;
+  const int kSamples = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = static_cast<double>(binomial(gen, n, p));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  const double sigma = std::sqrt(n * p * (1 - p));  // ~14491
+  EXPECT_NEAR(mean, n * p, 6 * sigma / std::sqrt(kSamples));
+  EXPECT_NEAR(var, n * p * (1 - p), 0.1 * n * p * (1 - p));
+}
+
+TEST(BinomialSample, SymmetryPathAboveHalf) {
+  Xoshiro256pp gen(5);
+  const std::uint64_t n = 100;
+  const double p = 0.8;
+  const int kSamples = 100000;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(binomial(gen, n, p));
+  EXPECT_NEAR(sum / kSamples, 80.0, 0.1);
+}
+
+stats::ChiSquareResult gof_against_exact(std::uint64_t n, double p, int samples,
+                                         std::uint64_t seed, bool force_btrs) {
+  Xoshiro256pp gen(seed);
+  std::vector<std::uint64_t> counts(n + 1, 0);
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t x = force_btrs ? binomial_btrs(gen, n, p)
+                                       : binomial_inversion(gen, n, p);
+    ++counts[x];
+  }
+  std::vector<double> expected(n + 1);
+  for (std::uint64_t x = 0; x <= n; ++x) expected[x] = binomial_pmf(n, p, x);
+  return stats::chi_square_gof(counts, expected);
+}
+
+TEST(BinomialSample, InversionMatchesExactPmf) {
+  const auto result = gof_against_exact(60, 0.2, 200000, 6, false);
+  EXPECT_GT(result.p_value, 1e-6) << "stat=" << result.statistic << " dof=" << result.dof;
+}
+
+TEST(BinomialSample, BtrsMatchesExactPmf) {
+  const auto result = gof_against_exact(60, 0.4, 200000, 7, true);
+  EXPECT_GT(result.p_value, 1e-6) << "stat=" << result.statistic << " dof=" << result.dof;
+}
+
+TEST(BinomialSample, SamplersAgreeInOverlapRegime) {
+  // Both samplers are valid at n=120, p=0.2 (np = 24): their empirical
+  // distributions must agree with each other.
+  Xoshiro256pp gen(8);
+  const std::uint64_t n = 120;
+  const double p = 0.2;
+  const int kSamples = 150000;
+  std::vector<std::uint64_t> inv_counts(n + 1, 0), btrs_counts(n + 1, 0);
+  for (int i = 0; i < kSamples; ++i) ++inv_counts[binomial_inversion(gen, n, p)];
+  for (int i = 0; i < kSamples; ++i) ++btrs_counts[binomial_btrs(gen, n, p)];
+  const auto result = stats::chi_square_two_sample(inv_counts, btrs_counts);
+  EXPECT_GT(result.p_value, 1e-6) << "stat=" << result.statistic;
+}
+
+TEST(BinomialSample, PreconditionsEnforced) {
+  Xoshiro256pp gen(9);
+  EXPECT_THROW(binomial_inversion(gen, 10, 0.7), CheckError);
+  EXPECT_THROW(binomial_btrs(gen, 10, 0.6), CheckError);
+  EXPECT_THROW(binomial_btrs(gen, 10, 0.1), CheckError);  // np < 10
+}
+
+TEST(BinomialSample, TinyPWithHugeN) {
+  // n=1e9, p=1e-8 -> np=10, inversion path with extreme parameters.
+  Xoshiro256pp gen(10);
+  const std::uint64_t n = 1'000'000'000;
+  const double p = 1e-8;
+  const int kSamples = 50000;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(binomial(gen, n, p));
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.15);
+}
+
+}  // namespace
+}  // namespace plurality::rng

@@ -1,0 +1,100 @@
+#include "rng/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/chi_square.hpp"
+#include "support/check.hpp"
+
+namespace plurality::rng {
+namespace {
+
+TEST(AliasTable, NormalizedProbabilities) {
+  AliasTable table(std::vector<double>{1.0, 3.0, 4.0});
+  EXPECT_NEAR(table.probability(0), 0.125, 1e-12);
+  EXPECT_NEAR(table.probability(1), 0.375, 1e-12);
+  EXPECT_NEAR(table.probability(2), 0.5, 1e-12);
+}
+
+TEST(AliasTable, SamplingMatchesWeights) {
+  const std::vector<double> weights = {5.0, 1.0, 3.0, 0.5, 10.0};
+  AliasTable table(weights);
+  Xoshiro256pp gen(1);
+  std::vector<std::uint64_t> counts(weights.size(), 0);
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[table.sample(gen)];
+  const auto result = stats::chi_square_gof(counts, weights);
+  EXPECT_GT(result.p_value, 1e-6) << "stat=" << result.statistic;
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  AliasTable table(std::vector<double>{1.0, 0.0, 1.0});
+  Xoshiro256pp gen(2);
+  for (int i = 0; i < 50000; ++i) EXPECT_NE(table.sample(gen), 1u);
+}
+
+TEST(AliasTable, SingleCategory) {
+  AliasTable table(std::vector<double>{2.5});
+  Xoshiro256pp gen(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(gen), 0u);
+}
+
+TEST(AliasTable, UniformWeights) {
+  const std::size_t k = 8;
+  AliasTable table(std::vector<double>(k, 1.0));
+  Xoshiro256pp gen(4);
+  std::vector<std::uint64_t> counts(k, 0);
+  const int kSamples = 80000;
+  for (int i = 0; i < kSamples; ++i) ++counts[table.sample(gen)];
+  const auto result = stats::chi_square_gof(counts, std::vector<double>(k, 1.0));
+  EXPECT_GT(result.p_value, 1e-6);
+}
+
+TEST(AliasTable, InvalidInputsThrow) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), CheckError);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), CheckError);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}), CheckError);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  const auto w = zipf_weights(5, 0.0);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Zipf, WeightsAreDecreasingPowers) {
+  const auto w = zipf_weights(4, 2.0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.25);
+  EXPECT_DOUBLE_EQ(w[2], 1.0 / 9.0);
+  EXPECT_DOUBLE_EQ(w[3], 1.0 / 16.0);
+}
+
+TEST(Zipf, MonotoneForPositiveTheta) {
+  const auto w = zipf_weights(20, 0.8);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(Zipf, InvalidArgsThrow) {
+  EXPECT_THROW(zipf_weights(0, 1.0), CheckError);
+  EXPECT_THROW(zipf_weights(5, -0.1), CheckError);
+}
+
+TEST(NormalizeWeights, SumsToOne) {
+  std::vector<double> w = {2.0, 3.0, 5.0};
+  normalize_weights(w);
+  EXPECT_NEAR(w[0], 0.2, 1e-12);
+  EXPECT_NEAR(w[1], 0.3, 1e-12);
+  EXPECT_NEAR(w[2], 0.5, 1e-12);
+}
+
+TEST(NormalizeWeights, RejectsBadInput) {
+  std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(normalize_weights(negative), CheckError);
+  std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(normalize_weights(zeros), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::rng

@@ -1,0 +1,172 @@
+#include "rng/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/chi_square.hpp"
+#include "support/check.hpp"
+
+namespace plurality::rng {
+namespace {
+
+TEST(UniformBelow, StaysInRange) {
+  Xoshiro256pp gen(1);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_LT(uniform_below(gen, 17), 17u);
+  }
+}
+
+TEST(UniformBelow, BoundOneIsAlwaysZero) {
+  Xoshiro256pp gen(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_below(gen, 1), 0u);
+}
+
+TEST(UniformBelow, ZeroBoundThrows) {
+  Xoshiro256pp gen(3);
+  EXPECT_THROW(uniform_below(gen, 0), CheckError);
+}
+
+TEST(UniformBelow, UniformityChiSquare) {
+  Xoshiro256pp gen(4);
+  const std::uint64_t kBound = 13;
+  std::vector<std::uint64_t> counts(kBound, 0);
+  const int kSamples = 130000;
+  for (int i = 0; i < kSamples; ++i) ++counts[uniform_below(gen, kBound)];
+  std::vector<double> expected(kBound, 1.0 / kBound);
+  const auto result = stats::chi_square_gof(counts, expected);
+  EXPECT_GT(result.p_value, 1e-6) << "stat=" << result.statistic;
+}
+
+TEST(UniformBelow, LargeNonPowerOfTwoBoundIsUnbiased) {
+  // Lemire rejection must not bias the high/low halves for bounds near 2^63.
+  Xoshiro256pp gen(5);
+  const std::uint64_t bound = (1ULL << 63) + 12345;
+  int high = 0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) high += (uniform_below(gen, bound) >= bound / 2);
+  EXPECT_NEAR(high, kSamples / 2, 6 * std::sqrt(kSamples) / 2);
+}
+
+TEST(UniformIn, InclusiveRange) {
+  Xoshiro256pp gen(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = uniform_in(gen, 5, 8);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(UniformIn, DegenerateRange) {
+  Xoshiro256pp gen(7);
+  EXPECT_EQ(uniform_in(gen, 9, 9), 9u);
+}
+
+TEST(UniformIn, FullRangeDoesNotCrash) {
+  Xoshiro256pp gen(8);
+  (void)uniform_in(gen, 0, ~0ULL);
+}
+
+TEST(UniformIn, EmptyRangeThrows) {
+  Xoshiro256pp gen(9);
+  EXPECT_THROW(uniform_in(gen, 3, 2), CheckError);
+}
+
+TEST(Bernoulli, ExtremesAreDeterministic) {
+  Xoshiro256pp gen(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bernoulli(gen, 0.0));
+    EXPECT_TRUE(bernoulli(gen, 1.0));
+    EXPECT_FALSE(bernoulli(gen, -0.5));
+    EXPECT_TRUE(bernoulli(gen, 1.5));
+  }
+}
+
+TEST(Bernoulli, RateMatches) {
+  Xoshiro256pp gen(11);
+  const double p = 0.3;
+  const int kSamples = 100000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) hits += bernoulli(gen, p);
+  // 6 sigma: sqrt(n p (1-p)) ~ 145.
+  EXPECT_NEAR(hits, p * kSamples, 6 * 145);
+}
+
+TEST(Normal, MomentsMatch) {
+  Xoshiro256pp gen(12);
+  const int kSamples = 200000;
+  double sum = 0, sum_sq = 0, sum_cube = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = standard_normal(gen);
+    sum += z;
+    sum_sq += z * z;
+    sum_cube += z * z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.015);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+  EXPECT_NEAR(sum_cube / kSamples, 0.0, 0.08);  // symmetry
+}
+
+TEST(Normal, TailFrequencies) {
+  Xoshiro256pp gen(13);
+  const int kSamples = 200000;
+  int beyond2 = 0;
+  for (int i = 0; i < kSamples; ++i) beyond2 += (std::fabs(standard_normal(gen)) > 2.0);
+  // P(|Z| > 2) = 0.0455.
+  EXPECT_NEAR(beyond2 / static_cast<double>(kSamples), 0.0455, 0.004);
+}
+
+TEST(Exponential, MeanAndPositivity) {
+  Xoshiro256pp gen(14);
+  const int kSamples = 200000;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = standard_exponential(gen);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 1.0, 0.02);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Xoshiro256pp gen(15);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  shuffle(gen, v.data(), v.size());
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Shuffle, FirstPositionIsUniform) {
+  Xoshiro256pp gen(16);
+  const int kItems = 5;
+  std::vector<std::uint64_t> counts(kItems, 0);
+  const int kSamples = 50000;
+  for (int s = 0; s < kSamples; ++s) {
+    std::vector<int> v = {0, 1, 2, 3, 4};
+    shuffle(gen, v.data(), v.size());
+    ++counts[v[0]];
+  }
+  std::vector<double> expected(kItems, 1.0 / kItems);
+  const auto result = stats::chi_square_gof(counts, expected);
+  EXPECT_GT(result.p_value, 1e-6);
+}
+
+TEST(Shuffle, EmptyAndSingleAreNoOps) {
+  Xoshiro256pp gen(17);
+  std::vector<int> empty;
+  shuffle(gen, empty.data(), 0);
+  std::vector<int> one = {42};
+  shuffle(gen, one.data(), 1);
+  EXPECT_EQ(one[0], 42);
+}
+
+}  // namespace
+}  // namespace plurality::rng

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/splitmix.hpp"
+#include "rng/stream.hpp"
+#include "rng/xoshiro.hpp"
+#include "support/check.hpp"
+
+namespace plurality::rng {
+namespace {
+
+TEST(SplitMix, ReferenceFirstOutputFromSeedZero) {
+  // Reference value from Vigna's splitmix64.c test vector.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafULL);
+}
+
+TEST(SplitMix, SequenceIsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix, MixAvalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  double total_flips = 0;
+  const int kBits = 64;
+  for (int bit = 0; bit < kBits; ++bit) {
+    const std::uint64_t a = splitmix64_mix(0x0123456789abcdefULL);
+    const std::uint64_t b = splitmix64_mix(0x0123456789abcdefULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = total_flips / kBits;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256pp a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsProduceDifferentStreams) {
+  Xoshiro256pp a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, AllZeroStateRejected) {
+  EXPECT_THROW(Xoshiro256pp({0, 0, 0, 0}), CheckError);
+}
+
+TEST(Xoshiro, ExplicitStateRoundTrip) {
+  Xoshiro256pp a(7);
+  const auto snapshot = a.state();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 16; ++i) expected.push_back(a());
+  Xoshiro256pp b(snapshot);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(b(), expected[i]);
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256pp gen(99);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = gen.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextDoubleMeanAndVariance) {
+  Xoshiro256pp gen(7);
+  const int kSamples = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = gen.next_double();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);        // sigma/sqrt(N) ~ 6.5e-4
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.003);  // 1/12 ~ 0.0833
+}
+
+TEST(Xoshiro, OutputBitsAreBalanced) {
+  Xoshiro256pp gen(1234);
+  const int kSamples = 20000;
+  std::vector<int> ones(64, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    std::uint64_t x = gen();
+    for (int bit = 0; bit < 64; ++bit) ones[bit] += (x >> bit) & 1;
+  }
+  for (int bit = 0; bit < 64; ++bit) {
+    // 6-sigma band around kSamples/2 (sigma = sqrt(kSamples)/2 ~ 70.7).
+    EXPECT_NEAR(ones[bit], kSamples / 2, 6 * 71) << "bit " << bit;
+  }
+}
+
+TEST(Xoshiro, JumpChangesState) {
+  Xoshiro256pp a(5);
+  Xoshiro256pp b(5);
+  b.jump();
+  EXPECT_NE(a.state(), b.state());
+}
+
+TEST(Xoshiro, JumpedStreamsDoNotOverlapLocally) {
+  // The jump polynomial guarantees 2^128 separation; spot-check no short-
+  // range collisions between the base stream and jumped streams.
+  Xoshiro256pp base(5);
+  std::set<std::uint64_t> seen;
+  Xoshiro256pp s0 = base;
+  Xoshiro256pp s1 = base;
+  s1.jump();
+  Xoshiro256pp s2 = s1;
+  s2.jump();
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(s0());
+    seen.insert(s1());
+    seen.insert(s2());
+  }
+  EXPECT_EQ(seen.size(), 3000u);
+}
+
+TEST(Xoshiro, LongJumpDiffersFromJump) {
+  Xoshiro256pp a(5), b(5);
+  a.jump();
+  b.long_jump();
+  EXPECT_NE(a.state(), b.state());
+}
+
+TEST(StreamFactory, StreamsAreDeterministic) {
+  StreamFactory f(2024);
+  Xoshiro256pp a = f.stream(3);
+  Xoshiro256pp b = f.stream(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(StreamFactory, DistinctIndicesGiveDistinctStreams) {
+  StreamFactory f(2024);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 1000; ++i) firsts.insert(f.stream(i)());
+  EXPECT_EQ(firsts.size(), 1000u);
+}
+
+TEST(StreamFactory, AdjacentIndicesAreUncorrelated) {
+  // Correlation of first outputs (as doubles) across adjacent streams.
+  StreamFactory f(77);
+  const int kPairs = 20000;
+  double sx = 0, sy = 0, sxy = 0, sxx = 0, syy = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    const double x = f.stream(2 * i).next_double();
+    const double y = f.stream(2 * i + 1).next_double();
+    sx += x;
+    sy += y;
+    sxy += x * y;
+    sxx += x * x;
+    syy += y * y;
+  }
+  const double n = kPairs;
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  const double corr = cov / std::sqrt(vx * vy);
+  EXPECT_LT(std::fabs(corr), 0.03);  // ~4 sigma at 1/sqrt(20000) ~ 0.007
+}
+
+TEST(StreamFactory, ChildFactoriesAreIndependentNamespaces) {
+  StreamFactory f(9);
+  StreamFactory c1 = f.child(1);
+  StreamFactory c2 = f.child(2);
+  EXPECT_NE(c1.stream(0)(), c2.stream(0)());
+  // Same child tag reproduces the same namespace.
+  StreamFactory c1_again = f.child(1);
+  EXPECT_EQ(c1.stream(5)(), c1_again.stream(5)());
+}
+
+}  // namespace
+}  // namespace plurality::rng

@@ -1,0 +1,137 @@
+#include "rng/multinomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "stats/chi_square.hpp"
+#include "support/check.hpp"
+
+namespace plurality::rng {
+namespace {
+
+std::vector<count_t> draw(Xoshiro256pp& gen, count_t n, std::vector<double> probs) {
+  std::vector<count_t> out(probs.size(), 0);
+  multinomial(gen, n, probs, out);
+  return out;
+}
+
+TEST(Multinomial, CountsSumToN) {
+  Xoshiro256pp gen(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto out = draw(gen, 1000, {0.2, 0.5, 0.25, 0.05});
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), count_t{0}), 1000u);
+  }
+}
+
+TEST(Multinomial, ZeroNGivesAllZeros) {
+  Xoshiro256pp gen(2);
+  const auto out = draw(gen, 0, {0.5, 0.5});
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 0u);
+}
+
+TEST(Multinomial, SingleCategoryTakesEverything) {
+  Xoshiro256pp gen(3);
+  const auto out = draw(gen, 77, {1.0});
+  EXPECT_EQ(out[0], 77u);
+}
+
+TEST(Multinomial, ZeroWeightCategoryNeverSampled) {
+  Xoshiro256pp gen(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto out = draw(gen, 500, {0.5, 0.0, 0.5});
+    EXPECT_EQ(out[1], 0u);
+  }
+}
+
+TEST(Multinomial, DegenerateCategoryTakesAll) {
+  Xoshiro256pp gen(5);
+  const auto out = draw(gen, 123, {0.0, 1.0, 0.0});
+  EXPECT_EQ(out[1], 123u);
+}
+
+TEST(Multinomial, UnnormalizedWeightsAreRelative) {
+  Xoshiro256pp gen(6);
+  const int kTrials = 30000;
+  double first = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto out = draw(gen, 10, {2.0, 6.0});  // 25% / 75%
+    first += static_cast<double>(out[0]);
+  }
+  EXPECT_NEAR(first / (10.0 * kTrials), 0.25, 0.005);
+}
+
+TEST(Multinomial, MarginalsMatchChiSquare) {
+  Xoshiro256pp gen(7);
+  const std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+  std::vector<std::uint64_t> totals(probs.size(), 0);
+  const int kTrials = 500;
+  const count_t n = 1000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto out = draw(gen, n, probs);
+    for (std::size_t j = 0; j < out.size(); ++j) totals[j] += out[j];
+  }
+  // Aggregated counts over all trials are Multinomial(n * kTrials, probs).
+  const auto result = stats::chi_square_gof(totals, probs);
+  EXPECT_GT(result.p_value, 1e-6) << "stat=" << result.statistic;
+}
+
+TEST(Multinomial, ManySmallCategoriesStayExact) {
+  Xoshiro256pp gen(8);
+  const std::size_t k = 100;
+  std::vector<double> probs(k, 1.0 / k);
+  std::vector<std::uint64_t> totals(k, 0);
+  const int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<count_t> out(k, 0);
+    multinomial(gen, 10000, probs, out);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), count_t{0}), 10000u);
+    for (std::size_t j = 0; j < k; ++j) totals[j] += out[j];
+  }
+  const auto result = stats::chi_square_gof(totals, probs);
+  EXPECT_GT(result.p_value, 1e-6) << "stat=" << result.statistic;
+}
+
+TEST(Multinomial, HugePopulation) {
+  Xoshiro256pp gen(9);
+  const count_t n = 1'000'000'000'000ULL;  // 1e12 nodes: count-based scaling
+  const auto out = draw(gen, n, {0.25, 0.25, 0.5});
+  EXPECT_EQ(out[0] + out[1] + out[2], n);
+  EXPECT_NEAR(static_cast<double>(out[0]) / static_cast<double>(n), 0.25, 1e-4);
+}
+
+TEST(Multinomial, SizeMismatchThrows) {
+  Xoshiro256pp gen(10);
+  std::vector<double> probs = {0.5, 0.5};
+  std::vector<count_t> out(3, 0);
+  EXPECT_THROW(multinomial(gen, 10, probs, out), CheckError);
+}
+
+TEST(Multinomial, NegativeWeightThrows) {
+  Xoshiro256pp gen(11);
+  std::vector<double> probs = {0.5, -0.5};
+  std::vector<count_t> out(2, 0);
+  EXPECT_THROW(multinomial(gen, 10, probs, out), CheckError);
+}
+
+TEST(Multinomial, AllZeroWeightsThrow) {
+  Xoshiro256pp gen(12);
+  std::vector<double> probs = {0.0, 0.0};
+  std::vector<count_t> out(2, 0);
+  EXPECT_THROW(multinomial(gen, 10, probs, out), CheckError);
+}
+
+TEST(Multinomial, TinyNegativeNoiseIsClamped) {
+  // Kernel laws can carry -1e-15 noise; the sampler must tolerate it.
+  Xoshiro256pp gen(13);
+  std::vector<double> probs = {0.6, -1e-15, 0.4};
+  std::vector<count_t> out(3, 0);
+  multinomial(gen, 1000, probs, out);
+  EXPECT_EQ(out[0] + out[1] + out[2], 1000u);
+  EXPECT_EQ(out[1], 0u);
+}
+
+}  // namespace
+}  // namespace plurality::rng

@@ -1,0 +1,93 @@
+#include "stats/chi_square.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace plurality::stats {
+namespace {
+
+TEST(ChiSquareGof, PerfectFitHasZeroStatistic) {
+  const std::vector<std::uint64_t> observed = {250, 250, 250, 250};
+  const std::vector<double> expected = {0.25, 0.25, 0.25, 0.25};
+  const auto result = chi_square_gof(observed, expected);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.dof, 3.0);
+}
+
+TEST(ChiSquareGof, KnownStatistic) {
+  // Observed (60, 40) vs fair coin with n=100: chi2 = 4.0, dof 1.
+  const std::vector<std::uint64_t> observed = {60, 40};
+  const std::vector<double> expected = {0.5, 0.5};
+  const auto result = chi_square_gof(observed, expected);
+  EXPECT_NEAR(result.statistic, 4.0, 1e-12);
+  EXPECT_NEAR(result.p_value, 0.0455, 5e-4);
+}
+
+TEST(ChiSquareGof, GrossMismatchIsRejected) {
+  const std::vector<std::uint64_t> observed = {900, 100};
+  const std::vector<double> expected = {0.5, 0.5};
+  const auto result = chi_square_gof(observed, expected);
+  EXPECT_LT(result.p_value, 1e-12);
+}
+
+TEST(ChiSquareGof, UnnormalizedExpectationsAreRelative) {
+  const std::vector<std::uint64_t> observed = {30, 70};
+  const auto a = chi_square_gof(observed, std::vector<double>{0.3, 0.7});
+  const auto b = chi_square_gof(observed, std::vector<double>{3.0, 7.0});
+  EXPECT_NEAR(a.statistic, b.statistic, 1e-12);
+}
+
+TEST(ChiSquareGof, SparseTailsArePooled) {
+  // Tail cells with tiny expectation must merge instead of blowing up the
+  // statistic.
+  const std::vector<std::uint64_t> observed = {500, 480, 15, 4, 1, 0, 0};
+  const std::vector<double> expected = {0.5, 0.48, 0.015, 0.004, 0.0009, 0.00009, 0.00001};
+  const auto result = chi_square_gof(observed, expected);
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_LT(result.dof, 6.0);  // pooling reduced the dof
+}
+
+TEST(ChiSquareGof, InvalidInputsThrow) {
+  const std::vector<std::uint64_t> observed = {10, 20};
+  EXPECT_THROW(chi_square_gof(observed, std::vector<double>{0.5}), CheckError);
+  EXPECT_THROW(chi_square_gof(observed, std::vector<double>{0.5, -0.5}), CheckError);
+  EXPECT_THROW(chi_square_gof(std::vector<std::uint64_t>{0, 0},
+                              std::vector<double>{0.5, 0.5}),
+               CheckError);
+}
+
+TEST(ChiSquareTwoSample, IdenticalSamplesPass) {
+  const std::vector<std::uint64_t> a = {100, 200, 300};
+  const auto result = chi_square_two_sample(a, a);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+}
+
+TEST(ChiSquareTwoSample, DifferentSizesSameShapePass) {
+  const std::vector<std::uint64_t> a = {100, 200, 300};
+  const std::vector<std::uint64_t> b = {200, 400, 600};
+  const auto result = chi_square_two_sample(a, b);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+}
+
+TEST(ChiSquareTwoSample, DetectsDifferentShapes) {
+  const std::vector<std::uint64_t> a = {500, 500};
+  const std::vector<std::uint64_t> b = {800, 200};
+  const auto result = chi_square_two_sample(a, b);
+  EXPECT_LT(result.p_value, 1e-12);
+}
+
+TEST(ChiSquareTwoSample, InvalidInputsThrow) {
+  const std::vector<std::uint64_t> a = {1, 2};
+  const std::vector<std::uint64_t> shorter = {1};
+  EXPECT_THROW(chi_square_two_sample(a, shorter), CheckError);
+  const std::vector<std::uint64_t> empty_counts = {0, 0};
+  EXPECT_THROW(chi_square_two_sample(a, empty_counts), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::stats

@@ -1,0 +1,82 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace plurality::stats {
+namespace {
+
+TEST(Histogram, BinsValuesIntoRanges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Histogram, LowerEdgeInclusiveUpperExclusive) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  h.add(10.0);  // exactly hi -> overflow
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, UnderOverflowCounted) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.5);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinBoundaryGoesToUpperBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(2.0);  // boundary between bin 0 and 1
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(0), 0u);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  h.add(1.5);
+  const std::string out = h.render(20);
+  EXPECT_NE(out.find("####"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(Histogram, RenderMentionsOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(5.0);
+  EXPECT_NE(h.render().find("overflow"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), CheckError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), CheckError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+}
+
+TEST(Histogram, OutOfRangeBinAccessThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.bin_count(2), CheckError);
+  EXPECT_THROW(h.bin_low(2), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::stats

@@ -1,0 +1,68 @@
+#include "stats/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace plurality::stats {
+namespace {
+
+TEST(Quantile, MedianOddSample) {
+  const std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Quantile, MedianEvenSampleInterpolates) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Quantile, ExtremesAreMinMax) {
+  const std::vector<double> v = {7.0, -2.0, 3.5, 0.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), -2.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 7.0);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  // R type-7 on (10, 20, 30, 40): q(0.25) = 17.5, q(0.75) = 32.5.
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 17.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 32.5);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 42.0);
+}
+
+TEST(Quantile, BatchSharesOneSort) {
+  const std::vector<double> v = {3.0, 1.0, 2.0, 5.0, 4.0};
+  const std::vector<double> qs = {0.0, 0.5, 1.0};
+  const auto out = quantiles(v, qs);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[2], 5.0);
+}
+
+TEST(Quantile, DoesNotMutateInput) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  const std::vector<double> copy = v;
+  (void)quantile(v, 0.5);
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Quantile, InvalidInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(quantile(empty, 0.5), CheckError);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(quantile(v, -0.1), CheckError);
+  EXPECT_THROW(quantile(v, 1.1), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::stats

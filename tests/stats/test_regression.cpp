@@ -1,0 +1,80 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace plurality::stats {
+namespace {
+
+TEST(LinearFit, ExactLineIsRecovered) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineHasHighR2) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 + 0.7 * i + ((i % 3) - 1) * 0.5);  // deterministic noise
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.7, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, FlatDataHasZeroSlope) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {5, 5, 5, 5};
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);  // convention: no variance to explain
+}
+
+TEST(LinearFit, InvalidInputsThrow) {
+  const std::vector<double> x1 = {1.0};
+  const std::vector<double> y1 = {2.0};
+  EXPECT_THROW(linear_fit(x1, y1), CheckError);
+  const std::vector<double> x2 = {2.0, 2.0};
+  const std::vector<double> y2 = {1.0, 3.0};
+  EXPECT_THROW(linear_fit(x2, y2), CheckError);  // all x identical
+  const std::vector<double> x3 = {1.0, 2.0};
+  const std::vector<double> y3 = {1.0};
+  EXPECT_THROW(linear_fit(x3, y3), CheckError);  // size mismatch
+}
+
+TEST(ProportionalFit, ExactProportionality) {
+  const std::vector<double> x = {1, 2, 4, 8};
+  const std::vector<double> y = {3, 6, 12, 24};
+  const auto fit = proportional_fit(x, y);
+  EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(ProportionalFit, LeastSquaresSlope) {
+  // Through-origin slope = sum(xy)/sum(x^2) = (1*2 + 2*3)/(1+4) = 8/5.
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {2, 3};
+  const auto fit = proportional_fit(x, y);
+  EXPECT_NEAR(fit.slope, 1.6, 1e-12);
+}
+
+TEST(ProportionalFit, AllZeroXThrows) {
+  const std::vector<double> x = {0.0, 0.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(proportional_fit(x, y), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::stats

@@ -1,0 +1,104 @@
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace plurality::stats {
+namespace {
+
+TEST(GammaP, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(gamma_p(2.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(2.5, 0.0), 1.0);
+}
+
+TEST(GammaP, ComplementIdentity) {
+  for (double a : {0.5, 1.0, 3.0, 10.0, 50.0}) {
+    for (double x : {0.1, 0.5, 1.0, 5.0, 20.0, 80.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaP, IntegerShapeClosedForm) {
+  // P(1, x) = 1 - e^-x;  P(2, x) = 1 - e^-x (1 + x).
+  for (double x : {0.3, 1.0, 2.5, 7.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+    EXPECT_NEAR(gamma_p(2.0, x), 1.0 - std::exp(-x) * (1.0 + x), 1e-12);
+  }
+}
+
+TEST(GammaP, HalfShapeIsErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.2, 1.0, 4.0}) {
+    EXPECT_NEAR(gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(GammaP, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 30.0; x += 0.5) {
+    const double p = gamma_p(4.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(GammaP, InvalidArgsThrow) {
+  EXPECT_THROW(gamma_p(0.0, 1.0), CheckError);
+  EXPECT_THROW(gamma_p(-1.0, 1.0), CheckError);
+  EXPECT_THROW(gamma_p(1.0, -0.1), CheckError);
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(normal_sf(1.2815515655446004), 0.1, 1e-9);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double z : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(normal_cdf(z) + normal_cdf(-z), 1.0, 1e-14);
+    EXPECT_NEAR(normal_sf(z), normal_cdf(-z), 1e-14);
+  }
+}
+
+TEST(ChiSquare, KnownCriticalValues) {
+  // Classic table values: P(X^2_1 > 3.841) = 0.05, P(X^2_5 > 11.07) = 0.05,
+  // P(X^2_10 > 23.21) = 0.01.
+  EXPECT_NEAR(chi_square_sf(3.841, 1), 0.05, 5e-4);
+  EXPECT_NEAR(chi_square_sf(11.07, 5), 0.05, 5e-4);
+  EXPECT_NEAR(chi_square_sf(23.21, 10), 0.01, 2e-4);
+}
+
+TEST(ChiSquare, CdfSfComplement) {
+  for (double dof : {1.0, 4.0, 20.0}) {
+    for (double x : {0.5, 3.0, 15.0, 40.0}) {
+      EXPECT_NEAR(chi_square_cdf(x, dof) + chi_square_sf(x, dof), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ChiSquare, TwoDofIsExponential) {
+  // X^2_2 is Exp(1/2): SF(x) = e^{-x/2}.
+  for (double x : {0.5, 2.0, 6.0, 12.0}) {
+    EXPECT_NEAR(chi_square_sf(x, 2), std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(ChiSquare, NonpositiveStatistic) {
+  EXPECT_DOUBLE_EQ(chi_square_cdf(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(chi_square_sf(-1.0, 3), 1.0);
+}
+
+TEST(ChiSquare, InvalidDofThrows) {
+  EXPECT_THROW(chi_square_cdf(1.0, 0.0), CheckError);
+  EXPECT_THROW(chi_square_sf(1.0, -2.0), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::stats

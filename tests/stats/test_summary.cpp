@@ -1,0 +1,117 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace plurality::stats {
+namespace {
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(OnlineStats, KnownSample) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyAccessorsThrow) {
+  OnlineStats s;
+  EXPECT_THROW(s.mean(), CheckError);
+  EXPECT_THROW(s.min(), CheckError);
+  EXPECT_THROW(s.max(), CheckError);
+  EXPECT_THROW(s.sem(), CheckError);
+}
+
+TEST(OnlineStats, MergeEqualsBatch) {
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(std::sin(i) * 10 + i * 0.01);
+  OnlineStats whole = summarize(data);
+  OnlineStats left, right;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (i < 300 ? left : right).add(data[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats c;
+  c.merge(a);  // empty lhs: copies
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(OnlineStats, NumericalStabilityWithLargeOffset) {
+  // Welford must not lose the variance of tiny fluctuations on a 1e9 base.
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.variance(), 1.001, 0.01);  // ~1.0 (Bessel-corrected)
+}
+
+TEST(OnlineStats, SemAndCi) {
+  OnlineStats s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i % 10));
+  const double expected_sem = s.stddev() / 10.0;
+  EXPECT_NEAR(s.sem(), expected_sem, 1e-12);
+  EXPECT_NEAR(s.ci95_halfwidth(), 1.959963984540054 * expected_sem, 1e-12);
+}
+
+TEST(Wilson, MatchesKnownValue) {
+  // 8 successes out of 10: Wilson 95% interval ~ (0.49, 0.943).
+  const auto ci = wilson_interval(8, 10);
+  EXPECT_DOUBLE_EQ(ci.estimate, 0.8);
+  EXPECT_NEAR(ci.low, 0.490, 0.005);
+  EXPECT_NEAR(ci.high, 0.943, 0.005);
+}
+
+TEST(Wilson, ExtremesStayInUnitInterval) {
+  const auto all = wilson_interval(10, 10);
+  EXPECT_DOUBLE_EQ(all.estimate, 1.0);
+  EXPECT_LT(all.low, 1.0);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+  const auto none = wilson_interval(0, 10);
+  EXPECT_DOUBLE_EQ(none.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(none.low, 0.0);
+  EXPECT_GT(none.high, 0.0);
+}
+
+TEST(Wilson, InvalidInputsThrow) {
+  EXPECT_THROW(wilson_interval(1, 0), CheckError);
+  EXPECT_THROW(wilson_interval(11, 10), CheckError);
+}
+
+TEST(Summarize, SpanOverload) {
+  const std::vector<double> data = {1.0, 2.0, 3.0};
+  const OnlineStats s = summarize(data);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace plurality::stats

@@ -1,0 +1,47 @@
+#include "support/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plurality {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(PLURALITY_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(PLURALITY_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageIncludesConditionAndLocation) {
+  try {
+    PLURALITY_CHECK(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, FormattedMessageIsStreamed) {
+  try {
+    const int k = 7;
+    PLURALITY_CHECK_MSG(k == 8, "k was " << k);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("k was 7"), std::string::npos);
+  }
+}
+
+TEST(Check, RequireIsCheckForPreconditions) {
+  EXPECT_THROW(PLURALITY_REQUIRE(false, "bad arg"), CheckError);
+  EXPECT_NO_THROW(PLURALITY_REQUIRE(true, "fine"));
+}
+
+TEST(Check, CheckErrorIsLogicError) {
+  EXPECT_THROW(PLURALITY_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,170 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace plurality {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_uint("n", 1000, "number of nodes");
+  cli.add_int("offset", -5, "signed knob");
+  cli.add_double("share", 0.5, "plurality share");
+  cli.add_string("csv", "", "csv output path");
+  cli.add_flag("quick", "quick mode");
+  return cli;
+}
+
+int parse(CliParser& cli, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return cli.parse(static_cast<int>(argv.size()), argv.data()) ? 1 : 0;
+}
+
+TEST(Cli, DefaultsApplyWhenNotProvided) {
+  CliParser cli = make_parser();
+  EXPECT_EQ(parse(cli, {}), 1);
+  EXPECT_EQ(cli.get_uint("n"), 1000u);
+  EXPECT_EQ(cli.get_int("offset"), -5);
+  EXPECT_DOUBLE_EQ(cli.get_double("share"), 0.5);
+  EXPECT_EQ(cli.get_string("csv"), "");
+  EXPECT_FALSE(cli.flag("quick"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliParser cli = make_parser();
+  parse(cli, {"--n", "42", "--share", "0.75"});
+  EXPECT_EQ(cli.get_uint("n"), 42u);
+  EXPECT_DOUBLE_EQ(cli.get_double("share"), 0.75);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  CliParser cli = make_parser();
+  parse(cli, {"--n=7", "--csv=out.csv"});
+  EXPECT_EQ(cli.get_uint("n"), 7u);
+  EXPECT_EQ(cli.get_string("csv"), "out.csv");
+}
+
+TEST(Cli, FlagWithoutValueIsTrue) {
+  CliParser cli = make_parser();
+  parse(cli, {"--quick"});
+  EXPECT_TRUE(cli.flag("quick"));
+}
+
+TEST(Cli, FlagWithExplicitValue) {
+  CliParser cli = make_parser();
+  parse(cli, {"--quick=false"});
+  EXPECT_FALSE(cli.flag("quick"));
+  CliParser cli2 = make_parser();
+  parse(cli2, {"--quick=yes"});
+  EXPECT_TRUE(cli2.flag("quick"));
+}
+
+TEST(Cli, ScientificNotationForCounts) {
+  CliParser cli = make_parser();
+  parse(cli, {"--n", "1e6"});
+  EXPECT_EQ(cli.get_uint("n"), 1'000'000u);
+}
+
+TEST(Cli, ScientificNotationMustBeExact) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--n", "1.5e0"}), CheckError);
+}
+
+TEST(Cli, NegativeIntegers) {
+  CliParser cli = make_parser();
+  parse(cli, {"--offset", "-42"});
+  EXPECT_EQ(cli.get_int("offset"), -42);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--bogus", "1"}), CheckError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--n"}), CheckError);
+}
+
+TEST(Cli, MalformedIntegerThrows) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--n", "12abc"}), CheckError);
+}
+
+TEST(Cli, MalformedDoubleThrows) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--share", "zero"}), CheckError);
+}
+
+TEST(Cli, MalformedBoolThrows) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--quick=maybe"}), CheckError);
+}
+
+TEST(Cli, BareFlagDoesNotConsumeNextToken) {
+  CliParser cli = make_parser();
+  parse(cli, {"--quick", "positional"});
+  EXPECT_TRUE(cli.flag("quick"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli = make_parser();
+  parse(cli, {"alpha", "--n", "5", "beta"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "alpha");
+  EXPECT_EQ(cli.positional()[1], "beta");
+}
+
+TEST(Cli, ProvidedTracksExplicitOptions) {
+  CliParser cli = make_parser();
+  parse(cli, {"--n", "5"});
+  EXPECT_TRUE(cli.provided("n"));
+  EXPECT_FALSE(cli.provided("share"));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  EXPECT_EQ(parse(cli, {"--help"}), 0);
+}
+
+TEST(Cli, HelpTextMentionsEveryOption) {
+  CliParser cli = make_parser();
+  const std::string help = cli.help_text();
+  for (const char* name : {"--n", "--offset", "--share", "--csv", "--quick", "--help"}) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  CliParser cli("p", "s");
+  cli.add_uint("n", 1, "x");
+  EXPECT_THROW(cli.add_flag("n", "y"), CheckError);
+}
+
+TEST(Cli, WrongTypeAccessThrows) {
+  CliParser cli = make_parser();
+  parse(cli, {});
+  EXPECT_THROW(cli.get_int("n"), CheckError);
+  EXPECT_THROW(cli.flag("share"), CheckError);
+}
+
+TEST(Cli, UnregisteredAccessThrows) {
+  CliParser cli = make_parser();
+  parse(cli, {});
+  EXPECT_THROW(cli.get_uint("missing"), CheckError);
+  EXPECT_THROW(cli.provided("missing"), CheckError);
+}
+
+TEST(Cli, LastValueWins) {
+  CliParser cli = make_parser();
+  parse(cli, {"--n", "1", "--n", "2"});
+  EXPECT_EQ(cli.get_uint("n"), 2u);
+}
+
+}  // namespace
+}  // namespace plurality

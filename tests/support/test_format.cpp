@@ -1,0 +1,60 @@
+#include "support/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plurality {
+namespace {
+
+TEST(Format, SignificantDigits) {
+  EXPECT_EQ(format_sig(3.14159, 3), "3.14");
+  EXPECT_EQ(format_sig(0.000123456, 3), "0.000123");
+  EXPECT_EQ(format_sig(1234567.0, 3), "1.23e+06");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 3), "-1.000");
+}
+
+TEST(Format, CountSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(1000000000ull), "1,000,000,000");
+}
+
+TEST(Format, SiSuffixes) {
+  EXPECT_EQ(format_si(987.0), "987");
+  EXPECT_EQ(format_si(1500.0), "1.5k");
+  EXPECT_EQ(format_si(2'000'000.0), "2M");
+  EXPECT_EQ(format_si(3.2e9), "3.2G");
+}
+
+TEST(Format, Durations) {
+  EXPECT_EQ(format_duration(0.0000005), "0us");
+  EXPECT_EQ(format_duration(0.0005), "500us");
+  EXPECT_EQ(format_duration(0.5), "500ms");
+  EXPECT_EQ(format_duration(1.25), "1.2s");
+  EXPECT_EQ(format_duration(185.0), "3m05s");
+}
+
+TEST(Format, NegativeDuration) {
+  EXPECT_EQ(format_duration(-1.5), "-1.5s");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.975), "97.5%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.12345, 2), "12.35%");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace plurality
