@@ -21,9 +21,10 @@ void BM_CountBasedStep(benchmark::State& state) {
   ThreeMajority dynamics;
   Configuration config = workloads::additive_bias(n, k, n / 10);
   rng::Xoshiro256pp gen(1);
+  StepWorkspace ws;
   for (auto _ : state) {
     Configuration c = config;
-    step_count_based(dynamics, c, gen);
+    step_count_based(dynamics, c, gen, ws);
     benchmark::DoNotOptimize(c.n());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -50,7 +51,28 @@ BENCHMARK(BM_AgentStep)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_CountBasedStepConditional(benchmark::State& state) {
-  // Stateful dynamics pay one multinomial per populated own-state class.
+  // Stateful dynamics pay one multinomial per populated own-state class
+  // (sparse-law kernel: O(support) per class, not Θ(k)).
+  const auto n = static_cast<count_t>(state.range(0));
+  const auto k = static_cast<state_t>(state.range(1));
+  UndecidedState dynamics;
+  Configuration config = UndecidedState::extend_with_undecided(
+      workloads::additive_bias(n, k, n / 10));
+  rng::Xoshiro256pp gen(1);
+  StepWorkspace ws;
+  for (auto _ : state) {
+    Configuration c = config;
+    step_count_based(dynamics, c, gen, ws);
+    benchmark::DoNotOptimize(c.n());
+  }
+}
+BENCHMARK(BM_CountBasedStepConditional)
+    ->ArgsProduct({{1000000}, {8, 64, 256}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CountBasedStepReference(benchmark::State& state) {
+  // The frozen dense allocating stepper, for live A/B against the two
+  // benchmarks above.
   const auto n = static_cast<count_t>(state.range(0));
   const auto k = static_cast<state_t>(state.range(1));
   UndecidedState dynamics;
@@ -59,11 +81,11 @@ void BM_CountBasedStepConditional(benchmark::State& state) {
   rng::Xoshiro256pp gen(1);
   for (auto _ : state) {
     Configuration c = config;
-    step_count_based(dynamics, c, gen);
+    step_count_based_reference(dynamics, c, gen);
     benchmark::DoNotOptimize(c.n());
   }
 }
-BENCHMARK(BM_CountBasedStepConditional)
+BENCHMARK(BM_CountBasedStepReference)
     ->ArgsProduct({{1000000}, {8, 64, 256}})
     ->Unit(benchmark::kMicrosecond);
 

@@ -1,0 +1,281 @@
+// PERF1 — stepping-engine throughput, with machine-readable output.
+//
+// Measures rounds/sec and node-updates/sec for both backends over an
+// (n, k, dynamics) grid, plus the sparse-workspace speedup over the frozen
+// dense reference stepper on the workload the refactor targets: stateful
+// dynamics at large k with only a handful of occupied own-state classes
+// (the regime of the paper's k-up-to-hundreds experiments, where most
+// colors have died out or started empty).
+//
+// Unlike the paper-reproduction benches, this one exists to track the
+// repo's performance trajectory: it writes BENCH_throughput.json
+// (override with --json) so CI can archive results per commit. Each grid
+// cell steps a frozen configuration shape (the config is re-armed from the
+// start vector before every round) so the number being measured is
+// "stepping cost at this workload shape", not an average over a trajectory
+// that collapses to a trivial fixed point.
+#include <string>
+#include <vector>
+
+#include "common/experiment.hpp"
+#include "core/backend.hpp"
+#include "core/majority.hpp"
+#include "core/undecided.hpp"
+#include "io/json.hpp"
+#include "support/format.hpp"
+#include "support/timer.hpp"
+
+namespace plurality::bench {
+namespace {
+
+/// A measurement workload: step `config`, re-arming it from `start` every
+/// kRearmPeriod rounds so the workload shape cannot drift toward a trivial
+/// fixed point (occupied classes only ever die; over 8 rounds from the
+/// biased starts used here none do), until the time budget elapses.
+/// Returns rounds/sec.
+inline constexpr int kRearmPeriod = 8;
+
+template <typename StepFn>
+double measure_rounds_per_sec(const Configuration& start, double budget_seconds,
+                              StepFn&& step) {
+  Configuration config = start;
+  // Warm-up: populate workspaces / caches outside the timed window.
+  for (int r = 0; r < 3; ++r) {
+    config = start;
+    step(config);
+  }
+  std::uint64_t rounds = 0;
+  WallTimer timer;
+  do {
+    config = start;
+    for (int r = 0; r < kRearmPeriod; ++r) {
+      step(config);
+      ++rounds;
+    }
+  } while (timer.seconds() < budget_seconds);
+  return static_cast<double>(rounds) / timer.seconds();
+}
+
+/// Start shape for the grid: every color occupied, mildly biased (the
+/// dense regime where the adoption law has full support).
+Configuration dense_start(count_t n, state_t num_colors) {
+  std::vector<count_t> counts(num_colors, 0);
+  const count_t base = n / (num_colors + 1);
+  count_t assigned = 0;
+  for (state_t j = 0; j < num_colors; ++j) {
+    counts[j] = base;
+    assigned += base;
+  }
+  counts[0] += n - assigned;  // plurality color absorbs the remainder
+  return Configuration(std::move(counts));
+}
+
+/// Start shape for the sparse-speedup measurement: k colors, only three
+/// occupied, plus undecided mass — four active own-state classes total.
+Configuration sparse_undecided_start(count_t n, state_t num_colors) {
+  std::vector<count_t> counts(num_colors, 0);
+  counts[0] = (n * 45) / 100;
+  counts[num_colors / 3] = (n * 30) / 100;
+  counts[num_colors - 2] = (n * 20) / 100;
+  std::vector<count_t> extended = counts;
+  extended.push_back(n - counts[0] - counts[num_colors / 3] - counts[num_colors - 2]);
+  return Configuration(std::move(extended));
+}
+
+struct GridCell {
+  std::string backend;
+  std::string dynamics;
+  count_t n = 0;
+  state_t k = 0;
+  double rounds_per_sec = 0.0;
+  double node_updates_per_sec = 0.0;
+};
+
+}  // namespace
+
+int run(int argc, const char* const* argv) {
+  Experiment exp("PERF1", "Stepping-engine throughput",
+                 "performance baseline (no paper claim)", "bench_throughput");
+  exp.cli().add_string("json", "BENCH_throughput.json",
+                       "write machine-readable results to this JSON path");
+  if (!exp.parse(argc, argv)) return 0;
+
+  const double budget = exp.scaled(0.05, 0.25, 1.0);
+  exp.record().add("time budget / cell", format_sig(budget, 2) + " s");
+  exp.record().set_expectation(
+      "count-based rounds/sec is independent of n; the sparse workspace "
+      "stepper beats the dense reference by >= 3x on stateful stepping at "
+      "k >= 256 with few occupied classes");
+  exp.print_header();
+
+  ThreeMajority majority;
+  UndecidedState undecided;
+  std::vector<GridCell> cells;
+
+  // --- Count-based backend grid: Θ(k)-ish per round, any n. ---
+  {
+    const std::vector<count_t> ns =
+        exp.quick() ? std::vector<count_t>{1'000'000}
+                    : std::vector<count_t>{1'000'000, 1'000'000'000};
+    const std::vector<state_t> ks = exp.quick() ? std::vector<state_t>{8, 256}
+                                                : std::vector<state_t>{8, 64, 256, 1024};
+    StepWorkspace ws;
+    for (count_t n : ns) {
+      for (state_t k : ks) {
+        {
+          const Configuration start = dense_start(n, k);
+          rng::Xoshiro256pp gen(1);
+          const double rps = measure_rounds_per_sec(start, budget, [&](Configuration& c) {
+            step_count_based(majority, c, gen, ws);
+          });
+          cells.push_back({"count", majority.name(), n, k, rps,
+                           rps * static_cast<double>(n)});
+        }
+        {
+          const Configuration start =
+              UndecidedState::extend_with_undecided(dense_start(n, k));
+          rng::Xoshiro256pp gen(2);
+          const double rps = measure_rounds_per_sec(start, budget, [&](Configuration& c) {
+            step_count_based(undecided, c, gen, ws);
+          });
+          cells.push_back({"count", undecided.name(), n, k, rps,
+                           rps * static_cast<double>(n)});
+        }
+      }
+    }
+  }
+
+  // --- Agent backend grid: Θ(n·h) per round, n bounded by the budget. ---
+  {
+    const std::vector<count_t> ns = exp.quick() ? std::vector<count_t>{100'000}
+                                                : std::vector<count_t>{100'000, 1'000'000};
+    const std::vector<state_t> ks = std::vector<state_t>{8, 64};
+    for (count_t n : ns) {
+      for (state_t k : ks) {
+        {
+          AgentSimulation sim(majority, dense_start(n, k), 3);
+          WallTimer timer;
+          std::uint64_t rounds = 0;
+          do {
+            sim.step();
+            ++rounds;
+          } while (timer.seconds() < budget);
+          const double rps = static_cast<double>(rounds) / timer.seconds();
+          cells.push_back({"agent", majority.name(), n, k, rps,
+                           rps * static_cast<double>(n)});
+        }
+        {
+          AgentSimulation sim(
+              undecided, UndecidedState::extend_with_undecided(dense_start(n, k)), 4);
+          WallTimer timer;
+          std::uint64_t rounds = 0;
+          do {
+            sim.step();
+            ++rounds;
+          } while (timer.seconds() < budget);
+          const double rps = static_cast<double>(rounds) / timer.seconds();
+          cells.push_back({"agent", undecided.name(), n, k, rps,
+                           rps * static_cast<double>(n)});
+        }
+      }
+    }
+  }
+
+  io::Table grid_table({"backend", "dynamics", "n", "k", "rounds/sec", "node-updates/sec"});
+  for (const GridCell& cell : cells) {
+    grid_table.row()
+        .cell(cell.backend)
+        .cell(cell.dynamics)
+        .cell(static_cast<std::uint64_t>(cell.n))
+        .cell(static_cast<std::uint64_t>(cell.k))
+        .cell(cell.rounds_per_sec)
+        .cell(cell.node_updates_per_sec);
+  }
+  exp.emit(grid_table, "grid");
+
+  // --- Sparse-class speedup: workspace stepper vs frozen dense reference
+  //     on stateful stepping, k >= 256, four occupied classes. ---
+  struct SpeedupRow {
+    state_t k;
+    double reference_rps;
+    double workspace_rps;
+    double speedup;
+  };
+  std::vector<SpeedupRow> speedups;
+  {
+    const count_t n = 1'000'000;
+    const std::vector<state_t> ks = exp.quick() ? std::vector<state_t>{256, 512}
+                                                : std::vector<state_t>{256, 512, 1024};
+    StepWorkspace ws;
+    for (state_t k : ks) {
+      const Configuration start = sparse_undecided_start(n, k);
+      rng::Xoshiro256pp gen_ref(5), gen_ws(5);
+      const double ref = measure_rounds_per_sec(start, budget, [&](Configuration& c) {
+        step_count_based_reference(undecided, c, gen_ref);
+      });
+      const double fast = measure_rounds_per_sec(start, budget, [&](Configuration& c) {
+        step_count_based(undecided, c, gen_ws, ws);
+      });
+      speedups.push_back({k, ref, fast, fast / ref});
+    }
+  }
+
+  io::Table speedup_table(
+      {"k (colors)", "occupied classes", "reference rounds/sec", "workspace rounds/sec",
+       "speedup"});
+  for (const SpeedupRow& row : speedups) {
+    speedup_table.row()
+        .cell(static_cast<std::uint64_t>(row.k))
+        .cell(std::uint64_t{4})
+        .cell(row.reference_rps)
+        .cell(row.workspace_rps)
+        .cell(format_sig(row.speedup, 3) + "x");
+  }
+  exp.emit(speedup_table, "speedup");
+
+  // --- JSON document. ---
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("benchmark", "throughput");
+  doc.set("schema_version", 1);
+  doc.set("mode", exp.mode_name());
+#if defined(PLURALITY_HAVE_OPENMP)
+  doc.set("openmp", true);
+#else
+  doc.set("openmp", false);
+#endif
+  doc.set("time_budget_seconds", budget);
+
+  io::JsonValue& grid = doc.set("grid", io::JsonValue::array());
+  for (const GridCell& cell : cells) {
+    io::JsonValue& row = grid.push(io::JsonValue::object());
+    row.set("backend", cell.backend);
+    row.set("dynamics", cell.dynamics);
+    row.set("n", std::uint64_t{cell.n});
+    row.set("k", std::uint64_t{cell.k});
+    row.set("rounds_per_sec", cell.rounds_per_sec);
+    row.set("node_updates_per_sec", cell.node_updates_per_sec);
+  }
+
+  io::JsonValue& sparse = doc.set("sparse_speedup", io::JsonValue::array());
+  for (const SpeedupRow& row : speedups) {
+    io::JsonValue& entry = sparse.push(io::JsonValue::object());
+    entry.set("dynamics", "undecided-state");
+    entry.set("n", std::uint64_t{1'000'000});
+    entry.set("k", std::uint64_t{row.k});
+    entry.set("occupied_classes", 4);
+    entry.set("reference_rounds_per_sec", row.reference_rps);
+    entry.set("workspace_rounds_per_sec", row.workspace_rps);
+    entry.set("speedup", row.speedup);
+  }
+
+  const std::string& path = exp.cli().get_string("json");
+  io::write_json_file(path, doc);
+  std::cout << "[json] wrote " << path << "\n";
+
+  exp.finish();
+  return 0;
+}
+
+}  // namespace plurality::bench
+
+int main(int argc, char** argv) { return plurality::bench::run(argc, argv); }

@@ -28,6 +28,12 @@ round_t Experiment::max_rounds() const { return cli_.get_uint("max-rounds"); }
 bool Experiment::quick() const { return cli_.flag("quick"); }
 bool Experiment::full() const { return cli_.flag("full"); }
 
+std::string Experiment::mode_name() const {
+  if (quick()) return "quick";
+  if (full()) return "full";
+  return "default";
+}
+
 void Experiment::print_header() { record_.print(std::cout); }
 
 void Experiment::emit(const io::Table& table, const std::string& csv_suffix) {

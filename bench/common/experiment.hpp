@@ -42,6 +42,10 @@ class Experiment {
   [[nodiscard]] bool quick() const;
   /// True when --full (paper-sized run) was requested.
   [[nodiscard]] bool full() const;
+  /// "quick" / "default" / "full" — recorded in machine-readable output so
+  /// trend tooling never compares across run sizes. Benches that emit JSON
+  /// register their own `--json` option (see bench_throughput).
+  [[nodiscard]] std::string mode_name() const;
 
   /// Picks quick/default/full value by mode.
   template <typename T>

@@ -6,6 +6,16 @@
 // one-round transition of the Markov chain — Θ(k) work per round instead of
 // Θ(n·h). This is what lets the experiments run n up to 10^9.
 //
+// The stepper works out of a caller-owned StepWorkspace so steady-state
+// rounds perform zero heap allocations, and its multinomial kernel is
+// sparse: stateful dynamics pay O(k + nnz) per *occupied* own-state class
+// (nnz = support of that class's law) instead of Θ(k) binomial calls per
+// class. Both properties are load-bearing at paper scale (k in the
+// hundreds, almost all classes empty). step_count_based_reference() keeps
+// the original dense allocating implementation frozen so tests and
+// bench_throughput can verify, bitwise and in rounds/sec, what the
+// workspace path buys — the two must consume identical RNG streams.
+//
 // Agent-based: the literal protocol — an explicit node array, h uniform
 // samples per node per round, OpenMP-parallel over fixed node chunks with
 // one independent RNG stream per (round, chunk) so results are bitwise
@@ -19,6 +29,7 @@
 
 #include "core/configuration.hpp"
 #include "core/dynamics.hpp"
+#include "core/step_workspace.hpp"
 #include "rng/stream.hpp"
 #include "rng/xoshiro.hpp"
 
@@ -28,9 +39,21 @@ namespace plurality {
 enum class Backend { CountBased, Agent };
 
 /// Advances one synchronous round in place using the exact adoption law.
-/// Requires dynamics.has_exact_law(config.k()).
+/// Requires dynamics.has_exact_law(config.k()). Zero heap allocations once
+/// `ws` is warm at this k.
+void step_count_based(const Dynamics& dynamics, Configuration& config,
+                      rng::Xoshiro256pp& gen, StepWorkspace& ws);
+
+/// Convenience overload for one-off steps; allocates a throwaway workspace.
 void step_count_based(const Dynamics& dynamics, Configuration& config,
                       rng::Xoshiro256pp& gen);
+
+/// The pre-workspace dense implementation, kept frozen as the bitwise
+/// ground truth: same RNG stream, same results, Θ(k) per own-state class
+/// plus per-round allocations. Used by the determinism suite and by
+/// bench_throughput to report the workspace path's speedup.
+void step_count_based_reference(const Dynamics& dynamics, Configuration& config,
+                                rng::Xoshiro256pp& gen);
 
 /// Explicit per-node simulation of the same process.
 class AgentSimulation {
@@ -42,7 +65,7 @@ class AgentSimulation {
 
   /// One synchronous round: every node samples sample_arity() nodes from
   /// the whole population (with repetition, including itself) and applies
-  /// the rule.
+  /// the rule. Zero heap allocations (all buffers live on the simulation).
   void step();
 
   [[nodiscard]] const Configuration& configuration() const { return config_; }
@@ -58,6 +81,8 @@ class AgentSimulation {
   Configuration config_;
   std::vector<state_t> nodes_;
   std::vector<state_t> scratch_;
+  std::vector<count_t> partials_;       // kChunks x k per-chunk counts
+  std::vector<count_t> counts_scratch_; // k, reduction of partials_
   rng::StreamFactory streams_;
   round_t round_ = 0;
 };

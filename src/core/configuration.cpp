@@ -38,9 +38,21 @@ count_t Configuration::move_mass(state_t from, state_t to, count_t amount) {
   return moved;
 }
 
+void Configuration::assign_counts(std::span<const count_t> counts) {
+  PLURALITY_REQUIRE(!counts.empty(), "Configuration::assign_counts: need at least one state");
+  counts_.assign(counts.begin(), counts.end());
+  n_ = std::accumulate(counts_.begin(), counts_.end(), count_t{0});
+}
+
+void Configuration::counts_real_into(std::span<double> out) const {
+  PLURALITY_REQUIRE(out.size() == counts_.size(),
+                    "Configuration::counts_real_into: out size mismatch");
+  for (std::size_t j = 0; j < counts_.size(); ++j) out[j] = static_cast<double>(counts_[j]);
+}
+
 std::vector<double> Configuration::counts_real() const {
   std::vector<double> out(counts_.size());
-  for (std::size_t j = 0; j < counts_.size(); ++j) out[j] = static_cast<double>(counts_[j]);
+  counts_real_into(out);
   return out;
 }
 

@@ -42,10 +42,20 @@ class Configuration {
   /// clamped to the available count. Returns the amount actually moved.
   count_t move_mass(state_t from, state_t to, count_t amount);
 
+  /// Replaces the whole count vector in place (recomputing the cached
+  /// total). Allocation-free when the state count does not grow — this is
+  /// how the steppers publish a round's result without rebuilding the
+  /// Configuration.
+  void assign_counts(std::span<const count_t> counts);
+
   [[nodiscard]] std::span<const count_t> counts() const { return counts_; }
 
   /// Counts as doubles (the common input format of adoption laws).
   [[nodiscard]] std::vector<double> counts_real() const;
+
+  /// Allocation-free variant: fills `out` (out.size() == k()) with the
+  /// counts as doubles.
+  void counts_real_into(std::span<double> out) const;
 
   /// Fractions c_j / n.
   [[nodiscard]] std::vector<double> shares() const;

@@ -17,4 +17,17 @@ void Dynamics::adoption_law_given(state_t own, std::span<const double> counts,
   adoption_law(counts, out);
 }
 
+state_t Dynamics::adoption_law_given_sparse(state_t own, std::span<const double> counts,
+                                            double total, std::span<state_t> states_out,
+                                            std::span<double> probs_out) const {
+  (void)own;
+  (void)counts;
+  (void)total;
+  (void)states_out;
+  (void)probs_out;
+  PLURALITY_CHECK_MSG(false, "dynamics '" << name()
+                                          << "' advertises no sparse adoption law");
+  return 0;
+}
+
 }  // namespace plurality

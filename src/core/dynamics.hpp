@@ -68,6 +68,28 @@ class Dynamics {
   virtual void adoption_law_given(state_t own, std::span<const double> counts,
                                   std::span<double> out) const;
 
+  /// True if adoption_law_given_sparse() is implemented. Stateful dynamics
+  /// whose per-class law has small support (e.g. undecided-state: a colored
+  /// node can only keep its color or go undecided) should implement it —
+  /// the count-based stepper then pays O(support) per occupied class
+  /// instead of materializing the dense k-entry law.
+  [[nodiscard]] virtual bool has_sparse_law() const { return false; }
+
+  /// Sparse per-own-state adoption law: writes the law's support into
+  /// (states_out[i], probs_out[i]) for i < nnz and returns nnz. Contract:
+  ///   * states ascending, probabilities >= 0 (zero entries may be
+  ///     included; the sampling kernel skips them),
+  ///   * probabilities bitwise-equal to the dense adoption_law_given
+  ///     entries at those states, all omitted states having probability 0,
+  ///   * `total` is the real-valued population size; callers pass the
+  ///     exact count, which matches the dense law's internally summed
+  ///     total bitwise for populations below 2^53,
+  ///   * both spans have room for at least k entries.
+  /// Only called when has_sparse_law(); the default implementation aborts.
+  [[nodiscard]] virtual state_t adoption_law_given_sparse(
+      state_t own, std::span<const double> counts, double total,
+      std::span<state_t> states_out, std::span<double> probs_out) const;
+
   /// Node-level rule: next state of a node currently in `own` that sampled
   /// `sampled` (size == sample_arity()). `states` is the size of the state
   /// space, so rules with auxiliary states can locate them (the undecided

@@ -23,7 +23,8 @@ TrajectoryPoint snapshot(const Configuration& config, state_t num_colors, round_
 }  // namespace
 
 RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
-                       const RunOptions& options, rng::Xoshiro256pp& gen) {
+                       const RunOptions& options, rng::Xoshiro256pp& gen,
+                       StepWorkspace& ws) {
   const state_t states = start.k();
   const state_t num_colors = dynamics.num_colors(states);
   PLURALITY_REQUIRE(num_colors >= 1 && num_colors <= states,
@@ -68,7 +69,7 @@ RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
 
   for (round_t round = 1; round <= options.max_rounds; ++round) {
     if (options.backend == Backend::CountBased) {
-      step_count_based(dynamics, config, gen);
+      step_count_based(dynamics, config, gen, ws);
       if (options.adversary != nullptr) {
         options.adversary->corrupt(config, num_colors, round, gen);
       }
@@ -93,6 +94,12 @@ RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
     }
   }
   return finish(options.max_rounds, StopReason::RoundLimit);
+}
+
+RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
+                       const RunOptions& options, rng::Xoshiro256pp& gen) {
+  StepWorkspace ws;
+  return run_dynamics(dynamics, start, options, gen, ws);
 }
 
 std::function<bool(const Configuration&, round_t)> stop_when_any_color_reaches(

@@ -64,7 +64,15 @@ struct RunOptions {
 
 /// Runs `dynamics` from `start` (already in the dynamics' state space —
 /// use UndecidedState::extend_with_undecided for protocols with auxiliary
-/// states). Advances `gen` as its randomness source.
+/// states). Advances `gen` as its randomness source. `ws` is the stepping
+/// scratch; callers running many runs (run_trials) pass one workspace per
+/// thread so steady-state rounds allocate nothing. Workspace sharing never
+/// affects results (it is pure scratch — see step_workspace.hpp).
+RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
+                       const RunOptions& options, rng::Xoshiro256pp& gen,
+                       StepWorkspace& ws);
+
+/// Convenience overload for one-off runs; allocates a throwaway workspace.
 RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
                        const RunOptions& options, rng::Xoshiro256pp& gen);
 

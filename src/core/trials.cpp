@@ -38,10 +38,14 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
   std::vector<std::uint8_t> limited(options.trials, 0);
   std::vector<std::uint8_t> predicate(options.trials, 0);
 
-  const auto body = [&](std::uint64_t trial) {
+  // One StepWorkspace per executing thread, reused across every round of
+  // every trial that thread runs. The workspace is pure scratch, so which
+  // thread runs which trial (schedule(dynamic)) cannot affect results —
+  // each trial's randomness comes only from its own hash-derived stream.
+  const auto body = [&](std::uint64_t trial, StepWorkspace& ws) {
     rng::Xoshiro256pp gen = streams.stream(trial);
     const Configuration start = factory(trial, gen);
-    const RunResult result = run_dynamics(dynamics, start, run_options, gen);
+    const RunResult result = run_dynamics(dynamics, start, run_options, gen, ws);
     switch (result.reason) {
       case StopReason::ColorConsensus:
         consensus[trial] = 1;
@@ -62,13 +66,19 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
 
 #if defined(PLURALITY_HAVE_OPENMP)
   if (options.parallel) {
-#pragma omp parallel for schedule(dynamic)
-    for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial);
+#pragma omp parallel
+    {
+      StepWorkspace ws;
+#pragma omp for schedule(dynamic)
+      for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial, ws);
+    }
   } else {
-    for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial);
+    StepWorkspace ws;
+    for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial, ws);
   }
 #else
-  for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial);
+  StepWorkspace ws;
+  for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial, ws);
 #endif
 
   std::vector<double> kept;

@@ -33,6 +33,41 @@ void UndecidedState::adoption_law_given(state_t own, std::span<const double> cou
   }
 }
 
+state_t UndecidedState::adoption_law_given_sparse(state_t own,
+                                                  std::span<const double> counts,
+                                                  double total,
+                                                  std::span<state_t> states_out,
+                                                  std::span<double> probs_out) const {
+  PLURALITY_REQUIRE(counts.size() >= 2, "undecided law: need >= 1 color + undecided");
+  PLURALITY_REQUIRE(own < counts.size(), "undecided law: own state out of range");
+  PLURALITY_REQUIRE(total > 0.0, "undecided law: empty configuration");
+  const auto undecided = static_cast<state_t>(counts.size() - 1);
+  const double n = total;
+  const double q = counts[undecided];
+
+  // The probability expressions below are copied verbatim from
+  // adoption_law_given so the two laws agree bitwise — the determinism
+  // suite steps both paths against each other.
+  if (own == undecided) {
+    state_t nnz = 0;
+    for (state_t j = 0; j < undecided; ++j) {
+      if (counts[j] > 0.0) {
+        states_out[nnz] = j;
+        probs_out[nnz] = counts[j] / n;
+        ++nnz;
+      }
+    }
+    states_out[nnz] = undecided;
+    probs_out[nnz] = q / n;
+    return nnz + 1;
+  }
+  states_out[0] = own;
+  probs_out[0] = (counts[own] + q) / n;
+  states_out[1] = undecided;
+  probs_out[1] = (n - counts[own] - q) / n;
+  return 2;
+}
+
 state_t UndecidedState::apply_rule(state_t own, std::span<const state_t> sampled,
                                    state_t states, rng::Xoshiro256pp& gen) const {
   (void)gen;

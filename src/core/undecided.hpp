@@ -37,6 +37,16 @@ class UndecidedState final : public Dynamics {
   void adoption_law_given(state_t own, std::span<const double> counts,
                           std::span<double> out) const override;
 
+  /// A colored node's law has two-entry support ({own color, undecided} —
+  /// computed in O(1)); the undecided class's law is supported on the
+  /// occupied colors plus undecided (one O(k) scan). This is what makes
+  /// count-based stepping O(k + occupied) per round instead of
+  /// Θ(k · occupied).
+  [[nodiscard]] bool has_sparse_law() const override { return true; }
+  [[nodiscard]] state_t adoption_law_given_sparse(
+      state_t own, std::span<const double> counts, double total,
+      std::span<state_t> states_out, std::span<double> probs_out) const override;
+
   [[nodiscard]] state_t apply_rule(state_t own, std::span<const state_t> sampled,
                                    state_t states, rng::Xoshiro256pp& gen) const override;
 

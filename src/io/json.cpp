@@ -1,0 +1,127 @@
+#include "io/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace plurality::io {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[c >> 4] << hex[c & 0xf];
+        } else {
+          os << raw;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double v) {
+  // JSON has no NaN/Inf; benchmarks that divide by a zero elapsed time
+  // should not silently emit an invalid document.
+  PLURALITY_REQUIRE(std::isfinite(v), "json: non-finite number " << v);
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  PLURALITY_CHECK(ec == std::errc());
+  os.write(buf, ptr - buf);
+}
+
+void indent_to(std::ostream& os, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+}
+
+}  // namespace
+
+JsonValue& JsonValue::push(JsonValue value) {
+  PLURALITY_REQUIRE(kind_ == Kind::Array, "JsonValue::push: not an array");
+  items_.push_back(std::make_unique<JsonValue>(std::move(value)));
+  return *items_.back();
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  PLURALITY_REQUIRE(kind_ == Kind::Object, "JsonValue::set: not an object");
+  keys_.push_back(key);
+  items_.push_back(std::make_unique<JsonValue>(std::move(value)));
+  return *items_.back();
+}
+
+void JsonValue::write(std::ostream& os, int indent) const {
+  switch (kind_) {
+    case Kind::Null: os << "null"; break;
+    case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+    case Kind::Double: write_double(os, double_); break;
+    case Kind::Uint: os << uint_; break;
+    case Kind::Int: os << int_; break;
+    case Kind::String: write_escaped(os, string_); break;
+    case Kind::Array: {
+      if (items_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        indent_to(os, indent + 1);
+        items_[i]->write(os, indent + 1);
+        if (i + 1 < items_.size()) os << ',';
+        os << '\n';
+      }
+      indent_to(os, indent);
+      os << ']';
+      break;
+    }
+    case Kind::Object: {
+      if (items_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        indent_to(os, indent + 1);
+        write_escaped(os, keys_[i]);
+        os << ": ";
+        items_[i]->write(os, indent + 1);
+        if (i + 1 < items_.size()) os << ',';
+        os << '\n';
+      }
+      indent_to(os, indent);
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::to_string() const {
+  std::ostringstream os;
+  write(os, 0);
+  os << '\n';
+  return os.str();
+}
+
+void write_json_file(const std::string& path, const JsonValue& value) {
+  std::ofstream out(path);
+  PLURALITY_REQUIRE(out.good(), "json: cannot open '" << path << "' for writing");
+  out << value.to_string();
+  out.flush();
+  PLURALITY_REQUIRE(out.good(), "json: write to '" << path << "' failed");
+}
+
+}  // namespace plurality::io

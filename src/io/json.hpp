@@ -1,0 +1,69 @@
+// Minimal JSON document builder for machine-readable benchmark output.
+//
+// The throughput benchmarks emit JSON (BENCH_throughput.json) so CI and
+// trend tooling can parse results without scraping tables. This is a
+// writer, not a parser: a small ordered value tree with correct string
+// escaping and shortest-round-trip number formatting, no external deps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace plurality::io {
+
+/// One JSON value (null / bool / number / string / array / object).
+/// Objects preserve insertion order so emitted files diff cleanly.
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::Null) {}
+  JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}               // NOLINT(runtime/explicit)
+  JsonValue(double v) : kind_(Kind::Double), double_(v) {}         // NOLINT(runtime/explicit)
+  JsonValue(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}      // NOLINT(runtime/explicit)
+  JsonValue(std::int64_t v) : kind_(Kind::Int), int_(v) {}         // NOLINT(runtime/explicit)
+  JsonValue(int v) : kind_(Kind::Int), int_(v) {}                  // NOLINT(runtime/explicit)
+  JsonValue(const char* s) : kind_(Kind::String), string_(s) {}    // NOLINT(runtime/explicit)
+  JsonValue(std::string s) : kind_(Kind::String), string_(std::move(s)) {}  // NOLINT
+
+  static JsonValue array() { return JsonValue(Kind::Array); }
+  static JsonValue object() { return JsonValue(Kind::Object); }
+
+  /// Appends to an array (must be an array); returns the stored element.
+  JsonValue& push(JsonValue value);
+
+  /// Sets a key on an object (must be an object); returns the stored value.
+  JsonValue& set(const std::string& key, JsonValue value);
+
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  /// Serializes with 2-space indentation (indent = current depth).
+  void write(std::ostream& os, int indent = 0) const;
+
+  /// The serialized document plus a trailing newline.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  enum class Kind { Null, Bool, Double, Uint, Int, String, Array, Object };
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  bool bool_ = false;
+  double double_ = 0.0;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  std::string string_;
+  // Array elements, or object values (keys_ parallel) — unique_ptr keeps
+  // the recursive type sized.
+  std::vector<std::string> keys_;
+  std::vector<std::unique_ptr<JsonValue>> items_;
+};
+
+/// Writes `value` to `path` (throws CheckError on I/O failure).
+void write_json_file(const std::string& path, const JsonValue& value);
+
+}  // namespace plurality::io

@@ -77,10 +77,17 @@ PopulationRunResult run_population(const PairDynamics& protocol,
   if (config.color_consensus(num_colors)) {
     return finish(0, PopulationStopReason::ColorConsensus);
   }
+  if (config.monochromatic()) {
+    // Already absorbed in a non-color state (e.g. all-blank start).
+    return finish(0, PopulationStopReason::NonColorAbsorbed);
+  }
 
   for (step_t step = 1; step <= options.max_steps; ++step) {
-    population_step(protocol, config, gen);
-    if (step % interval == 0 || config.monochromatic()) {
+    // Absorption can only appear on a step that moved mass, so no-op
+    // interactions skip the scan entirely (they dominate near absorption,
+    // where almost every sampled pair is already in agreement).
+    const bool changed = population_step(protocol, config, gen);
+    if (step % interval == 0 || (changed && config.monochromatic())) {
       if (config.color_consensus(num_colors)) {
         return finish(step, PopulationStopReason::ColorConsensus);
       }

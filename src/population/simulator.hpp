@@ -42,8 +42,9 @@ struct PopulationRunResult {
 
 struct PopulationRunOptions {
   step_t max_steps = 1'000'000'000;
-  /// Absorption is checked every `check_interval` steps (and on every step
-  /// that empties or fills a state). 0 = every step.
+  /// Absorption is checked every `check_interval` steps (and on every
+  /// mass-moving step that lands in a monochromatic state; no-op
+  /// interactions never re-scan). 0 = every step.
   step_t check_interval = 0;
 };
 

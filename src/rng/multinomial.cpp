@@ -1,43 +1,119 @@
 #include "rng/multinomial.hpp"
 
-#include <vector>
+#include <algorithm>
 
 #include "rng/binomial.hpp"
 #include "support/check.hpp"
 
 namespace plurality::rng {
 
-void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
-                 std::span<count_t> out) {
+void multinomial_accumulate(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+                            std::span<count_t> inout, MultinomialWorkspace& ws) {
   const std::size_t k = probs.size();
-  PLURALITY_REQUIRE(out.size() == k, "multinomial: out size mismatch");
+  PLURALITY_REQUIRE(inout.size() == k, "multinomial: out size mismatch");
   PLURALITY_REQUIRE(k >= 1, "multinomial: need at least one category");
 
-  // Backward suffix sums keep the conditional probabilities stable: the
+  // Gather the positive-weight support (one forward O(k) scan), then build
+  // suffix sums over just that support (O(nnz), backward). Dropping
+  // zero-weight categories leaves every conditional probability bitwise
+  // unchanged (the dense backward suffix recurrence only ever adds 0.0 at
+  // those indices) and skips only binomial calls at p == 0, which consume
+  // no randomness — so this is stream-identical to the dense loop.
+  // Backward suffix sums also keep the conditionals stable: a
   // subtraction-based running remainder loses precision after many
   // categories, suffix sums do not.
-  std::vector<double> suffix(k + 1, 0.0);
-  for (std::size_t j = k; j-- > 0;) {
-    double w = probs[j];
-    PLURALITY_REQUIRE(w > -1e-9, "multinomial: negative weight " << w << " at " << j);
-    if (w < 0.0) w = 0.0;
-    suffix[j] = suffix[j + 1] + w;
+  if (ws.support.size() < k) ws.support.resize(k);
+  if (ws.suffix.size() < k + 1) ws.suffix.resize(k + 1);
+  std::uint32_t* support = ws.support.data();
+  double* suffix = ws.suffix.data();
+  std::size_t nnz = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double w = probs[j];
+    if (w > 0.0) {
+      support[nnz++] = static_cast<std::uint32_t>(j);
+    } else {
+      PLURALITY_REQUIRE(w > -1e-9, "multinomial: negative weight " << w << " at " << j);
+    }
   }
-  PLURALITY_REQUIRE(suffix[0] > 0.0, "multinomial: all weights zero");
+  PLURALITY_REQUIRE(nnz > 0, "multinomial: all weights zero");
+  suffix[nnz] = 0.0;
+  for (std::size_t i = nnz; i-- > 0;) {
+    suffix[i] = suffix[i + 1] + probs[support[i]];
+  }
 
   count_t remaining = n;
-  for (std::size_t j = 0; j + 1 < k; ++j) {
-    if (remaining == 0 || suffix[j] <= 0.0) {
-      out[j] = 0;
-      continue;
-    }
-    double pc = probs[j] <= 0.0 ? 0.0 : probs[j] / suffix[j];
+  for (std::size_t i = 0; i + 1 < nnz && remaining > 0; ++i) {
+    const std::size_t j = support[i];
+    double pc = probs[j] / suffix[i];
     if (pc > 1.0) pc = 1.0;
     const count_t draw = binomial(gen, remaining, pc);
-    out[j] = draw;
+    inout[j] += draw;
     remaining -= draw;
   }
-  out[k - 1] = remaining;
+  // The last supported category takes whatever mass is left. In the dense
+  // loop this happens either via its pc == 1.0 draw (no randomness) or via
+  // the final-category assignment, so the streams agree here too.
+  inout[support[nnz - 1]] += remaining;
+}
+
+void multinomial_accumulate_indexed(Xoshiro256pp& gen, count_t n,
+                                    std::span<const state_t> states,
+                                    std::span<const double> weights,
+                                    std::span<count_t> inout, MultinomialWorkspace& ws) {
+  const std::size_t m = states.size();
+  PLURALITY_REQUIRE(weights.size() == m, "multinomial: states/weights size mismatch");
+  PLURALITY_REQUIRE(m >= 1, "multinomial: need at least one category");
+
+  // Compact away zero-weight entries (callers may emit them; the dense
+  // kernel skips the matching categories the same way).
+  if (ws.support.size() < m) ws.support.resize(m);
+  if (ws.weights.size() < m) ws.weights.resize(m);
+  if (ws.suffix.size() < m + 1) ws.suffix.resize(m + 1);
+  std::uint32_t* support = ws.support.data();
+  double* compact = ws.weights.data();
+  double* suffix = ws.suffix.data();
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double w = weights[i];
+    PLURALITY_REQUIRE(states[i] < inout.size(),
+                      "multinomial: category " << states[i] << " out of range");
+    PLURALITY_REQUIRE(i == 0 || states[i] > states[i - 1],
+                      "multinomial: states must be strictly ascending");
+    if (w > 0.0) {
+      support[nnz] = states[i];
+      compact[nnz] = w;
+      ++nnz;
+    } else {
+      PLURALITY_REQUIRE(w > -1e-9, "multinomial: negative weight " << w << " at " << i);
+    }
+  }
+  PLURALITY_REQUIRE(nnz > 0, "multinomial: all weights zero");
+  suffix[nnz] = 0.0;
+  for (std::size_t i = nnz; i-- > 0;) {
+    suffix[i] = suffix[i + 1] + compact[i];
+  }
+
+  count_t remaining = n;
+  for (std::size_t i = 0; i + 1 < nnz && remaining > 0; ++i) {
+    double pc = compact[i] / suffix[i];
+    if (pc > 1.0) pc = 1.0;
+    const count_t draw = binomial(gen, remaining, pc);
+    inout[support[i]] += draw;
+    remaining -= draw;
+  }
+  inout[support[nnz - 1]] += remaining;
+}
+
+void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+                 std::span<count_t> out, MultinomialWorkspace& ws) {
+  std::fill(out.begin(), out.end(), count_t{0});
+  multinomial_accumulate(gen, n, probs, out, ws);
+}
+
+void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+                 std::span<count_t> out) {
+  MultinomialWorkspace ws;
+  multinomial(gen, n, probs, out, ws);
 }
 
 }  // namespace plurality::rng

@@ -1,23 +1,71 @@
 // Exact Multinomial(n, p_0..p_{k-1}) sampling via conditional binomials.
 //
 // This is THE inner loop of the count-based simulator: one multinomial draw
-// per round replaces n independent per-node updates. k binomial draws give
-// the exact joint distribution: X_0 ~ Bin(n, p_0), then X_1 | X_0 ~
-// Bin(n - X_0, p_1 / (1 - p_0)), and so on.
+// per round replaces n independent per-node updates. Binomial draws over the
+// positive-weight categories give the exact joint distribution: X_0 ~
+// Bin(n, p_0), then X_1 | X_0 ~ Bin(n - X_0, p_1 / (1 - p_0)), and so on.
+//
+// Two entry points share one kernel:
+//
+//   * multinomial()            — writes the counts (classic API); the
+//     workspace-free overload allocates scratch and is for one-off callers.
+//   * multinomial_accumulate() — ADDS the draws into `inout`, touching only
+//     categories that receive mass. The count-based stepper sums per-class
+//     multinomials this way without a temporary per-class vector.
+//
+// The kernel is sparse: it gathers the positive-weight categories once and
+// draws only over that support, so a k-category law with nnz positive
+// entries costs O(k) scan + O(nnz) binomial draws, and it stops as soon as
+// the remaining mass hits zero. This is an *identical distribution AND an
+// identical RNG-stream* to the dense conditional-binomial loop, because
+// binomial() consumes no randomness when p <= 0, p >= 1, or n == 0 — the
+// only categories/iterations the sparse kernel skips. Tests pin this
+// equivalence bitwise (tests/core/test_determinism.cpp).
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "rng/xoshiro.hpp"
 #include "support/types.hpp"
 
 namespace plurality::rng {
 
-/// Draws a multinomial sample. `probs` need not be normalized exactly to 1
-/// (kernel formulas carry ~1e-15 float error); it is treated as relative
-/// weights with nonnegativity enforced up to -1e-9 slack. `out` receives the
-/// counts, out.size() == probs.size(), and the counts always sum to n.
+/// Reusable scratch for the multinomial kernel (opaque: the layout is an
+/// implementation detail of multinomial_accumulate). After the first call
+/// at a given k, subsequent calls perform zero heap allocations; buffers
+/// only ever grow.
+struct MultinomialWorkspace {
+  std::vector<std::uint32_t> support;
+  std::vector<double> suffix;
+  std::vector<double> weights;
+};
+
+/// Draws a multinomial sample and ADDS it into `inout` (inout[j] += X_j).
+/// `probs` need not be normalized exactly to 1 (kernel formulas carry
+/// ~1e-15 float error); it is treated as relative weights with
+/// nonnegativity enforced up to -1e-9 slack. The draws sum to n.
+void multinomial_accumulate(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+                            std::span<count_t> inout, MultinomialWorkspace& ws);
+
+/// Sparse-law variant: the distribution is given as (states[i], weights[i])
+/// pairs with `states` ascending and every omitted category having weight
+/// zero. Draws X over the pairs and ADDS inout[states[i]] += X_i. Consumes
+/// the same RNG stream as multinomial_accumulate() over the equivalent
+/// dense weight vector — this is the O(support) kernel behind stateful
+/// count-based stepping.
+void multinomial_accumulate_indexed(Xoshiro256pp& gen, count_t n,
+                                    std::span<const state_t> states,
+                                    std::span<const double> weights,
+                                    std::span<count_t> inout, MultinomialWorkspace& ws);
+
+/// Draws a multinomial sample. `out` receives the counts, out.size() ==
+/// probs.size(), and the counts always sum to n.
+void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+                 std::span<count_t> out, MultinomialWorkspace& ws);
+
+/// Workspace-free overload for one-off callers (allocates scratch).
 void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
                  std::span<count_t> out);
 

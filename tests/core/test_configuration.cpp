@@ -146,5 +146,32 @@ TEST(Configuration, LargeCountsNoOverflow) {
   EXPECT_EQ(c.bias(3), 0u);
 }
 
+TEST(Configuration, AssignCountsReplacesInPlace) {
+  Configuration c({10, 20, 30});
+  const std::vector<count_t> replacement = {5, 0, 7};
+  c.assign_counts(replacement);
+  EXPECT_EQ(c, Configuration({5, 0, 7}));
+  EXPECT_EQ(c.n(), 12u);
+  // Changing k is allowed and keeps the cached total consistent.
+  const std::vector<count_t> wider = {1, 2, 3, 4};
+  c.assign_counts(wider);
+  EXPECT_EQ(c.k(), 4u);
+  EXPECT_EQ(c.n(), 10u);
+}
+
+TEST(Configuration, AssignCountsRejectsEmpty) {
+  Configuration c({1, 2});
+  EXPECT_THROW(c.assign_counts(std::span<const count_t>{}), CheckError);
+}
+
+TEST(Configuration, CountsRealIntoMatchesCountsReal) {
+  Configuration c({4, 0, 9});
+  std::vector<double> out(3, -1.0);
+  c.counts_real_into(out);
+  EXPECT_EQ(out, c.counts_real());
+  std::vector<double> wrong_size(2);
+  EXPECT_THROW(c.counts_real_into(wrong_size), CheckError);
+}
+
 }  // namespace
 }  // namespace plurality

@@ -1,0 +1,95 @@
+// The JSON builder behind BENCH_throughput.json: structure, escaping,
+// number round-tripping, and file output.
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace plurality::io {
+namespace {
+
+TEST(Json, ScalarsRender) {
+  EXPECT_EQ(JsonValue(true).to_string(), "true\n");
+  EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ULL}).to_string(),
+            "18446744073709551615\n");
+  EXPECT_EQ(JsonValue(-42).to_string(), "-42\n");
+  EXPECT_EQ(JsonValue("hi").to_string(), "\"hi\"\n");
+  EXPECT_EQ(JsonValue().to_string(), "null\n");
+}
+
+TEST(Json, DoublesRoundTripShortest) {
+  // std::to_chars emits the shortest representation that parses back
+  // exactly — the property that keeps benchmark JSON lossless.
+  EXPECT_EQ(JsonValue(0.1).to_string(), "0.1\n");
+  EXPECT_EQ(JsonValue(1843125.95538022).to_string(), "1843125.95538022\n");
+  EXPECT_EQ(JsonValue(1e300).to_string(), "1e+300\n");
+}
+
+TEST(Json, NonFiniteNumbersThrow) {
+  EXPECT_THROW(JsonValue(1.0 / 0.0).to_string(), CheckError);
+  EXPECT_THROW(JsonValue(0.0 / 0.0).to_string(), CheckError);
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b\\c\n\t").to_string(), "\"a\\\"b\\\\c\\n\\t\"\n");
+  EXPECT_EQ(JsonValue(std::string("ctrl\x01")).to_string(), "\"ctrl\\u0001\"\n");
+}
+
+TEST(Json, NestedDocumentStructure) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", "throughput");
+  doc.set("n", std::uint64_t{1000000});
+  JsonValue& rows = doc.set("rows", JsonValue::array());
+  JsonValue& row = rows.push(JsonValue::object());
+  row.set("k", 8);
+  row.set("ok", true);
+  doc.set("empty_array", JsonValue::array());
+  doc.set("empty_object", JsonValue::object());
+
+  const std::string expected =
+      "{\n"
+      "  \"name\": \"throughput\",\n"
+      "  \"n\": 1000000,\n"
+      "  \"rows\": [\n"
+      "    {\n"
+      "      \"k\": 8,\n"
+      "      \"ok\": true\n"
+      "    }\n"
+      "  ],\n"
+      "  \"empty_array\": [],\n"
+      "  \"empty_object\": {}\n"
+      "}\n";
+  EXPECT_EQ(doc.to_string(), expected);
+}
+
+TEST(Json, TypeMisuseThrows) {
+  JsonValue arr = JsonValue::array();
+  EXPECT_THROW(arr.set("k", 1), CheckError);
+  JsonValue obj = JsonValue::object();
+  EXPECT_THROW(obj.push(1), CheckError);
+}
+
+TEST(Json, WritesFile) {
+  const std::string path = "test_json_out.tmp.json";
+  JsonValue doc = JsonValue::object();
+  doc.set("answer", 42);
+  write_json_file(path, doc);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{\n  \"answer\": 42\n}\n");
+  std::remove(path.c_str());
+}
+
+TEST(Json, UnwritablePathThrows) {
+  JsonValue doc = JsonValue::object();
+  EXPECT_THROW(write_json_file("/nonexistent-dir/x.json", doc), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::io

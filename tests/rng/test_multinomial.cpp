@@ -133,5 +133,85 @@ TEST(Multinomial, TinyNegativeNoiseIsClamped) {
   EXPECT_EQ(out[1], 0u);
 }
 
+TEST(Multinomial, AccumulateAddsOnTopAndMatchesStream) {
+  // multinomial_accumulate must consume the same RNG stream as the
+  // plain draw and add its sample into the running counts.
+  const std::vector<double> probs = {0.1, 0.0, 0.3, 0.6, 0.0};
+  Xoshiro256pp gen_a(14), gen_b(14);
+  MultinomialWorkspace ws;
+  std::vector<count_t> plain(probs.size(), 0);
+  std::vector<count_t> acc(probs.size(), 7);  // pre-existing mass
+  for (int round = 0; round < 50; ++round) {
+    multinomial(gen_a, 1000, probs, plain, ws);
+    std::vector<count_t> expected = acc;
+    multinomial_accumulate(gen_b, 1000, probs, acc, ws);
+    for (std::size_t j = 0; j < probs.size(); ++j) {
+      EXPECT_EQ(acc[j], expected[j] + plain[j]) << "j=" << j;
+    }
+    EXPECT_EQ(gen_a.state(), gen_b.state()) << "streams diverged at round " << round;
+  }
+}
+
+TEST(Multinomial, IndexedSparseMatchesDenseStreamBitwise) {
+  // The sparse-law kernel over (state, weight) pairs must draw the same
+  // sample from the same stream as the dense kernel over the expanded
+  // weight vector — this is the core determinism property that lets the
+  // stepper switch kernels per dynamics without changing results.
+  const std::size_t k = 300;
+  std::vector<double> dense(k, 0.0);
+  const std::vector<state_t> states = {3, 117, 214, 299};
+  const std::vector<double> weights = {0.25, 0.4, 0.0, 0.35};  // zero entry allowed
+  for (std::size_t i = 0; i < states.size(); ++i) dense[states[i]] = weights[i];
+
+  Xoshiro256pp gen_dense(15), gen_sparse(15);
+  MultinomialWorkspace ws_dense, ws_sparse;
+  std::vector<count_t> out_dense(k, 0), out_sparse(k, 0);
+  for (int round = 0; round < 50; ++round) {
+    multinomial_accumulate(gen_dense, 100000, dense, out_dense, ws_dense);
+    multinomial_accumulate_indexed(gen_sparse, 100000, states, weights, out_sparse,
+                                   ws_sparse);
+    EXPECT_EQ(out_dense, out_sparse) << "round " << round;
+    EXPECT_EQ(gen_dense.state(), gen_sparse.state()) << "streams diverged at " << round;
+  }
+}
+
+TEST(Multinomial, IndexedRejectsUnsortedStates) {
+  Xoshiro256pp gen(16);
+  MultinomialWorkspace ws;
+  std::vector<count_t> out(10, 0);
+  const std::vector<state_t> states = {4, 2};
+  const std::vector<double> weights = {0.5, 0.5};
+  EXPECT_THROW(multinomial_accumulate_indexed(gen, 10, states, weights, out, ws),
+               CheckError);
+}
+
+TEST(Multinomial, IndexedRejectsOutOfRangeState) {
+  Xoshiro256pp gen(17);
+  MultinomialWorkspace ws;
+  std::vector<count_t> out(4, 0);
+  const std::vector<state_t> states = {1, 9};
+  const std::vector<double> weights = {0.5, 0.5};
+  EXPECT_THROW(multinomial_accumulate_indexed(gen, 10, states, weights, out, ws),
+               CheckError);
+}
+
+TEST(Multinomial, WorkspaceReuseAcrossShapesIsClean) {
+  // A workspace carried across calls with different k / support shapes
+  // must behave exactly like a fresh one (it is pure scratch).
+  Xoshiro256pp gen_reused(18), gen_fresh(18);
+  MultinomialWorkspace reused;
+  const std::vector<std::vector<double>> shapes = {
+      {0.5, 0.5}, {0.1, 0.0, 0.2, 0.7}, {1.0}, {0.0, 1.0, 0.0, 0.0, 0.0}};
+  for (int round = 0; round < 20; ++round) {
+    for (const auto& probs : shapes) {
+      std::vector<count_t> out_reused(probs.size(), 0), out_fresh(probs.size(), 0);
+      multinomial(gen_reused, 500, probs, out_reused, reused);
+      MultinomialWorkspace fresh;
+      multinomial(gen_fresh, 500, probs, out_fresh, fresh);
+      EXPECT_EQ(out_reused, out_fresh);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace plurality::rng
