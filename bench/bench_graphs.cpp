@@ -1,68 +1,86 @@
-// E13 — extension: do the clique results survive sparse topologies?
+// E13 + PERF — the graph backend: dynamics beyond the clique, and the CSR
+// engine's throughput against the frozen per-node reference.
 //
-// The paper is clique-only; its related work ([1] Abdullah–Draief, [20]
-// Peleg) and open questions concern local-majority dynamics on graphs. We
-// run 3-majority and the voter from the same biased start on the clique,
-// a random d-regular graph, G(n, m), a torus and a cycle, measuring rounds
-// to consensus and plurality win rate. Expectation: well-connected
-// expander-like graphs (d-regular, G(n,m)) mimic the clique; low-expansion
-// topologies (torus, cycle) slow the process enormously and weaken the
-// bias amplification.
+// Three sections:
+//
+//  1. E13 (extension): 3-majority and the voter from the same biased start
+//     on clique / random-regular / G(n,m) / torus / cycle, via
+//     run_graph_trials. Expectation: expander-like graphs track the clique
+//     (fast, plurality wins); low-expansion topologies are orders of
+//     magnitude slower with weaker amplification.
+//
+//  2. Adversary sweep (Section 3.1 wired to graphs): 3-majority under
+//     none / boost-runner-up / random corruption on clique and expander.
+//     Exact consensus dies under boost-runner-up (only M-plurality
+//     consensus is achievable); random noise merely slows things.
+//
+//  3. Throughput A/B: rounds/sec and node-updates/sec of the CSR engine vs
+//     the FROZEN pre-refactor stepper (reference_sim.cpp) per topology and
+//     dynamics, plus the count-based clique stepper as the "don't simulate
+//     agents on a clique" yardstick. Writes BENCH_graphs.json (override
+//     with --json) so CI can archive the trajectory per commit.
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/experiment.hpp"
+#include "core/adversary.hpp"
+#include "core/backend.hpp"
 #include "core/majority.hpp"
+#include "core/undecided.hpp"
 #include "core/voter.hpp"
 #include "core/workloads.hpp"
 #include "graph/agent_graph.hpp"
 #include "graph/builders.hpp"
+#include "graph/graph_trials.hpp"
+#include "graph/reference_sim.hpp"
+#include "io/json.hpp"
 #include "rng/stream.hpp"
 #include "stats/summary.hpp"
 #include "support/format.hpp"
+#include "support/timer.hpp"
 
 namespace plurality::bench {
 namespace {
 
-struct GraphResult {
-  double mean_rounds = 0.0;
-  double ci = 0.0;
-  double win_rate = 0.0;
-  double consensus_rate = 0.0;
-};
+double average_degree(const graph::AgentGraph& g) {
+  if (g.is_complete()) return static_cast<double>(g.num_nodes());
+  return static_cast<double>(g.num_arcs()) / static_cast<double>(g.num_nodes());
+}
 
-GraphResult run_on_graph(const Dynamics& dynamics, const graph::Topology& topology,
-                         const Configuration& start, std::uint64_t trials,
-                         round_t max_rounds, std::uint64_t seed) {
-  rng::StreamFactory streams(seed);
-  stats::OnlineStats rounds;
-  std::uint64_t wins = 0, consensus = 0;
-  const state_t k = start.k();
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    graph::GraphSimulation sim(dynamics, topology, start, streams.stream(t)());
-    const round_t used = sim.run_to_consensus(max_rounds);
-    if (sim.configuration().color_consensus(k)) {
-      ++consensus;
-      rounds.add(static_cast<double>(used));
-      wins += (sim.configuration().at(start.plurality(k)) == start.n());
-    }
+/// Steps blocks of kBlock rounds from a freshly re-armed simulation so the
+/// measured workload shape cannot drift into a trivial fixed point;
+/// construction/re-arm happens outside the timed window. `make` returns a
+/// steppable object (GraphSimulation or ReferenceGraphSimulation).
+inline constexpr int kBlock = 8;
+
+template <typename MakeSim>
+double measure_rounds_per_sec(MakeSim&& make, double budget_seconds) {
+  {
+    auto warm = make();
+    for (int r = 0; r < 2; ++r) warm.step();
   }
-  GraphResult out;
-  out.consensus_rate = static_cast<double>(consensus) / static_cast<double>(trials);
-  out.win_rate = static_cast<double>(wins) / static_cast<double>(trials);
-  if (rounds.count() > 0) {
-    out.mean_rounds = rounds.mean();
-    out.ci = rounds.ci95_halfwidth();
+  double elapsed = 0.0;
+  std::uint64_t rounds = 0;
+  while (elapsed < budget_seconds) {
+    auto sim = make();
+    WallTimer timer;
+    for (int r = 0; r < kBlock; ++r) sim.step();
+    elapsed += timer.seconds();
+    rounds += kBlock;
   }
-  return out;
+  return static_cast<double>(rounds) / elapsed;
 }
 
 int run(int argc, const char* const* argv) {
-  Experiment exp("E13", "3-majority and voter beyond the clique",
-                 "extension (open questions; related work [1], [20])",
-                 "bench_graphs");
-  exp.cli().add_uint("n", 0, "number of nodes (0 = mode default; square preferred)");
+  Experiment exp("E13", "The graph backend: dynamics beyond the clique + CSR engine throughput",
+                 "extension (open questions; related work [1], [20])", "bench_graphs");
+  exp.cli().add_uint("n", 0, "consensus-study nodes (0 = mode default; square preferred)");
+  exp.cli().add_uint("perf-n", 0, "throughput-section nodes (0 = mode default)");
+  exp.cli().add_string("json", "BENCH_graphs.json",
+                       "write machine-readable throughput results to this JSON path");
   if (!exp.parse(argc, argv)) return 0;
 
   const count_t n = exp.cli().get_uint("n") != 0 ? exp.cli().get_uint("n")
@@ -74,24 +92,29 @@ int run(int argc, const char* const* argv) {
   const count_t n_grid = side * side;
 
   exp.record().add("workload", "additive_bias(n, 3, 0.2n), shuffled onto each topology");
-  exp.record().add("n", format_count(n_grid));
+  exp.record().add("n (consensus study)", format_count(n_grid));
   exp.record().add("trials/point", std::to_string(trials));
   exp.record().add("round cap", format_count(cap));
   exp.record().set_expectation(
       "d-regular and G(n,m) track the clique (fast, plurality wins); torus "
-      "and cycle are orders of magnitude slower with weaker amplification");
+      "and cycle are orders of magnitude slower with weaker amplification; "
+      "the CSR engine beats the frozen per-node reference >= 3x on "
+      "random-regular node updates");
   exp.print_header();
 
+  // ------------------------------------------------- consensus study (E13) --
   rng::Xoshiro256pp topo_gen(exp.seed() + 1);
-  const auto clique = graph::Topology::complete(n_grid);
-  const auto regular = graph::random_regular(n_grid, 8, topo_gen);
-  const auto gnm = graph::erdos_renyi(n_grid, 4 * n_grid, topo_gen, /*patch_isolated=*/true);
-  const auto grid = graph::torus(side, side);
-  const auto ring = graph::cycle(n_grid);
+  const auto clique = graph::AgentGraph::complete(n_grid);
+  const auto regular =
+      graph::AgentGraph::from_topology(graph::random_regular(n_grid, 8, topo_gen));
+  const auto gnm = graph::AgentGraph::from_topology(
+      graph::erdos_renyi(n_grid, 4 * n_grid, topo_gen, /*patch_isolated=*/true));
+  const auto grid = graph::AgentGraph::from_topology(graph::torus(side, side));
+  const auto ring = graph::AgentGraph::from_topology(graph::cycle(n_grid));
 
   struct Entry {
     const char* name;
-    const graph::Topology* topology;
+    const graph::AgentGraph* graph;
   };
   const Entry entries[] = {{"clique", &clique},
                            {"random 8-regular", &regular},
@@ -104,34 +127,242 @@ int run(int argc, const char* const* argv) {
 
   ThreeMajority majority;
   Voter voter;
+  UndecidedState undecided;
+
   io::Table table({"topology", "avg degree", "dynamics", "consensus rate",
                    "rounds (mean ± ci)", "win rate"});
   for (const auto& entry : entries) {
-    const double avg_degree =
-        entry.topology->kind() == graph::Topology::Kind::CompleteImplicit
-            ? static_cast<double>(n_grid)
-            : static_cast<double>(entry.topology->num_arcs()) /
-                  static_cast<double>(n_grid);
     for (const Dynamics* dynamics : {static_cast<const Dynamics*>(&majority),
                                      static_cast<const Dynamics*>(&voter)}) {
       // The voter on sparse graphs is extremely slow; cap its topologies.
       const bool voter_on_slow_graph =
-          dynamics == &voter && (entry.topology == &ring || entry.topology == &grid);
-      const round_t this_cap = voter_on_slow_graph ? cap / 4 : cap;
-      const auto result = run_on_graph(*dynamics, *entry.topology, start, trials,
-                                       this_cap, exp.seed() + 17);
+          dynamics == &voter && (entry.graph == &ring || entry.graph == &grid);
+      graph::GraphTrialOptions options;
+      options.trials = trials;
+      options.seed = exp.seed() + 17;
+      options.max_rounds = voter_on_slow_graph ? cap / 4 : cap;
+      const TrialSummary result =
+          run_graph_trials(*dynamics, *entry.graph, start, options);
       table.row()
           .cell(entry.name)
-          .cell(avg_degree, 4)
+          .cell(average_degree(*entry.graph), 4)
           .cell(dynamics->name())
-          .percent(result.consensus_rate)
-          .cell(result.consensus_rate > 0
-                    ? mean_ci_cell(result.mean_rounds, result.ci)
+          .percent(result.consensus_rate())
+          .cell(result.consensus_count > 0
+                    ? mean_ci_cell(result.rounds.mean(), result.rounds.ci95_halfwidth())
                     : std::string("> cap"))
-          .percent(result.win_rate);
+          .percent(result.win_rate());
     }
   }
-  exp.emit(table);
+  exp.emit(table, "consensus");
+
+  // ------------------------------------------------------- adversary sweep --
+  {
+    const count_t budget = std::max<count_t>(1, n_grid / 100);
+    const BoostRunnerUp boost(budget);
+    const RandomCorruption noise(budget);
+    struct AdvEntry {
+      const char* name;
+      const Adversary* adversary;
+    };
+    const AdvEntry adversaries[] = {
+        {"none", nullptr}, {"boost-runner-up", &boost}, {"random", &noise}};
+
+    io::Table adv_table({"topology", "adversary (F = n/100)", "consensus rate",
+                         "rounds (mean ± ci)", "round-limit rate"});
+    for (const auto& entry : {entries[0], entries[1]}) {  // clique + expander
+      for (const auto& adv : adversaries) {
+        graph::GraphTrialOptions options;
+        options.trials = trials;
+        options.seed = exp.seed() + 29;
+        options.max_rounds = exp.scaled<round_t>(500, 2'000, 5'000);
+        options.adversary = adv.adversary;
+        const TrialSummary result =
+            run_graph_trials(majority, *entry.graph, start, options);
+        adv_table.row()
+            .cell(entry.name)
+            .cell(adv.name)
+            .percent(result.consensus_rate())
+            .cell(result.consensus_count > 0
+                      ? mean_ci_cell(result.rounds.mean(),
+                                     result.rounds.ci95_halfwidth())
+                      : std::string("> cap"))
+            .percent(static_cast<double>(result.round_limit_hits) /
+                     static_cast<double>(result.trials));
+      }
+    }
+    exp.emit(adv_table, "adversary");
+    std::cout << "(boost-runner-up rebuilds the runner-up every round, so exact\n"
+                 " consensus is unreachable — the paper's Section 3.1 weakens the\n"
+                 " goal to M-plurality consensus for exactly this reason.)\n\n";
+  }
+
+  // --------------------------------------------- throughput A/B + JSON ------
+  const count_t perf_n = exp.cli().get_uint("perf-n") != 0
+                             ? exp.cli().get_uint("perf-n")
+                             : exp.scaled<count_t>(20'000, 100'000, 250'000);
+  const auto perf_side =
+      static_cast<count_t>(std::ceil(std::sqrt(static_cast<double>(perf_n))));
+  const count_t perf_n_grid = perf_side * perf_side;
+  const double budget = exp.scaled(0.08, 0.4, 1.2);
+
+  rng::Xoshiro256pp perf_topo_gen(exp.seed() + 2);
+  const auto perf_clique = graph::AgentGraph::complete(perf_n_grid);
+  const auto perf_regular = graph::AgentGraph::from_topology(
+      graph::random_regular(perf_n_grid, 8, perf_topo_gen));
+  const auto perf_gnm = graph::AgentGraph::from_topology(graph::erdos_renyi(
+      perf_n_grid, 4 * perf_n_grid, perf_topo_gen, /*patch_isolated=*/true));
+  const auto perf_torus = graph::AgentGraph::from_topology(graph::torus(perf_side, perf_side));
+  const auto perf_ring = graph::AgentGraph::from_topology(graph::cycle(perf_n_grid));
+  // The reference stepper samples through Topology, the engine through the
+  // packed AgentGraph — same adjacency, measured over the same seeds.
+  const auto ref_clique = graph::Topology::complete(perf_n_grid);
+  rng::Xoshiro256pp ref_topo_gen(exp.seed() + 2);
+  const auto ref_regular = graph::random_regular(perf_n_grid, 8, ref_topo_gen);
+  const auto ref_gnm = graph::erdos_renyi(perf_n_grid, 4 * perf_n_grid, ref_topo_gen,
+                                          /*patch_isolated=*/true);
+  const auto ref_torus = graph::torus(perf_side, perf_side);
+  const auto ref_ring = graph::cycle(perf_n_grid);
+
+  struct PerfEntry {
+    const char* name;
+    const graph::AgentGraph* graph;
+    const graph::Topology* topology;
+  };
+  const PerfEntry perf_entries[] = {{"clique-csr", &perf_clique, &ref_clique},
+                                    {"random 8-regular", &perf_regular, &ref_regular},
+                                    {"G(n, 4n)", &perf_gnm, &ref_gnm},
+                                    {"torus", &perf_torus, &ref_torus},
+                                    {"cycle", &perf_ring, &ref_ring}};
+
+  struct PerfRow {
+    std::string topology;
+    std::string dynamics;
+    double avg_degree = 0.0;
+    double engine_rps = 0.0;
+    double reference_rps = 0.0;
+    double speedup = 0.0;
+  };
+  std::vector<PerfRow> perf_rows;
+
+  const Configuration perf_start_colors = workloads::balanced(perf_n_grid, 3);
+  const Configuration perf_start_undecided =
+      UndecidedState::extend_with_undecided(perf_start_colors);
+
+  io::Table perf_table({"topology", "dynamics", "engine rounds/s", "engine node-upd/s",
+                        "reference rounds/s", "speedup"});
+  for (const auto& entry : perf_entries) {
+    struct DynEntry {
+      const Dynamics* dynamics;
+      const Configuration* start;
+    };
+    const DynEntry dyns[] = {{&majority, &perf_start_colors},
+                             {&voter, &perf_start_colors},
+                             {&undecided, &perf_start_undecided}};
+    for (const auto& dyn : dyns) {
+      const std::uint64_t seed = exp.seed() + 101;
+      const double engine_rps = measure_rounds_per_sec(
+          [&] {
+            return graph::GraphSimulation(*dyn.dynamics, *entry.graph, *dyn.start, seed);
+          },
+          budget);
+      const double reference_rps = measure_rounds_per_sec(
+          [&] {
+            return graph::ReferenceGraphSimulation(*dyn.dynamics, *entry.topology,
+                                                   *dyn.start, seed);
+          },
+          budget);
+      PerfRow row;
+      row.topology = entry.name;
+      row.dynamics = dyn.dynamics->name();
+      row.avg_degree = average_degree(*entry.graph);
+      row.engine_rps = engine_rps;
+      row.reference_rps = reference_rps;
+      row.speedup = engine_rps / reference_rps;
+      perf_rows.push_back(row);
+      perf_table.row()
+          .cell(row.topology)
+          .cell(row.dynamics)
+          .cell(engine_rps)
+          .cell(engine_rps * static_cast<double>(perf_n_grid))
+          .cell(reference_rps)
+          .cell(format_sig(row.speedup, 3) + "x");
+    }
+  }
+
+  // Count-based yardstick: the same clique workload through the exact-law
+  // stepper — the reason the clique rows exist is to show when NOT to use
+  // an agent backend at all.
+  double count_based_rps = 0.0;
+  {
+    StepWorkspace ws;
+    Configuration config = perf_start_colors;
+    rng::Xoshiro256pp gen(exp.seed() + 7);
+    for (int r = 0; r < 3; ++r) step_count_based(majority, config, gen, ws);
+    double elapsed = 0.0;
+    std::uint64_t rounds = 0;
+    while (elapsed < budget) {
+      config = perf_start_colors;
+      WallTimer timer;
+      for (int r = 0; r < kBlock; ++r) step_count_based(majority, config, gen, ws);
+      elapsed += timer.seconds();
+      rounds += kBlock;
+    }
+    count_based_rps = static_cast<double>(rounds) / elapsed;
+    perf_table.row()
+        .cell("clique (count-based)")
+        .cell(majority.name())
+        .cell(count_based_rps)
+        .cell(count_based_rps * static_cast<double>(perf_n_grid))
+        .cell("—")
+        .cell("—");
+  }
+  std::cout << "throughput at n = " << format_count(perf_n_grid)
+            << " (re-armed every " << kBlock << " rounds, budget "
+            << format_sig(budget, 2) << " s/cell)\n";
+  exp.emit(perf_table, "throughput");
+
+  // ------------------------------------------------------------- JSON ------
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("benchmark", "graphs");
+  doc.set("schema_version", 1);
+  doc.set("mode", exp.mode_name());
+#if defined(PLURALITY_HAVE_OPENMP)
+  doc.set("openmp", true);
+#else
+  doc.set("openmp", false);
+#endif
+  doc.set("n", std::uint64_t{perf_n_grid});
+  doc.set("time_budget_seconds", budget);
+  doc.set("rearm_period_rounds", kBlock);
+  doc.set("count_based_clique_rounds_per_sec", count_based_rps);
+  doc.set("count_based_clique_node_updates_per_sec",
+          count_based_rps * static_cast<double>(perf_n_grid));
+
+  io::JsonValue& rows = doc.set("topologies", io::JsonValue::array());
+  double best_regular_speedup = 0.0;
+  for (const PerfRow& row : perf_rows) {
+    io::JsonValue& entry = rows.push(io::JsonValue::object());
+    entry.set("topology", row.topology);
+    entry.set("dynamics", row.dynamics);
+    entry.set("n", std::uint64_t{perf_n_grid});
+    entry.set("avg_degree", row.avg_degree);
+    entry.set("engine_rounds_per_sec", row.engine_rps);
+    entry.set("engine_node_updates_per_sec",
+              row.engine_rps * static_cast<double>(perf_n_grid));
+    entry.set("reference_rounds_per_sec", row.reference_rps);
+    entry.set("reference_node_updates_per_sec",
+              row.reference_rps * static_cast<double>(perf_n_grid));
+    entry.set("speedup", row.speedup);
+    if (row.topology == "random 8-regular") {
+      best_regular_speedup = std::max(best_regular_speedup, row.speedup);
+    }
+  }
+  doc.set("best_random_regular_speedup", best_regular_speedup);
+
+  const std::string& path = exp.cli().get_string("json");
+  io::write_json_file(path, doc);
+  std::cout << "[json] wrote " << path << "\n";
 
   std::cout << "\n(locality is the obstacle: on the cycle, information travels\n"
                " O(1) hops per round, so global plurality cannot be amplified the\n"

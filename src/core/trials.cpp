@@ -22,6 +22,54 @@ stats::ProportionCi TrialSummary::win_ci() const {
   return stats::wilson_interval(plurality_wins, trials);
 }
 
+TrialOutcomes::TrialOutcomes(std::uint64_t trials)
+    : trials_(trials),
+      won_(trials, 0),
+      consensus_(trials, 0),
+      limited_(trials, 0),
+      predicate_(trials, 0),
+      round_samples_(trials, -1.0) {
+  PLURALITY_REQUIRE(trials > 0, "TrialOutcomes: need at least one trial");
+}
+
+void TrialOutcomes::record(std::uint64_t trial, StopReason reason, bool plurality_won,
+                           round_t rounds) {
+  PLURALITY_REQUIRE(trial < trials_, "TrialOutcomes::record: trial out of range");
+  switch (reason) {
+    case StopReason::ColorConsensus:
+      consensus_[trial] = 1;
+      won_[trial] = plurality_won ? 1 : 0;
+      round_samples_[trial] = static_cast<double>(rounds);
+      break;
+    case StopReason::PredicateMet:
+      predicate_[trial] = 1;
+      round_samples_[trial] = static_cast<double>(rounds);
+      break;
+    case StopReason::RoundLimit:
+      limited_[trial] = 1;
+      break;
+    case StopReason::NonColorAbsorbed:
+      break;
+  }
+}
+
+TrialSummary TrialOutcomes::summarize() const {
+  TrialSummary summary;
+  summary.trials = trials_;
+  summary.round_samples.reserve(trials_);
+  for (std::uint64_t trial = 0; trial < trials_; ++trial) {
+    summary.consensus_count += consensus_[trial];
+    summary.plurality_wins += won_[trial];
+    summary.round_limit_hits += limited_[trial];
+    summary.predicate_stops += predicate_[trial];
+    if (round_samples_[trial] >= 0.0) {
+      summary.rounds.add(round_samples_[trial]);
+      summary.round_samples.push_back(round_samples_[trial]);
+    }
+  }
+  return summary;
+}
+
 TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
                         const TrialOptions& options) {
   PLURALITY_REQUIRE(options.trials > 0, "run_trials: need at least one trial");
@@ -29,14 +77,7 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
   run_options.record_trajectory = false;  // trajectories cost memory x trials
 
   const rng::StreamFactory streams(options.seed);
-  TrialSummary summary;
-  summary.trials = options.trials;
-  summary.round_samples.resize(options.trials, -1.0);
-
-  std::vector<std::uint8_t> won(options.trials, 0);
-  std::vector<std::uint8_t> consensus(options.trials, 0);
-  std::vector<std::uint8_t> limited(options.trials, 0);
-  std::vector<std::uint8_t> predicate(options.trials, 0);
+  TrialOutcomes outcomes(options.trials);
 
   // One StepWorkspace per executing thread, reused across every round of
   // every trial that thread runs. The workspace is pure scratch, so which
@@ -46,22 +87,7 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
     rng::Xoshiro256pp gen = streams.stream(trial);
     const Configuration start = factory(trial, gen);
     const RunResult result = run_dynamics(dynamics, start, run_options, gen, ws);
-    switch (result.reason) {
-      case StopReason::ColorConsensus:
-        consensus[trial] = 1;
-        won[trial] = result.plurality_won ? 1 : 0;
-        summary.round_samples[trial] = static_cast<double>(result.rounds);
-        break;
-      case StopReason::PredicateMet:
-        predicate[trial] = 1;
-        summary.round_samples[trial] = static_cast<double>(result.rounds);
-        break;
-      case StopReason::RoundLimit:
-        limited[trial] = 1;
-        break;
-      case StopReason::NonColorAbsorbed:
-        break;
-    }
+    outcomes.record(trial, result.reason, result.plurality_won, result.rounds);
   };
 
 #if defined(PLURALITY_HAVE_OPENMP)
@@ -81,20 +107,7 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
   for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial, ws);
 #endif
 
-  std::vector<double> kept;
-  kept.reserve(options.trials);
-  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
-    summary.consensus_count += consensus[trial];
-    summary.plurality_wins += won[trial];
-    summary.round_limit_hits += limited[trial];
-    summary.predicate_stops += predicate[trial];
-    if (summary.round_samples[trial] >= 0.0) {
-      summary.rounds.add(summary.round_samples[trial]);
-      kept.push_back(summary.round_samples[trial]);
-    }
-  }
-  summary.round_samples = std::move(kept);
-  return summary;
+  return outcomes.summarize();
 }
 
 TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,

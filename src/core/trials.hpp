@@ -40,6 +40,29 @@ struct TrialOptions {
   RunOptions run;  // per-run options (trajectories are force-disabled)
 };
 
+/// Per-trial outcome flags with the shared reduction into a TrialSummary.
+/// Factored out of run_trials so every trial driver (the clique driver
+/// below, graph::run_graph_trials) classifies stop reasons and filters
+/// round samples identically. record() writes disjoint slots, so parallel
+/// trial bodies may call it concurrently without synchronization.
+class TrialOutcomes {
+ public:
+  explicit TrialOutcomes(std::uint64_t trials);
+
+  /// Records trial `trial`'s stop. `rounds` is only consumed for stops the
+  /// theorems bound (consensus / predicate).
+  void record(std::uint64_t trial, StopReason reason, bool plurality_won,
+              round_t rounds);
+
+  /// Reduces all recorded trials into a summary (sequential; call once).
+  [[nodiscard]] TrialSummary summarize() const;
+
+ private:
+  std::uint64_t trials_;
+  std::vector<std::uint8_t> won_, consensus_, limited_, predicate_;
+  std::vector<double> round_samples_;
+};
+
 /// Runs `options.trials` independent runs from factory-generated starts.
 TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
                         const TrialOptions& options);

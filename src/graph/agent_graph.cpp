@@ -1,7 +1,14 @@
 #include "graph/agent_graph.hpp"
 
-#include <array>
+#include <algorithm>
+#include <limits>
 
+#include "core/hplurality.hpp"
+#include "core/majority.hpp"
+#include "core/median.hpp"
+#include "core/undecided.hpp"
+#include "core/voter.hpp"
+#include "graph/kernels.hpp"
 #include "rng/distributions.hpp"
 #include "support/check.hpp"
 
@@ -11,74 +18,259 @@
 
 namespace plurality::graph {
 
-GraphSimulation::GraphSimulation(const Dynamics& dynamics, const Topology& topology,
-                                 const Configuration& start, std::uint64_t seed,
-                                 bool shuffle_layout)
-    : dynamics_(dynamics), topology_(topology), config_(start), streams_(seed) {
-  PLURALITY_REQUIRE(start.n() == topology.num_nodes(),
-                    "GraphSimulation: configuration has " << start.n()
-                        << " nodes but topology has " << topology.num_nodes());
-  PLURALITY_REQUIRE(topology.kind() == Topology::Kind::CompleteImplicit ||
-                        topology.min_degree() >= 1,
-                    "GraphSimulation: isolated vertices cannot sample");
-  nodes_.reserve(start.n());
-  for (state_t j = 0; j < start.k(); ++j) {
-    nodes_.insert(nodes_.end(), start.at(j), j);
-  }
-  if (shuffle_layout) {
-    rng::Xoshiro256pp gen = streams_.stream(~0ULL);  // reserved layout stream
-    rng::shuffle(gen, nodes_.data(), nodes_.size());
-  }
-  scratch_.resize(nodes_.size());
+// ------------------------------------------------------------ AgentGraph ---
+
+AgentGraph AgentGraph::complete(count_t n) {
+  PLURALITY_REQUIRE(n >= 1, "AgentGraph::complete: need at least one node");
+  AgentGraph g;
+  g.n_ = n;
+  g.complete_ = true;
+  g.min_degree_ = n;  // self included — the paper's clique sampling model
+  g.max_degree_ = n;
+  return g;
 }
 
-void GraphSimulation::step() {
-  const std::size_t n = nodes_.size();
-  const state_t k = config_.k();
-  const unsigned arity = dynamics_.sample_arity();
-  PLURALITY_CHECK_MSG(arity <= 64, "graph backend supports sample arity <= 64");
-  const bool complete = topology_.kind() == Topology::Kind::CompleteImplicit;
+AgentGraph AgentGraph::from_topology(const Topology& topology) {
+  if (topology.kind() == Topology::Kind::CompleteImplicit) {
+    return complete(topology.num_nodes());
+  }
+  const count_t n = topology.num_nodes();
+  PLURALITY_REQUIRE(n <= std::numeric_limits<std::uint32_t>::max(),
+                    "AgentGraph: node ids must fit 32 bits (n=" << n << ")");
+  AgentGraph g;
+  g.n_ = n;
+  g.complete_ = false;
+  g.arcs_ = topology.num_arcs();
+  // One arena: n+1 offset words, then the neighbor ids packed two per word.
+  const std::size_t words =
+      static_cast<std::size_t>(n) + 1 + (static_cast<std::size_t>(g.arcs_) + 1) / 2;
+  g.arena_.assign(words, 0);
+  std::uint64_t* offsets = g.arena_.data();
+  auto* neighbors = reinterpret_cast<std::uint32_t*>(g.arena_.data() + n + 1);
+  offsets[0] = 0;
+  g.min_degree_ = n > 0 ? topology.degree(0) : 0;
+  g.max_degree_ = g.min_degree_;
+  std::size_t cursor = 0;
+  for (count_t v = 0; v < n; ++v) {
+    const auto neigh = topology.neighbors(v);
+    for (const count_t u : neigh) neighbors[cursor++] = static_cast<std::uint32_t>(u);
+    offsets[v + 1] = cursor;
+    const auto deg = static_cast<count_t>(neigh.size());
+    g.min_degree_ = std::min(g.min_degree_, deg);
+    g.max_degree_ = std::max(g.max_degree_, deg);
+  }
+  PLURALITY_CHECK(cursor == g.arcs_);
+  return g;
+}
 
-  const std::size_t chunk_size = (n + kChunks - 1) / kChunks;
-  std::array<std::vector<count_t>, kChunks> partial_counts;
+AgentGraph AgentGraph::from_edges(count_t n,
+                                  std::span<const std::pair<count_t, count_t>> edges) {
+  return from_topology(Topology::from_edges(n, edges));
+}
+
+count_t AgentGraph::degree(count_t v) const {
+  PLURALITY_REQUIRE(v < n_, "AgentGraph::degree: node out of range");
+  if (complete_) return n_;
+  return offsets()[v + 1] - offsets()[v];
+}
+
+std::span<const std::uint32_t> AgentGraph::neighbors_of(count_t v) const {
+  PLURALITY_REQUIRE(!complete_,
+                    "AgentGraph::neighbors_of: implicit complete graph has no list");
+  PLURALITY_REQUIRE(v < n_, "AgentGraph::neighbors_of: node out of range");
+  const std::uint64_t lo = offsets()[v];
+  return {neighbors() + lo, static_cast<std::size_t>(offsets()[v + 1] - lo)};
+}
+
+// ---------------------------------------------------------------- engine ---
+
+void load_nodes(const Configuration& start, bool shuffle_layout,
+                const rng::StreamFactory& streams, GraphStepWorkspace& ws) {
+  ws.nodes.resize(start.n());
+  std::size_t pos = 0;
+  for (state_t j = 0; j < start.k(); ++j) {
+    const count_t c = start.at(j);
+    std::fill_n(ws.nodes.begin() + static_cast<std::ptrdiff_t>(pos), c, j);
+    pos += c;
+  }
+  if (shuffle_layout) {
+    rng::Xoshiro256pp gen = streams.stream(kLayoutStream);
+    rng::shuffle(gen, ws.nodes.data(), ws.nodes.size());
+  }
+  ws.mirror_fresh = false;  // nodes rewritten; the byte mirror is stale
+}
+
+namespace {
+
+/// Shared chunked-step body, instantiated once per fused rule. The chunk
+/// grid, stream derivation, and publish order are bit-for-bit the frozen
+/// reference's (reference_sim.cpp); only the per-node inner loop differs.
+template <class Rule, typename TNode>
+void chunk_sweep(const Rule& rule, const TNode* nodes, TNode* mirror_out,
+                 const AgentGraph& graph, state_t k, const rng::StreamFactory& streams,
+                 round_t round, GraphStepWorkspace& ws) {
+  const std::size_t n = graph.num_nodes();
+  const std::size_t chunk_size = (n + kGraphChunks - 1) / kGraphChunks;
+  state_t* out = ws.scratch.data();
+  count_t* partials = ws.partials.data();
+  const bool complete = graph.is_complete();
+  const std::uint64_t* offsets = complete ? nullptr : graph.offsets();
+  const std::uint32_t* neighbors = complete ? nullptr : graph.neighbors();
+  // Degree-uniform graphs (cycle, torus, random-regular) take the
+  // specialized kernel: same results, no per-node offset loads.
+  const bool regular = !complete && graph.min_degree() == graph.max_degree();
+  const std::uint64_t uniform_degree = regular ? graph.min_degree() : 0;
 
 #if defined(PLURALITY_HAVE_OPENMP)
 #pragma omp parallel for schedule(static)
 #endif
-  for (unsigned chunk = 0; chunk < kChunks; ++chunk) {
+  for (unsigned chunk = 0; chunk < kGraphChunks; ++chunk) {
     const std::size_t lo = static_cast<std::size_t>(chunk) * chunk_size;
     const std::size_t hi = std::min(n, lo + chunk_size);
-    std::vector<count_t> local(k, 0);
+    count_t* local = partials + static_cast<std::size_t>(chunk) * k;
+    std::fill(local, local + k, count_t{0});
     if (lo < hi) {
-      rng::Xoshiro256pp gen = streams_.stream(round_ * kChunks + chunk);
-      state_t sample[64];
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (complete) {
-          for (unsigned s = 0; s < arity; ++s) {
-            sample[s] = nodes_[rng::uniform_below(gen, n)];
-          }
-        } else {
-          const auto neigh = topology_.neighbors(i);
-          for (unsigned s = 0; s < arity; ++s) {
-            sample[s] = nodes_[neigh[rng::uniform_below(gen, neigh.size())]];
-          }
-        }
-        const state_t next = dynamics_.apply_rule(
-            nodes_[i], std::span<const state_t>(sample, arity), k, gen);
-        scratch_[i] = next;
-        ++local[next];
+      rng::Xoshiro256pp gen = streams.stream(round * kGraphChunks + chunk);
+      if (complete) {
+        kernels::run_chunk_complete(rule, nodes, out, mirror_out, local, lo, hi, n, k,
+                                    gen);
+      } else if (regular) {
+        kernels::run_chunk_regular(rule, nodes, out, mirror_out, local, lo, hi,
+                                   neighbors, uniform_degree, k, gen);
+      } else {
+        kernels::run_chunk_csr(rule, nodes, out, mirror_out, local, lo, hi, offsets,
+                               neighbors, k, gen);
       }
     }
-    partial_counts[chunk] = std::move(local);
+  }
+}
+
+template <class Rule>
+void step_all_chunks(const Rule& rule, const AgentGraph& graph, Configuration& config,
+                     const rng::StreamFactory& streams, round_t round,
+                     GraphStepWorkspace& ws) {
+  const std::size_t n = graph.num_nodes();
+  const state_t k = config.k();
+
+  if (k <= 256) {
+    // Sample from the byte-wide mirror of the node states: the random
+    // sample loads then touch a 4x denser array (L1/L2-resident at bench
+    // scale). Values are identical, so results are bitwise unaffected. The
+    // sweep emits the next round's mirror as it goes (publish() in
+    // kernels.hpp); the explicit refresh below only runs when somebody
+    // rewrote ws.nodes since the last sweep (trial start, adversary).
+    std::uint8_t* mirror = ws.nodes8.data();
+    if (!ws.mirror_fresh) {
+      const state_t* nodes = ws.nodes.data();
+#if defined(PLURALITY_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+      for (unsigned chunk = 0; chunk < kGraphChunks; ++chunk) {
+        const std::size_t chunk_size = (n + kGraphChunks - 1) / kGraphChunks;
+        const std::size_t lo = static_cast<std::size_t>(chunk) * chunk_size;
+        const std::size_t hi = std::min(n, lo + chunk_size);
+        for (std::size_t i = lo; i < hi; ++i) {
+          mirror[i] = static_cast<std::uint8_t>(nodes[i]);
+        }
+      }
+    }
+    chunk_sweep(rule, mirror, ws.scratch8.data(), graph, k, streams, round, ws);
+    ws.nodes8.swap(ws.scratch8);
+    ws.mirror_fresh = true;
+  } else {
+    state_t* no_mirror = nullptr;
+    chunk_sweep(rule, ws.nodes.data(), no_mirror, graph, k, streams, round, ws);
   }
 
-  nodes_.swap(scratch_);
-  Configuration next = Configuration::zeros(k);
-  for (const auto& local : partial_counts) {
-    if (local.empty()) continue;
-    for (state_t j = 0; j < k; ++j) next.set(j, next.at(j) + local[j]);
+  ws.nodes.swap(ws.scratch);
+  std::fill(ws.counts.begin(), ws.counts.end(), count_t{0});
+  for (unsigned chunk = 0; chunk < kGraphChunks; ++chunk) {
+    const count_t* local = ws.partials.data() + static_cast<std::size_t>(chunk) * k;
+    for (state_t j = 0; j < k; ++j) ws.counts[j] += local[j];
   }
-  config_ = std::move(next);
+  config.assign_counts(ws.counts);
+}
+
+}  // namespace
+
+void step_graph(const Dynamics& dynamics, const AgentGraph& graph,
+                Configuration& config, const rng::StreamFactory& streams,
+                round_t round, GraphStepWorkspace& ws) {
+  const count_t n = graph.num_nodes();
+  PLURALITY_REQUIRE(config.n() == n, "step_graph: configuration has "
+                                         << config.n() << " nodes but graph has " << n);
+  PLURALITY_REQUIRE(ws.nodes.size() == n,
+                    "step_graph: workspace holds " << ws.nodes.size()
+                        << " node states for " << n << " nodes — call load_nodes first");
+  PLURALITY_REQUIRE(graph.is_complete() || graph.min_degree() >= 1,
+                    "step_graph: isolated vertices cannot sample");
+  ws.prepare(n, config.k());
+
+  // One dynamic_cast chain per ROUND (not per node) selects the fused
+  // kernel; everything inside the chunk loop is then fully inlined.
+  if (const auto* d = dynamic_cast<const ThreeMajority*>(&dynamics)) {
+    (void)d;
+    step_all_chunks(kernels::MajorityRule{}, graph, config, streams, round, ws);
+  } else if (const auto* v = dynamic_cast<const Voter*>(&dynamics)) {
+    (void)v;
+    step_all_chunks(kernels::VoterRule{}, graph, config, streams, round, ws);
+  } else if (const auto* t = dynamic_cast<const TwoChoices*>(&dynamics)) {
+    (void)t;
+    step_all_chunks(kernels::TwoChoicesRule{}, graph, config, streams, round, ws);
+  } else if (const auto* u = dynamic_cast<const UndecidedState*>(&dynamics)) {
+    (void)u;
+    step_all_chunks(kernels::UndecidedRule{}, graph, config, streams, round, ws);
+  } else if (const auto* m = dynamic_cast<const MedianDynamics*>(&dynamics)) {
+    (void)m;
+    step_all_chunks(kernels::MedianRule{}, graph, config, streams, round, ws);
+  } else if (const auto* m2 = dynamic_cast<const MedianOwnTwo*>(&dynamics)) {
+    (void)m2;
+    step_all_chunks(kernels::MedianOwnTwoRule{}, graph, config, streams, round, ws);
+  } else if (const auto* h = dynamic_cast<const HPlurality*>(&dynamics)) {
+    PLURALITY_CHECK_MSG(h->sample_arity() <= 64,
+                        "graph backend supports sample arity <= 64");
+    step_all_chunks(kernels::HPluralityRule{h->sample_arity()}, graph, config, streams,
+                    round, ws);
+  } else {
+    const unsigned arity = dynamics.sample_arity();
+    PLURALITY_CHECK_MSG(arity <= 64, "graph backend supports sample arity <= 64");
+    step_all_chunks(kernels::GenericRule{&dynamics, arity}, graph, config, streams,
+                    round, ws);
+  }
+}
+
+// ------------------------------------------------------- GraphSimulation ---
+
+GraphSimulation::GraphSimulation(const Dynamics& dynamics, const Topology& topology,
+                                 const Configuration& start, std::uint64_t seed,
+                                 bool shuffle_layout)
+    : dynamics_(dynamics),
+      owned_graph_(AgentGraph::from_topology(topology)),
+      graph_(&owned_graph_),
+      config_(start),
+      streams_(seed) {
+  init(start, shuffle_layout);
+}
+
+GraphSimulation::GraphSimulation(const Dynamics& dynamics, const AgentGraph& graph,
+                                 const Configuration& start, std::uint64_t seed,
+                                 bool shuffle_layout)
+    : dynamics_(dynamics), graph_(&graph), config_(start), streams_(seed) {
+  init(start, shuffle_layout);
+}
+
+void GraphSimulation::init(const Configuration& start, bool shuffle_layout) {
+  PLURALITY_REQUIRE(start.n() == graph_->num_nodes(),
+                    "GraphSimulation: configuration has " << start.n()
+                        << " nodes but topology has " << graph_->num_nodes());
+  PLURALITY_REQUIRE(graph_->is_complete() || graph_->min_degree() >= 1,
+                    "GraphSimulation: isolated vertices cannot sample");
+  ws_.prepare(start.n(), start.k());
+  load_nodes(start, shuffle_layout, streams_, ws_);
+}
+
+void GraphSimulation::step() {
+  step_graph(dynamics_, *graph_, config_, streams_, round_, ws_);
   ++round_;
 }
 

@@ -1,0 +1,57 @@
+// Multi-trial experiment driver for graph scenarios — the sparse-topology
+// counterpart of core's run_trials, producing the same TrialSummary so the
+// experiment binaries can sweep (topology x dynamics x k x adversary) grids
+// with one reporting path.
+//
+// Each trial gets its own hash-derived stream family (layout, stepping, and
+// factory/adversary randomness all derive from the trial index), so results
+// are bitwise identical no matter how many OpenMP threads execute the
+// trials. One GraphStepWorkspace per executing thread is reused across all
+// of that thread's trials — warm trials allocate nothing per round.
+#pragma once
+
+#include "core/adversary.hpp"
+#include "core/trials.hpp"
+#include "graph/agent_graph.hpp"
+#include "graph/graph_workspace.hpp"
+
+namespace plurality::graph {
+
+struct GraphTrialOptions {
+  std::uint64_t trials = 100;
+  std::uint64_t seed = 1;
+  bool parallel = true;
+  /// Shuffle the node layout per trial (node position matters on sparse
+  /// graphs; the layout stream is part of the trial's stream family).
+  bool shuffle_layout = true;
+  round_t max_rounds = 1'000'000;
+  /// Applied after every protocol round (node-level; see corrupt_nodes).
+  const Adversary* adversary = nullptr;
+};
+
+/// Runs `options.trials` independent runs of `dynamics` on `graph` from
+/// factory-generated starts (the factory contract matches core's
+/// ConfigFactory: thread-safe / pure, configurations sized to the graph).
+TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
+                              const ConfigFactory& factory,
+                              const GraphTrialOptions& options);
+
+/// Convenience overload: every trial starts from the same configuration.
+TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
+                              const Configuration& start,
+                              const GraphTrialOptions& options);
+
+/// Node-level adaptor for the F-bounded adversaries (Section 3.1): lets the
+/// count-level strategies act on an explicit node array. The strategy
+/// decides HOW MANY nodes move between WHICH colors (by mutating `config`);
+/// this adaptor then picks the affected node positions uniformly at random
+/// among each demoted color (single-pass reservoir over ws.nodes, driven by
+/// `gen`) and recolors them in place, keeping config and ws.nodes
+/// consistent. Position choice is randomized rather than adversarial:
+/// the paper's adversary is defined by its count-level move, and uniform
+/// placement keeps the wiring strategy-agnostic.
+void corrupt_nodes(const Adversary& adversary, Configuration& config,
+                   state_t num_colors, round_t round, rng::Xoshiro256pp& gen,
+                   GraphStepWorkspace& ws);
+
+}  // namespace plurality::graph

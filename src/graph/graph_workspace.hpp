@@ -1,0 +1,80 @@
+// Preallocated scratch for the graph stepping hot path — the graph-layer
+// sibling of core's StepWorkspace.
+//
+// A graph round needs the node-state array, its double buffer, and the
+// per-chunk partial count matrix. The pre-refactor stepper allocated the
+// partials (and a fresh Configuration) every round, which makes agent-level
+// stepping allocator-bound exactly where it is already the slow path
+// (Θ(n·h) work per round). The workspace owns every buffer and is reused
+// across rounds AND across trials — run_graph_trials keeps one per OpenMP
+// thread, GraphSimulation owns one for its lifetime.
+//
+// Unlike StepWorkspace, ws.nodes is NOT pure scratch: it carries the node
+// states across rounds (the graph process is not exchangeable, so the
+// count vector is not a sufficient statistic). load_nodes() (re)initializes
+// it per trial; everything else is fully rewritten by each step, so
+// workspace reuse across trials or dynamics never leaks state. After the
+// first step at a given (n, k), a warm round performs zero heap
+// allocations (tests/alloc/test_allocation.cpp pins this).
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace plurality::graph {
+
+/// Fixed chunk fan-out of the graph stepper (same determinism contract as
+/// AgentSimulation::kChunks: one hash-derived RNG stream per (round, chunk),
+/// so results depend on the seed but never on the thread count).
+inline constexpr unsigned kGraphChunks = 64;
+
+struct GraphStepWorkspace {
+  /// Current node states (persistent across rounds within one trial).
+  std::vector<state_t> nodes;
+  /// Next-round node states (double buffer; swapped into nodes each step).
+  std::vector<state_t> scratch;
+  /// Byte-wide mirror of `nodes` (+ its double buffer), used when the
+  /// state space fits one byte (k <= 256): the kernels' random sample
+  /// loads then hit a 4x denser, cache-resident array. Same values —
+  /// results are unaffected. The sweep writes both widths, so a warm round
+  /// needs no refresh pass; `mirror_fresh` says whether nodes8 currently
+  /// matches nodes (load_nodes and corrupt_nodes clear it).
+  std::vector<std::uint8_t> nodes8;
+  std::vector<std::uint8_t> scratch8;
+  bool mirror_fresh = false;
+  /// kGraphChunks x k per-chunk partial counts.
+  std::vector<count_t> partials;
+  /// k-entry reduction of partials (the published next configuration).
+  std::vector<count_t> counts;
+
+  // --- Adversary scratch (graph_trials' node-level corruption). ---
+  std::vector<count_t> adv_before;       // counts before corruption
+  std::vector<count_t> adv_take;         // per-state number of victims
+  std::vector<count_t> adv_seen;         // reservoir counters
+  std::vector<std::uint64_t> adv_offset; // victim-block prefix sums (k+1)
+  std::vector<std::uint64_t> adv_victims;
+
+  /// Sizes every buffer for an (n, k) instance; allocation-free once the
+  /// workspace has seen these sizes (buffers only ever grow in capacity).
+  void prepare(count_t n, state_t k) {
+    nodes.resize(n);
+    scratch.resize(n);
+    if (k <= 256) {
+      nodes8.resize(n);
+      scratch8.resize(n);
+    }
+    partials.resize(static_cast<std::size_t>(kGraphChunks) * k);
+    counts.resize(k);
+  }
+
+  /// Extra buffers used only when an adversary is wired in.
+  void prepare_adversary(state_t k) {
+    adv_before.resize(k);
+    adv_take.resize(k);
+    adv_seen.resize(k);
+    adv_offset.resize(static_cast<std::size_t>(k) + 1);
+  }
+};
+
+}  // namespace plurality::graph

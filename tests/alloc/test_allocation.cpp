@@ -21,6 +21,9 @@
 #include "core/median.hpp"
 #include "core/runner.hpp"
 #include "core/undecided.hpp"
+#include "core/workloads.hpp"
+#include "graph/agent_graph.hpp"
+#include "graph/builders.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -121,6 +124,82 @@ TEST(ZeroAllocation, WorkspaceWarmsOnceAcrossConfigurations) {
     }
   });
   EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocation, GraphEngineStepsOnSparseTopology) {
+  // The CSR graph engine: once the workspace has seen (n, k), a warm round
+  // touches no heap — node double buffer, byte mirror, partial counts, and
+  // the published configuration are all preallocated. (The pre-refactor
+  // stepper allocated 64 per-chunk vectors plus a Configuration per round;
+  // keeping this suite green is what pins the regression away.)
+  ThreeMajority dyn;
+  rng::Xoshiro256pp topo_gen(6);
+  const graph::Topology topo = graph::random_regular(2000, 8, topo_gen);
+  const graph::AgentGraph csr = graph::AgentGraph::from_topology(topo);
+  graph::GraphSimulation sim(dyn, csr, workloads::additive_bias(2000, 3, 500), 7);
+  sim.step();  // warm-up
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int r = 0; r < 50; ++r) sim.step();
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocation, GraphEngineStepsOnCliqueAndIrregularTopology) {
+  // Clique-via-CSR (implicit complete) and a non-uniform-degree graph (the
+  // general CSR kernel) under the same contract; undecided-state exercises
+  // the auxiliary-state path.
+  UndecidedState dyn;
+  {
+    const graph::AgentGraph clique = graph::AgentGraph::complete(3000);
+    graph::GraphSimulation sim(
+        dyn, clique,
+        UndecidedState::extend_with_undecided(workloads::additive_bias(3000, 4, 700)),
+        8);
+    sim.step();
+    const std::uint64_t allocs = allocations_during([&] {
+      for (int r = 0; r < 50; ++r) sim.step();
+    });
+    EXPECT_EQ(allocs, 0u);
+  }
+  {
+    rng::Xoshiro256pp topo_gen(9);
+    const graph::Topology topo = graph::erdos_renyi(2000, 8000, topo_gen,
+                                                    /*patch_isolated=*/true);
+    const graph::AgentGraph csr = graph::AgentGraph::from_topology(topo);
+    graph::GraphSimulation sim(
+        dyn, csr,
+        UndecidedState::extend_with_undecided(workloads::additive_bias(2000, 4, 500)),
+        10);
+    sim.step();
+    const std::uint64_t allocs = allocations_during([&] {
+      for (int r = 0; r < 50; ++r) sim.step();
+    });
+    EXPECT_EQ(allocs, 0u);
+  }
+}
+
+TEST(ZeroAllocation, GraphWorkspaceWarmsOnceAcrossTrials) {
+  // The run_graph_trials reuse pattern: one workspace, many trials (fresh
+  // load_nodes each), zero allocations once warm at the high-water (n, k).
+  ThreeMajority dyn;
+  const graph::AgentGraph graph_ = graph::AgentGraph::from_topology(graph::torus(40, 50));
+  const Configuration start = workloads::additive_bias(2000, 3, 400);
+  const rng::StreamFactory streams(11);
+  graph::GraphStepWorkspace ws;
+  ws.prepare(start.n(), start.k());
+  graph::load_nodes(start, true, streams, ws);
+  Configuration config = start;
+  graph::step_graph(dyn, graph_, config, streams, 0, ws);  // warm-up
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int trial = 0; trial < 5; ++trial) {
+      Configuration c = start;  // reuses capacity? no — counted, see below
+      graph::load_nodes(start, true, streams, ws);
+      for (round_t r = 0; r < 20; ++r) graph::step_graph(dyn, graph_, c, streams, r, ws);
+    }
+  });
+  // Each trial's start-configuration copy allocates its count vector; the
+  // 100 warm rounds themselves must not.
+  EXPECT_LE(allocs, 5u);
 }
 
 TEST(SanityCheck, CounterSeesVectorAllocations) {
