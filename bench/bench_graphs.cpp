@@ -14,11 +14,14 @@
 //     Exact consensus dies under boost-runner-up (only M-plurality
 //     consensus is achievable); random noise merely slows things.
 //
-//  3. Throughput A/B: rounds/sec and node-updates/sec of the CSR engine vs
-//     the FROZEN pre-refactor stepper (reference_sim.cpp) per topology and
-//     dynamics, plus the count-based clique stepper as the "don't simulate
-//     agents on a clique" yardstick. Writes BENCH_graphs.json (override
-//     with --json) so CI can archive the trajectory per commit.
+//  3. Throughput A/B/C: rounds/sec and node-updates/sec of BOTH engine
+//     modes — strict (PR-2 fused xoshiro kernels) and batched (counter-
+//     based Philox + stage-split SIMD pipeline) — against the FROZEN
+//     pre-refactor stepper (reference_sim.cpp) per topology and dynamics,
+//     plus the count-based clique stepper as the "don't simulate agents on
+//     a clique" yardstick. Writes BENCH_graphs.json, schema_version 2
+//     (override with --json); CI re-measures --quick per commit and gates
+//     regressions against the committed snapshot (scripts/perf_guard.py).
 #include <cmath>
 #include <iostream>
 #include <memory>
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "common/experiment.hpp"
+#include "harness.hpp"
 #include "core/adversary.hpp"
 #include "core/backend.hpp"
 #include "core/majority.hpp"
@@ -50,28 +54,20 @@ double average_degree(const graph::AgentGraph& g) {
   return static_cast<double>(g.num_arcs()) / static_cast<double>(g.num_nodes());
 }
 
-/// Steps blocks of kBlock rounds from a freshly re-armed simulation so the
-/// measured workload shape cannot drift into a trivial fixed point;
-/// construction/re-arm happens outside the timed window. `make` returns a
-/// steppable object (GraphSimulation or ReferenceGraphSimulation).
+/// Re-arm period of the throughput cells: a fresh simulation every kBlock
+/// rounds keeps the measured workload shape pinned (harness.hpp timing
+/// discipline; construction happens outside the timed window).
 inline constexpr int kBlock = 8;
 
+/// `make` returns a unique_ptr to a steppable object (GraphSimulation or
+/// ReferenceGraphSimulation — both non-movable, so the factory owns the
+/// allocation; it happens outside the timed window).
 template <typename MakeSim>
-double measure_rounds_per_sec(MakeSim&& make, double budget_seconds) {
-  {
-    auto warm = make();
-    for (int r = 0; r < 2; ++r) warm.step();
-  }
-  double elapsed = 0.0;
-  std::uint64_t rounds = 0;
-  while (elapsed < budget_seconds) {
-    auto sim = make();
-    WallTimer timer;
-    for (int r = 0; r < kBlock; ++r) sim.step();
-    elapsed += timer.seconds();
-    rounds += kBlock;
-  }
-  return static_cast<double>(rounds) / elapsed;
+double measure_sim_rounds_per_sec(MakeSim&& make, double budget_seconds) {
+  decltype(make()) sim;
+  return measure_rounds_per_sec(
+      budget_seconds, kBlock, /*warmup_rounds=*/2, [&] { sim = make(); },
+      [&] { sim->step(); });
 }
 
 int run(int argc, const char* const* argv) {
@@ -95,6 +91,7 @@ int run(int argc, const char* const* argv) {
   exp.record().add("n (consensus study)", format_count(n_grid));
   exp.record().add("trials/point", std::to_string(trials));
   exp.record().add("round cap", format_count(cap));
+  exp.record().add("threads", std::to_string(exp.threads()));
   exp.record().set_expectation(
       "d-regular and G(n,m) track the clique (fast, plurality wins); torus "
       "and cycle are orders of magnitude slower with weaker amplification; "
@@ -197,10 +194,10 @@ int run(int argc, const char* const* argv) {
                  " goal to M-plurality consensus for exactly this reason.)\n\n";
   }
 
-  // --------------------------------------------- throughput A/B + JSON ------
+  // ------------------------------------------- throughput A/B/C + JSON ------
   const count_t perf_n = exp.cli().get_uint("perf-n") != 0
                              ? exp.cli().get_uint("perf-n")
-                             : exp.scaled<count_t>(20'000, 100'000, 250'000);
+                             : exp.scaled<count_t>(20'000, 1'000'000, 2'500'000);
   const auto perf_side =
       static_cast<count_t>(std::ceil(std::sqrt(static_cast<double>(perf_n))));
   const count_t perf_n_grid = perf_side * perf_side;
@@ -239,9 +236,9 @@ int run(int argc, const char* const* argv) {
     std::string topology;
     std::string dynamics;
     double avg_degree = 0.0;
-    double engine_rps = 0.0;
+    double strict_rps = 0.0;
+    double batched_rps = 0.0;
     double reference_rps = 0.0;
-    double speedup = 0.0;
   };
   std::vector<PerfRow> perf_rows;
 
@@ -249,8 +246,8 @@ int run(int argc, const char* const* argv) {
   const Configuration perf_start_undecided =
       UndecidedState::extend_with_undecided(perf_start_colors);
 
-  io::Table perf_table({"topology", "dynamics", "engine rounds/s", "engine node-upd/s",
-                        "reference rounds/s", "speedup"});
+  io::Table perf_table({"topology", "dynamics", "strict rounds/s", "batched rounds/s",
+                        "reference rounds/s", "strict/ref", "batched/strict"});
   for (const auto& entry : perf_entries) {
     struct DynEntry {
       const Dynamics* dynamics;
@@ -261,32 +258,39 @@ int run(int argc, const char* const* argv) {
                              {&undecided, &perf_start_undecided}};
     for (const auto& dyn : dyns) {
       const std::uint64_t seed = exp.seed() + 101;
-      const double engine_rps = measure_rounds_per_sec(
+      const auto engine_rps = [&](graph::EngineMode mode) {
+        return measure_sim_rounds_per_sec(
+            [&] {
+              return std::make_unique<graph::GraphSimulation>(
+                  *dyn.dynamics, *entry.graph, *dyn.start, seed,
+                  /*shuffle_layout=*/true, mode);
+            },
+            budget);
+      };
+      const double strict_rps = engine_rps(graph::EngineMode::Strict);
+      const double batched_rps = engine_rps(graph::EngineMode::Batched);
+      const double reference_rps = measure_sim_rounds_per_sec(
           [&] {
-            return graph::GraphSimulation(*dyn.dynamics, *entry.graph, *dyn.start, seed);
-          },
-          budget);
-      const double reference_rps = measure_rounds_per_sec(
-          [&] {
-            return graph::ReferenceGraphSimulation(*dyn.dynamics, *entry.topology,
-                                                   *dyn.start, seed);
+            return std::make_unique<graph::ReferenceGraphSimulation>(
+                *dyn.dynamics, *entry.topology, *dyn.start, seed);
           },
           budget);
       PerfRow row;
       row.topology = entry.name;
       row.dynamics = dyn.dynamics->name();
       row.avg_degree = average_degree(*entry.graph);
-      row.engine_rps = engine_rps;
+      row.strict_rps = strict_rps;
+      row.batched_rps = batched_rps;
       row.reference_rps = reference_rps;
-      row.speedup = engine_rps / reference_rps;
       perf_rows.push_back(row);
       perf_table.row()
           .cell(row.topology)
           .cell(row.dynamics)
-          .cell(engine_rps)
-          .cell(engine_rps * static_cast<double>(perf_n_grid))
+          .cell(strict_rps)
+          .cell(batched_rps)
           .cell(reference_rps)
-          .cell(format_sig(row.speedup, 3) + "x");
+          .cell(format_sig(strict_rps / reference_rps, 3) + "x")
+          .cell(format_sig(batched_rps / strict_rps, 3) + "x");
     }
   }
 
@@ -298,22 +302,15 @@ int run(int argc, const char* const* argv) {
     StepWorkspace ws;
     Configuration config = perf_start_colors;
     rng::Xoshiro256pp gen(exp.seed() + 7);
-    for (int r = 0; r < 3; ++r) step_count_based(majority, config, gen, ws);
-    double elapsed = 0.0;
-    std::uint64_t rounds = 0;
-    while (elapsed < budget) {
-      config = perf_start_colors;
-      WallTimer timer;
-      for (int r = 0; r < kBlock; ++r) step_count_based(majority, config, gen, ws);
-      elapsed += timer.seconds();
-      rounds += kBlock;
-    }
-    count_based_rps = static_cast<double>(rounds) / elapsed;
+    count_based_rps = measure_rounds_per_sec(
+        budget, kBlock, /*warmup_rounds=*/3, [&] { config = perf_start_colors; },
+        [&] { step_count_based(majority, config, gen, ws); });
     perf_table.row()
         .cell("clique (count-based)")
         .cell(majority.name())
         .cell(count_based_rps)
-        .cell(count_based_rps * static_cast<double>(perf_n_grid))
+        .cell("—")
+        .cell("—")
         .cell("—")
         .cell("—");
   }
@@ -322,47 +319,48 @@ int run(int argc, const char* const* argv) {
             << format_sig(budget, 2) << " s/cell)\n";
   exp.emit(perf_table, "throughput");
 
-  // ------------------------------------------------------------- JSON ------
-  io::JsonValue doc = io::JsonValue::object();
-  doc.set("benchmark", "graphs");
-  doc.set("schema_version", 1);
-  doc.set("mode", exp.mode_name());
-#if defined(PLURALITY_HAVE_OPENMP)
-  doc.set("openmp", true);
-#else
-  doc.set("openmp", false);
-#endif
+  // ----------------------------------------- JSON (schema_version 2) ------
+  // v2: per-row strict/batched/reference engine numbers (the perf guard's
+  // cells), and the count-based yardstick reports rounds_per_sec plus a
+  // clearly named equivalent_node_updates_per_sec (a count round updates k
+  // classes, not n nodes).
+  io::JsonValue doc = make_bench_doc("graphs", 2, exp);
   doc.set("n", std::uint64_t{perf_n_grid});
   doc.set("time_budget_seconds", budget);
   doc.set("rearm_period_rounds", kBlock);
   doc.set("count_based_clique_rounds_per_sec", count_based_rps);
-  doc.set("count_based_clique_node_updates_per_sec",
+  doc.set("count_based_clique_equivalent_node_updates_per_sec",
           count_based_rps * static_cast<double>(perf_n_grid));
 
   io::JsonValue& rows = doc.set("topologies", io::JsonValue::array());
-  double best_regular_speedup = 0.0;
+  double best_regular_strict_speedup = 0.0;
+  double best_regular_batched_vs_strict = 0.0;
+  const auto nups = [&](double rps) { return rps * static_cast<double>(perf_n_grid); };
   for (const PerfRow& row : perf_rows) {
     io::JsonValue& entry = rows.push(io::JsonValue::object());
     entry.set("topology", row.topology);
     entry.set("dynamics", row.dynamics);
     entry.set("n", std::uint64_t{perf_n_grid});
     entry.set("avg_degree", row.avg_degree);
-    entry.set("engine_rounds_per_sec", row.engine_rps);
-    entry.set("engine_node_updates_per_sec",
-              row.engine_rps * static_cast<double>(perf_n_grid));
+    entry.set("strict_rounds_per_sec", row.strict_rps);
+    entry.set("strict_node_updates_per_sec", nups(row.strict_rps));
+    entry.set("batched_rounds_per_sec", row.batched_rps);
+    entry.set("batched_node_updates_per_sec", nups(row.batched_rps));
     entry.set("reference_rounds_per_sec", row.reference_rps);
-    entry.set("reference_node_updates_per_sec",
-              row.reference_rps * static_cast<double>(perf_n_grid));
-    entry.set("speedup", row.speedup);
+    entry.set("reference_node_updates_per_sec", nups(row.reference_rps));
+    entry.set("strict_speedup_vs_reference", row.strict_rps / row.reference_rps);
+    entry.set("batched_speedup_vs_strict", row.batched_rps / row.strict_rps);
     if (row.topology == "random 8-regular") {
-      best_regular_speedup = std::max(best_regular_speedup, row.speedup);
+      best_regular_strict_speedup =
+          std::max(best_regular_strict_speedup, row.strict_rps / row.reference_rps);
+      best_regular_batched_vs_strict =
+          std::max(best_regular_batched_vs_strict, row.batched_rps / row.strict_rps);
     }
   }
-  doc.set("best_random_regular_speedup", best_regular_speedup);
+  doc.set("best_random_regular_speedup", best_regular_strict_speedup);
+  doc.set("best_random_regular_batched_vs_strict", best_regular_batched_vs_strict);
 
-  const std::string& path = exp.cli().get_string("json");
-  io::write_json_file(path, doc);
-  std::cout << "[json] wrote " << path << "\n";
+  write_bench_json(doc, exp.cli().get_string("json"));
 
   std::cout << "\n(locality is the obstacle: on the cycle, information travels\n"
                " O(1) hops per round, so global plurality cannot be amplified the\n"

@@ -1,19 +1,22 @@
 // PERF1 — stepping-engine throughput, with machine-readable output.
 //
-// Measures rounds/sec and node-updates/sec for both backends over an
-// (n, k, dynamics) grid, plus the sparse-workspace speedup over the frozen
-// dense reference stepper on the workload the refactor targets: stateful
-// dynamics at large k with only a handful of occupied own-state classes
-// (the regime of the paper's k-up-to-hundreds experiments, where most
-// colors have died out or started empty).
+// Measures rounds/sec for both backends over an (n, k, dynamics) grid, plus
+// the sparse-workspace speedup over the frozen dense reference stepper on
+// the workload the PR-1 refactor targets: stateful dynamics at large k with
+// only a handful of occupied own-state classes.
 //
-// Unlike the paper-reproduction benches, this one exists to track the
-// repo's performance trajectory: it writes BENCH_throughput.json
-// (override with --json) so CI can archive results per commit. Each grid
-// cell steps a frozen configuration shape (the config is re-armed from the
-// start vector before every round) so the number being measured is
-// "stepping cost at this workload shape", not an average over a trajectory
-// that collapses to a trivial fixed point.
+// Metric naming (schema_version 2): a count-based round updates k CLASS
+// counters, not n nodes — reporting node_updates_per_sec for it overstated
+// the backend by orders of magnitude. Count rows now report rounds_per_sec
+// plus `equivalent_node_updates_per_sec` (the agent-backend work one exact
+// count round replaces: rounds/sec x n); only agent rows report literal
+// `node_updates_per_sec`. The count grid also carries the generator-engine
+// A/B: xoshiro (sequential) vs rng::PhiloxStream (counter-based
+// block-generated uniforms feeding the same multinomial kernels).
+//
+// Timing discipline and the JSON header come from bench/harness.hpp. The
+// shared --threads flag pins the OpenMP team size for reproducible
+// committed snapshots.
 #include <string>
 #include <vector>
 
@@ -21,40 +24,18 @@
 #include "core/backend.hpp"
 #include "core/majority.hpp"
 #include "core/undecided.hpp"
+#include "harness.hpp"
 #include "io/json.hpp"
+#include "rng/philox.hpp"
 #include "support/format.hpp"
-#include "support/timer.hpp"
 
 namespace plurality::bench {
 namespace {
 
-/// A measurement workload: step `config`, re-arming it from `start` every
-/// kRearmPeriod rounds so the workload shape cannot drift toward a trivial
-/// fixed point (occupied classes only ever die; over 8 rounds from the
-/// biased starts used here none do), until the time budget elapses.
-/// Returns rounds/sec.
+/// Re-arm period of every cell (see harness.hpp: the workload shape is
+/// pinned, occupied classes cannot die over 8 rounds from these starts).
 inline constexpr int kRearmPeriod = 8;
-
-template <typename StepFn>
-double measure_rounds_per_sec(const Configuration& start, double budget_seconds,
-                              StepFn&& step) {
-  Configuration config = start;
-  // Warm-up: populate workspaces / caches outside the timed window.
-  for (int r = 0; r < 3; ++r) {
-    config = start;
-    step(config);
-  }
-  std::uint64_t rounds = 0;
-  WallTimer timer;
-  do {
-    config = start;
-    for (int r = 0; r < kRearmPeriod; ++r) {
-      step(config);
-      ++rounds;
-    }
-  } while (timer.seconds() < budget_seconds);
-  return static_cast<double>(rounds) / timer.seconds();
-}
+inline constexpr int kWarmupRounds = 3;
 
 /// Start shape for the grid: every color occupied, mildly biased (the
 /// dense regime where the adoption law has full support).
@@ -88,8 +69,18 @@ struct GridCell {
   count_t n = 0;
   state_t k = 0;
   double rounds_per_sec = 0.0;
-  double node_updates_per_sec = 0.0;
+  bool literal_node_updates = false;  // agent rows only
 };
+
+/// rounds/sec of one count-backend cell under generator `gen`.
+template <class Gen>
+double measure_count_cell(const Dynamics& dynamics, const Configuration& start,
+                          double budget, Gen& gen, StepWorkspace& ws) {
+  Configuration config = start;
+  return measure_rounds_per_sec(
+      budget, kRearmPeriod, kWarmupRounds, [&] { config = start; },
+      [&] { step_count_based(dynamics, config, gen, ws); });
+}
 
 }  // namespace
 
@@ -102,17 +93,20 @@ int run(int argc, const char* const* argv) {
 
   const double budget = exp.scaled(0.05, 0.25, 1.0);
   exp.record().add("time budget / cell", format_sig(budget, 2) + " s");
+  exp.record().add("threads", std::to_string(exp.threads()));
   exp.record().set_expectation(
       "count-based rounds/sec is independent of n; the sparse workspace "
       "stepper beats the dense reference by >= 3x on stateful stepping at "
-      "k >= 256 with few occupied classes");
+      "k >= 256 with few occupied classes; xoshiro and Philox count "
+      "stepping are within noise of each other");
   exp.print_header();
 
   ThreeMajority majority;
   UndecidedState undecided;
   std::vector<GridCell> cells;
 
-  // --- Count-based backend grid: Θ(k)-ish per round, any n. ---
+  // --- Count-based backend grid: Θ(k)-ish per round, any n; both
+  //     generator engines. ---
   {
     const std::vector<count_t> ns =
         exp.quick() ? std::vector<count_t>{1'000'000}
@@ -120,29 +114,20 @@ int run(int argc, const char* const* argv) {
     const std::vector<state_t> ks = exp.quick() ? std::vector<state_t>{8, 256}
                                                 : std::vector<state_t>{8, 64, 256, 1024};
     StepWorkspace ws;
-    for (count_t n : ns) {
-      for (state_t k : ks) {
-        {
-          const Configuration start = dense_start(n, k);
-          rng::Xoshiro256pp gen(1);
-          const double rps = measure_rounds_per_sec(start, budget, [&](Configuration& c) {
-            step_count_based(majority, c, gen, ws);
-          });
-          cells.push_back({"count", majority.name(), n, k, rps,
-                           rps * static_cast<double>(n)});
-        }
-        {
-          const Configuration start =
-              UndecidedState::extend_with_undecided(dense_start(n, k));
-          rng::Xoshiro256pp gen(2);
-          const double rps = measure_rounds_per_sec(start, budget, [&](Configuration& c) {
-            step_count_based(undecided, c, gen, ws);
-          });
-          cells.push_back({"count", undecided.name(), n, k, rps,
-                           rps * static_cast<double>(n)});
-        }
-      }
-    }
+    rng::Xoshiro256pp xgen(1);
+    rng::PhiloxStream pgen(1);
+    for_grid(ns, ks, [&](count_t n, state_t k) {
+      const Configuration start_m = dense_start(n, k);
+      const Configuration start_u = UndecidedState::extend_with_undecided(dense_start(n, k));
+      cells.push_back({"count", majority.name(), n, k,
+                       measure_count_cell(majority, start_m, budget, xgen, ws), false});
+      cells.push_back({"count", undecided.name(), n, k,
+                       measure_count_cell(undecided, start_u, budget, xgen, ws), false});
+      cells.push_back({"count-philox", majority.name(), n, k,
+                       measure_count_cell(majority, start_m, budget, pgen, ws), false});
+      cells.push_back({"count-philox", undecided.name(), n, k,
+                       measure_count_cell(undecided, start_u, budget, pgen, ws), false});
+    });
   }
 
   // --- Agent backend grid: Θ(n·h) per round, n bounded by the budget. ---
@@ -150,38 +135,25 @@ int run(int argc, const char* const* argv) {
     const std::vector<count_t> ns = exp.quick() ? std::vector<count_t>{100'000}
                                                 : std::vector<count_t>{100'000, 1'000'000};
     const std::vector<state_t> ks = std::vector<state_t>{8, 64};
-    for (count_t n : ns) {
-      for (state_t k : ks) {
-        {
-          AgentSimulation sim(majority, dense_start(n, k), 3);
-          WallTimer timer;
-          std::uint64_t rounds = 0;
-          do {
-            sim.step();
-            ++rounds;
-          } while (timer.seconds() < budget);
-          const double rps = static_cast<double>(rounds) / timer.seconds();
-          cells.push_back({"agent", majority.name(), n, k, rps,
-                           rps * static_cast<double>(n)});
-        }
-        {
-          AgentSimulation sim(
-              undecided, UndecidedState::extend_with_undecided(dense_start(n, k)), 4);
-          WallTimer timer;
-          std::uint64_t rounds = 0;
-          do {
-            sim.step();
-            ++rounds;
-          } while (timer.seconds() < budget);
-          const double rps = static_cast<double>(rounds) / timer.seconds();
-          cells.push_back({"agent", undecided.name(), n, k, rps,
-                           rps * static_cast<double>(n)});
-        }
+    for_grid(ns, ks, [&](count_t n, state_t k) {
+      {
+        AgentSimulation sim(majority, dense_start(n, k), 3);
+        const double rps = measure_rounds_per_sec(
+            budget, kRearmPeriod, kWarmupRounds, [] {}, [&] { sim.step(); });
+        cells.push_back({"agent", majority.name(), n, k, rps, true});
       }
-    }
+      {
+        AgentSimulation sim(undecided,
+                            UndecidedState::extend_with_undecided(dense_start(n, k)), 4);
+        const double rps = measure_rounds_per_sec(
+            budget, kRearmPeriod, kWarmupRounds, [] {}, [&] { sim.step(); });
+        cells.push_back({"agent", undecided.name(), n, k, rps, true});
+      }
+    });
   }
 
-  io::Table grid_table({"backend", "dynamics", "n", "k", "rounds/sec", "node-updates/sec"});
+  io::Table grid_table(
+      {"backend", "dynamics", "n", "k", "rounds/sec", "node-upd/s (agent: literal, count: equiv)"});
   for (const GridCell& cell : cells) {
     grid_table.row()
         .cell(cell.backend)
@@ -189,7 +161,7 @@ int run(int argc, const char* const* argv) {
         .cell(static_cast<std::uint64_t>(cell.n))
         .cell(static_cast<std::uint64_t>(cell.k))
         .cell(cell.rounds_per_sec)
-        .cell(cell.node_updates_per_sec);
+        .cell(cell.rounds_per_sec * static_cast<double>(cell.n));
   }
   exp.emit(grid_table, "grid");
 
@@ -210,12 +182,13 @@ int run(int argc, const char* const* argv) {
     for (state_t k : ks) {
       const Configuration start = sparse_undecided_start(n, k);
       rng::Xoshiro256pp gen_ref(5), gen_ws(5);
-      const double ref = measure_rounds_per_sec(start, budget, [&](Configuration& c) {
-        step_count_based_reference(undecided, c, gen_ref);
-      });
-      const double fast = measure_rounds_per_sec(start, budget, [&](Configuration& c) {
-        step_count_based(undecided, c, gen_ws, ws);
-      });
+      Configuration config = start;
+      const double ref = measure_rounds_per_sec(
+          budget, kRearmPeriod, kWarmupRounds, [&] { config = start; },
+          [&] { step_count_based_reference(undecided, config, gen_ref); });
+      const double fast = measure_rounds_per_sec(
+          budget, kRearmPeriod, kWarmupRounds, [&] { config = start; },
+          [&] { step_count_based(undecided, config, gen_ws, ws); });
       speedups.push_back({k, ref, fast, fast / ref});
     }
   }
@@ -233,17 +206,10 @@ int run(int argc, const char* const* argv) {
   }
   exp.emit(speedup_table, "speedup");
 
-  // --- JSON document. ---
-  io::JsonValue doc = io::JsonValue::object();
-  doc.set("benchmark", "throughput");
-  doc.set("schema_version", 1);
-  doc.set("mode", exp.mode_name());
-#if defined(PLURALITY_HAVE_OPENMP)
-  doc.set("openmp", true);
-#else
-  doc.set("openmp", false);
-#endif
+  // --- JSON document (schema_version 2: see header comment). ---
+  io::JsonValue doc = make_bench_doc("throughput", 2, exp);
   doc.set("time_budget_seconds", budget);
+  doc.set("rearm_period_rounds", kRearmPeriod);
 
   io::JsonValue& grid = doc.set("grid", io::JsonValue::array());
   for (const GridCell& cell : cells) {
@@ -253,7 +219,14 @@ int run(int argc, const char* const* argv) {
     row.set("n", std::uint64_t{cell.n});
     row.set("k", std::uint64_t{cell.k});
     row.set("rounds_per_sec", cell.rounds_per_sec);
-    row.set("node_updates_per_sec", cell.node_updates_per_sec);
+    if (cell.literal_node_updates) {
+      row.set("node_updates_per_sec", cell.rounds_per_sec * static_cast<double>(cell.n));
+    } else {
+      // One exact count round replaces n agent node updates; the counter
+      // the backend actually touches is k classes.
+      row.set("equivalent_node_updates_per_sec",
+              cell.rounds_per_sec * static_cast<double>(cell.n));
+    }
   }
 
   io::JsonValue& sparse = doc.set("sparse_speedup", io::JsonValue::array());
@@ -268,10 +241,7 @@ int run(int argc, const char* const* argv) {
     entry.set("speedup", row.speedup);
   }
 
-  const std::string& path = exp.cli().get_string("json");
-  io::write_json_file(path, doc);
-  std::cout << "[json] wrote " << path << "\n";
-
+  write_bench_json(doc, exp.cli().get_string("json"));
   exp.finish();
   return 0;
 }

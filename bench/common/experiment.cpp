@@ -2,6 +2,10 @@
 
 #include "support/format.hpp"
 
+#if defined(PLURALITY_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
 namespace plurality::bench {
 
 Experiment::Experiment(std::string id, std::string title, std::string paper_result,
@@ -16,10 +20,27 @@ Experiment::Experiment(std::string id, std::string title, std::string paper_resu
   cli_.add_string("csv", "", "write table rows to this CSV path (suffix appended per table)");
   cli_.add_flag("quick", "CI-sized parameters");
   cli_.add_flag("full", "paper-sized parameters (slow)");
+  cli_.add_uint("threads", 0,
+                "pin the OpenMP team size (0 = runtime default); recorded in "
+                "machine-readable output so committed snapshots are reproducible");
 }
 
 bool Experiment::parse(int argc, const char* const* argv) {
-  return cli_.parse(argc, argv);
+  if (!cli_.parse(argc, argv)) return false;
+#if defined(PLURALITY_HAVE_OPENMP)
+  if (cli_.get_uint("threads") != 0) {
+    omp_set_num_threads(static_cast<int>(cli_.get_uint("threads")));
+  }
+#endif
+  return true;
+}
+
+unsigned Experiment::threads() const {
+#if defined(PLURALITY_HAVE_OPENMP)
+  return static_cast<unsigned>(omp_get_max_threads());
+#else
+  return 1;
+#endif
 }
 
 std::uint64_t Experiment::trials() const { return cli_.get_uint("trials"); }

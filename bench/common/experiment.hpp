@@ -42,6 +42,10 @@ class Experiment {
   [[nodiscard]] bool quick() const;
   /// True when --full (paper-sized run) was requested.
   [[nodiscard]] bool full() const;
+  /// Effective OpenMP team size after --threads (1 without OpenMP). parse()
+  /// pins the team when --threads is given, so committed JSON snapshots are
+  /// reproducible across machines.
+  [[nodiscard]] unsigned threads() const;
   /// "quick" / "default" / "full" — recorded in machine-readable output so
   /// trend tooling never compares across run sizes. Benches that emit JSON
   /// register their own `--json` option (see bench_throughput).

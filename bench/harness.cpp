@@ -1,0 +1,47 @@
+#include "harness.hpp"
+
+#include <iostream>
+
+#include "support/timer.hpp"
+
+namespace plurality::bench {
+
+double measure_rounds_per_sec(double budget_seconds, int block_rounds, int warmup_rounds,
+                              const std::function<void()>& rearm,
+                              const std::function<void()>& step) {
+  rearm();
+  for (int r = 0; r < warmup_rounds; ++r) step();
+
+  double elapsed = 0.0;
+  std::uint64_t rounds = 0;
+  while (elapsed < budget_seconds) {
+    rearm();
+    WallTimer timer;
+    for (int r = 0; r < block_rounds; ++r) step();
+    elapsed += timer.seconds();
+    rounds += static_cast<std::uint64_t>(block_rounds);
+  }
+  return static_cast<double>(rounds) / elapsed;
+}
+
+io::JsonValue make_bench_doc(const std::string& benchmark, int schema_version,
+                             const Experiment& exp) {
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("benchmark", benchmark);
+  doc.set("schema_version", schema_version);
+  doc.set("mode", exp.mode_name());
+#if defined(PLURALITY_HAVE_OPENMP)
+  doc.set("openmp", true);
+#else
+  doc.set("openmp", false);
+#endif
+  doc.set("threads", std::uint64_t{exp.threads()});
+  return doc;
+}
+
+void write_bench_json(const io::JsonValue& doc, const std::string& path) {
+  io::write_json_file(path, doc);
+  std::cout << "[json] wrote " << path << "\n";
+}
+
+}  // namespace plurality::bench

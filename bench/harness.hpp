@@ -1,0 +1,54 @@
+// Shared throughput-measurement scaffolding for the bench binaries.
+//
+// bench_throughput and bench_graphs used to each carry their own
+// time-budget loop, warmup discipline, and hand-rolled JSON header; this
+// header is the single copy. The rules every measurement follows:
+//
+//  * WARMUP outside the timed window (workspaces, caches, page faults);
+//  * RE-ARM every `block_rounds` rounds from a fixed start, outside the
+//    timed accumulation, so the measured workload shape cannot drift into
+//    a trivial fixed point — the number is "stepping cost at this workload
+//    shape", not an average over a collapsing trajectory;
+//  * machine-readable output goes through make_bench_doc /
+//    write_bench_json, which stamp the schema version, run mode, and the
+//    effective OpenMP team size (trend tooling must never compare across
+//    modes or team sizes).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/experiment.hpp"
+#include "io/json.hpp"
+
+namespace plurality::bench {
+
+/// Rounds/sec of `step` under the re-arm discipline above. `rearm` resets
+/// the measured system to its start state (copy a Configuration, rebuild a
+/// simulation, ...) and is excluded from the timed accumulation.
+double measure_rounds_per_sec(double budget_seconds, int block_rounds, int warmup_rounds,
+                              const std::function<void()>& rearm,
+                              const std::function<void()>& step);
+
+/// The shared document header of every BENCH_*.json: benchmark name,
+/// schema_version, mode (quick/default/full), openmp availability, and the
+/// effective thread count.
+io::JsonValue make_bench_doc(const std::string& benchmark, int schema_version,
+                             const Experiment& exp);
+
+/// Writes `doc` to `path` and prints the "[json] wrote" line the CI logs
+/// grep for.
+void write_bench_json(const io::JsonValue& doc, const std::string& path);
+
+/// Grid runner: fn(a, b) over the cartesian product, row-major in `as`.
+template <typename A, typename B, typename Fn>
+void for_grid(const std::vector<A>& as, const std::vector<B>& bs, Fn&& fn) {
+  for (const A& a : as) {
+    for (const B& b : bs) {
+      fn(a, b);
+    }
+  }
+}
+
+}  // namespace plurality::bench

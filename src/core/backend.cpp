@@ -13,8 +13,9 @@
 
 namespace plurality {
 
-void step_count_based(const Dynamics& dynamics, Configuration& config,
-                      rng::Xoshiro256pp& gen, StepWorkspace& ws) {
+template <class Gen>
+void step_count_based(const Dynamics& dynamics, Configuration& config, Gen& gen,
+                      StepWorkspace& ws) {
   const state_t k = config.k();
   PLURALITY_REQUIRE(dynamics.has_exact_law(k),
                     "count-based step: dynamics '" << dynamics.name()
@@ -65,11 +66,21 @@ void step_count_based(const Dynamics& dynamics, Configuration& config,
   config.assign_counts(ws.next);
 }
 
-void step_count_based(const Dynamics& dynamics, Configuration& config,
-                      rng::Xoshiro256pp& gen) {
+template <class Gen>
+void step_count_based(const Dynamics& dynamics, Configuration& config, Gen& gen) {
   StepWorkspace ws;
   step_count_based(dynamics, config, gen, ws);
 }
+
+// The two shipped engines (see backend.hpp).
+template void step_count_based<rng::Xoshiro256pp>(const Dynamics&, Configuration&,
+                                                  rng::Xoshiro256pp&, StepWorkspace&);
+template void step_count_based<rng::PhiloxStream>(const Dynamics&, Configuration&,
+                                                  rng::PhiloxStream&, StepWorkspace&);
+template void step_count_based<rng::Xoshiro256pp>(const Dynamics&, Configuration&,
+                                                  rng::Xoshiro256pp&);
+template void step_count_based<rng::PhiloxStream>(const Dynamics&, Configuration&,
+                                                  rng::PhiloxStream&);
 
 void step_count_based_reference(const Dynamics& dynamics, Configuration& config,
                                 rng::Xoshiro256pp& gen) {

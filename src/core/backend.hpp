@@ -30,6 +30,7 @@
 #include "core/configuration.hpp"
 #include "core/dynamics.hpp"
 #include "core/step_workspace.hpp"
+#include "rng/philox.hpp"
 #include "rng/stream.hpp"
 #include "rng/xoshiro.hpp"
 
@@ -41,12 +42,21 @@ enum class Backend { CountBased, Agent };
 /// Advances one synchronous round in place using the exact adoption law.
 /// Requires dynamics.has_exact_law(config.k()). Zero heap allocations once
 /// `ws` is warm at this k.
-void step_count_based(const Dynamics& dynamics, Configuration& config,
-                      rng::Xoshiro256pp& gen, StepWorkspace& ws);
+///
+/// Template over the generator engine (instantiated in backend.cpp):
+/// Xoshiro256pp is the sequential default every existing stream runs on;
+/// rng::PhiloxStream is the counter-based batched mode — the same exact
+/// conditional-binomial kernels fed by block-generated Philox uniforms, so
+/// the two engines are distributionally identical (pinned by
+/// tests/core/test_backend.cpp) while Philox streams stay order-free and
+/// cheap to derive per (seed, tag).
+template <class Gen>
+void step_count_based(const Dynamics& dynamics, Configuration& config, Gen& gen,
+                      StepWorkspace& ws);
 
 /// Convenience overload for one-off steps; allocates a throwaway workspace.
-void step_count_based(const Dynamics& dynamics, Configuration& config,
-                      rng::Xoshiro256pp& gen);
+template <class Gen>
+void step_count_based(const Dynamics& dynamics, Configuration& config, Gen& gen);
 
 /// The pre-workspace dense implementation, kept frozen as the bitwise
 /// ground truth: same RNG stream, same results, Θ(k) per own-state class

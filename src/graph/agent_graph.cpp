@@ -9,6 +9,7 @@
 #include "core/undecided.hpp"
 #include "core/voter.hpp"
 #include "graph/kernels.hpp"
+#include "graph/step_batched.hpp"
 #include "rng/distributions.hpp"
 #include "support/check.hpp"
 
@@ -195,7 +196,7 @@ void step_all_chunks(const Rule& rule, const AgentGraph& graph, Configuration& c
 
 void step_graph(const Dynamics& dynamics, const AgentGraph& graph,
                 Configuration& config, const rng::StreamFactory& streams,
-                round_t round, GraphStepWorkspace& ws) {
+                round_t round, GraphStepWorkspace& ws, EngineMode mode) {
   const count_t n = graph.num_nodes();
   PLURALITY_REQUIRE(config.n() == n, "step_graph: configuration has "
                                          << config.n() << " nodes but graph has " << n);
@@ -205,6 +206,15 @@ void step_graph(const Dynamics& dynamics, const AgentGraph& graph,
   PLURALITY_REQUIRE(graph.is_complete() || graph.min_degree() >= 1,
                     "step_graph: isolated vertices cannot sample");
   ws.prepare(n, config.k());
+
+  // Batched pipeline for the fused dynamics; rule tables and other
+  // unregistered dynamics keep the strict path (their virtual rule may
+  // consume generator randomness mid-node, which the stage-split layout
+  // cannot address).
+  if (mode == EngineMode::Batched && batched_has_kernel(dynamics)) {
+    step_graph_batched(dynamics, graph, config, streams, round, ws);
+    return;
+  }
 
   // One dynamic_cast chain per ROUND (not per node) selects the fused
   // kernel; everything inside the chunk loop is then fully inlined.
@@ -243,19 +253,20 @@ void step_graph(const Dynamics& dynamics, const AgentGraph& graph,
 
 GraphSimulation::GraphSimulation(const Dynamics& dynamics, const Topology& topology,
                                  const Configuration& start, std::uint64_t seed,
-                                 bool shuffle_layout)
+                                 bool shuffle_layout, EngineMode mode)
     : dynamics_(dynamics),
       owned_graph_(AgentGraph::from_topology(topology)),
       graph_(&owned_graph_),
       config_(start),
-      streams_(seed) {
+      streams_(seed),
+      mode_(mode) {
   init(start, shuffle_layout);
 }
 
 GraphSimulation::GraphSimulation(const Dynamics& dynamics, const AgentGraph& graph,
                                  const Configuration& start, std::uint64_t seed,
-                                 bool shuffle_layout)
-    : dynamics_(dynamics), graph_(&graph), config_(start), streams_(seed) {
+                                 bool shuffle_layout, EngineMode mode)
+    : dynamics_(dynamics), graph_(&graph), config_(start), streams_(seed), mode_(mode) {
   init(start, shuffle_layout);
 }
 
@@ -270,7 +281,7 @@ void GraphSimulation::init(const Configuration& start, bool shuffle_layout) {
 }
 
 void GraphSimulation::step() {
-  step_graph(dynamics_, *graph_, config_, streams_, round_, ws_);
+  step_graph(dynamics_, *graph_, config_, streams_, round_, ws_, mode_);
   ++round_;
 }
 

@@ -114,12 +114,21 @@ void load_nodes(const Configuration& start, bool shuffle_layout,
 /// One synchronous round over `graph`: every node draws sample_arity()
 /// states from its neighborhood (uniform with repetition) and applies the
 /// dynamics' rule. Reads and advances ws.nodes (double-buffered through
-/// ws.scratch) and publishes the new counts into `config`. Randomness comes
-/// from streams.stream(round * kGraphChunks + chunk) — bitwise identical
-/// results for any thread count. Zero heap allocations once ws is warm.
+/// ws.scratch) and publishes the new counts into `config`. Zero heap
+/// allocations once ws is warm.
+///
+/// `mode` selects the stepping pipeline (see EngineMode in
+/// graph_workspace.hpp). Strict (default): randomness from
+/// streams.stream(round * kGraphChunks + chunk), bitwise-pinned to the
+/// frozen reference — identical results for any thread count. Batched:
+/// counter-based Philox keyed by streams.master_seed() with per-(round,
+/// node, draw) addressing — identical results for any thread count, chunk
+/// grid, or batch size; equivalent to Strict in distribution, not bitwise.
+/// Dynamics without a batched kernel (rule tables) silently run Strict.
 void step_graph(const Dynamics& dynamics, const AgentGraph& graph,
                 Configuration& config, const rng::StreamFactory& streams,
-                round_t round, GraphStepWorkspace& ws);
+                round_t round, GraphStepWorkspace& ws,
+                EngineMode mode = EngineMode::Strict);
 
 /// Convenience wrapper owning graph + workspace + round counter — the
 /// original GraphSimulation API, now backed by the CSR engine.
@@ -127,16 +136,17 @@ class GraphSimulation {
  public:
   /// `start` assigns states by laying out start.at(j) nodes of state j in
   /// node-id order; pass `shuffle_layout = true` to randomize the
-  /// assignment. Packs `topology` into an owned AgentGraph.
+  /// assignment. Packs `topology` into an owned AgentGraph. `mode` picks
+  /// the stepping pipeline (see step_graph).
   GraphSimulation(const Dynamics& dynamics, const Topology& topology,
                   const Configuration& start, std::uint64_t seed,
-                  bool shuffle_layout = true);
+                  bool shuffle_layout = true, EngineMode mode = EngineMode::Strict);
 
   /// Borrowing variant: steps over a caller-owned CSR graph (no packing
   /// cost; the graph must outlive the simulation).
   GraphSimulation(const Dynamics& dynamics, const AgentGraph& graph,
                   const Configuration& start, std::uint64_t seed,
-                  bool shuffle_layout = true);
+                  bool shuffle_layout = true, EngineMode mode = EngineMode::Strict);
 
   // Non-copyable/movable: graph_ may point at owned_graph_, and a copied
   // or moved-from instance would leave it aimed at the source object.
@@ -168,6 +178,7 @@ class GraphSimulation {
   GraphStepWorkspace ws_;
   rng::StreamFactory streams_;
   round_t round_ = 0;
+  EngineMode mode_ = EngineMode::Strict;
 };
 
 }  // namespace plurality::graph

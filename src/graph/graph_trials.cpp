@@ -104,7 +104,7 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
       won = initial_plurality == config.plurality(num_colors);
     } else {
       for (round_t r = 1; r <= options.max_rounds; ++r) {
-        step_graph(dynamics, graph, config, trial_streams, r - 1, ws);
+        step_graph(dynamics, graph, config, trial_streams, r - 1, ws, options.mode);
         if (options.adversary != nullptr) {
           corrupt_nodes(*options.adversary, config, num_colors, r, gen, ws);
         }

@@ -27,6 +27,10 @@ struct GraphTrialOptions {
   round_t max_rounds = 1'000'000;
   /// Applied after every protocol round (node-level; see corrupt_nodes).
   const Adversary* adversary = nullptr;
+  /// Stepping pipeline (see EngineMode): Strict is the bitwise-pinned
+  /// default; Batched runs the counter-based stage-split engine
+  /// (distribution-equivalent, faster at scale).
+  EngineMode mode = EngineMode::Strict;
 };
 
 /// Runs `options.trials` independent runs of `dynamics` on `graph` from

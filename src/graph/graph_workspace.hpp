@@ -18,6 +18,7 @@
 // allocations (tests/alloc/test_allocation.cpp pins this).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "support/types.hpp"
@@ -28,6 +29,22 @@ namespace plurality::graph {
 /// AgentSimulation::kChunks: one hash-derived RNG stream per (round, chunk),
 /// so results depend on the seed but never on the thread count).
 inline constexpr unsigned kGraphChunks = 64;
+
+/// Which stepping pipeline step_graph runs.
+///
+///  * Strict  — the PR-2 fused kernels: one xoshiro stream per (round,
+///    chunk), exact Lemire rejection per draw. Bitwise-pinned against the
+///    frozen per-node reference; the default everywhere, and what every
+///    golden trajectory is recorded against.
+///  * Batched — the stage-split pipeline (kernels_batched.hpp): randomness
+///    is counter-based (rng::Philox4x32) and addressed by (seed, round,
+///    node, draw), so results are invariant under thread count, chunking,
+///    AND batch size by construction; index conversion is branch-free
+///    bounded-bias Lemire high-multiply (bias <= bound / 2^64 per draw —
+///    exactly 0 when the bound is a power of two). Distributionally
+///    equivalent to Strict, not bitwise (different generator): pinned by
+///    the chi-square law battery and cross-mode consensus-time tests.
+enum class EngineMode : std::uint8_t { Strict, Batched };
 
 struct GraphStepWorkspace {
   /// Current node states (persistent across rounds within one trial).
@@ -48,6 +65,11 @@ struct GraphStepWorkspace {
   /// k-entry reduction of partials (the published next configuration).
   std::vector<count_t> counts;
 
+  // (Batched-mode tile arenas are NOT here: the stage-split pipeline stages
+  // each tile in fixed-size stack arrays bounded by
+  // kernels_batched::kBatchedWordBudget — per-thread by construction, warm,
+  // and invisible to the zero-allocation budget. See step_batched.cpp.)
+
   // --- Adversary scratch (graph_trials' node-level corruption). ---
   std::vector<count_t> adv_before;       // counts before corruption
   std::vector<count_t> adv_take;         // per-state number of victims
@@ -61,8 +83,12 @@ struct GraphStepWorkspace {
     nodes.resize(n);
     scratch.resize(n);
     if (k <= 256) {
-      nodes8.resize(n);
-      scratch8.resize(n);
+      // +4 bytes of tail slack: the batched SIMD gathers read the byte
+      // mirror through 32-bit lane loads (value masked to the low byte), so
+      // an access at id n-1 touches 3 bytes past the last state. Only
+      // indices < n are ever addressed.
+      nodes8.resize(static_cast<std::size_t>(n) + 4);
+      scratch8.resize(static_cast<std::size_t>(n) + 4);
     }
     partials.resize(static_cast<std::size_t>(kGraphChunks) * k);
     counts.resize(k);

@@ -6,7 +6,8 @@
 
 namespace plurality::rng {
 
-std::uint64_t uniform_below(Xoshiro256pp& gen, std::uint64_t bound) {
+template <class Gen>
+std::uint64_t uniform_below(Gen& gen, std::uint64_t bound) {
   PLURALITY_REQUIRE(bound != 0, "uniform_below: bound must be positive");
   // Lemire (2019): multiply a 64-bit word by the bound and keep the high
   // half; reject the small biased fringe so every residue is exactly
@@ -25,22 +26,28 @@ std::uint64_t uniform_below(Xoshiro256pp& gen, std::uint64_t bound) {
   return static_cast<std::uint64_t>(m >> 64);
 }
 
-std::uint64_t uniform_in(Xoshiro256pp& gen, std::uint64_t lo, std::uint64_t hi) {
+template <class Gen>
+std::uint64_t uniform_in(Gen& gen, std::uint64_t lo, std::uint64_t hi) {
   PLURALITY_REQUIRE(lo <= hi, "uniform_in: empty range");
   const std::uint64_t span = hi - lo;
   if (span == ~0ULL) return gen();
   return lo + uniform_below(gen, span + 1);
 }
 
-double uniform01(Xoshiro256pp& gen) { return gen.next_double(); }
+template <class Gen>
+double uniform01(Gen& gen) {
+  return gen.next_double();
+}
 
-bool bernoulli(Xoshiro256pp& gen, double p) {
+template <class Gen>
+bool bernoulli(Gen& gen, double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return gen.next_double() < p;
 }
 
-double standard_normal(Xoshiro256pp& gen) {
+template <class Gen>
+double standard_normal(Gen& gen) {
   // Marsaglia polar method; ~1.27 uniform pairs per normal on average.
   while (true) {
     const double u = 2.0 * gen.next_double() - 1.0;
@@ -52,9 +59,24 @@ double standard_normal(Xoshiro256pp& gen) {
   }
 }
 
-double standard_exponential(Xoshiro256pp& gen) {
+template <class Gen>
+double standard_exponential(Gen& gen) {
   // -log(1 - U) with U in [0,1) keeps the argument strictly positive.
   return -std::log1p(-gen.next_double());
 }
+
+// The two shipped engines (see distributions.hpp).
+template std::uint64_t uniform_below<Xoshiro256pp>(Xoshiro256pp&, std::uint64_t);
+template std::uint64_t uniform_below<PhiloxStream>(PhiloxStream&, std::uint64_t);
+template std::uint64_t uniform_in<Xoshiro256pp>(Xoshiro256pp&, std::uint64_t, std::uint64_t);
+template std::uint64_t uniform_in<PhiloxStream>(PhiloxStream&, std::uint64_t, std::uint64_t);
+template double uniform01<Xoshiro256pp>(Xoshiro256pp&);
+template double uniform01<PhiloxStream>(PhiloxStream&);
+template bool bernoulli<Xoshiro256pp>(Xoshiro256pp&, double);
+template bool bernoulli<PhiloxStream>(PhiloxStream&, double);
+template double standard_normal<Xoshiro256pp>(Xoshiro256pp&);
+template double standard_normal<PhiloxStream>(PhiloxStream&);
+template double standard_exponential<Xoshiro256pp>(Xoshiro256pp&);
+template double standard_exponential<PhiloxStream>(PhiloxStream&);
 
 }  // namespace plurality::rng

@@ -7,7 +7,8 @@
 
 namespace plurality::rng {
 
-void multinomial_accumulate(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+template <class Gen>
+void multinomial_accumulate(Gen& gen, count_t n, std::span<const double> probs,
                             std::span<count_t> inout, MultinomialWorkspace& ws) {
   const std::size_t k = probs.size();
   PLURALITY_REQUIRE(inout.size() == k, "multinomial: out size mismatch");
@@ -56,7 +57,8 @@ void multinomial_accumulate(Xoshiro256pp& gen, count_t n, std::span<const double
   inout[support[nnz - 1]] += remaining;
 }
 
-void multinomial_accumulate_indexed(Xoshiro256pp& gen, count_t n,
+template <class Gen>
+void multinomial_accumulate_indexed(Gen& gen, count_t n,
                                     std::span<const state_t> states,
                                     std::span<const double> weights,
                                     std::span<count_t> inout, MultinomialWorkspace& ws) {
@@ -104,16 +106,45 @@ void multinomial_accumulate_indexed(Xoshiro256pp& gen, count_t n,
   inout[support[nnz - 1]] += remaining;
 }
 
-void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+template <class Gen>
+void multinomial(Gen& gen, count_t n, std::span<const double> probs,
                  std::span<count_t> out, MultinomialWorkspace& ws) {
   std::fill(out.begin(), out.end(), count_t{0});
   multinomial_accumulate(gen, n, probs, out, ws);
 }
 
-void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+template <class Gen>
+void multinomial(Gen& gen, count_t n, std::span<const double> probs,
                  std::span<count_t> out) {
   MultinomialWorkspace ws;
   multinomial(gen, n, probs, out, ws);
 }
+
+
+// The two shipped engines (see multinomial.hpp).
+template void multinomial_accumulate<Xoshiro256pp>(Xoshiro256pp&, count_t,
+                                                   std::span<const double>,
+                                                   std::span<count_t>, MultinomialWorkspace&);
+template void multinomial_accumulate<PhiloxStream>(PhiloxStream&, count_t,
+                                                   std::span<const double>,
+                                                   std::span<count_t>, MultinomialWorkspace&);
+template void multinomial_accumulate_indexed<Xoshiro256pp>(Xoshiro256pp&, count_t,
+                                                           std::span<const state_t>,
+                                                           std::span<const double>,
+                                                           std::span<count_t>,
+                                                           MultinomialWorkspace&);
+template void multinomial_accumulate_indexed<PhiloxStream>(PhiloxStream&, count_t,
+                                                           std::span<const state_t>,
+                                                           std::span<const double>,
+                                                           std::span<count_t>,
+                                                           MultinomialWorkspace&);
+template void multinomial<Xoshiro256pp>(Xoshiro256pp&, count_t, std::span<const double>,
+                                        std::span<count_t>, MultinomialWorkspace&);
+template void multinomial<PhiloxStream>(PhiloxStream&, count_t, std::span<const double>,
+                                        std::span<count_t>, MultinomialWorkspace&);
+template void multinomial<Xoshiro256pp>(Xoshiro256pp&, count_t, std::span<const double>,
+                                        std::span<count_t>);
+template void multinomial<PhiloxStream>(PhiloxStream&, count_t, std::span<const double>,
+                                        std::span<count_t>);
 
 }  // namespace plurality::rng

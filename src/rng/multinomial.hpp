@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "rng/philox.hpp"
 #include "rng/xoshiro.hpp"
 #include "support/types.hpp"
 
@@ -46,7 +47,11 @@ struct MultinomialWorkspace {
 /// `probs` need not be normalized exactly to 1 (kernel formulas carry
 /// ~1e-15 float error); it is treated as relative weights with
 /// nonnegativity enforced up to -1e-9 slack. The draws sum to n.
-void multinomial_accumulate(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+/// Template over the generator engine (Xoshiro256pp / PhiloxStream — the
+/// counter-based batched mode feeds block-generated Philox uniforms through
+/// the identical kernel; instantiations live in multinomial.cpp).
+template <class Gen>
+void multinomial_accumulate(Gen& gen, count_t n, std::span<const double> probs,
                             std::span<count_t> inout, MultinomialWorkspace& ws);
 
 /// Sparse-law variant: the distribution is given as (states[i], weights[i])
@@ -55,18 +60,21 @@ void multinomial_accumulate(Xoshiro256pp& gen, count_t n, std::span<const double
 /// the same RNG stream as multinomial_accumulate() over the equivalent
 /// dense weight vector — this is the O(support) kernel behind stateful
 /// count-based stepping.
-void multinomial_accumulate_indexed(Xoshiro256pp& gen, count_t n,
+template <class Gen>
+void multinomial_accumulate_indexed(Gen& gen, count_t n,
                                     std::span<const state_t> states,
                                     std::span<const double> weights,
                                     std::span<count_t> inout, MultinomialWorkspace& ws);
 
 /// Draws a multinomial sample. `out` receives the counts, out.size() ==
 /// probs.size(), and the counts always sum to n.
-void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+template <class Gen>
+void multinomial(Gen& gen, count_t n, std::span<const double> probs,
                  std::span<count_t> out, MultinomialWorkspace& ws);
 
 /// Workspace-free overload for one-off callers (allocates scratch).
-void multinomial(Xoshiro256pp& gen, count_t n, std::span<const double> probs,
+template <class Gen>
+void multinomial(Gen& gen, count_t n, std::span<const double> probs,
                  std::span<count_t> out);
 
 }  // namespace plurality::rng

@@ -1,0 +1,59 @@
+#include "rng/philox.hpp"
+
+#include "rng/splitmix.hpp"
+
+namespace plurality::rng {
+
+Philox4x32::Key Philox4x32::key_from_seed(std::uint64_t seed, std::uint64_t tag) {
+  // Two avalanche rounds over a keyed combination, mirroring
+  // StreamFactory::stream's derivation discipline (distinct odd constants
+  // keep the (seed, tag) domain separate from xoshiro stream derivation).
+  std::uint64_t h = splitmix64_mix(seed ^ 0xc2b2ae3d27d4eb4fULL);
+  h = splitmix64_mix(h + 0x9e3779b97f4a7c15ULL * (tag + 1));
+  return Key{static_cast<std::uint32_t>(h), static_cast<std::uint32_t>(h >> 32)};
+}
+
+template <unsigned R>
+void Philox4x32::fill_words(Key key, std::uint64_t domain, std::uint64_t word_lo,
+                            std::size_t count, std::uint64_t* out) {
+  std::size_t w = 0;
+  // Leading odd word: emit only the second half of its block.
+  if (count > 0 && (word_lo & 1) != 0) {
+    out[w++] = word<R>(key, domain, word_lo);
+  }
+  // Aligned middle: one block per two words.
+  std::uint64_t blk = (word_lo + w) >> 1;
+  for (; w + 2 <= count; w += 2, ++blk) {
+    const Block b = block<R>(static_cast<std::uint32_t>(blk),
+                             static_cast<std::uint32_t>(blk >> 32),
+                             static_cast<std::uint32_t>(domain),
+                             static_cast<std::uint32_t>(domain >> 32), key);
+    out[w] = static_cast<std::uint64_t>(b.v[0]) | (static_cast<std::uint64_t>(b.v[1]) << 32);
+    out[w + 1] = static_cast<std::uint64_t>(b.v[2]) | (static_cast<std::uint64_t>(b.v[3]) << 32);
+  }
+  // Trailing even word: first half of its block.
+  if (w < count) {
+    out[w] = word<R>(key, domain, word_lo + w);
+  }
+}
+
+template void Philox4x32::fill_words<Philox4x32::kRounds>(Key, std::uint64_t, std::uint64_t,
+                                                          std::size_t, std::uint64_t*);
+template void Philox4x32::fill_words<Philox4x32::kCrushRounds>(Key, std::uint64_t,
+                                                               std::uint64_t, std::size_t,
+                                                               std::uint64_t*);
+
+PhiloxStream::PhiloxStream(std::uint64_t seed, std::uint64_t tag)
+    : pos_(kBufferWords),
+      next_word_(0),
+      key_(Philox4x32::key_from_seed(seed, tag)),
+      domain_(kStreamDomain) {}
+
+void PhiloxStream::refill() {
+  Philox4x32::fill_words<Philox4x32::kRounds>(key_, domain_, next_word_, kBufferWords,
+                                              buffer_.data());
+  next_word_ += kBufferWords;
+  pos_ = 0;
+}
+
+}  // namespace plurality::rng

@@ -17,6 +17,7 @@
 #include <new>
 
 #include "core/backend.hpp"
+#include "core/hplurality.hpp"
 #include "core/majority.hpp"
 #include "core/median.hpp"
 #include "core/runner.hpp"
@@ -24,6 +25,8 @@
 #include "core/workloads.hpp"
 #include "graph/agent_graph.hpp"
 #include "graph/builders.hpp"
+#include "graph/step_batched.hpp"
+#include "rng/philox.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -200,6 +203,61 @@ TEST(ZeroAllocation, GraphWorkspaceWarmsOnceAcrossTrials) {
   // Each trial's start-configuration copy allocates its count vector; the
   // 100 warm rounds themselves must not.
   EXPECT_LE(allocs, 5u);
+}
+
+TEST(ZeroAllocation, CountBasedPhiloxSteps) {
+  // The counter-based generator behind the batched count mode: the word
+  // buffer is a fixed in-object array, so Philox-driven stepping is as
+  // allocation-free as the xoshiro path.
+  UndecidedState dyn;
+  Configuration c = UndecidedState::extend_with_undecided(
+      Configuration({40000, 30000, 20000, 10000}));
+  rng::PhiloxStream gen(11);
+  StepWorkspace ws;
+  step_count_based(dyn, c, gen, ws);  // warm-up
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int r = 0; r < 200; ++r) step_count_based(dyn, c, gen, ws);
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocation, GraphBatchedModeSteps) {
+  // EngineMode::Batched: tile arenas live on the stack (bounded by
+  // kBatchedWordBudget) and Philox is stateless, so warm batched rounds are
+  // zero-allocation on both the fused SIMD path and the forced-scalar tile
+  // pipeline.
+  ThreeMajority dyn;
+  rng::Xoshiro256pp topo_gen(12);
+  const graph::Topology topo = graph::random_regular(2000, 8, topo_gen);
+  const graph::AgentGraph csr = graph::AgentGraph::from_topology(topo);
+  for (const bool simd : {true, false}) {
+    graph::set_batched_simd_enabled(simd);
+    graph::GraphSimulation sim(dyn, csr, workloads::additive_bias(2000, 3, 500), 13,
+                               /*shuffle_layout=*/true, graph::EngineMode::Batched);
+    sim.step();  // warm-up
+    const std::uint64_t allocs = allocations_during([&] {
+      for (int r = 0; r < 50; ++r) sim.step();
+    });
+    EXPECT_EQ(allocs, 0u) << (simd ? "simd" : "scalar");
+  }
+  graph::set_batched_simd_enabled(true);
+}
+
+TEST(ZeroAllocation, GraphBatchedIrregularAndHPlurality) {
+  // The general-CSR scalar pipeline and the widest word layout (h-plurality
+  // at h=8: nine planes per node) under the same contract.
+  HPlurality dyn(8);
+  rng::Xoshiro256pp topo_gen(14);
+  const graph::Topology topo = graph::erdos_renyi(1500, 6000, topo_gen,
+                                                  /*patch_isolated=*/true);
+  const graph::AgentGraph csr = graph::AgentGraph::from_topology(topo);
+  graph::GraphSimulation sim(dyn, csr, workloads::additive_bias(1500, 3, 400), 15,
+                             /*shuffle_layout=*/true, graph::EngineMode::Batched);
+  sim.step();
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int r = 0; r < 30; ++r) sim.step();
+  });
+  EXPECT_EQ(allocs, 0u);
 }
 
 TEST(SanityCheck, CounterSeesVectorAllocations) {

@@ -14,6 +14,12 @@
 //    dynamics — 3-majority, voter, 2-choices, undecided-state, both
 //    medians, and h-plurality — plus the clique path.
 //
+//  * The battery runs in BOTH engine modes: Strict (the fused xoshiro
+//    kernels) and Batched (the counter-based stage-split pipeline of
+//    kernels_batched.hpp) — a batched kernel is a second, independent
+//    transcription of each rule, plus a rejection-free bounded-bias index
+//    conversion, so it gets the same exact-law pinning.
+//
 //  * The kernels' inlined uniform_below clone is pinned bit-for-bit
 //    (outputs AND generator states, rejection path included) against
 //    rng::uniform_below.
@@ -74,11 +80,13 @@ std::vector<double> exact_node_law(const Dynamics& dynamics, const AgentGraph& g
   return law;
 }
 
-/// Runs `trials` independent one-round engine steps and chi-squares
-/// `node`'s observed next-state frequencies against the exact law.
-void expect_node_matches_law(const Dynamics& dynamics, const AgentGraph& graph,
-                             const Configuration& start, count_t node,
-                             std::uint64_t seed_base, int trials = 6000) {
+/// Runs `trials` independent one-round engine steps under `mode` and
+/// chi-squares `node`'s observed next-state frequencies against the exact
+/// law.
+void expect_node_matches_law_mode(const Dynamics& dynamics, const AgentGraph& graph,
+                                  const Configuration& start, count_t node,
+                                  std::uint64_t seed_base, EngineMode mode,
+                                  int trials = 6000) {
   const state_t states = start.k();
   GraphSimulation probe(dynamics, graph, start, seed_base, /*shuffle_layout=*/false);
   const std::vector<state_t> layout = probe.states();
@@ -87,14 +95,25 @@ void expect_node_matches_law(const Dynamics& dynamics, const AgentGraph& graph,
   std::vector<std::uint64_t> observed(states, 0);
   for (int t = 0; t < trials; ++t) {
     GraphSimulation sim(dynamics, graph, start, seed_base + static_cast<std::uint64_t>(t),
-                        /*shuffle_layout=*/false);
+                        /*shuffle_layout=*/false, mode);
     sim.step();
     ++observed[sim.states()[node]];
   }
   const auto result = stats::chi_square_gof(observed, law);
   EXPECT_GT(result.p_value, 1e-6)
-      << dynamics.name() << " node " << node << ": stat=" << result.statistic
-      << " dof=" << result.dof;
+      << dynamics.name() << " node " << node
+      << (mode == EngineMode::Batched ? " (batched)" : " (strict)")
+      << ": stat=" << result.statistic << " dof=" << result.dof;
+}
+
+/// Both engine modes against the same exact law.
+void expect_node_matches_law(const Dynamics& dynamics, const AgentGraph& graph,
+                             const Configuration& start, count_t node,
+                             std::uint64_t seed_base, int trials = 6000) {
+  expect_node_matches_law_mode(dynamics, graph, start, node, seed_base,
+                               EngineMode::Strict, trials);
+  expect_node_matches_law_mode(dynamics, graph, start, node, seed_base + 500'000,
+                               EngineMode::Batched, trials);
 }
 
 TEST(GraphKernelBattery, ThreeMajorityMatchesLaw) {
