@@ -7,16 +7,21 @@
 // (b) whether the system then HOLDS M-plurality for a long stability
 // window under continuous attack, and (c) the fate of an overwhelming
 // adversary (F >> s/lambda), which must prevent convergence.
+//
+// Every cell is one ScenarioSpec (dynamics/workload/adversary/stop all
+// spec strings; stop "m-plurality:<M>" is Corollary 4's goal) compiled by
+// the scenario layer; only the hold-phase probe steps manually, because it
+// must continue attacking each trial's REACHED configuration, which a
+// TrialSummary deliberately does not carry.
 #include <cmath>
 #include <iostream>
 #include <memory>
 
 #include "common/experiment.hpp"
-#include "core/adversary.hpp"
-#include "core/majority.hpp"
 #include "core/runner.hpp"
 #include "core/workloads.hpp"
 #include "rng/stream.hpp"
+#include "scenario/scenario.hpp"
 #include "support/format.hpp"
 
 namespace plurality::bench {
@@ -28,20 +33,23 @@ struct StabilityResult {
   double held_rate = 0.0;
 };
 
-StabilityResult measure(const ThreeMajority& dynamics, const Configuration& start,
-                        const Adversary* adversary, count_t m, round_t reach_cap,
-                        round_t hold_window, std::uint64_t trials, std::uint64_t seed) {
-  rng::StreamFactory streams(seed);
+/// Reach phase via the compiled scenario's own driver objects; hold phase
+/// keeps attacking the reached configuration for `hold_window` rounds.
+StabilityResult measure(const scenario::Scenario& compiled, count_t m,
+                        round_t hold_window) {
+  const auto& options = compiled.options();
+  rng::StreamFactory streams(options.seed);
   double reach_sum = 0.0;
   std::uint64_t reached = 0, held = 0;
-  const state_t k = start.k();
-  for (std::uint64_t t = 0; t < trials; ++t) {
+  const state_t k = compiled.start().k();
+  for (std::uint64_t t = 0; t < options.trials; ++t) {
     rng::Xoshiro256pp gen = streams.stream(t);
-    RunOptions options;
-    options.adversary = adversary;
-    options.max_rounds = reach_cap;
-    options.stop_predicate = stop_at_m_plurality(m, 0);
-    const RunResult result = run_dynamics(dynamics, start, options, gen);
+    RunOptions run_options;
+    run_options.adversary = options.adversary;
+    run_options.max_rounds = options.max_rounds;
+    run_options.stop_predicate = options.stop_predicate;
+    const RunResult result =
+        run_dynamics(compiled.dynamics(), compiled.start(), run_options, gen);
     const bool ok = result.reason == StopReason::PredicateMet ||
                     result.reason == StopReason::ColorConsensus;
     if (!ok) continue;
@@ -52,8 +60,8 @@ StabilityResult measure(const ThreeMajority& dynamics, const Configuration& star
     Configuration c = result.final_config;
     bool stable = true;
     for (round_t r = 0; r < hold_window; ++r) {
-      step_count_based(dynamics, c, gen);
-      if (adversary != nullptr) adversary->corrupt(c, k, r, gen);
+      step_count_based(compiled.dynamics(), c, gen);
+      if (options.adversary != nullptr) options.adversary->corrupt(c, k, r, gen);
       if (c.n() - c.at(0) > m) {
         stable = false;
         break;
@@ -62,7 +70,8 @@ StabilityResult measure(const ThreeMajority& dynamics, const Configuration& star
     held += stable;
   }
   StabilityResult out;
-  out.reached_rate = static_cast<double>(reached) / static_cast<double>(trials);
+  const auto trials = static_cast<double>(options.trials);
+  out.reached_rate = static_cast<double>(reached) / trials;
   out.held_rate = reached == 0 ? 0.0 : static_cast<double>(held) / static_cast<double>(reached);
   out.reach_rounds_mean = reached == 0 ? 0.0 : reach_sum / static_cast<double>(reached);
   return out;
@@ -85,11 +94,21 @@ int run(int argc, const char* const* argv) {
 
   const state_t k = 3;
   const auto s = static_cast<count_t>(4.0 * workloads::critical_bias_scale(n, k));
-  const Configuration start = workloads::additive_bias(n, k, s);
+
+  // The scenario template every (F, strategy) cell edits.
+  scenario::ScenarioSpec spec;
+  spec.dynamics = "3-majority";
+  spec.workload = "bias:" + std::to_string(s);
+
+  const Configuration start = workloads::parse_workload(spec.workload, n, k);
   const double lambda = static_cast<double>(n) / static_cast<double>(start.at(0));
   const auto budget_scale = static_cast<count_t>(static_cast<double>(s) / lambda);
+  spec.n = n;
+  spec.k = k;
+  spec.trials = trials;
+  spec.max_rounds = exp.scaled<round_t>(2000, 3000, 5000);
 
-  exp.record().add("workload", "additive_bias(n, 3, 4*critical)");
+  exp.record().add("workload", spec.workload + " (= additive_bias(n, 3, 4*critical))");
   exp.record().add("n", format_count(n));
   exp.record().add("bias s", format_count(s));
   exp.record().add("lambda = n/c1", format_sig(lambda, 3));
@@ -101,7 +120,6 @@ int run(int argc, const char* const* argv) {
       "rounds and HELD through the window; overwhelming F prevents it");
   exp.print_header();
 
-  ThreeMajority dynamics;
   io::Table table({"adversary", "F", "F/(s/lambda)", "M", "reached",
                    "rounds to M-plur.", "held window"});
 
@@ -109,17 +127,13 @@ int run(int argc, const char* const* argv) {
   for (double fraction : fractions) {
     const auto f = static_cast<count_t>(fraction * static_cast<double>(budget_scale));
     const count_t m = 4 * f + 8;
-    std::unique_ptr<Adversary> adversary;
-    std::string name = "(none)";
-    if (f > 0) {
-      adversary = std::make_unique<BoostRunnerUp>(f);
-      name = adversary->name();
-    }
-    const auto result = measure(dynamics, start, adversary.get(), m,
-                                exp.scaled<round_t>(2000, 3000, 5000), hold_window,
-                                trials, exp.seed() + static_cast<std::uint64_t>(fraction * 1e4));
+    spec.adversary = f > 0 ? "boost-runner-up:" + std::to_string(f) : "none";
+    spec.stop = "m-plurality:" + std::to_string(m);
+    spec.seed = exp.seed() + static_cast<std::uint64_t>(fraction * 1e4);
+    const auto compiled = scenario::Scenario::compile(spec);
+    const auto result = measure(compiled, m, hold_window);
     table.row()
-        .cell(name)
+        .cell(f > 0 ? "boost-runner-up" : "(none)")
         .cell(f)
         .cell(fraction, 3)
         .cell(m)
@@ -131,17 +145,14 @@ int run(int argc, const char* const* argv) {
   // Strategy comparison at a fixed tolerable budget.
   const count_t f_mid = std::max<count_t>(1, budget_scale / 20);
   const count_t m_mid = 4 * f_mid + 8;
-  const BoostRunnerUp boost(f_mid);
-  const FeedWeakest feed(f_mid);
-  const RandomCorruption random_adv(f_mid);
-  for (const Adversary* adversary : {static_cast<const Adversary*>(&boost),
-                                     static_cast<const Adversary*>(&feed),
-                                     static_cast<const Adversary*>(&random_adv)}) {
-    const auto result = measure(dynamics, start, adversary, m_mid,
-                                exp.scaled<round_t>(2000, 3000, 5000), hold_window,
-                                trials, exp.seed() + 99);
+  spec.stop = "m-plurality:" + std::to_string(m_mid);
+  spec.seed = exp.seed() + 99;
+  for (const char* strategy : {"boost-runner-up", "feed-weakest", "random"}) {
+    spec.adversary = std::string(strategy) + ":" + std::to_string(f_mid);
+    const auto compiled = scenario::Scenario::compile(spec);
+    const auto result = measure(compiled, m_mid, hold_window);
     table.row()
-        .cell(adversary->name())
+        .cell(strategy)
         .cell(f_mid)
         .cell(0.05, 3)
         .cell(m_mid)

@@ -11,6 +11,7 @@
 #include "core/trials.hpp"
 #include "core/undecided.hpp"
 #include "core/workloads.hpp"
+#include "scenario/scenario.hpp"
 
 namespace plurality {
 namespace {
@@ -90,16 +91,22 @@ BENCHMARK(BM_CountBasedStepReference)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_FullRunToConsensus(benchmark::State& state) {
-  // End-to-end: a complete biased run at the given n (count-based).
+  // End-to-end through the scenario API: a complete biased run at the
+  // given n (backend=auto resolves to count-based). One-trial scenarios,
+  // reseeded per iteration — measures compile + trial cost, i.e. what a
+  // --spec invocation actually pays.
   const auto n = static_cast<count_t>(state.range(0));
-  ThreeMajority dynamics;
-  const Configuration start = workloads::additive_bias(n, 8, n / 5);
+  scenario::ScenarioSpec spec;
+  spec.workload = "bias:" + std::to_string(n / 5);
+  spec.n = n;
+  spec.k = 8;
+  spec.trials = 1;
+  spec.parallel = false;
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    rng::Xoshiro256pp gen(seed++);
-    RunOptions options;
-    const RunResult result = run_dynamics(dynamics, start, options, gen);
-    benchmark::DoNotOptimize(result.rounds);
+    spec.seed = seed++;
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    benchmark::DoNotOptimize(result.summary.plurality_wins);
   }
 }
 BENCHMARK(BM_FullRunToConsensus)
@@ -108,19 +115,35 @@ BENCHMARK(BM_FullRunToConsensus)
     ->Arg(1000000000)
     ->Unit(benchmark::kMillisecond);
 
-void BM_ParallelTrials(benchmark::State& state) {
-  // Trial-level OpenMP parallelism (the experiment harness's axis). The
-  // workload is a near-balanced k = 32 start, whose ~k log n round count
-  // makes each trial heavy enough to amortize the fork/join.
-  const bool parallel = state.range(0) != 0;
-  ThreeMajority dynamics;
-  const Configuration start = workloads::near_balanced(200000, 32, 0.25);
+void BM_ScenarioCompile(benchmark::State& state) {
+  // The declarative layer's overhead in isolation: parse + validate +
+  // compile (registry lookups, workload build, option wiring) without
+  // running a trial. Clique spec, so no graph packing is included.
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse(
+      "dynamics=undecided workload=zipf:0.8 n=1000000 k=64 engine=batched");
   for (auto _ : state) {
-    TrialOptions options;
-    options.trials = 16;
-    options.seed = 7;
-    options.parallel = parallel;
-    const TrialSummary summary = run_trials(dynamics, start, options);
+    const scenario::Scenario compiled = scenario::Scenario::compile(spec);
+    benchmark::DoNotOptimize(compiled.start().n());
+  }
+}
+BENCHMARK(BM_ScenarioCompile)->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelTrials(benchmark::State& state) {
+  // Trial-level OpenMP parallelism (the experiment harness's axis) through
+  // the scenario API. The workload is a near-balanced k = 32 start, whose
+  // ~k log n round count makes each trial heavy enough to amortize the
+  // fork/join.
+  const bool parallel = state.range(0) != 0;
+  scenario::ScenarioSpec spec;
+  spec.workload = "near-balanced:0.25";
+  spec.n = 200000;
+  spec.k = 32;
+  spec.trials = 16;
+  spec.seed = 7;
+  spec.parallel = parallel;
+  const scenario::Scenario compiled = scenario::Scenario::compile(spec);
+  for (auto _ : state) {
+    const TrialSummary summary = compiled.run();
     benchmark::DoNotOptimize(summary.plurality_wins);
   }
 }

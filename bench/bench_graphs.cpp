@@ -32,6 +32,7 @@
 #include "harness.hpp"
 #include "core/adversary.hpp"
 #include "core/backend.hpp"
+#include "scenario/scenario.hpp"
 #include "core/majority.hpp"
 #include "core/undecided.hpp"
 #include "core/voter.hpp"
@@ -100,27 +101,28 @@ int run(int argc, const char* const* argv) {
   exp.print_header();
 
   // ------------------------------------------------- consensus study (E13) --
-  rng::Xoshiro256pp topo_gen(exp.seed() + 1);
-  const auto clique = graph::AgentGraph::complete(n_grid);
-  const auto regular =
-      graph::AgentGraph::from_topology(graph::random_regular(n_grid, 8, topo_gen));
-  const auto gnm = graph::AgentGraph::from_topology(
-      graph::erdos_renyi(n_grid, 4 * n_grid, topo_gen, /*patch_isolated=*/true));
-  const auto grid = graph::AgentGraph::from_topology(graph::torus(side, side));
-  const auto ring = graph::AgentGraph::from_topology(graph::cycle(n_grid));
+  // One ScenarioSpec; the loops just rewrite its topology/dynamics fields.
+  // backend=graph keeps the clique row per-agent (auto would route it to
+  // the count backend, which is the yardstick's job below). Each cell
+  // compiles its own graph from the spec — at this study's n (<= 22,500)
+  // that build is noise next to the trials; the throughput section, which
+  // runs at perf_n, keeps prebuilt graphs instead.
+  const auto bias = static_cast<count_t>(0.2 * static_cast<double>(n_grid));
+  scenario::ScenarioSpec spec;
+  spec.workload = "bias:" + std::to_string(bias);
+  spec.backend = "graph";
+  spec.n = n_grid;
+  spec.k = 3;
+  spec.trials = trials;
+  spec.seed = exp.seed() + 17;
 
-  struct Entry {
-    const char* name;
-    const graph::AgentGraph* graph;
-  };
-  const Entry entries[] = {{"clique", &clique},
-                           {"random 8-regular", &regular},
-                           {"G(n, 4n)", &gnm},
-                           {"torus", &grid},
-                           {"cycle", &ring}};
-
-  const Configuration start = workloads::additive_bias(
-      n_grid, 3, static_cast<count_t>(0.2 * static_cast<double>(n_grid)));
+  const std::string gnm_spec = "gnm:" + std::to_string(4 * n_grid);
+  const std::vector<std::pair<std::string, std::string>> topologies = {
+      {"clique", "clique"},
+      {"random 8-regular", "regular:8"},
+      {"G(n, 4n)", gnm_spec},
+      {"torus", "torus"},
+      {"cycle", "ring"}};
 
   ThreeMajority majority;
   Voter voter;
@@ -128,22 +130,20 @@ int run(int argc, const char* const* argv) {
 
   io::Table table({"topology", "avg degree", "dynamics", "consensus rate",
                    "rounds (mean ± ci)", "win rate"});
-  for (const auto& entry : entries) {
-    for (const Dynamics* dynamics : {static_cast<const Dynamics*>(&majority),
-                                     static_cast<const Dynamics*>(&voter)}) {
+  for (const auto& [label, topology] : topologies) {
+    for (const char* dynamics : {"3-majority", "voter"}) {
       // The voter on sparse graphs is extremely slow; cap its topologies.
       const bool voter_on_slow_graph =
-          dynamics == &voter && (entry.graph == &ring || entry.graph == &grid);
-      graph::GraphTrialOptions options;
-      options.trials = trials;
-      options.seed = exp.seed() + 17;
-      options.max_rounds = voter_on_slow_graph ? cap / 4 : cap;
-      const TrialSummary result =
-          run_graph_trials(*dynamics, *entry.graph, start, options);
+          std::string(dynamics) == "voter" && (topology == "ring" || topology == "torus");
+      spec.topology = topology;
+      spec.dynamics = dynamics;
+      spec.max_rounds = voter_on_slow_graph ? cap / 4 : cap;
+      const auto compiled = scenario::Scenario::compile(spec);
+      const TrialSummary result = compiled.run();
       table.row()
-          .cell(entry.name)
-          .cell(average_degree(*entry.graph), 4)
-          .cell(dynamics->name())
+          .cell(label)
+          .cell(average_degree(compiled.graph()), 4)
+          .cell(compiled.dynamics().name())
           .percent(result.consensus_rate())
           .cell(result.consensus_count > 0
                     ? mean_ci_cell(result.rounds.mean(), result.rounds.ci95_halfwidth())
@@ -156,29 +156,26 @@ int run(int argc, const char* const* argv) {
   // ------------------------------------------------------- adversary sweep --
   {
     const count_t budget = std::max<count_t>(1, n_grid / 100);
-    const BoostRunnerUp boost(budget);
-    const RandomCorruption noise(budget);
-    struct AdvEntry {
-      const char* name;
-      const Adversary* adversary;
-    };
-    const AdvEntry adversaries[] = {
-        {"none", nullptr}, {"boost-runner-up", &boost}, {"random", &noise}};
+    scenario::ScenarioSpec adv_spec = spec;
+    adv_spec.dynamics = "3-majority";
+    adv_spec.seed = exp.seed() + 29;
+    adv_spec.max_rounds = exp.scaled<round_t>(500, 2'000, 5'000);
+    const std::string adversaries[] = {
+        "none", "boost-runner-up:" + std::to_string(budget),
+        "random:" + std::to_string(budget)};
 
     io::Table adv_table({"topology", "adversary (F = n/100)", "consensus rate",
                          "rounds (mean ± ci)", "round-limit rate"});
-    for (const auto& entry : {entries[0], entries[1]}) {  // clique + expander
-      for (const auto& adv : adversaries) {
-        graph::GraphTrialOptions options;
-        options.trials = trials;
-        options.seed = exp.seed() + 29;
-        options.max_rounds = exp.scaled<round_t>(500, 2'000, 5'000);
-        options.adversary = adv.adversary;
-        const TrialSummary result =
-            run_graph_trials(majority, *entry.graph, start, options);
+    for (const auto& [label, topology] :
+         {topologies[0], topologies[1]}) {  // clique + expander
+      for (const auto& adversary : adversaries) {
+        adv_spec.topology = topology;
+        adv_spec.adversary = adversary;
+        const scenario::ScenarioResult run = scenario::run_scenario(adv_spec);
+        const TrialSummary& result = run.summary;
         adv_table.row()
-            .cell(entry.name)
-            .cell(adv.name)
+            .cell(label)
+            .cell(adversary)
             .percent(result.consensus_rate())
             .cell(result.consensus_count > 0
                       ? mean_ci_cell(result.rounds.mean(),

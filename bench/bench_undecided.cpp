@@ -16,6 +16,7 @@
 #include "core/trials.hpp"
 #include "core/undecided.hpp"
 #include "core/workloads.hpp"
+#include "scenario/scenario.hpp"
 #include "rng/stream.hpp"
 #include "stats/regression.hpp"
 #include "support/format.hpp"
@@ -23,11 +24,12 @@
 namespace plurality::bench {
 namespace {
 
-/// Configuration with one color holding `share` of n and the remaining mass
-/// balanced: md smoothly tunable from ~1 (share near 1) to k (balanced).
-Configuration skewed_config(count_t n, state_t k, double share) {
-  if (share <= 1.0 / static_cast<double>(k)) return workloads::balanced(n, k);
-  return workloads::plurality_share(n, k, share);
+/// Workload spec with one color holding `share` of n and the remaining
+/// mass balanced: md smoothly tunable from ~1 (share near 1) to k
+/// (balanced).
+std::string skewed_workload(state_t k, double share) {
+  if (share <= 1.0 / static_cast<double>(k)) return "balanced";
+  return "share:" + std::to_string(share);
 }
 
 int run(int argc, const char* const* argv) {
@@ -53,20 +55,25 @@ int run(int argc, const char* const* argv) {
       "(b) plurality dies in round 1 with constant probability");
   exp.print_header();
 
-  // (a) md sweep.
+  // (a) md sweep — one undecided-state scenario per skew level.
   UndecidedState undecided;
+  scenario::ScenarioSpec spec;
+  spec.dynamics = "undecided";
+  spec.n = n;
+  spec.k = k;
+  spec.trials = trials;
+  spec.max_rounds = exp.max_rounds();
+
   io::Table md_table({"share of top color", "md(c)", "rounds (mean ± ci)",
                       "rounds/md", "win rate"});
   std::vector<double> xs, ys;
   for (const double share : {0.8, 0.5, 0.25, 0.12, 0.06, 0.03, 1.0 / k}) {
-    const Configuration colors = skewed_config(n, k, share);
-    const double md = colors.monochromatic_distance(k);
-    TrialOptions options;
-    options.trials = trials;
-    options.seed = exp.seed() + static_cast<std::uint64_t>(share * 1000);
-    options.run.max_rounds = exp.max_rounds();
-    const TrialSummary summary = run_trials(
-        undecided, UndecidedState::extend_with_undecided(colors), options);
+    spec.workload = skewed_workload(k, share);
+    spec.seed = exp.seed() + static_cast<std::uint64_t>(share * 1000);
+    const auto compiled = scenario::Scenario::compile(spec);
+    // The start carries the undecided marker state; md is over colors only.
+    const double md = compiled.start().monochromatic_distance(k);
+    const TrialSummary summary = compiled.run();
     md_table.row()
         .cell(share, 3)
         .cell(md, 4)
@@ -105,10 +112,14 @@ int run(int argc, const char* const* argv) {
       died += (c.at(0) == 0);
     }
 
-    TrialOptions options;
+    // The tiny-plurality start is not a workload-grammar configuration
+    // (balanced + 2 moved nodes), so these comparison runs stay on the
+    // unified driver directly — same CommonTrialOptions the scenario layer
+    // fills.
+    CommonTrialOptions options;
     options.trials = exp.scaled<std::uint64_t>(20, 50, 200);
     options.seed = exp.seed() + 31 + big_k;
-    options.run.max_rounds = 200000;
+    options.max_rounds = 200000;
     const TrialSummary undecided_summary = run_trials(undecided, start, options);
     const TrialSummary majority_summary = run_trials(majority, colors, options);
 

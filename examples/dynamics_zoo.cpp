@@ -7,18 +7,16 @@
 // 3-majority win the plurality; h-plurality win faster as h grows; the
 // median dynamics converge quickly but to the WRONG (median) color; the
 // voter / 2-choices pair forget the bias; and the undecided-state protocol
-// race ahead using its one extra memory state.
+// race ahead using its one extra memory state. The whole sweep is one
+// ScenarioSpec with the `dynamics` field iterated over the registry —
+// registry metadata (describe_dynamics) fills the samples/memory columns,
+// and backend=auto drops large-h protocols onto the agent backend by
+// itself.
 #include <iostream>
-#include <memory>
 
-#include "core/hplurality.hpp"
-#include "core/majority.hpp"
-#include "core/median.hpp"
-#include "core/trials.hpp"
-#include "core/undecided.hpp"
-#include "core/voter.hpp"
-#include "core/workloads.hpp"
+#include "core/registry.hpp"
 #include "io/table.hpp"
+#include "scenario/scenario.hpp"
 #include "stats/quantile.hpp"
 #include "support/cli.hpp"
 #include "support/format.hpp"
@@ -39,53 +37,37 @@ int main(int argc, char** argv) {
 
   // Plurality (30%) on color 0, an extreme of the ordered color range, so
   // plurality and median disagree; the rest balanced.
-  const Configuration start = workloads::plurality_share(n, k, 0.3);
-  std::cout << "start: " << start.to_string() << "\n"
-            << "initial plurality: color 0 at "
-            << format_percent(static_cast<double>(start.at(0)) / static_cast<double>(n))
+  scenario::ScenarioSpec spec;
+  spec.workload = "share:0.3";
+  spec.n = n;
+  spec.k = k;
+  spec.trials = trials;
+  spec.seed = cli.get_uint("seed");
+  spec.max_rounds = 2'000'000;
+
+  std::cout << "start: share:0.3 — initial plurality: color 0 at 30%"
             << " — value-median sits at color " << (k / 2) / 2 + 1 << "-ish\n\n";
 
-  const ThreeMajority majority;
-  const HPlurality h5(5), h9(9);
-  const MedianDynamics median;
-  const MedianOwnTwo median_own;
-  const Voter voter;
-  const TwoChoices two_choices;
-  const UndecidedState undecided;
+  const char* zoo[] = {"3-majority", "5-plurality", "9-plurality", "3-median",
+                       "median-own2", "voter", "2-choices", "undecided"};
 
-  struct Entry {
-    const Dynamics* dynamics;
-    const char* memory;
-  };
-  const Entry entries[] = {
-      {&majority, "none"},      {&h5, "none"},      {&h9, "none"},
-      {&median, "none"},        {&median_own, "own color"},
-      {&voter, "none"},         {&two_choices, "none"},
-      {&undecided, "1 extra state"},
-  };
-
-  io::Table table({"dynamics", "samples", "memory", "consensus rate",
+  io::Table table({"dynamics", "samples", "memory bits", "backend", "consensus rate",
                    "plurality wins", "rounds (mean)", "rounds (p95)"});
-  for (const auto& entry : entries) {
-    const Dynamics& dynamics = *entry.dynamics;
-    const Configuration protocol_start =
-        dynamics.num_states(k) > k ? UndecidedState::extend_with_undecided(start)
-                                   : start;
-    TrialOptions options;
-    options.trials = trials;
-    options.seed = cli.get_uint("seed");
-    options.run.max_rounds = 2'000'000;
-    // Large-h exact laws are gated; fall back to the agent backend.
-    if (!dynamics.has_exact_law(protocol_start.k())) {
-      options.run.backend = Backend::Agent;
-      options.trials = std::min<std::uint64_t>(trials, 10);
-    }
-    const TrialSummary summary = run_trials(dynamics, protocol_start, options);
+  for (const char* name : zoo) {
+    const DynamicsInfo info = describe_dynamics(name);
+    spec.dynamics = name;
+    // Large-h exact laws are gated; backend=auto falls back to the agent
+    // sampler — cap its Θ(n·h) trials.
+    spec.trials = spec.resolved_backend() == "agent" ? std::min<std::uint64_t>(trials, 10)
+                                                     : trials;
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    const TrialSummary& summary = result.summary;
     const bool finished = summary.rounds.count() > 0;
     table.row()
-        .cell(dynamics.name())
-        .cell(static_cast<std::uint64_t>(dynamics.sample_arity()))
-        .cell(entry.memory)
+        .cell(info.display_name)
+        .cell(static_cast<std::uint64_t>(info.sample_arity))
+        .cell(static_cast<std::uint64_t>(info.memory_bits))
+        .cell(result.resolved.backend)
         .percent(summary.consensus_rate())
         .percent(summary.win_rate())
         .cell(finished ? format_sig(summary.rounds.mean(), 4) : std::string("> cap"))

@@ -1,13 +1,15 @@
-// Quickstart: the 3-majority dynamics in ~30 lines of API.
+// Quickstart: one declarative ScenarioSpec, compiled and run.
 //
 //   $ ./quickstart --n 1e6 --k 5 --bias 30000
 //
-// Builds a biased k-color configuration, runs the 3-majority dynamics to
-// plurality consensus, and prints the round-by-round trajectory.
+// Describes a biased 3-majority scenario as a spec (the same object that
+// parses from JSON files and "key=value" strings), lets the scenario layer
+// pick the backend, and prints the trial summary. Swap any field —
+// topology=regular:8, engine=batched, adversary=boost-runner-up:100 — and
+// the same five lines run that scenario too.
 #include <iostream>
 
-#include "core/majority.hpp"
-#include "core/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "core/workloads.hpp"
 #include "io/table.hpp"
 #include "support/cli.hpp"
@@ -16,51 +18,50 @@
 int main(int argc, char** argv) {
   using namespace plurality;
 
-  CliParser cli("quickstart", "run the 3-majority dynamics once and watch it converge");
+  CliParser cli("quickstart", "run the 3-majority dynamics and watch it converge");
   cli.add_uint("n", 1'000'000, "number of nodes");
   cli.add_uint("k", 5, "number of colors");
   cli.add_uint("bias", 0, "initial bias s (0 = 2x the paper's critical scale)");
+  cli.add_uint("trials", 20, "independent trials");
   cli.add_uint("seed", 42, "random seed");
   if (!cli.parse(argc, argv)) return 0;
 
-  const count_t n = cli.get_uint("n");
-  const auto k = static_cast<state_t>(cli.get_uint("k"));
-  const count_t s = cli.get_uint("bias") != 0
-                        ? cli.get_uint("bias")
-                        : static_cast<count_t>(2.0 * workloads::critical_bias_scale(n, k));
+  // 1. Describe the experiment. "bias:2c" means twice the paper's critical
+  //    bias scale; an explicit --bias overrides it.
+  scenario::ScenarioSpec spec;
+  spec.dynamics = "3-majority";
+  spec.workload = cli.get_uint("bias") != 0
+                      ? "bias:" + std::to_string(cli.get_uint("bias"))
+                      : "bias:2c";
+  spec.n = cli.get_uint("n");
+  spec.k = static_cast<state_t>(cli.get_uint("k"));
+  spec.trials = cli.get_uint("trials");
+  spec.seed = cli.get_uint("seed");
 
-  // 1. Build the initial configuration: bias s toward color 0.
-  const Configuration start = workloads::additive_bias(n, k, s);
-  std::cout << "n = " << format_count(n) << ", k = " << k << ", bias s = "
-            << format_count(s) << " (critical scale: "
-            << format_count(static_cast<count_t>(workloads::critical_bias_scale(n, k)))
-            << ")\n\n";
-
-  // 2. Run the dynamics, recording the trajectory.
-  ThreeMajority dynamics;
-  rng::Xoshiro256pp gen(cli.get_uint("seed"));
-  RunOptions options;
-  options.record_trajectory = true;
-  const RunResult result = run_dynamics(dynamics, start, options, gen);
+  // 2. Compile (validates, resolves backend=auto) and run.
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
 
   // 3. Print it.
-  io::Table table({"round", "plurality color", "plurality count", "bias s(t)",
-                   "minority mass"});
-  const std::size_t stride = std::max<std::size_t>(1, result.trajectory.size() / 24);
-  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
-    if (i % stride != 0 && i + 1 != result.trajectory.size()) continue;
-    const auto& pt = result.trajectory[i];
-    table.row()
-        .cell(pt.round)
-        .cell(static_cast<std::uint64_t>(pt.plurality_color))
-        .cell(pt.plurality_count)
-        .cell(pt.bias)
-        .cell(pt.minority_mass);
+  std::cout << "n = " << format_count(result.resolved.n) << ", k = " << result.resolved.k
+            << ", workload " << result.resolved.workload << " (critical scale: "
+            << format_count(static_cast<count_t>(workloads::critical_bias_scale(
+                   result.resolved.n, result.resolved.k)))
+            << "), backend " << result.resolved.backend << "\n\n";
+
+  io::Table table({"metric", "value"});
+  table.row().cell("trials").cell(result.summary.trials);
+  table.row().cell("consensus rate").cell(format_percent(result.summary.consensus_rate()));
+  table.row().cell("plurality win rate").cell(format_percent(result.summary.win_rate()));
+  if (result.summary.rounds.count() > 0) {
+    table.row().cell("rounds mean").cell(result.summary.rounds.mean(), 5);
+    table.row().cell("rounds min/max").cell(
+        format_sig(result.summary.rounds.min(), 4) + " / " +
+        format_sig(result.summary.rounds.max(), 4));
   }
+  table.row().cell("wall time").cell(format_duration(result.wall_seconds));
   table.print(std::cout);
 
-  std::cout << "\nconsensus on color " << result.winner << " after " << result.rounds
-            << " rounds — initial plurality "
-            << (result.plurality_won ? "won" : "LOST") << "\n";
+  std::cout << "\nsame spec, other cells: topology=regular:8 | engine=batched | "
+               "adversary=boost-runner-up:100\n";
   return 0;
 }

@@ -1,4 +1,6 @@
-// Plurality consensus on a sensor grid — the sparse-topology extension.
+// Plurality consensus on a sensor grid — the sparse-topology extension,
+// expressed as three scenario specs that differ only in their topology
+// field.
 //
 //   $ ./sensor_grid --side 100 --k 3
 //
@@ -7,17 +9,14 @@
 // with its four physical neighbors. The clique theory does not apply
 // directly — this example shows how much locality costs by racing the same
 // protocol on the torus, on a random 8-regular overlay (as if the sensors
-// had a few long-range radio links), and on the idealized clique.
+// had a few long-range radio links), and on the idealized clique. One
+// ScenarioSpec, three values of `topology`.
 #include <iostream>
 
-#include "core/majority.hpp"
-#include "core/workloads.hpp"
-#include "graph/agent_graph.hpp"
-#include "graph/builders.hpp"
 #include "io/table.hpp"
+#include "scenario/scenario.hpp"
 #include "support/cli.hpp"
 #include "support/format.hpp"
-#include "support/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace plurality;
@@ -34,51 +33,46 @@ int main(int argc, char** argv) {
   const count_t side = cli.get_uint("side");
   const count_t n = side * side;
   const auto k = static_cast<state_t>(cli.get_uint("k"));
-  const std::uint64_t trials = cli.get_uint("trials");
-  const auto max_rounds = static_cast<round_t>(cli.get_uint("max-rounds"));
 
-  const Configuration readings =
-      workloads::plurality_share(n, k, cli.get_double("true-share"));
+  // The scenario template every topology shares. backend=graph keeps the
+  // clique row per-agent too, so all three rows simulate the same process
+  // (auto would route the clique to the count backend).
+  scenario::ScenarioSpec spec;
+  spec.dynamics = "3-majority";
+  spec.workload = "share:" + std::to_string(cli.get_double("true-share"));
+  spec.backend = "graph";
+  spec.n = n;
+  spec.k = k;
+  spec.trials = cli.get_uint("trials");
+  spec.max_rounds = cli.get_uint("max-rounds");
+  spec.seed = cli.get_uint("seed");
+
   std::cout << "sensors: " << format_count(n) << " on a " << side << "x" << side
             << " torus; true class observed by "
             << format_percent(cli.get_double("true-share")) << " of sensors\n\n";
 
-  rng::Xoshiro256pp topo_gen(cli.get_uint("seed"));
-  const auto torus = graph::torus(side, side);
-  const auto overlay = graph::random_regular(n, 8, topo_gen);
-  const auto clique = graph::Topology::complete(n);
-
   struct Entry {
     const char* name;
-    const graph::Topology* topology;
+    std::string topology;
   };
-  const Entry entries[] = {{"physical torus (deg 4)", &torus},
-                           {"radio overlay (8-regular)", &overlay},
-                           {"idealized clique", &clique}};
+  const Entry entries[] = {{"physical torus (deg 4)", "torus"},
+                           {"radio overlay (8-regular)", "regular:8"},
+                           {"idealized clique", "clique"}};
 
-  ThreeMajority dynamics;
   io::Table table({"topology", "consensus rate", "true class wins",
                    "rounds (mean)", "wall time/run"});
   for (const auto& entry : entries) {
-    std::uint64_t consensus = 0, wins = 0;
-    double rounds_sum = 0;
-    WallTimer timer;
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      graph::GraphSimulation sim(dynamics, *entry.topology, readings,
-                                 cli.get_uint("seed") + 100 + t);
-      const round_t used = sim.run_to_consensus(max_rounds);
-      if (!sim.configuration().color_consensus(k)) continue;
-      ++consensus;
-      rounds_sum += static_cast<double>(used);
-      wins += (sim.configuration().at(0) == n);
-    }
+    spec.topology = entry.topology;
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    const TrialSummary& summary = result.summary;
     table.row()
         .cell(entry.name)
-        .percent(static_cast<double>(consensus) / static_cast<double>(trials))
-        .percent(static_cast<double>(wins) / static_cast<double>(trials))
-        .cell(consensus > 0 ? format_sig(rounds_sum / static_cast<double>(consensus), 4)
-                            : std::string("> cap"))
-        .cell(format_duration(timer.seconds() / static_cast<double>(trials)));
+        .percent(summary.consensus_rate())
+        .percent(summary.win_rate())
+        .cell(summary.consensus_count > 0 ? format_sig(summary.rounds.mean(), 4)
+                                          : std::string("> cap"))
+        .cell(format_duration(result.wall_seconds /
+                              static_cast<double>(summary.trials)));
   }
   table.print(std::cout);
 

@@ -1,7 +1,10 @@
 #include "core/adversary.hpp"
 
+#include <charconv>
+
 #include "rng/distributions.hpp"
 #include "support/check.hpp"
+#include "support/specs.hpp"
 
 namespace plurality {
 
@@ -55,6 +58,34 @@ void RandomCorruption::corrupt(Configuration& config, state_t num_colors, round_
     const auto target = static_cast<state_t>(rng::uniform_below(gen, num_colors));
     config.move_mass(source, target, 1);
   }
+}
+
+std::unique_ptr<Adversary> make_adversary(const std::string& spec) {
+  if (spec == "none" || spec.empty()) return nullptr;
+  const auto [kind, arg] = split_spec(spec);
+
+  const bool known =
+      kind == "boost-runner-up" || kind == "feed-weakest" || kind == "random";
+  PLURALITY_REQUIRE(known, "make_adversary: unknown adversary '"
+                               << kind << "'; known: none, boost-runner-up:<F>, "
+                               << "feed-weakest:<F>, random:<F>");
+  PLURALITY_REQUIRE(!arg.empty(),
+                    "make_adversary: '" << kind << "' needs a budget, e.g. '"
+                                        << kind << ":100'");
+  count_t budget = 0;
+  const auto [ptr, ec] =
+      std::from_chars(arg.data(), arg.data() + arg.size(), budget);
+  PLURALITY_REQUIRE(ec == std::errc() && ptr == arg.data() + arg.size() && budget >= 1,
+                    "make_adversary: budget must be a positive integer, got '"
+                        << arg << "' in '" << spec << "'");
+
+  if (kind == "boost-runner-up") return std::make_unique<BoostRunnerUp>(budget);
+  if (kind == "feed-weakest") return std::make_unique<FeedWeakest>(budget);
+  return std::make_unique<RandomCorruption>(budget);
+}
+
+std::vector<std::string> adversary_names() {
+  return {"none", "boost-runner-up:<F>", "feed-weakest:<F>", "random:<F>"};
 }
 
 }  // namespace plurality

@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/configuration.hpp"
 #include "rng/xoshiro.hpp"
@@ -69,5 +70,19 @@ class RandomCorruption final : public Adversary {
   void corrupt(Configuration& config, state_t num_colors, round_t round,
                rng::Xoshiro256pp& gen) const override;
 };
+
+/// Name-based factory over the adversary strategies — the same discipline
+/// as core/registry.hpp for dynamics, used by the scenario layer. Accepted
+/// specs:
+///   "none"                       no adversary (returns nullptr)
+///   "boost-runner-up:<F>"        BoostRunnerUp with per-round budget F
+///   "feed-weakest:<F>"           FeedWeakest with budget F
+///   "random:<F>"                 RandomCorruption with budget F
+/// F must be a positive integer. Throws CheckError for unknown strategies
+/// or malformed budgets.
+std::unique_ptr<Adversary> make_adversary(const std::string& spec);
+
+/// The spec forms accepted by make_adversary (grammar, for --list output).
+std::vector<std::string> adversary_names();
 
 }  // namespace plurality

@@ -62,11 +62,42 @@ std::unique_ptr<Dynamics> make_dynamics(const std::string& name) {
 }
 
 std::vector<std::string> dynamics_names() {
-  return {"3-majority",  "voter",     "2-choices",
-          "3-median",    "median-own2", "undecided",
-          "5-plurality", "rule:first", "rule:min",
-          "rule:median", "rule:majority-tie-lowest",
-          "rule:majority-tie-cond", "rule:majority-tie-last"};
+  std::vector<std::string> names = {"3-majority", "voter", "2-choices",
+                                    "3-median",   "median-own2", "undecided"};
+  // The h-plurality family is a parameterized protocol, not one entry:
+  // enumerate the members whose exact law stays within the default
+  // enumeration budget at paper-scale k. (h = 1 is the voter and h = 3
+  // nearly the 3-majority; both are listed under their own names.)
+  for (unsigned h = 2; h <= 8; ++h) {
+    names.push_back(std::to_string(h) + "-plurality");
+  }
+  names.insert(names.end(),
+               {"rule:first", "rule:min", "rule:median", "rule:majority-tie-lowest",
+                "rule:majority-tie-cond", "rule:majority-tie-last"});
+  return names;
+}
+
+DynamicsInfo describe_dynamics(const std::string& name) {
+  const auto dynamics = make_dynamics(name);
+  constexpr state_t kProbe = 8;  // reference color count for k-dependent probes
+  DynamicsInfo info;
+  info.name = name;
+  info.display_name = dynamics->name();
+  info.sample_arity = dynamics->sample_arity();
+  info.aux_states = dynamics->num_states(kProbe) - kProbe;
+  info.memory_bits = 0;
+  for (state_t aux = info.aux_states; aux > 0; aux >>= 1) ++info.memory_bits;
+  info.law_depends_on_own_state = dynamics->law_depends_on_own_state();
+  info.exact_law_at_k8 = dynamics->has_exact_law(dynamics->num_states(kProbe));
+  return info;
+}
+
+std::vector<DynamicsInfo> dynamics_catalog() {
+  std::vector<DynamicsInfo> catalog;
+  for (const auto& name : dynamics_names()) {
+    catalog.push_back(describe_dynamics(name));
+  }
+  return catalog;
 }
 
 }  // namespace plurality

@@ -20,8 +20,31 @@ namespace plurality {
 /// Throws CheckError for unknown names.
 std::unique_ptr<Dynamics> make_dynamics(const std::string& name);
 
-/// All canonical names accepted by make_dynamics (one per protocol; the
-/// h-plurality family is represented by "5-plurality").
+/// All canonical names accepted by make_dynamics. The h-plurality family
+/// is enumerated for h = 2..8 (every member make_dynamics accepts by
+/// pattern and whose exact law stays within the default enumeration budget
+/// at paper-scale k); arbitrary "<h>-plurality" names beyond the list
+/// still construct.
 std::vector<std::string> dynamics_names();
+
+/// Static metadata for one dynamics — what `plurality_sim --list` prints
+/// and what scenario tooling uses to pick backends without constructing a
+/// full run.
+struct DynamicsInfo {
+  std::string name;          ///< canonical registry name (make_dynamics input)
+  std::string display_name;  ///< Dynamics::name()
+  unsigned sample_arity = 0;       ///< samples per node per round (h)
+  state_t aux_states = 0;          ///< Markov states beyond the k colors
+  unsigned memory_bits = 0;        ///< per-node memory beyond the color itself
+  bool law_depends_on_own_state = false;
+  bool exact_law_at_k8 = false;    ///< has_exact_law at the reference k = 8
+};
+
+/// Metadata for one registry name (constructs the dynamics to probe it).
+/// Throws CheckError for unknown names, like make_dynamics.
+DynamicsInfo describe_dynamics(const std::string& name);
+
+/// describe_dynamics over every dynamics_names() entry.
+std::vector<DynamicsInfo> dynamics_catalog();
 
 }  // namespace plurality

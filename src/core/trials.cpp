@@ -70,11 +70,29 @@ TrialSummary TrialOutcomes::summarize() const {
   return summary;
 }
 
+CommonTrialOptions TrialOptions::to_common() const {
+  CommonTrialOptions common;
+  common.trials = trials;
+  common.seed = seed;
+  common.parallel = parallel;
+  common.max_rounds = run.max_rounds;
+  common.mode = run.engine;
+  common.adversary = run.adversary;
+  common.backend = run.backend;
+  common.stop_predicate = run.stop_predicate;
+  return common;
+}
+
 TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
-                        const TrialOptions& options) {
+                        const CommonTrialOptions& options) {
   PLURALITY_REQUIRE(options.trials > 0, "run_trials: need at least one trial");
-  RunOptions run_options = options.run;
+  RunOptions run_options;
+  run_options.max_rounds = options.max_rounds;
   run_options.record_trajectory = false;  // trajectories cost memory x trials
+  run_options.backend = options.backend;
+  run_options.engine = options.mode;
+  run_options.adversary = options.adversary;
+  run_options.stop_predicate = options.stop_predicate;
 
   const rng::StreamFactory streams(options.seed);
   TrialOutcomes outcomes(options.trials);
@@ -111,11 +129,21 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
 }
 
 TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,
-                        const TrialOptions& options) {
+                        const CommonTrialOptions& options) {
   return run_trials(
       dynamics,
       [&start](std::uint64_t, rng::Xoshiro256pp&) { return start; },
       options);
+}
+
+TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
+                        const TrialOptions& options) {
+  return run_trials(dynamics, factory, options.to_common());
+}
+
+TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,
+                        const TrialOptions& options) {
+  return run_trials(dynamics, start, options.to_common());
 }
 
 }  // namespace plurality

@@ -33,11 +33,48 @@ struct TrialSummary {
   [[nodiscard]] stats::ProportionCi win_ci() const;
 };
 
+/// The one option set every trial driver consumes — the former
+/// TrialOptions/GraphTrialOptions drift (duplicated trials/seed/parallel,
+/// max_rounds living both in RunOptions and flat in GraphTrialOptions,
+/// shuffle_layout/mode with no count-side story) folded into a single
+/// struct. The scenario layer fills it from a ScenarioSpec; the legacy
+/// option structs below stay as thin compatibility wrappers for one
+/// release and convert via to_common()/run_trials' wrapper overloads.
+///
+/// Fields the other backend ignores are documented as such rather than
+/// split out: the point is that ONE struct names the whole grid axis.
+struct CommonTrialOptions {
+  std::uint64_t trials = 100;
+  std::uint64_t seed = 1;
+  bool parallel = true;
+  round_t max_rounds = 1'000'000;
+  /// Stepping pipeline (see core/engine_mode.hpp). Count backend: Strict =
+  /// xoshiro, Batched = PhiloxStream. Graph backend: Strict = fused
+  /// xoshiro kernels, Batched = counter-based stage-split SIMD pipeline.
+  EngineMode mode = EngineMode::Strict;
+  /// Applied after every protocol round (count-level on the count backend,
+  /// node-level via corrupt_nodes on the graph backend).
+  const Adversary* adversary = nullptr;
+  /// Graph backend only: shuffle the node layout per trial (node position
+  /// matters on sparse graphs). The count backend is exchangeable, so
+  /// there is nothing to shuffle.
+  bool shuffle_layout = true;
+  /// Count path only: count-based exact-law stepping vs the literal
+  /// agent-level clique simulation.
+  Backend backend = Backend::CountBased;
+  /// Count path only: optional extra stop condition, checked after each
+  /// round. (Graph trials stop on consensus/absorption/round limit.)
+  std::function<bool(const Configuration&, round_t)> stop_predicate;
+};
+
 struct TrialOptions {
   std::uint64_t trials = 100;
   std::uint64_t seed = 1;
   bool parallel = true;
   RunOptions run;  // per-run options (trajectories are force-disabled)
+
+  /// The CommonTrialOptions this legacy struct denotes.
+  [[nodiscard]] CommonTrialOptions to_common() const;
 };
 
 /// Per-trial outcome flags with the shared reduction into a TrialSummary.
@@ -63,11 +100,20 @@ class TrialOutcomes {
   std::vector<double> round_samples_;
 };
 
-/// Runs `options.trials` independent runs from factory-generated starts.
+/// Runs `options.trials` independent runs from factory-generated starts —
+/// the count-path trial driver (clique model; for sparse topologies see
+/// graph::run_graph_trials, which consumes the same CommonTrialOptions).
 TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
-                        const TrialOptions& options);
+                        const CommonTrialOptions& options);
 
 /// Convenience overload: every trial starts from the same configuration.
+TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,
+                        const CommonTrialOptions& options);
+
+/// Compatibility wrappers over the CommonTrialOptions driver (one release;
+/// bitwise-identical streams and summaries).
+TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
+                        const TrialOptions& options);
 TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,
                         const TrialOptions& options);
 

@@ -187,6 +187,11 @@ Configuration parse_workload(const std::string& spec, count_t n, state_t k) {
   return balanced(n, k);  // unreachable
 }
 
+std::vector<std::string> workload_names() {
+  return {"balanced", "bias:<s>", "bias:<mult>c", "share:<x>", "zipf:<theta>",
+          "near-balanced:<eps>", "lemma10:<s>", "theorem3:<s>"};
+}
+
 double critical_bias_scale(count_t n, state_t k) {
   PLURALITY_REQUIRE(n >= 3, "critical_bias_scale: n too small");
   const double nd = static_cast<double>(n);

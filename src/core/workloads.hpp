@@ -72,4 +72,9 @@ std::vector<count_t> largest_remainder_round(count_t n, std::span<const double> 
 /// Throws CheckError on malformed specs.
 Configuration parse_workload(const std::string& spec, count_t n, state_t k);
 
+/// The spec forms accepted by parse_workload — the same name→factory
+/// discipline as dynamics_names() / adversary_names() / topology_names(),
+/// so --list output and scenario validation enumerate one grammar.
+std::vector<std::string> workload_names();
+
 }  // namespace plurality::workloads

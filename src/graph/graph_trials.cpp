@@ -68,12 +68,27 @@ void corrupt_nodes(const Adversary& adversary, Configuration& config,
   PLURALITY_CHECK(cursor == total_victims);
 }
 
+CommonTrialOptions GraphTrialOptions::to_common() const {
+  CommonTrialOptions common;
+  common.trials = trials;
+  common.seed = seed;
+  common.parallel = parallel;
+  common.max_rounds = max_rounds;
+  common.mode = mode;
+  common.adversary = adversary;
+  common.shuffle_layout = shuffle_layout;
+  return common;
+}
+
 TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
                               const ConfigFactory& factory,
-                              const GraphTrialOptions& options) {
+                              const CommonTrialOptions& options) {
   PLURALITY_REQUIRE(options.trials > 0, "run_graph_trials: need at least one trial");
   PLURALITY_REQUIRE(graph.is_complete() || graph.min_degree() >= 1,
                     "run_graph_trials: isolated vertices cannot sample");
+  PLURALITY_REQUIRE(options.backend == Backend::CountBased && !options.stop_predicate,
+                    "run_graph_trials: backend/stop_predicate are count-path options; "
+                    "leave them defaulted for graph trials");
 
   const rng::StreamFactory streams(options.seed);
   TrialOutcomes outcomes(options.trials);
@@ -147,10 +162,22 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
 
 TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
                               const Configuration& start,
-                              const GraphTrialOptions& options) {
+                              const CommonTrialOptions& options) {
   return run_graph_trials(
       dynamics, graph,
       [&start](std::uint64_t, rng::Xoshiro256pp&) { return start; }, options);
+}
+
+TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
+                              const ConfigFactory& factory,
+                              const GraphTrialOptions& options) {
+  return run_graph_trials(dynamics, graph, factory, options.to_common());
+}
+
+TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
+                              const Configuration& start,
+                              const GraphTrialOptions& options) {
+  return run_graph_trials(dynamics, graph, start, options.to_common());
 }
 
 }  // namespace plurality::graph

@@ -17,6 +17,11 @@
 
 namespace plurality::graph {
 
+/// Compatibility wrapper (one release): the pre-scenario option shape.
+/// The driver itself consumes core's CommonTrialOptions — this struct just
+/// converts, so `max_rounds` and friends no longer fork from the count
+/// side. backend/stop_predicate members of CommonTrialOptions do not exist
+/// here because the graph driver ignores them (count path only).
 struct GraphTrialOptions {
   std::uint64_t trials = 100;
   std::uint64_t seed = 1;
@@ -31,16 +36,30 @@ struct GraphTrialOptions {
   /// default; Batched runs the counter-based stage-split engine
   /// (distribution-equivalent, faster at scale).
   EngineMode mode = EngineMode::Strict;
+
+  /// The CommonTrialOptions this legacy struct denotes.
+  [[nodiscard]] CommonTrialOptions to_common() const;
 };
 
 /// Runs `options.trials` independent runs of `dynamics` on `graph` from
 /// factory-generated starts (the factory contract matches core's
 /// ConfigFactory: thread-safe / pure, configurations sized to the graph).
+/// Count-path-only fields of CommonTrialOptions (backend, stop_predicate)
+/// must be left at their defaults.
+TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
+                              const ConfigFactory& factory,
+                              const CommonTrialOptions& options);
+
+/// Convenience overload: every trial starts from the same configuration.
+TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
+                              const Configuration& start,
+                              const CommonTrialOptions& options);
+
+/// Compatibility wrappers over the CommonTrialOptions driver (one release;
+/// bitwise-identical streams and summaries).
 TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
                               const ConfigFactory& factory,
                               const GraphTrialOptions& options);
-
-/// Convenience overload: every trial starts from the same configuration.
 TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
                               const Configuration& start,
                               const GraphTrialOptions& options);

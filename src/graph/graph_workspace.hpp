@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/engine_mode.hpp"
 #include "support/types.hpp"
 
 namespace plurality::graph {
@@ -30,21 +31,13 @@ namespace plurality::graph {
 /// so results depend on the seed but never on the thread count).
 inline constexpr unsigned kGraphChunks = 64;
 
-/// Which stepping pipeline step_graph runs.
-///
-///  * Strict  — the PR-2 fused kernels: one xoshiro stream per (round,
-///    chunk), exact Lemire rejection per draw. Bitwise-pinned against the
-///    frozen per-node reference; the default everywhere, and what every
-///    golden trajectory is recorded against.
-///  * Batched — the stage-split pipeline (kernels_batched.hpp): randomness
-///    is counter-based (rng::Philox4x32) and addressed by (seed, round,
-///    node, draw), so results are invariant under thread count, chunking,
-///    AND batch size by construction; index conversion is branch-free
-///    bounded-bias Lemire high-multiply (bias <= bound / 2^64 per draw —
-///    exactly 0 when the bound is a power of two). Distributionally
-///    equivalent to Strict, not bitwise (different generator): pinned by
-///    the chi-square law battery and cross-mode consensus-time tests.
-enum class EngineMode : std::uint8_t { Strict, Batched };
+/// Which stepping pipeline step_graph runs. The enum itself now lives in
+/// core/engine_mode.hpp (the axis spans both backends); on this backend
+/// Batched means the stage-split pipeline of kernels_batched.hpp, whose
+/// index conversion is branch-free bounded-bias Lemire high-multiply
+/// (bias <= bound / 2^64 per draw — exactly 0 when the bound is a power of
+/// two).
+using plurality::EngineMode;
 
 struct GraphStepWorkspace {
   /// Current node states (persistent across rounds within one trial).

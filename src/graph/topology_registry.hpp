@@ -1,0 +1,45 @@
+// Name-based factory over the topology generators — the graph-layer
+// member of the registry family (core/registry.hpp names dynamics,
+// core/adversary.hpp names adversaries, core/workloads.hpp names initial
+// configurations). The scenario layer composes all four from one spec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/agent_graph.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace plurality::graph {
+
+/// Parses and validates `spec` against a node count WITHOUT building the
+/// graph (torus dimensions must factor n, the configuration model needs
+/// d*n even, ...). Throws CheckError with an actionable message; returns
+/// normally when make_topology(spec, n, gen) would succeed on a readable
+/// edge-list file.
+void validate_topology_spec(const std::string& spec, count_t n);
+
+/// Builds the CSR-packed graph named by `spec` on `n` nodes. Accepted
+/// specs:
+///   "clique"             implicit complete graph (the paper's model)
+///   "ring"               cycle C_n (n >= 3)
+///   "torus"              square torus (n must be a perfect square, side >= 3)
+///   "torus:<r>x<c>"      r x c torus (r*c == n; r, c >= 3)
+///   "regular:<d>"        random d-regular (configuration model; d*n even)
+///   "er:<p>"             Erdős–Rényi G(n, m) with m = round(p * n(n-1)/2),
+///                        isolated vertices patched (sampling needs degree
+///                        >= 1 everywhere); p in (0, 1]
+///   "edges:<path>"       undirected edge list: one "u v" pair per line
+///                        (0-based ids < n; '#' comment lines allowed)
+/// Random families (regular, er) consume `gen`; the same generator state
+/// reproduces the same graph. Throws CheckError on malformed specs.
+AgentGraph make_topology(const std::string& spec, count_t n, rng::Xoshiro256pp& gen);
+
+/// True for specs naming the implicit complete graph (compiles to the
+/// count backend when the dynamics has an exact law).
+bool topology_is_clique(const std::string& spec);
+
+/// The spec forms accepted by make_topology (grammar, for --list output).
+std::vector<std::string> topology_names();
+
+}  // namespace plurality::graph

@@ -1,9 +1,12 @@
 #include "io/json.hpp"
 
+#include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "support/check.hpp"
 
@@ -50,6 +53,110 @@ void indent_to(std::ostream& os, int depth) {
 }
 
 }  // namespace
+
+namespace {
+
+const char* kind_name(int kind) {
+  static const char* names[] = {"null", "bool", "double", "uint", "int", "string", "array", "object"};
+  return names[kind];
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  PLURALITY_REQUIRE(kind_ == Kind::Bool,
+                    "json: expected bool, got " << kind_name(static_cast<int>(kind_)));
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  switch (kind_) {
+    case Kind::Double: return double_;
+    case Kind::Uint: return static_cast<double>(uint_);
+    case Kind::Int: return static_cast<double>(int_);
+    default:
+      PLURALITY_REQUIRE(false,
+                        "json: expected number, got " << kind_name(static_cast<int>(kind_)));
+      return 0.0;  // unreachable
+  }
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  switch (kind_) {
+    case Kind::Uint: return uint_;
+    case Kind::Int:
+      PLURALITY_REQUIRE(int_ >= 0, "json: expected non-negative integer, got " << int_);
+      return static_cast<std::uint64_t>(int_);
+    case Kind::Double: {
+      // Tolerate integral doubles ("1e6" is a natural way to write n).
+      PLURALITY_REQUIRE(double_ >= 0.0 && double_ == std::floor(double_) &&
+                            double_ <= 0x1p63,
+                        "json: expected non-negative integer, got " << double_);
+      return static_cast<std::uint64_t>(double_);
+    }
+    default:
+      PLURALITY_REQUIRE(false,
+                        "json: expected integer, got " << kind_name(static_cast<int>(kind_)));
+      return 0;  // unreachable
+  }
+}
+
+std::int64_t JsonValue::as_int() const {
+  switch (kind_) {
+    case Kind::Int: return int_;
+    case Kind::Uint:
+      PLURALITY_REQUIRE(uint_ <= static_cast<std::uint64_t>(INT64_MAX),
+                        "json: integer " << uint_ << " overflows int64");
+      return static_cast<std::int64_t>(uint_);
+    case Kind::Double:
+      PLURALITY_REQUIRE(double_ == std::floor(double_) && double_ >= -0x1p63 &&
+                            double_ < 0x1p63,
+                        "json: expected integer, got " << double_);
+      return static_cast<std::int64_t>(double_);
+    default:
+      PLURALITY_REQUIRE(false,
+                        "json: expected integer, got " << kind_name(static_cast<int>(kind_)));
+      return 0;  // unreachable
+  }
+}
+
+const std::string& JsonValue::as_string() const {
+  PLURALITY_REQUIRE(kind_ == Kind::String,
+                    "json: expected string, got " << kind_name(static_cast<int>(kind_)));
+  return string_;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  if (kind_ != Kind::Object) return false;
+  for (const auto& k : keys_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return items_[i].get();
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  PLURALITY_REQUIRE(kind_ == Kind::Object,
+                    "json: at('" << key << "') on " << kind_name(static_cast<int>(kind_)));
+  const JsonValue* value = get(key);
+  PLURALITY_REQUIRE(value != nullptr, "json: missing key '" << key << "'");
+  return *value;
+}
+
+const JsonValue& JsonValue::item(std::size_t index) const {
+  PLURALITY_REQUIRE(kind_ == Kind::Array,
+                    "json: item(" << index << ") on " << kind_name(static_cast<int>(kind_)));
+  PLURALITY_REQUIRE(index < items_.size(),
+                    "json: index " << index << " out of range (size " << items_.size() << ")");
+  return *items_[index];
+}
 
 JsonValue& JsonValue::push(JsonValue value) {
   PLURALITY_REQUIRE(kind_ == Kind::Array, "JsonValue::push: not an array");
@@ -114,6 +221,277 @@ std::string JsonValue::to_string() const {
   write(os, 0);
   os << '\n';
   return os.str();
+}
+
+namespace {
+
+/// Recursive-descent parser over the whole text (documents here are specs
+/// and bench baselines — small; no streaming needed). Strictness knobs are
+/// not optional: duplicate keys, trailing garbage, and non-finite numbers
+/// are always errors, because a silently shadowed spec field would run the
+/// wrong experiment.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue value = parse_value(0);
+    skip_ws();
+    PLURALITY_REQUIRE(pos_ == text_.size(),
+                      "json parse: trailing garbage at offset " << pos_);
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    PLURALITY_REQUIRE(false, "json parse: " << what << " at offset " << pos_);
+    std::abort();  // unreachable
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
+    if (eof()) fail("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue object = JsonValue::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      PLURALITY_REQUIRE(!object.contains(key),
+                        "json parse: duplicate key '" << key << "' at offset " << pos_);
+      skip_ws();
+      expect(':');
+      skip_ws();
+      object.set(key, parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return object;
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue array = JsonValue::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      skip_ws();
+      array.push(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return array;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char raw = text_[pos_++];
+      const auto c = static_cast<unsigned char>(raw);
+      if (raw == '"') return out;
+      if (c < 0x20) fail("unescaped control character in string");
+      if (raw != '\\') {
+        out.push_back(raw);
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_utf8(parse_hex4(), out); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  void append_utf8(unsigned code, std::string& out) {
+    // Surrogate pairs: a high surrogate must be followed by \uDC00-\uDFFF.
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (!consume_literal("\\u")) fail("high surrogate without low surrogate");
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    const auto out_byte = [&out](unsigned byte) { out.push_back(static_cast<char>(byte)); };
+    if (code < 0x80) {
+      out_byte(code);
+    } else if (code < 0x800) {
+      out_byte(0xC0 | (code >> 6));
+      out_byte(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out_byte(0xE0 | (code >> 12));
+      out_byte(0x80 | ((code >> 6) & 0x3F));
+      out_byte(0x80 | (code & 0x3F));
+    } else {
+      out_byte(0xF0 | (code >> 18));
+      out_byte(0x80 | ((code >> 12) & 0x3F));
+      out_byte(0x80 | ((code >> 6) & 0x3F));
+      out_byte(0x80 | (code & 0x3F));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+    if (peek() == '0') {
+      ++pos_;  // no leading zeros
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    bool integral = true;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid fraction");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid exponent");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string_view token(text_.data() + start, pos_ - start);
+    if (integral) {
+      // Preserve the writer's Uint/Int kinds where the value fits.
+      if (token[0] == '-') {
+        std::int64_t value = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec == std::errc() && ptr == token.data() + token.size()) return JsonValue(value);
+      } else {
+        std::uint64_t value = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec == std::errc() && ptr == token.data() + token.size()) return JsonValue(value);
+      }
+      // Out-of-range integers fall through to double (lossy but defined).
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size() || !std::isfinite(value)) {
+      fail("invalid number");
+    }
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+JsonValue read_json_file(const std::string& path) {
+  std::ifstream in(path);
+  PLURALITY_REQUIRE(in.good(), "json: cannot open '" << path << "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  PLURALITY_REQUIRE(!in.bad(), "json: read from '" << path << "' failed");
+  try {
+    return parse_json(buffer.str());
+  } catch (const CheckError& e) {
+    PLURALITY_REQUIRE(false, "json: while parsing '" << path << "': " << e.what());
+    throw;  // unreachable
+  }
 }
 
 void write_json_file(const std::string& path, const JsonValue& value) {

@@ -1,9 +1,13 @@
-// Minimal JSON document builder for machine-readable benchmark output.
+// Minimal JSON document builder AND strict parser for machine-readable
+// experiment input/output.
 //
 // The throughput benchmarks emit JSON (BENCH_throughput.json) so CI and
-// trend tooling can parse results without scraping tables. This is a
-// writer, not a parser: a small ordered value tree with correct string
-// escaping and shortest-round-trip number formatting, no external deps.
+// trend tooling can parse results without scraping tables, and the
+// scenario layer reads ScenarioSpec files and committed BENCH baselines
+// back in. One ordered value tree with correct string escaping and
+// shortest-round-trip number formatting, no external deps. The parser is
+// strict: exactly one RFC 8259 document, no trailing garbage, no duplicate
+// object keys, no NaN/Inf — every rejection names the byte offset.
 #pragma once
 
 #include <cstdint>
@@ -37,9 +41,39 @@ class JsonValue {
   /// Sets a key on an object (must be an object); returns the stored value.
   JsonValue& set(const std::string& key, JsonValue value);
 
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::Double || kind_ == Kind::Uint || kind_ == Kind::Int;
+  }
   [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
   [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
   [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  // ---- reader face (used on parsed documents; throws CheckError with the
+  // offending kind/key on type mismatches so spec errors are actionable) --
+
+  [[nodiscard]] bool as_bool() const;
+  /// Any numeric kind, widened.
+  [[nodiscard]] double as_double() const;
+  /// Integral numbers only (Uint, non-negative Int, or a Double that is
+  /// exactly a non-negative integer — JSON has one number type).
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Object lookup. contains() on non-objects is false; at() requires the
+  /// key to exist.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// get(): contains() ? &at() : nullptr.
+  [[nodiscard]] const JsonValue* get(const std::string& key) const;
+  /// Object keys in insertion (= document) order.
+  [[nodiscard]] const std::vector<std::string>& keys() const { return keys_; }
+
+  /// Array element access (bounds-checked).
+  [[nodiscard]] const JsonValue& item(std::size_t index) const;
 
   /// Serializes with 2-space indentation (indent = current depth).
   void write(std::ostream& os, int indent = 0) const;
@@ -65,5 +99,16 @@ class JsonValue {
 
 /// Writes `value` to `path` (throws CheckError on I/O failure).
 void write_json_file(const std::string& path, const JsonValue& value);
+
+/// Parses exactly one JSON document from `text` (throws CheckError with a
+/// byte offset on any syntax error, duplicate object key, or trailing
+/// non-whitespace). Numbers parse as Uint / Int when written integral and
+/// in range, Double otherwise — so parse(emit(doc)) reproduces the writer's
+/// kinds for everything the writer can emit.
+JsonValue parse_json(const std::string& text);
+
+/// Reads and parses `path` (throws CheckError on I/O or parse failure,
+/// naming the file).
+JsonValue read_json_file(const std::string& path);
 
 }  // namespace plurality::io

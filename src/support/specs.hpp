@@ -1,0 +1,22 @@
+// Shared shape of every registry spec string: "<kind>" or "<kind>:<arg>".
+// The dynamics, workload, topology, adversary, and stop-condition
+// registries all split specs the same way; keeping the split here means
+// their npos handling cannot drift apart.
+#pragma once
+
+#include <string>
+
+namespace plurality {
+
+struct SpecParts {
+  std::string kind;
+  std::string arg;  // empty when the spec has no ':'
+};
+
+inline SpecParts split_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, ""};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+}  // namespace plurality

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -89,6 +90,116 @@ TEST(Json, WritesFile) {
 TEST(Json, UnwritablePathThrows) {
   JsonValue doc = JsonValue::object();
   EXPECT_THROW(write_json_file("/nonexistent-dir/x.json", doc), CheckError);
+}
+
+// ------------------------------------------------------------- parser ----
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_EQ(parse_json("42").as_uint(), 42u);
+  EXPECT_EQ(parse_json("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(parse_json("0.25").as_double(), 0.25);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("  42  ").as_uint(), 42u);  // surrounding whitespace
+}
+
+TEST(JsonParse, IntegralKindsPreserved) {
+  // Writer emits Uint/Int/Double kinds; the parser restores them, so a
+  // parse(emit(doc)) round trip compares bitwise.
+  EXPECT_EQ(parse_json("18446744073709551615").as_uint(), 18446744073709551615ULL);
+  EXPECT_EQ(parse_json("-9223372036854775808").as_int(), INT64_MIN);
+  // "1e6" is a number with an exponent -> Double, but integral, so the
+  // integer accessor still takes it (the spec-file convenience).
+  EXPECT_EQ(parse_json("1e6").as_uint(), 1000000u);
+  EXPECT_THROW(parse_json("1.5").as_uint(), CheckError);
+  EXPECT_THROW(parse_json("-3").as_uint(), CheckError);
+}
+
+TEST(JsonParse, StringsAndEscapes) {
+  EXPECT_EQ(parse_json("\"a\\\"b\\\\c\\n\\t\"").as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(parse_json("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").as_string(), "\xc3\xa9");          // é
+  EXPECT_EQ(parse_json("\"\\ud83d\\ude00\"").as_string(), "\xf0\x9f\x98\x80");  // 😀
+  EXPECT_THROW(parse_json("\"\\ud83d\""), CheckError);  // unpaired high surrogate
+  EXPECT_THROW(parse_json("\"\\x41\""), CheckError);    // invalid escape
+  EXPECT_THROW(parse_json("\"raw\x01\""), CheckError);  // unescaped control char
+  EXPECT_THROW(parse_json("\"open"), CheckError);       // unterminated
+}
+
+TEST(JsonParse, Containers) {
+  const JsonValue doc = parse_json(R"({"a": [1, 2, 3], "b": {"c": true}, "d": null})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.keys(), (std::vector<std::string>{"a", "b", "d"}));
+  ASSERT_TRUE(doc.at("a").is_array());
+  EXPECT_EQ(doc.at("a").size(), 3u);
+  EXPECT_EQ(doc.at("a").item(1).as_uint(), 2u);
+  EXPECT_EQ(doc.at("b").at("c").as_bool(), true);
+  EXPECT_TRUE(doc.at("d").is_null());
+  EXPECT_TRUE(doc.contains("a"));
+  EXPECT_FALSE(doc.contains("z"));
+  EXPECT_EQ(doc.get("z"), nullptr);
+  EXPECT_THROW(doc.at("z"), CheckError);
+  EXPECT_THROW(doc.at("a").item(3), CheckError);
+  EXPECT_EQ(parse_json("[]").size(), 0u);
+  EXPECT_EQ(parse_json("{}").size(), 0u);
+}
+
+TEST(JsonParse, StrictModeErrors) {
+  EXPECT_THROW(parse_json(""), CheckError);
+  EXPECT_THROW(parse_json("42 garbage"), CheckError);       // trailing garbage
+  EXPECT_THROW(parse_json("{\"a\": 1, \"a\": 2}"), CheckError);  // duplicate key
+  EXPECT_THROW(parse_json("{\"a\": 1,}"), CheckError);      // trailing comma
+  EXPECT_THROW(parse_json("[1, 2"), CheckError);            // unterminated array
+  EXPECT_THROW(parse_json("{\"a\" 1}"), CheckError);        // missing colon
+  EXPECT_THROW(parse_json("01"), CheckError);               // leading zero
+  EXPECT_THROW(parse_json("1."), CheckError);               // bare fraction dot
+  EXPECT_THROW(parse_json("nan"), CheckError);              // no non-finite numbers
+  EXPECT_THROW(parse_json("truth"), CheckError);            // bad literal
+}
+
+TEST(JsonParse, EmitParseRoundTrip) {
+  // The satellite contract: everything the writer can emit parses back to
+  // an equal tree (kinds, order, and values), proven via re-emission.
+  JsonValue doc = JsonValue::object();
+  doc.set("uint", std::uint64_t{18446744073709551615ULL});
+  doc.set("int", -42);
+  doc.set("double", 0.1);
+  doc.set("string", "a\"b\\c\n\x01");
+  doc.set("bool", true);
+  doc.set("null", JsonValue());
+  JsonValue& arr = doc.set("arr", JsonValue::array());
+  arr.push(1);
+  arr.push("two");
+  JsonValue& nested = doc.set("obj", JsonValue::object());
+  nested.set("k", 3.5);
+
+  const std::string emitted = doc.to_string();
+  const JsonValue parsed = parse_json(emitted);
+  EXPECT_EQ(parsed.to_string(), emitted);
+}
+
+TEST(JsonParse, ReadsFileAndNamesItInErrors) {
+  const std::string path = "test_json_read.tmp.json";
+  {
+    std::ofstream out(path);
+    out << "{\"x\": [1, 2]}";
+  }
+  const JsonValue doc = read_json_file(path);
+  EXPECT_EQ(doc.at("x").item(0).as_uint(), 1u);
+  {
+    std::ofstream out(path);
+    out << "{broken";
+  }
+  try {
+    read_json_file(path);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(read_json_file("/nonexistent-dir/x.json"), CheckError);
 }
 
 }  // namespace

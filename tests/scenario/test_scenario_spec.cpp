@@ -1,0 +1,237 @@
+// Spec-grammar golden tests: the string form, the JSON form, their round
+// trips, validation errors (one actionable message per misuse), and
+// backend auto-resolution.
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/check.hpp"
+
+namespace plurality::scenario {
+namespace {
+
+TEST(ScenarioSpec, DefaultsValidate) {
+  const ScenarioSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.resolved_backend(), "count");
+}
+
+TEST(ScenarioSpec, ParseStringForm) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "dynamics=undecided topology=regular:8 workload=bias:2c n=1e6 k=5 "
+      "engine=batched trials=32 seed=9 max_rounds=5000 parallel=false "
+      "shuffle_layout=true adversary=random:100 backend=graph");
+  EXPECT_EQ(spec.dynamics, "undecided");
+  EXPECT_EQ(spec.topology, "regular:8");
+  EXPECT_EQ(spec.workload, "bias:2c");
+  EXPECT_EQ(spec.n, 1'000'000u);
+  EXPECT_EQ(spec.k, 5u);
+  EXPECT_EQ(spec.engine, "batched");
+  EXPECT_EQ(spec.trials, 32u);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.max_rounds, 5000u);
+  EXPECT_FALSE(spec.parallel);
+  EXPECT_TRUE(spec.shuffle_layout);
+  EXPECT_EQ(spec.adversary, "random:100");
+  EXPECT_EQ(spec.backend, "graph");
+  EXPECT_NO_THROW(spec.validate());
+  // Unmentioned fields keep their defaults.
+  EXPECT_EQ(spec.stop, "consensus");
+}
+
+TEST(ScenarioSpec, StringFormRoundTrips) {
+  ScenarioSpec spec;
+  spec.dynamics = "7-plurality";
+  spec.topology = "torus:25x40";
+  spec.workload = "zipf:0.8";
+  spec.n = 1000;
+  spec.k = 7;
+  spec.engine = "batched";
+  spec.backend = "graph";
+  const ScenarioSpec reparsed = ScenarioSpec::parse(spec.to_spec_string());
+  EXPECT_EQ(reparsed.to_spec_string(), spec.to_spec_string());
+}
+
+TEST(ScenarioSpec, MalformedStringsThrow) {
+  EXPECT_THROW(ScenarioSpec::parse(""), CheckError);
+  EXPECT_THROW(ScenarioSpec::parse("nonsense"), CheckError);          // no '='
+  EXPECT_THROW(ScenarioSpec::parse("=value"), CheckError);            // empty key
+  EXPECT_THROW(ScenarioSpec::parse("bogus=1"), CheckError);           // unknown field
+  EXPECT_THROW(ScenarioSpec::parse("n=12 n=13"), CheckError);         // duplicate
+  EXPECT_THROW(ScenarioSpec::parse("n=abc"), CheckError);             // bad number
+  EXPECT_THROW(ScenarioSpec::parse("n=1.5"), CheckError);             // non-integral
+  EXPECT_THROW(ScenarioSpec::parse("parallel=maybe"), CheckError);    // bad bool
+}
+
+TEST(ScenarioSpec, JsonRoundTrips) {
+  ScenarioSpec spec;
+  spec.dynamics = "voter";
+  spec.topology = "er:0.01";
+  spec.workload = "share:0.4";
+  spec.adversary = "boost-runner-up:50";
+  spec.backend = "graph";
+  spec.engine = "strict";
+  spec.n = 2000;
+  spec.k = 4;
+  spec.trials = 3;
+  spec.parallel = false;
+
+  const io::JsonValue emitted = spec.to_json();
+  const ScenarioSpec reparsed =
+      ScenarioSpec::from_json(io::parse_json(emitted.to_string()));
+  EXPECT_EQ(reparsed.to_json().to_string(), emitted.to_string());
+  EXPECT_EQ(reparsed.to_spec_string(), spec.to_spec_string());
+}
+
+TEST(ScenarioSpec, JsonUnknownOrMistypedFieldsThrow) {
+  EXPECT_THROW(ScenarioSpec::from_json(io::parse_json(R"({"dynamic": "voter"})")),
+               CheckError);  // typo'd key must not silently run defaults
+  EXPECT_THROW(ScenarioSpec::from_json(io::parse_json(R"({"n": "many"})")), CheckError);
+  EXPECT_THROW(ScenarioSpec::from_json(io::parse_json(R"({"parallel": 3.7})")), CheckError);
+  EXPECT_THROW(ScenarioSpec::from_json(io::parse_json(R"([1, 2])")), CheckError);
+}
+
+TEST(ScenarioSpec, JsonFileRoundTrip) {
+  const std::string path = "test_scenario_spec.tmp.json";
+  ScenarioSpec spec;
+  spec.dynamics = "undecided";
+  spec.n = 4096;
+  spec.k = 8;
+  io::write_json_file(path, spec.to_json());
+  const ScenarioSpec loaded = ScenarioSpec::from_json_file(path);
+  EXPECT_EQ(loaded.to_spec_string(), spec.to_spec_string());
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioSpec, ValidationCatchesEveryAxis) {
+  const auto invalid = [](auto&& mutate) {
+    ScenarioSpec spec;
+    spec.n = 900;  // perfect square, so torus specs can pass when wanted
+    spec.k = 3;
+    mutate(spec);
+    return spec;
+  };
+  // Scalars.
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.n = 0; }).validate(), CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.k = 1; }).validate(), CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.k = 901; }).validate(), CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.trials = 0; }).validate(), CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.max_rounds = 0; }).validate(), CheckError);
+  // Registry names.
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.dynamics = "4-majority"; }).validate(),
+               CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.workload = "flat"; }).validate(), CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.topology = "hypercube"; }).validate(),
+               CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.adversary = "byzantine:3"; }).validate(),
+               CheckError);
+  // Topology/workload shape constraints.
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.topology = "torus:10x10"; }).validate(),
+               CheckError);  // 100 != 900
+  EXPECT_THROW(invalid([](ScenarioSpec& s) {
+                 s.n = 901;  // odd * odd degree
+                 s.topology = "regular:3";
+               }).validate(),
+               CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.topology = "er:1.5"; }).validate(),
+               CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) {
+                 s.workload = "theorem3:10";
+                 s.k = 4;  // theorem3 forces k = 3
+               }).validate(),
+               CheckError);
+  EXPECT_NO_THROW(invalid([](ScenarioSpec& s) {
+                    s.workload = "theorem3:10";
+                    s.k = 3;
+                  }).validate());
+  // Backend/engine/adversary/stop combinations.
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.backend = "gpu"; }).validate(), CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.engine = "turbo"; }).validate(), CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) {
+                 s.backend = "count";
+                 s.topology = "ring";
+               }).validate(),
+               CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) {
+                 s.backend = "agent";
+                 s.engine = "batched";
+               }).validate(),
+               CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) {
+                 s.backend = "agent";
+                 s.adversary = "random:5";
+               }).validate(),
+               CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.stop = "sometime"; }).validate(), CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.stop = "m-plurality:"; }).validate(),
+               CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) {
+                 s.backend = "graph";
+                 s.topology = "ring";
+                 s.stop = "m-plurality:50";
+               }).validate(),
+               CheckError);
+  EXPECT_THROW(invalid([](ScenarioSpec& s) { s.stop = "any-reaches:1000000"; }).validate(),
+               CheckError);  // threshold > n
+  EXPECT_NO_THROW(invalid([](ScenarioSpec& s) { s.stop = "m-plurality:50"; }).validate());
+}
+
+TEST(ScenarioSpec, AutoResolvedAgentConstraintsApply) {
+  // backend=auto routing to the agent backend must enforce the same
+  // constraints as an explicit backend=agent — otherwise the spec passes
+  // validation and the driver's own check fires inside the parallel trial
+  // loop, which aborts the process without a message.
+  ScenarioSpec spec;
+  spec.dynamics = "20-plurality";  // no exact law at k = 16 -> auto resolves to agent
+  spec.k = 16;
+  spec.n = 2000;
+  spec.adversary = "random:10";
+  EXPECT_THROW(spec.validate(), CheckError);
+  spec.adversary = "none";
+  EXPECT_NO_THROW(spec.validate());
+  // Under the batched engine auto resolves to the graph clique instead,
+  // which does host adversaries.
+  spec.engine = "batched";
+  spec.adversary = "random:10";
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.resolved_backend(), "graph");
+}
+
+TEST(ScenarioSpec, ResolvedBackend) {
+  ScenarioSpec spec;
+  spec.n = 2000;
+  spec.k = 3;
+  EXPECT_EQ(spec.resolved_backend(), "count");  // clique + exact law
+
+  spec.topology = "regular:8";
+  EXPECT_EQ(spec.resolved_backend(), "graph");  // sparse topology
+
+  spec.topology = "clique";
+  spec.dynamics = "20-plurality";  // C(35, 20) law terms at k = 16: no exact law
+  spec.k = 16;
+  EXPECT_EQ(spec.resolved_backend(), "agent");
+  spec.engine = "batched";  // the agent backend cannot batch; the graph clique can
+  EXPECT_EQ(spec.resolved_backend(), "graph");
+
+  spec.engine = "strict";
+  spec.backend = "graph";  // explicit backends pass through
+  EXPECT_EQ(spec.resolved_backend(), "graph");
+}
+
+TEST(ScenarioSpec, StopConditionParses) {
+  EXPECT_EQ(parse_stop_condition("consensus").kind, StopCondition::Kind::Consensus);
+  const StopCondition m = parse_stop_condition("m-plurality:128");
+  EXPECT_EQ(m.kind, StopCondition::Kind::MPlurality);
+  EXPECT_EQ(m.value, 128u);
+  const StopCondition t = parse_stop_condition("any-reaches:1e4");
+  EXPECT_EQ(t.kind, StopCondition::Kind::AnyReaches);
+  EXPECT_EQ(t.value, 10000u);
+  EXPECT_THROW(parse_stop_condition("whenever"), CheckError);
+  EXPECT_THROW(parse_stop_condition("any-reaches:soon"), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::scenario
