@@ -7,15 +7,21 @@
 //      sqrt(min{2k, (n/ln n)^(1/3)} n ln n);
 //  (b) full-run plurality win rate — rising from near-chance at tiny bias
 //      toward 100% above the threshold (the w.h.p. regime of Theorem 1).
+//
+// Measurement (b) is a SweepSpec over the workload axis ("lemma10:<s>" per
+// bias point) run through the sweep orchestrator; (a) is a custom
+// single-round probe, which is exactly what the trial drivers do NOT do,
+// so it stays hand-rolled.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "common/experiment.hpp"
 #include "core/backend.hpp"
 #include "core/majority.hpp"
-#include "core/trials.hpp"
 #include "core/workloads.hpp"
 #include "support/format.hpp"
+#include "sweep/orchestrator.hpp"
 
 namespace plurality::bench {
 namespace {
@@ -53,14 +59,43 @@ int run(int argc, const char* const* argv) {
       "fading above the critical scale; win rate rises from ~1/k to ~100%");
   exp.print_header();
 
+  // The valid bias points (Lemma 10 requires s <= x), shared by both
+  // measurements — and, for (b), the sweep's workload axis.
+  const double sqrt_kn = std::sqrt(static_cast<double>(k) * n);
+  std::vector<double> ratios;
+  sweep::SweepAxis workload_axis{"workload", {}};
+  for (const double ratio : {0.05, 1.0 / 6.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const auto s = static_cast<count_t>(ratio * sqrt_kn);
+    // Lemma 10 requires s <= x = (n-s)/k; s >= n would wrap the unsigned
+    // subtraction (and is out of range anyway).
+    if (s == 0 || s >= n || s > (n - s) / k) continue;
+    ratios.push_back(ratio);
+    workload_axis.values.push_back("lemma10:" + std::to_string(s));
+  }
+
+  // (b) Full-run plurality win rate: one sweep over the bias axis. Extreme
+  // (n, k) combinations can skip every point; an empty grid is an empty
+  // table, not an error.
+  sweep::SweepOutcome outcome;
+  if (!workload_axis.values.empty()) {
+    sweep::SweepSpec sweep_spec;
+    sweep_spec.base.dynamics = "3-majority";
+    sweep_spec.base.n = n;
+    sweep_spec.base.k = k;
+    sweep_spec.base.trials = full_trials;
+    sweep_spec.base.seed = exp.seed() + 7777;
+    sweep_spec.base.max_rounds = exp.max_rounds();
+    sweep_spec.axes.push_back(workload_axis);
+    outcome = sweep::run_sweep(sweep_spec, sweep::SweepOptions{});
+  }
+
   ThreeMajority dynamics;
   io::Table table({"s/sqrt(kn)", "bias s", "s/critical", "P(bias drops in 1 rd)",
                    "Lemma 10 bound", "win rate", "rounds (mean)"});
 
-  const double sqrt_kn = std::sqrt(static_cast<double>(k) * n);
-  for (const double ratio : {0.05, 1.0 / 6.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    const double ratio = ratios[i];
     const auto s = static_cast<count_t>(ratio * sqrt_kn);
-    if (s == 0 || s > (n - s) / k) continue;  // Lemma 10 requires s <= x
     const Configuration start = workloads::lemma10(n, k, s);
 
     // (a) One-round bias-decrease probability vs the fixed color j = 1.
@@ -77,13 +112,7 @@ int run(int argc, const char* const* argv) {
     const double drop_probability =
         static_cast<double>(decreased) / static_cast<double>(probe_trials);
 
-    // (b) Full-run plurality win rate.
-    TrialOptions options;
-    options.trials = full_trials;
-    options.seed = exp.seed() + 7777 + static_cast<std::uint64_t>(ratio * 1000);
-    options.run.max_rounds = exp.max_rounds();
-    const TrialSummary summary = run_trials(dynamics, start, options);
-
+    const TrialSummary& summary = outcome.cells[i].summary;
     const bool lemma10_region = ratio <= 1.0 / 6.0 + 1e-9;
     table.row()
         .cell(ratio, 3)

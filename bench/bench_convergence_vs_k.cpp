@@ -6,17 +6,20 @@
 // with the initial plurality winning; the table reports measured rounds,
 // the normalized ratio rounds / (min-factor * ln n) (which should flatten
 // to a constant), and the plurality win rate (which should be ~100%).
+//
+// The grid itself is a SweepSpec over the k axis (sweep/orchestrator.hpp)
+// — this binary just builds the spec, runs it in memory, and prints the
+// paper-style normalization. The same grid, file-backed and resumable,
+// ships as sweeps/consensus_vs_k.json for plurality_sweep.
 #include <cmath>
+#include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "common/experiment.hpp"
-#include "core/majority.hpp"
-#include "core/trials.hpp"
 #include "core/workloads.hpp"
-#include "stats/quantile.hpp"
-#include "stats/regression.hpp"
 #include "support/format.hpp"
+#include "sweep/orchestrator.hpp"
 
 namespace plurality::bench {
 namespace {
@@ -47,38 +50,52 @@ int run(int argc, const char* const* argv) {
       "bias (the matching linear-in-k growth is E2's lower bound)");
   exp.print_header();
 
-  ThreeMajority dynamics;
-  io::Table table({"k", "min-factor", "bias s", "s/critical", "rounds (mean ± ci)",
-                   "rounds p95", "rounds/(factor*ln n)", "win rate"});
-  std::vector<double> xs, ys;
+  // The grid as a sweep: k axis over the workable range (points whose
+  // required bias reaches a constant fraction of n are skipped, as before).
+  sweep::SweepSpec sweep_spec;
+  char workload[32];
+  std::snprintf(workload, sizeof(workload), "bias:%gc", mult);
+  sweep_spec.base.dynamics = "3-majority";
+  sweep_spec.base.workload = workload;
+  sweep_spec.base.n = n;
+  sweep_spec.base.trials = trials;
+  sweep_spec.base.seed = exp.seed();
+  sweep_spec.base.max_rounds = exp.max_rounds();
 
+  sweep::SweepAxis k_axis{"k", {}};
   for (state_t k : {2, 4, 8, 16, 32, 64, 128, 256}) {
     const double critical = workloads::critical_bias_scale(n, k);
-    const auto s = static_cast<count_t>(mult * critical);
-    if (s >= n / 2) {
-      std::cout << "[skip] k=" << k << ": required bias " << s
+    if (static_cast<count_t>(mult * critical) >= n / 2) {
+      std::cout << "[skip] k=" << k << ": required bias "
+                << static_cast<count_t>(mult * critical)
                 << " is a constant fraction of n at this scale\n";
       continue;
     }
+    k_axis.values.push_back(std::to_string(k));
+  }
+  sweep_spec.axes.push_back(std::move(k_axis));
+
+  const sweep::SweepOutcome outcome = sweep::run_sweep(sweep_spec, sweep::SweepOptions{});
+
+  io::Table table({"k", "min-factor", "bias s", "s/critical", "rounds (mean ± ci)",
+                   "rounds p95", "rounds/(factor*ln n)", "win rate"});
+  std::vector<double> xs, ys;
+  for (const sweep::CellOutcome& cell : outcome.cells) {
+    const state_t k = cell.requested.k;
+    const double critical = workloads::critical_bias_scale(n, k);
+    const auto s = static_cast<count_t>(mult * critical);
     const double factor =
         std::min(2.0 * k, std::cbrt(static_cast<double>(n) / ln_n));
-    const Configuration start = workloads::additive_bias(n, k, s);
-
-    TrialOptions options;
-    options.trials = trials;
-    options.seed = exp.seed() + k;
-    options.run.max_rounds = exp.max_rounds();
-    const TrialSummary summary = run_trials(dynamics, start, options);
+    const TrialSummary& summary = cell.summary;
 
     const double normalized = summary.rounds.mean() / (factor * ln_n);
-    const double p95 = stats::quantile(summary.round_samples, 0.95);
     table.row()
         .cell(static_cast<std::uint64_t>(k))
         .cell(factor, 4)
         .cell(s)
         .cell(static_cast<double>(s) / critical, 3)
         .cell(mean_ci_cell(summary.rounds.mean(), summary.rounds.ci95_halfwidth()))
-        .cell(p95, 4)
+        .cell(summary.rounds_p(0.95), 4)
         .cell(normalized, 3)
         .percent(summary.win_rate());
     xs.push_back(factor * ln_n);

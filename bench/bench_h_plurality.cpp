@@ -54,11 +54,11 @@ int run(int argc, const char* const* argv) {
   for (unsigned h : {3u, 5u, 9u, 13u, 17u}) {
     HPlurality dynamics(h);
     const bool exact = dynamics.has_exact_law(k);
-    TrialOptions options;
+    CommonTrialOptions options;
     options.trials = trials;
     options.seed = exp.seed() + h;
-    options.run.max_rounds = exp.max_rounds();
-    options.run.backend = exact ? Backend::CountBased : Backend::Agent;
+    options.max_rounds = exp.max_rounds();
+    options.backend = exact ? Backend::CountBased : Backend::Agent;
     const TrialSummary summary = run_trials(dynamics, start, options);
 
     if (h == 3) base_rounds = summary.rounds.mean();

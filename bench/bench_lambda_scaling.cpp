@@ -52,10 +52,10 @@ int run(int argc, const char* const* argv) {
     const count_t s = start.bias(k);
     const double threshold = workloads::critical_bias_scale_lambda(n, lambda);
 
-    TrialOptions options;
+    CommonTrialOptions options;
     options.trials = trials;
     options.seed = exp.seed() + lambda;
-    options.run.max_rounds = exp.max_rounds();
+    options.max_rounds = exp.max_rounds();
     const TrialSummary summary = run_trials(dynamics, start, options);
 
     table.row()

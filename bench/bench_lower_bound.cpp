@@ -57,17 +57,17 @@ int run(int argc, const char* const* argv) {
     const count_t imbalance = start.plurality_count(k) - n / k;
 
     // (a) Doubling time: stop when any color reaches 2n/k.
-    TrialOptions doubling_options;
+    CommonTrialOptions doubling_options;
     doubling_options.trials = trials;
     doubling_options.seed = exp.seed() + k;
-    doubling_options.run.max_rounds = exp.max_rounds();
-    doubling_options.run.stop_predicate = stop_when_any_color_reaches(2 * (n / k), k);
+    doubling_options.max_rounds = exp.max_rounds();
+    doubling_options.stop_predicate = stop_when_any_color_reaches(2 * (n / k), k);
     const TrialSummary doubling_summary = run_trials(dynamics, start, doubling_options);
 
     // (b) Full consensus.
-    TrialOptions consensus_options = doubling_options;
+    CommonTrialOptions consensus_options = doubling_options;
     consensus_options.seed = exp.seed() + 1000 + k;
-    consensus_options.run.stop_predicate = nullptr;
+    consensus_options.stop_predicate = nullptr;
     const TrialSummary consensus_summary = run_trials(dynamics, start, consensus_options);
 
     table.row()

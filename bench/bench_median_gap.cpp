@@ -58,10 +58,10 @@ int run(int argc, const char* const* argv) {
                      "majority wins plur."});
   for (state_t k : {3, 4, 8, 16, 32, 64}) {
     const Configuration start = workloads::plurality_share(n, k, 0.4);
-    TrialOptions options;
+    CommonTrialOptions options;
     options.trials = trials;
     options.seed = exp.seed() + k;
-    options.run.max_rounds = exp.max_rounds();
+    options.max_rounds = exp.max_rounds();
     const TrialSummary med = run_trials(median, start, options);
     options.seed = exp.seed() + 500 + k;
     const TrialSummary maj = run_trials(majority, start, options);
@@ -80,10 +80,10 @@ int run(int argc, const char* const* argv) {
                    "majority/(k*ln n)", "rounds gap (maj/med)"});
   for (state_t k : {4, 8, 16, 32}) {
     const Configuration start = workloads::near_balanced(n, k, 0.25);
-    TrialOptions options;
+    CommonTrialOptions options;
     options.trials = trials;
     options.seed = exp.seed() + 2000 + k;
-    options.run.max_rounds = exp.max_rounds();
+    options.max_rounds = exp.max_rounds();
     const TrialSummary med = run_trials(median, start, options);
     options.seed = exp.seed() + 2500 + k;
     const TrialSummary maj = run_trials(majority, start, options);

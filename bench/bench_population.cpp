@@ -95,10 +95,10 @@ int run(int argc, const char* const* argv) {
       const auto k = colors.k();
       const auto summary = run_population_trials(protocol, with_blank(colors),
                                                  trials, options, exp.seed() + 77 + bn);
-      TrialOptions sync_options;
+      CommonTrialOptions sync_options;
       sync_options.trials = trials;
       sync_options.seed = exp.seed() + 78 + bn;
-      sync_options.run.max_rounds = 1'000'000;
+      sync_options.max_rounds = 1'000'000;
       const TrialSummary sync = run_trials(majority, colors, sync_options);
       failure.row()
           .cell(test_case.label)
@@ -121,7 +121,7 @@ int run(int argc, const char* const* argv) {
     const auto pop =
         run_population_trials(protocol, with_blank(colors), trials, options,
                               exp.seed() + 5 + wn);
-    TrialOptions sync_options;
+    CommonTrialOptions sync_options;
     sync_options.trials = trials;
     sync_options.seed = exp.seed() + 6 + wn;
     const TrialSummary sync = run_trials(majority, colors, sync_options);

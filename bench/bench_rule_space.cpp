@@ -56,10 +56,10 @@ int run(int argc, const char* const* argv) {
     const bool m3 = clear && uniform;
     ThreeInputDynamics dynamics(named.label, named.rule);
 
-    TrialOptions options;
+    CommonTrialOptions options;
     options.trials = trials;
     options.seed = exp.seed();
-    options.run.max_rounds = exp.max_rounds();
+    options.max_rounds = exp.max_rounds();
     const TrialSummary low = run_trials(dynamics, plurality_low, options);
     options.seed = exp.seed() + 1;
     const TrialSummary high = run_trials(dynamics, plurality_high, options);

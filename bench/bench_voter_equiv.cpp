@@ -87,10 +87,10 @@ int run(int argc, const char* const* argv) {
     for (const Dynamics* dynamics :
          {static_cast<const Dynamics*>(&voter), static_cast<const Dynamics*>(&two),
           static_cast<const Dynamics*>(&majority)}) {
-      TrialOptions options;
+      CommonTrialOptions options;
       options.trials = trials;
       options.seed = exp.seed() + n;
-      options.run.max_rounds = exp.max_rounds();
+      options.max_rounds = exp.max_rounds();
       const TrialSummary summary = run_trials(*dynamics, start, options);
       mc_table.row()
           .cell(n)

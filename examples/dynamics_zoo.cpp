@@ -17,7 +17,6 @@
 #include "core/registry.hpp"
 #include "io/table.hpp"
 #include "scenario/scenario.hpp"
-#include "stats/quantile.hpp"
 #include "support/cli.hpp"
 #include "support/format.hpp"
 
@@ -71,7 +70,7 @@ int main(int argc, char** argv) {
         .percent(summary.consensus_rate())
         .percent(summary.win_rate())
         .cell(finished ? format_sig(summary.rounds.mean(), 4) : std::string("> cap"))
-        .cell(finished ? format_sig(stats::quantile(summary.round_samples, 0.95), 4)
+        .cell(finished ? format_sig(summary.rounds_p(0.95), 4)
                        : std::string("-"));
   }
   table.print(std::cout);

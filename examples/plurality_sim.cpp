@@ -10,6 +10,7 @@
 //   $ ./plurality_sim --dynamics undecided --workload zipf:0.8 --n 1e6 \
 //         --k 50 --trajectory
 //   $ ./plurality_sim --list
+#include <filesystem>
 #include <iostream>
 
 #include "core/adversary.hpp"
@@ -20,7 +21,6 @@
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "scenario/scenario.hpp"
-#include "stats/quantile.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/format.hpp"
@@ -127,6 +127,7 @@ int main(int argc, char** argv) {
   cli.add_flag("trajectory", "print one trial's round-by-round trajectory");
   cli.add_string("csv", "", "write the trajectory to this CSV path");
   cli.add_string("out", "", "write the ScenarioResult JSON to this path");
+  cli.add_flag("force", "allow --out to overwrite an existing result file");
   cli.add_flag("print-spec", "print the resolved spec JSON and exit without running");
   cli.add_flag("list", "list dynamics, workloads, topologies, adversaries, then exit");
   if (!cli.parse(argc, argv)) return 0;
@@ -170,6 +171,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Check --out BEFORE running (but after the non-writing --print-spec
+  // exit): result files are what sweep resume (and any human reading them
+  // later) trusts, so a stale file must never be clobbered silently — and
+  // refusing after the trials ran would waste the run.
+  const std::string out_path = cli.get_string("out");
+  PLURALITY_REQUIRE(out_path.empty() || cli.flag("force") ||
+                        !std::filesystem::exists(out_path),
+                    "plurality_sim: --out " << out_path
+                        << " already exists; pass --force to overwrite it");
+
   const state_t colors = compiled.dynamics().num_colors(compiled.start().k());
   std::cout << "dynamics:  " << compiled.dynamics().name() << " ("
             << compiled.dynamics().sample_arity() << " samples/node/round)\n"
@@ -209,15 +220,15 @@ int main(int argc, char** argv) {
     table.row().cell("rounds mean").cell(summary.rounds.mean(), 5);
     table.row().cell("rounds min/max").cell(
         format_sig(summary.rounds.min(), 4) + " / " + format_sig(summary.rounds.max(), 4));
-    table.row().cell("rounds p50").cell(stats::median(summary.round_samples), 5);
-    table.row().cell("rounds p95").cell(stats::quantile(summary.round_samples, 0.95), 5);
+    table.row().cell("rounds p50").cell(summary.rounds_p(0.5), 5);
+    table.row().cell("rounds p95").cell(summary.rounds_p(0.95), 5);
   }
   table.row().cell("wall time").cell(format_duration(timer.seconds()));
   table.print(std::cout);
 
-  if (!cli.get_string("out").empty()) {
-    io::write_json_file(cli.get_string("out"), scenario::scenario_result_to_json(result));
-    std::cout << "\nresult JSON -> " << cli.get_string("out") << "\n";
+  if (!out_path.empty()) {
+    io::write_json_file(out_path, scenario::scenario_result_to_json(result));
+    std::cout << "\nresult JSON -> " << out_path << "\n";
   }
   return 0;
 }

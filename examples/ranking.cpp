@@ -59,10 +59,10 @@ int main(int argc, char** argv) {
                    "rounds (mean)", "rounds (max)"});
   for (const Dynamics* dynamics :
        {static_cast<const Dynamics*>(&majority), static_cast<const Dynamics*>(&voter)}) {
-    TrialOptions options;
+    CommonTrialOptions options;
     options.trials = trials;
     options.seed = cli.get_uint("seed");
-    options.run.max_rounds = 5'000'000;
+    options.max_rounds = 5'000'000;
     const TrialSummary summary = run_trials(*dynamics, workload, options);
     table.row()
         .cell(dynamics->name())

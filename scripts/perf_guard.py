@@ -8,6 +8,7 @@ where engine is one of strict / batched / reference.
 
 Usage:
     perf_guard.py BASELINE.json MEASURED.json [--drop-tolerance 0.30]
+                  [--rename old_topo/old_dyn=new_topo/new_dyn ...]
 
 Notes:
   * The default tolerance is deliberately loose (30%): CI runs --quick on
@@ -18,6 +19,10 @@ Notes:
   * Cells present in the baseline but missing from the measurement (or vice
     versa) are reported and skipped: topology/dynamics additions must not
     break older baselines.
+  * When a bench renames a cell (a topology spec string or dynamics name
+    changes), pass --rename so the baseline keeps guarding it under the
+    new name instead of silently skipping — regenerating the committed
+    baseline on unrelated hardware would launder real regressions.
 """
 
 import argparse
@@ -52,7 +57,24 @@ def main():
                              "documents (ad-hoc use only; the CI gate requires a "
                              "same-config baseline, otherwise a drifted config "
                              "silently degrades the guard)")
+    parser.add_argument("--rename", action="append", default=[],
+                        metavar="OLD_TOPO/OLD_DYN=NEW_TOPO/NEW_DYN",
+                        help="map a baseline cell key onto its renamed measured key "
+                             "(repeatable); keeps renamed bench cells guarded "
+                             "instead of skipped")
     args = parser.parse_args()
+
+    renames = {}
+    for spec in args.rename:
+        try:
+            old, new = spec.split("=", 1)
+            old_topo, old_dyn = old.split("/", 1)
+            new_topo, new_dyn = new.split("/", 1)
+        except ValueError:
+            print(f"perf_guard: bad --rename '{spec}' "
+                  f"(want old_topo/old_dyn=new_topo/new_dyn)", file=sys.stderr)
+            return 2
+        renames[(old_topo, old_dyn)] = (new_topo, new_dyn)
 
     base_doc, base_cells = load_cells(args.baseline)
     meas_doc, meas_cells = load_cells(args.measured)
@@ -74,10 +96,14 @@ def main():
     failures = []
     checked = 0
     for key, base_row in sorted(base_cells.items()):
-        meas_row = meas_cells.get(key)
+        lookup = renames.get(key, key)
+        meas_row = meas_cells.get(lookup)
         if meas_row is None:
-            print(f"  [skip] {key}: not in measured document")
+            print(f"  [skip] {key}: not in measured document"
+                  + (f" (as {lookup})" if lookup != key else ""))
             continue
+        if lookup != key:
+            print(f"  [map ] {key} -> {lookup}")
         for metric in ENGINE_METRICS:
             base = base_row.get(metric)
             meas = meas_row.get(metric)

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/observer.hpp"
 #include "support/check.hpp"
 
 namespace plurality {
@@ -60,6 +61,9 @@ RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
   if (options.record_trajectory) {
     result.trajectory.push_back(snapshot(config, num_colors, 0));
   }
+  if (options.observer != nullptr) {
+    options.observer->begin_trial(options.observer_trial, config, num_colors);
+  }
 
   auto finish = [&](round_t rounds, StopReason reason) {
     result.rounds = rounds;
@@ -67,6 +71,10 @@ RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
     if (reason == StopReason::ColorConsensus) {
       result.winner = config.plurality(num_colors);
       result.plurality_won = (result.winner == result.initial_plurality);
+    }
+    if (options.observer != nullptr) {
+      options.observer->end_trial(options.observer_trial, reason, rounds, config,
+                                  num_colors);
     }
     result.final_config = std::move(config);
     return result;
@@ -95,6 +103,9 @@ RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
 
     if (options.record_trajectory) {
       result.trajectory.push_back(snapshot(config, num_colors, round));
+    }
+    if (options.observer != nullptr) {
+      options.observer->observe_round(options.observer_trial, round, config, num_colors);
     }
     if (config.color_consensus(num_colors)) {
       return finish(round, StopReason::ColorConsensus);

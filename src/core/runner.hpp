@@ -19,6 +19,8 @@
 
 namespace plurality {
 
+class RoundObserver;  // core/observer.hpp
+
 /// One sampled point of a run's trajectory (colors only; auxiliary states
 /// count toward minority_mass).
 struct TrajectoryPoint {
@@ -70,6 +72,15 @@ struct RunOptions {
   /// Optional extra stop condition, checked after each round:
   /// (configuration, round) -> stop?
   std::function<bool(const Configuration&, round_t)> stop_predicate;
+  /// Per-round probe pipeline (core/observer.hpp): begin_trial before the
+  /// first step, observe_round after each materialized round (protocol +
+  /// adversary), end_trial at stop. Observers read the configuration only
+  /// and draw no RNG, so wiring one in never changes the run's results
+  /// (pinned by tests/core/test_observer.cpp).
+  RoundObserver* observer = nullptr;
+  /// Trial index forwarded to the observer's callbacks (run_trials sets it;
+  /// standalone runs default to 0).
+  std::uint64_t observer_trial = 0;
 };
 
 /// Runs `dynamics` from `start` (already in the dynamics' state space —

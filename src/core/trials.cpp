@@ -1,5 +1,6 @@
 #include "core/trials.hpp"
 
+#include "core/observer.hpp"
 #include "support/check.hpp"
 
 #if defined(PLURALITY_HAVE_OPENMP)
@@ -22,14 +23,20 @@ stats::ProportionCi TrialSummary::win_ci() const {
   return stats::wilson_interval(plurality_wins, trials);
 }
 
-TrialOutcomes::TrialOutcomes(std::uint64_t trials)
+TrialOutcomes::TrialOutcomes(std::uint64_t trials, std::size_t exact_round_samples)
     : trials_(trials),
+      exact_round_samples_(exact_round_samples),
       won_(trials, 0),
       consensus_(trials, 0),
       limited_(trials, 0),
       predicate_(trials, 0),
       round_samples_(trials, -1.0) {
   PLURALITY_REQUIRE(trials > 0, "TrialOutcomes: need at least one trial");
+  // Fail fast: summarize() builds a QuantileSketch with this capacity, and
+  // discovering a bad value only after every trial ran would lose the run.
+  PLURALITY_REQUIRE(exact_round_samples >= 2,
+                    "TrialOutcomes: exact_round_samples must be >= 2, got "
+                        << exact_round_samples);
 }
 
 void TrialOutcomes::record(std::uint64_t trial, StopReason reason, bool plurality_won,
@@ -56,7 +63,7 @@ void TrialOutcomes::record(std::uint64_t trial, StopReason reason, bool pluralit
 TrialSummary TrialOutcomes::summarize() const {
   TrialSummary summary;
   summary.trials = trials_;
-  summary.round_samples.reserve(trials_);
+  summary.round_quantiles = stats::QuantileSketch(exact_round_samples_);
   for (std::uint64_t trial = 0; trial < trials_; ++trial) {
     summary.consensus_count += consensus_[trial];
     summary.plurality_wins += won_[trial];
@@ -64,23 +71,19 @@ TrialSummary TrialOutcomes::summarize() const {
     summary.predicate_stops += predicate_[trial];
     if (round_samples_[trial] >= 0.0) {
       summary.rounds.add(round_samples_[trial]);
-      summary.round_samples.push_back(round_samples_[trial]);
+      summary.round_quantiles.add(round_samples_[trial]);
+      if (summary.round_samples.size() < exact_round_samples_) {
+        summary.round_samples.push_back(round_samples_[trial]);
+      }
     }
   }
+  if (!summary.round_quantiles.exact()) {
+    // Past the cap the vector would be a misleading prefix; the sketch
+    // carries a capacity-sized uniform sample instead.
+    summary.round_samples.clear();
+    summary.round_samples.shrink_to_fit();
+  }
   return summary;
-}
-
-CommonTrialOptions TrialOptions::to_common() const {
-  CommonTrialOptions common;
-  common.trials = trials;
-  common.seed = seed;
-  common.parallel = parallel;
-  common.max_rounds = run.max_rounds;
-  common.mode = run.engine;
-  common.adversary = run.adversary;
-  common.backend = run.backend;
-  common.stop_predicate = run.stop_predicate;
-  return common;
 }
 
 TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
@@ -93,9 +96,10 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
   run_options.engine = options.mode;
   run_options.adversary = options.adversary;
   run_options.stop_predicate = options.stop_predicate;
+  run_options.observer = options.observer;
 
   const rng::StreamFactory streams(options.seed);
-  TrialOutcomes outcomes(options.trials);
+  TrialOutcomes outcomes(options.trials, options.exact_round_samples);
 
   // One StepWorkspace per executing thread, reused across every round of
   // every trial that thread runs. The workspace is pure scratch, so which
@@ -104,7 +108,17 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
   const auto body = [&](std::uint64_t trial, StepWorkspace& ws) {
     rng::Xoshiro256pp gen = streams.stream(trial);
     const Configuration start = factory(trial, gen);
-    const RunResult result = run_dynamics(dynamics, start, run_options, gen, ws);
+    RunResult result;
+    if (options.observer != nullptr) {
+      // Per-trial copy carries the trial index to the observer callbacks
+      // (one options copy per TRIAL, never per round; the shared object
+      // cannot hold a mutating index under parallel trials).
+      RunOptions run = run_options;
+      run.observer_trial = trial;
+      result = run_dynamics(dynamics, start, run, gen, ws);
+    } else {
+      result = run_dynamics(dynamics, start, run_options, gen, ws);
+    }
     outcomes.record(trial, result.reason, result.plurality_won, result.rounds);
   };
 
@@ -134,16 +148,6 @@ TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,
       dynamics,
       [&start](std::uint64_t, rng::Xoshiro256pp&) { return start; },
       options);
-}
-
-TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
-                        const TrialOptions& options) {
-  return run_trials(dynamics, factory, options.to_common());
-}
-
-TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,
-                        const TrialOptions& options) {
-  return run_trials(dynamics, start, options.to_common());
 }
 
 }  // namespace plurality

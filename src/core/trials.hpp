@@ -8,6 +8,7 @@
 
 #include "core/runner.hpp"
 #include "rng/stream.hpp"
+#include "stats/quantile_sketch.hpp"
 #include "stats/summary.hpp"
 
 namespace plurality {
@@ -25,24 +26,30 @@ struct TrialSummary {
   /// Rounds over trials that stopped before the round limit (consensus or
   /// predicate), i.e. the quantity the theorems bound.
   stats::OnlineStats rounds;
-  /// Raw per-trial round counts, same filter as `rounds` (for quantiles).
+  /// The primary quantile path: a bounded-memory sketch over the same
+  /// filtered per-trial round counts (exact below its capacity, reservoir
+  /// estimates above — see stats/quantile_sketch.hpp).
+  stats::QuantileSketch round_quantiles;
+  /// Raw per-trial round counts, same filter as `rounds`, kept verbatim
+  /// only while their number stays within the driver's
+  /// `exact_round_samples` cap — CLEARED above it (the sketch then holds a
+  /// capacity-sized uniform sample; docs/performance.md, "round-sample
+  /// memory cap"). Consumers wanting quantiles should call rounds_p().
   std::vector<double> round_samples;
 
   [[nodiscard]] double win_rate() const;
   [[nodiscard]] double consensus_rate() const;
   [[nodiscard]] stats::ProportionCi win_ci() const;
+  /// q-th quantile of the stopped-trial round counts (requires
+  /// rounds.count() > 0). Exact when the sample count is within the cap.
+  [[nodiscard]] double rounds_p(double q) const { return round_quantiles.quantile(q); }
 };
 
-/// The one option set every trial driver consumes — the former
-/// TrialOptions/GraphTrialOptions drift (duplicated trials/seed/parallel,
-/// max_rounds living both in RunOptions and flat in GraphTrialOptions,
-/// shuffle_layout/mode with no count-side story) folded into a single
-/// struct. The scenario layer fills it from a ScenarioSpec; the legacy
-/// option structs below stay as thin compatibility wrappers for one
-/// release and convert via to_common()/run_trials' wrapper overloads.
-///
-/// Fields the other backend ignores are documented as such rather than
-/// split out: the point is that ONE struct names the whole grid axis.
+/// The one option set every trial driver consumes — core's run_trials and
+/// graph::run_graph_trials both read it, and the scenario layer fills it
+/// from a ScenarioSpec. Fields the other backend ignores are documented as
+/// such rather than split out: the point is that ONE struct names the
+/// whole grid axis.
 struct CommonTrialOptions {
   std::uint64_t trials = 100;
   std::uint64_t seed = 1;
@@ -65,16 +72,17 @@ struct CommonTrialOptions {
   /// Count path only: optional extra stop condition, checked after each
   /// round. (Graph trials stop on consensus/absorption/round limit.)
   std::function<bool(const Configuration&, round_t)> stop_predicate;
-};
-
-struct TrialOptions {
-  std::uint64_t trials = 100;
-  std::uint64_t seed = 1;
-  bool parallel = true;
-  RunOptions run;  // per-run options (trajectories are force-disabled)
-
-  /// The CommonTrialOptions this legacy struct denotes.
-  [[nodiscard]] CommonTrialOptions to_common() const;
+  /// Per-round probe pipeline (core/observer.hpp), threaded through every
+  /// driver. Observers read materialized configurations only and draw no
+  /// RNG, so observer-on and observer-off runs produce bitwise-identical
+  /// trial streams (tests/core/test_observer.cpp pins the backend × engine
+  /// × adversary grid). Distinct trials may observe concurrently — see
+  /// RoundObserver's per-trial-slot contract.
+  RoundObserver* observer = nullptr;
+  /// TrialSummary keeps stopped-trial round counts verbatim up to this
+  /// many samples (exact quantiles); past it, round_samples is cleared and
+  /// quantiles come from the streaming sketch.
+  std::size_t exact_round_samples = stats::QuantileSketch::kDefaultExactCapacity;
 };
 
 /// Per-trial outcome flags with the shared reduction into a TrialSummary.
@@ -84,7 +92,9 @@ struct TrialOptions {
 /// trial bodies may call it concurrently without synchronization.
 class TrialOutcomes {
  public:
-  explicit TrialOutcomes(std::uint64_t trials);
+  explicit TrialOutcomes(std::uint64_t trials,
+                         std::size_t exact_round_samples =
+                             stats::QuantileSketch::kDefaultExactCapacity);
 
   /// Records trial `trial`'s stop. `rounds` is only consumed for stops the
   /// theorems bound (consensus / predicate).
@@ -96,6 +106,7 @@ class TrialOutcomes {
 
  private:
   std::uint64_t trials_;
+  std::size_t exact_round_samples_;
   std::vector<std::uint8_t> won_, consensus_, limited_, predicate_;
   std::vector<double> round_samples_;
 };
@@ -109,12 +120,5 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
 /// Convenience overload: every trial starts from the same configuration.
 TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,
                         const CommonTrialOptions& options);
-
-/// Compatibility wrappers over the CommonTrialOptions driver (one release;
-/// bitwise-identical streams and summaries).
-TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
-                        const TrialOptions& options);
-TrialSummary run_trials(const Dynamics& dynamics, const Configuration& start,
-                        const TrialOptions& options);
 
 }  // namespace plurality

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/observer.hpp"
 #include "rng/distributions.hpp"
 #include "support/check.hpp"
 
@@ -68,18 +69,6 @@ void corrupt_nodes(const Adversary& adversary, Configuration& config,
   PLURALITY_CHECK(cursor == total_victims);
 }
 
-CommonTrialOptions GraphTrialOptions::to_common() const {
-  CommonTrialOptions common;
-  common.trials = trials;
-  common.seed = seed;
-  common.parallel = parallel;
-  common.max_rounds = max_rounds;
-  common.mode = mode;
-  common.adversary = adversary;
-  common.shuffle_layout = shuffle_layout;
-  return common;
-}
-
 TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
                               const ConfigFactory& factory,
                               const CommonTrialOptions& options) {
@@ -91,7 +80,7 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
                     "leave them defaulted for graph trials");
 
   const rng::StreamFactory streams(options.seed);
-  TrialOutcomes outcomes(options.trials);
+  TrialOutcomes outcomes(options.trials, options.exact_round_samples);
 
   const auto body = [&](std::uint64_t trial, GraphStepWorkspace& ws) {
     // Trial stream family: `gen` feeds the start factory and the adversary;
@@ -111,6 +100,9 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
     ws.prepare(config.n(), config.k());
     load_nodes(config, options.shuffle_layout, trial_streams, ws);
 
+    RoundObserver* const observer = options.observer;
+    if (observer != nullptr) observer->begin_trial(trial, config, num_colors);
+
     StopReason reason = StopReason::RoundLimit;
     round_t rounds = 0;
     bool won = false;
@@ -123,6 +115,7 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
         if (options.adversary != nullptr) {
           corrupt_nodes(*options.adversary, config, num_colors, r, gen, ws);
         }
+        if (observer != nullptr) observer->observe_round(trial, r, config, num_colors);
         if (config.color_consensus(num_colors)) {
           reason = StopReason::ColorConsensus;
           rounds = r;
@@ -136,6 +129,11 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
           break;
         }
       }
+    }
+    if (observer != nullptr) {
+      observer->end_trial(trial, reason,
+                          reason == StopReason::RoundLimit ? options.max_rounds : rounds,
+                          config, num_colors);
     }
     outcomes.record(trial, reason, won, rounds);
   };
@@ -166,18 +164,6 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
   return run_graph_trials(
       dynamics, graph,
       [&start](std::uint64_t, rng::Xoshiro256pp&) { return start; }, options);
-}
-
-TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
-                              const ConfigFactory& factory,
-                              const GraphTrialOptions& options) {
-  return run_graph_trials(dynamics, graph, factory, options.to_common());
-}
-
-TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
-                              const Configuration& start,
-                              const GraphTrialOptions& options) {
-  return run_graph_trials(dynamics, graph, start, options.to_common());
 }
 
 }  // namespace plurality::graph

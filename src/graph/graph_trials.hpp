@@ -17,35 +17,13 @@
 
 namespace plurality::graph {
 
-/// Compatibility wrapper (one release): the pre-scenario option shape.
-/// The driver itself consumes core's CommonTrialOptions — this struct just
-/// converts, so `max_rounds` and friends no longer fork from the count
-/// side. backend/stop_predicate members of CommonTrialOptions do not exist
-/// here because the graph driver ignores them (count path only).
-struct GraphTrialOptions {
-  std::uint64_t trials = 100;
-  std::uint64_t seed = 1;
-  bool parallel = true;
-  /// Shuffle the node layout per trial (node position matters on sparse
-  /// graphs; the layout stream is part of the trial's stream family).
-  bool shuffle_layout = true;
-  round_t max_rounds = 1'000'000;
-  /// Applied after every protocol round (node-level; see corrupt_nodes).
-  const Adversary* adversary = nullptr;
-  /// Stepping pipeline (see EngineMode): Strict is the bitwise-pinned
-  /// default; Batched runs the counter-based stage-split engine
-  /// (distribution-equivalent, faster at scale).
-  EngineMode mode = EngineMode::Strict;
-
-  /// The CommonTrialOptions this legacy struct denotes.
-  [[nodiscard]] CommonTrialOptions to_common() const;
-};
-
 /// Runs `options.trials` independent runs of `dynamics` on `graph` from
 /// factory-generated starts (the factory contract matches core's
 /// ConfigFactory: thread-safe / pure, configurations sized to the graph).
 /// Count-path-only fields of CommonTrialOptions (backend, stop_predicate)
-/// must be left at their defaults.
+/// must be left at their defaults. options.observer (when set) sees every
+/// materialized round, adversary move included, without perturbing any
+/// stream (tests/core/test_observer.cpp).
 TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
                               const ConfigFactory& factory,
                               const CommonTrialOptions& options);
@@ -54,15 +32,6 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
 TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
                               const Configuration& start,
                               const CommonTrialOptions& options);
-
-/// Compatibility wrappers over the CommonTrialOptions driver (one release;
-/// bitwise-identical streams and summaries).
-TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
-                              const ConfigFactory& factory,
-                              const GraphTrialOptions& options);
-TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
-                              const Configuration& start,
-                              const GraphTrialOptions& options);
 
 /// Node-level adaptor for the F-bounded adversaries (Section 3.1): lets the
 /// count-level strategies act on an explicit node array. The strategy

@@ -7,7 +7,6 @@
 #include "graph/graph_trials.hpp"
 #include "graph/topology_registry.hpp"
 #include "rng/stream.hpp"
-#include "stats/quantile.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
@@ -74,19 +73,27 @@ Scenario Scenario::compile(const ScenarioSpec& spec) {
   return compiled;
 }
 
-TrialSummary Scenario::run() const {
-  if (use_graph_) {
-    return graph::run_graph_trials(*dynamics_, graph_, start_, options_);
+TrialSummary Scenario::run(RoundObserver* observer) const {
+  if (observer == nullptr) {
+    if (use_graph_) {
+      return graph::run_graph_trials(*dynamics_, graph_, start_, options_);
+    }
+    return run_trials(*dynamics_, start_, options_);
   }
-  return run_trials(*dynamics_, start_, options_);
+  CommonTrialOptions observed = options_;
+  observed.observer = observer;
+  if (use_graph_) {
+    return graph::run_graph_trials(*dynamics_, graph_, start_, observed);
+  }
+  return run_trials(*dynamics_, start_, observed);
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
+ScenarioResult run_scenario(const ScenarioSpec& spec, RoundObserver* observer) {
   const Scenario compiled = Scenario::compile(spec);
   ScenarioResult result;
   result.resolved = compiled.spec();
   WallTimer timer;
-  result.summary = compiled.run();
+  result.summary = compiled.run(observer);
   result.wall_seconds = timer.seconds();
   return result;
 }
@@ -115,8 +122,9 @@ io::JsonValue scenario_result_to_json(const ScenarioResult& result) {
     rounds.set("mean", summary.rounds.mean());
     rounds.set("min", summary.rounds.min());
     rounds.set("max", summary.rounds.max());
-    rounds.set("p50", stats::median(summary.round_samples));
-    rounds.set("p95", stats::quantile(summary.round_samples, 0.95));
+    rounds.set("p50", summary.rounds_p(0.5));
+    rounds.set("p95", summary.rounds_p(0.95));
+    rounds.set("quantiles_exact", summary.round_quantiles.exact());
   }
 
   doc.set("wall_seconds", result.wall_seconds);

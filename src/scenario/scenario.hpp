@@ -51,7 +51,11 @@ class Scenario {
   [[nodiscard]] const CommonTrialOptions& options() const { return options_; }
 
   /// Runs the scenario's trials and reduces them to the shared summary.
-  [[nodiscard]] TrialSummary run() const;
+  /// `observer` (optional) is threaded into the trial driver's per-round
+  /// probe pipeline (core/observer.hpp) — it never changes the summary
+  /// (observer-on == observer-off, bitwise; the sweep orchestrator relies
+  /// on this to enrich cells without unpinning them).
+  [[nodiscard]] TrialSummary run(RoundObserver* observer = nullptr) const;
 
  private:
   Scenario() = default;
@@ -74,8 +78,9 @@ struct ScenarioResult {
 };
 
 /// parse -> validate -> compile -> run in one call — the single entry
-/// point the simulator CLI, benches, and examples share.
-ScenarioResult run_scenario(const ScenarioSpec& spec);
+/// point the simulator CLI, benches, and examples share. `observer` (when
+/// given) sees every round of every trial without affecting the result.
+ScenarioResult run_scenario(const ScenarioSpec& spec, RoundObserver* observer = nullptr);
 
 /// The result as an ordered JSON document (schema_version 1): the resolved
 /// spec echo, the summary counters/rates, round statistics (mean/min/max

@@ -120,6 +120,19 @@ StopCondition parse_stop_condition(const std::string& stop) {
   return parsed;
 }
 
+void ScenarioSpec::set_field(const std::string& key, const std::string& value) {
+  // Route strings through the JSON assignment path. Numeric and boolean
+  // fields get their own parse so "n=1e6" works in the string form.
+  if (key == "n" || key == "k" || key == "trials" || key == "seed" ||
+      key == "max_rounds") {
+    assign_field(*this, key, io::JsonValue(parse_spec_uint(key, value)));
+  } else if (key == "parallel" || key == "shuffle_layout") {
+    assign_field(*this, key, io::JsonValue(parse_spec_bool(key, value)));
+  } else {
+    assign_field(*this, key, io::JsonValue(value));
+  }
+}
+
 ScenarioSpec ScenarioSpec::parse(const std::string& text) {
   ScenarioSpec spec;
   std::istringstream tokens(text);
@@ -135,16 +148,7 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     const std::string value = token.substr(eq + 1);
     PLURALITY_REQUIRE(seen.insert(key).second,
                       "scenario: duplicate field '" << key << "'");
-    // Route strings through the JSON assignment path. Numeric and boolean
-    // fields get their own parse so "n=1e6" works in the string form.
-    if (key == "n" || key == "k" || key == "trials" || key == "seed" ||
-        key == "max_rounds") {
-      assign_field(spec, key, io::JsonValue(parse_spec_uint(key, value)));
-    } else if (key == "parallel" || key == "shuffle_layout") {
-      assign_field(spec, key, io::JsonValue(parse_spec_bool(key, value)));
-    } else {
-      assign_field(spec, key, io::JsonValue(value));
-    }
+    spec.set_field(key, value);
   }
   PLURALITY_REQUIRE(any, "scenario: empty spec string");
   return spec;

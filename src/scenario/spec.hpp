@@ -73,6 +73,12 @@ struct ScenarioSpec {
   /// present keep their defaults.
   static ScenarioSpec from_json(const io::JsonValue& doc);
 
+  /// Applies one `key=value` assignment with the string form's parsing
+  /// rules (numeric fields accept "1e6"; unknown keys throw naming the
+  /// known fields). This is the sweep layer's expansion hook: an axis is a
+  /// field name plus value strings, each applied via set_field.
+  void set_field(const std::string& key, const std::string& value);
+
   /// read_json_file + from_json.
   static ScenarioSpec from_json_file(const std::string& path);
 

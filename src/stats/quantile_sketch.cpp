@@ -1,0 +1,79 @@
+#include "stats/quantile_sketch.hpp"
+
+#include <algorithm>
+
+#include "stats/quantile.hpp"
+#include "support/check.hpp"
+
+namespace plurality::stats {
+
+namespace {
+
+/// SplitMix64 step (same mixer as rng/splitmix.hpp, duplicated here so the
+/// stats layer stays independent of the simulation RNG headers).
+std::uint64_t splitmix_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Unbiased uniform index in [0, bound) via the 64x64->128 high-multiply
+/// (bias <= bound / 2^64 — negligible for reservoir bookkeeping).
+std::uint64_t uniform_index(std::uint64_t& state, std::uint64_t bound) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(splitmix_next(state)) * bound) >> 64);
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(std::size_t exact_capacity)
+    : capacity_(exact_capacity),
+      // Fixed private seed: the sketch must be deterministic per insertion
+      // sequence and independent of every simulation stream.
+      rng_state_(0x5EEDC0DEDA7A5EEDULL) {
+  PLURALITY_REQUIRE(exact_capacity >= 2,
+                    "QuantileSketch: capacity must be >= 2, got " << exact_capacity);
+}
+
+void QuantileSketch::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+  } else {
+    // Algorithm R: the incoming element replaces a uniform slot with
+    // probability capacity / (count + 1), keeping the reservoir a uniform
+    // sample of everything seen.
+    const std::uint64_t j = uniform_index(rng_state_, count_ + 1);
+    if (j < capacity_) samples_[j] = x;
+  }
+  ++count_;
+}
+
+double QuantileSketch::min() const {
+  PLURALITY_REQUIRE(count_ > 0, "QuantileSketch::min: empty sketch");
+  return min_;
+}
+
+double QuantileSketch::max() const {
+  PLURALITY_REQUIRE(count_ > 0, "QuantileSketch::max: empty sketch");
+  return max_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  PLURALITY_REQUIRE(count_ > 0, "QuantileSketch::quantile: empty sketch");
+  // Endpoints come from the exact extreme tracking — the reservoir may
+  // have dropped the true min/max.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double value = stats::quantile(samples_, q);
+  // Interior estimates likewise stay inside the observed range.
+  return std::clamp(value, min_, max_);
+}
+
+}  // namespace plurality::stats

@@ -1,0 +1,69 @@
+// Bounded-memory quantile estimation for trial-round distributions.
+//
+// TrialSummary used to keep EVERY stopped trial's round count in a vector
+// so the reporting layer could compute p50/p95 — unbounded growth once the
+// sweep orchestrator runs tens of thousands of trials per cell. The sketch
+// caps that: below `exact_capacity` observations it stores the samples
+// verbatim (insertion order preserved, quantiles exact); above it, it
+// degrades to uniform reservoir sampling over the stream (Vitter's
+// Algorithm R), so memory stays O(capacity) while quantile estimates keep
+// the ~1/sqrt(capacity) accuracy the reporting layer needs.
+//
+// Determinism: the reservoir's replacement randomness comes from a private
+// SplitMix64 state seeded by a fixed constant — NEVER from a trial stream —
+// so attaching quantile tracking to a run cannot perturb simulation
+// randomness, and the same insertion sequence always yields the same
+// sketch. Min/max are tracked exactly regardless of mode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace plurality::stats {
+
+class QuantileSketch {
+ public:
+  /// Default switch-over point from exact samples to the reservoir; chosen
+  /// so an idle sketch costs at most ~32 KiB while keeping p95 estimates
+  /// within ~1.5% rank error (see docs/performance.md).
+  static constexpr std::size_t kDefaultExactCapacity = 4096;
+
+  explicit QuantileSketch(std::size_t exact_capacity = kDefaultExactCapacity);
+
+  void add(double x);
+
+  /// Total observations (not the held-sample count).
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// True while every observation is still held verbatim (quantiles exact).
+  [[nodiscard]] bool exact() const { return count_ <= capacity_; }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Exact min/max over ALL observations (kept outside the reservoir).
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// q-th quantile (R type-7 over the held samples). Exact below capacity,
+  /// a reservoir estimate above; q = 0 / q = 1 return the exactly-tracked
+  /// min()/max() and interior estimates are clamped into that range.
+  /// Requires count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// The held samples in insertion order (all of them while exact(); the
+  /// current reservoir afterwards). Exposed so exact-mode consumers — the
+  /// bitwise trial-stream pins, CSV dumps of raw samples — keep working.
+  [[nodiscard]] std::span<const double> samples() const { return samples_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_state_;
+  std::vector<double> samples_;
+};
+
+}  // namespace plurality::stats

@@ -1,0 +1,415 @@
+#include "sweep/orchestrator.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "core/observer.hpp"
+#include "io/csv.hpp"
+#include "scenario/scenario.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+#if defined(PLURALITY_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace plurality::sweep {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// tmp + rename so a killed sweep can never leave a half-written result
+/// behind — resume trusts any file that exists and parses.
+void atomic_write_json(const fs::path& path, const io::JsonValue& doc) {
+  const fs::path tmp = path.string() + ".tmp";
+  io::write_json_file(tmp.string(), doc);
+  fs::rename(tmp, path);
+}
+
+ProbeOptions probe_options(const ObserveSpec& observe, std::uint64_t trials) {
+  ProbeOptions options;
+  options.trials = trials;
+  options.trajectory_capacity = observe.trajectory;
+  options.trajectory_stride = observe.trajectory_stride;
+  options.track_m_plurality = observe.m_plurality;
+  options.m_plurality = observe.m;
+  return options;
+}
+
+CellMetrics metrics_from_run(const TrialSummary& summary, double wall_seconds,
+                             const ProbeObserver* probe, const ObserveSpec& observe) {
+  CellMetrics m;
+  m.trials = summary.trials;
+  m.consensus_count = summary.consensus_count;
+  m.plurality_wins = summary.plurality_wins;
+  m.round_limit_hits = summary.round_limit_hits;
+  m.predicate_stops = summary.predicate_stops;
+  m.rounds_count = summary.rounds.count();
+  m.consensus_rate = summary.consensus_rate();
+  m.win_rate = summary.win_rate();
+  if (summary.rounds.count() > 0) {
+    m.rounds_mean = summary.rounds.mean();
+    m.rounds_min = summary.rounds.min();
+    m.rounds_max = summary.rounds.max();
+    m.rounds_p50 = summary.rounds_p(0.5);
+    m.rounds_p95 = summary.rounds_p(0.95);
+  }
+  m.wall_seconds = wall_seconds;
+  if (probe != nullptr) {
+    if (probe->final_plurality_fraction().count() > 0) {
+      m.final_fraction_mean = probe->final_plurality_fraction().mean();
+      m.final_support_mean = probe->final_support().mean();
+      m.final_mono_mean = probe->final_mono_distance().mean();
+    }
+    if (observe.m_plurality) {
+      m.ttm_hits = static_cast<double>(probe->m_plurality_hits());
+      if (probe->m_plurality_hits() > 0) {
+        m.ttm_p50 = probe->time_to_m_sketch().quantile(0.5);
+        m.ttm_p95 = probe->time_to_m_sketch().quantile(0.95);
+      }
+    }
+  }
+  return m;
+}
+
+/// Reloads the CSV-level metrics from a completed cell file (resume path).
+CellMetrics metrics_from_json(const io::JsonValue& doc) {
+  CellMetrics m;
+  const io::JsonValue& summary = doc.at("summary");
+  m.trials = summary.at("trials").as_uint();
+  m.consensus_count = summary.at("consensus_count").as_uint();
+  m.plurality_wins = summary.at("plurality_wins").as_uint();
+  m.round_limit_hits = summary.at("round_limit_hits").as_uint();
+  m.predicate_stops = summary.at("predicate_stops").as_uint();
+  m.consensus_rate = summary.at("consensus_rate").as_double();
+  m.win_rate = summary.at("win_rate").as_double();
+  const io::JsonValue& rounds = summary.at("rounds");
+  m.rounds_count = rounds.at("count").as_uint();
+  if (m.rounds_count > 0) {
+    m.rounds_mean = rounds.at("mean").as_double();
+    m.rounds_min = rounds.at("min").as_double();
+    m.rounds_max = rounds.at("max").as_double();
+    m.rounds_p50 = rounds.at("p50").as_double();
+    m.rounds_p95 = rounds.at("p95").as_double();
+  }
+  m.wall_seconds = doc.at("wall_seconds").as_double();
+  if (const io::JsonValue* observers = doc.get("observers")) {
+    if (const io::JsonValue* ttm = observers->get("m_plurality")) {
+      m.ttm_hits = static_cast<double>(ttm->at("hits").as_uint());
+      if (const io::JsonValue* p50 = ttm->get("p50")) m.ttm_p50 = p50->as_double();
+      if (const io::JsonValue* p95 = ttm->get("p95")) m.ttm_p95 = p95->as_double();
+    }
+    if (const io::JsonValue* fin = observers->get("final")) {
+      m.final_fraction_mean = fin->at("plurality_fraction_mean").as_double();
+      m.final_support_mean = fin->at("support_mean").as_double();
+      m.final_mono_mean = fin->at("mono_distance_mean").as_double();
+    }
+  }
+  return m;
+}
+
+void write_trajectory_csv(const fs::path& path, const ProbeObserver& probe) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    io::CsvWriter csv(tmp.string(),
+                      {"trial", "round", "plurality_fraction", "support", "mono_distance"});
+    for (std::uint64_t trial = 0; trial < probe.options().trials; ++trial) {
+      for (const ProbeRow& row : probe.trajectory(trial)) {
+        csv.add_row({std::to_string(trial), std::to_string(row.round),
+                     fmt_double(row.plurality_fraction),
+                     std::to_string(static_cast<std::uint64_t>(row.support)),
+                     fmt_double(row.mono_distance)});
+      }
+    }
+  }
+  fs::rename(tmp, path);
+}
+
+}  // namespace
+
+io::JsonValue cell_result_to_json(const CellOutcome& outcome) {
+  scenario::ScenarioResult result;
+  result.resolved = outcome.requested;
+  result.resolved.backend = outcome.resolved_backend;
+  result.summary = outcome.summary;
+  result.wall_seconds = outcome.metrics.wall_seconds;
+  io::JsonValue doc = scenario::scenario_result_to_json(result);
+
+  io::JsonValue& cell = doc.set("cell", io::JsonValue::object());
+  cell.set("index", std::uint64_t{outcome.index});
+  cell.set("id", outcome.id);
+  // The PRE-resolution spec string — what resume matches against, so a
+  // re-expanded grid recognizes its own cells even through backend=auto.
+  cell.set("requested", outcome.requested.to_spec_string());
+
+  const CellMetrics& m = outcome.metrics;
+  if (m.ttm_hits >= 0.0 || m.final_fraction_mean >= 0.0) {
+    io::JsonValue& observers = doc.set("observers", io::JsonValue::object());
+    if (m.ttm_hits >= 0.0) {
+      io::JsonValue& ttm = observers.set("m_plurality", io::JsonValue::object());
+      ttm.set("hits", static_cast<std::uint64_t>(m.ttm_hits));
+      if (m.ttm_hits > 0.0) {
+        ttm.set("p50", m.ttm_p50);
+        ttm.set("p95", m.ttm_p95);
+      }
+    }
+    if (m.final_fraction_mean >= 0.0) {
+      io::JsonValue& fin = observers.set("final", io::JsonValue::object());
+      fin.set("plurality_fraction_mean", m.final_fraction_mean);
+      fin.set("support_mean", m.final_support_mean);
+      fin.set("mono_distance_mean", m.final_mono_mean);
+    }
+  }
+  return doc;
+}
+
+std::vector<std::string> aggregate_columns(const SweepSpec& spec) {
+  std::vector<std::string> columns = {
+      "cell",        "dynamics",       "workload",   "topology",   "adversary",
+      "backend",     "engine",         "stop",       "n",          "k",
+      "trials",      "seed",           "max_rounds", "consensus_rate",
+      "win_rate",    "rounds_mean",    "rounds_p50", "rounds_p95", "rounds_min",
+      "rounds_max",  "round_limit_hits", "predicate_stops", "wall_seconds"};
+  const bool probes = spec.observe.m_plurality || spec.observe.trajectory > 0;
+  if (spec.observe.m_plurality) {
+    columns.insert(columns.end(), {"ttm_hits", "ttm_p50", "ttm_p95"});
+  }
+  if (probes) {
+    columns.insert(columns.end(),
+                   {"final_fraction_mean", "final_support_mean", "final_mono_mean"});
+  }
+  return columns;
+}
+
+std::vector<std::string> aggregate_row(const SweepSpec& spec, const CellOutcome& outcome) {
+  const scenario::ScenarioSpec& s = outcome.requested;
+  const CellMetrics& m = outcome.metrics;
+  std::vector<std::string> row = {
+      outcome.id,
+      s.dynamics,
+      s.workload,
+      s.topology,
+      s.adversary,
+      outcome.resolved_backend,
+      s.engine,
+      s.stop,
+      std::to_string(s.n),
+      std::to_string(s.k),
+      std::to_string(m.trials),
+      std::to_string(s.seed),
+      std::to_string(s.max_rounds),
+      fmt_double(m.consensus_rate),
+      fmt_double(m.win_rate),
+      fmt_double(m.rounds_mean),
+      fmt_double(m.rounds_p50),
+      fmt_double(m.rounds_p95),
+      fmt_double(m.rounds_min),
+      fmt_double(m.rounds_max),
+      std::to_string(m.round_limit_hits),
+      std::to_string(m.predicate_stops),
+      fmt_double(m.wall_seconds)};
+  const bool probes = spec.observe.m_plurality || spec.observe.trajectory > 0;
+  if (spec.observe.m_plurality) {
+    row.push_back(fmt_double(m.ttm_hits));
+    row.push_back(fmt_double(m.ttm_p50));
+    row.push_back(fmt_double(m.ttm_p95));
+  }
+  if (probes) {
+    row.push_back(fmt_double(m.final_fraction_mean));
+    row.push_back(fmt_double(m.final_support_mean));
+    row.push_back(fmt_double(m.final_mono_mean));
+  }
+  return row;
+}
+
+SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
+  WallTimer timer;
+  SweepSpec spec = spec_in;
+  if (options.trials_override > 0) {
+    for (const SweepAxis& axis : spec.axes) {
+      PLURALITY_REQUIRE(axis.field != "trials",
+                        "sweep: trials_override cannot combine with a 'trials' axis");
+    }
+    spec.base.trials = options.trials_override;
+  }
+
+  const std::vector<scenario::ScenarioSpec> expanded = spec.expand();
+  const std::size_t total = expanded.size();
+  const bool probes_on = spec.observe.m_plurality || spec.observe.trajectory > 0;
+
+  SweepOutcome out;
+  out.cells.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    out.cells[i].index = i;
+    out.cells[i].id = cell_id(i);
+    out.cells[i].requested = expanded[i];
+  }
+
+  // --- checkpoint directory + manifest -----------------------------------
+  const bool files = !options.out_dir.empty();
+  PLURALITY_REQUIRE(files || !options.resume, "sweep: resume requires an out_dir");
+  fs::path cells_dir;
+  if (files) {
+    const fs::path dir(options.out_dir);
+    cells_dir = dir / "cells";
+    fs::create_directories(cells_dir);
+    const fs::path manifest = dir / "manifest.json";
+    const std::string sweep_json = spec.to_json().to_string();
+    if (fs::exists(manifest)) {
+      if (options.resume) {
+        const io::JsonValue stored = io::read_json_file(manifest.string());
+        PLURALITY_REQUIRE(stored.at("sweep").to_string() == sweep_json,
+                          "sweep: manifest at " << manifest.string()
+                              << " records a DIFFERENT sweep (spec or trial override "
+                                 "changed); refusing to resume a mixed grid — use a "
+                                 "fresh out_dir");
+      } else {
+        PLURALITY_REQUIRE(options.force,
+                          "sweep: " << manifest.string()
+                              << " already exists; pass resume to continue that sweep "
+                                 "or force to start over (cell files get overwritten)");
+      }
+    }
+    io::JsonValue doc = io::JsonValue::object();
+    doc.set("schema_version", 1);
+    doc.set("sweep", spec.to_json());
+    io::JsonValue& cell_list = doc.set("cells", io::JsonValue::array());
+    for (const CellOutcome& cell : out.cells) {
+      io::JsonValue& entry = cell_list.push(io::JsonValue::object());
+      entry.set("index", std::uint64_t{cell.index});
+      entry.set("id", cell.id);
+      entry.set("spec", cell.requested.to_spec_string());
+    }
+    atomic_write_json(manifest, doc);
+    out.manifest_path = manifest.string();
+  }
+
+  // --- resume: trust completed cells whose file matches their spec -------
+  std::size_t done = 0;
+  std::vector<std::size_t> pending;
+  pending.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    CellOutcome& cell = out.cells[i];
+    if (options.resume) {
+      const fs::path path = cells_dir / (cell.id + ".json");
+      if (fs::exists(path)) {
+        try {
+          const io::JsonValue doc = io::read_json_file(path.string());
+          if (doc.at("cell").at("requested").as_string() == cell.requested.to_spec_string()) {
+            cell.metrics = metrics_from_json(doc);
+            cell.resolved_backend = doc.at("spec").at("backend").as_string();
+            cell.resumed = true;
+            ++out.resumed;
+            ++done;
+            if (options.on_cell) options.on_cell(cell, done, total);
+            continue;
+          }
+        } catch (const CheckError&) {
+          // Unreadable or mismatched file: recompute the cell (the fresh
+          // result overwrites it atomically).
+        }
+      }
+    }
+    pending.push_back(i);
+  }
+
+  // --- schedule pending cells --------------------------------------------
+  std::vector<std::string> errors(total);
+
+#if defined(PLURALITY_HAVE_OPENMP)
+  const bool parallel_cells = options.cells_in_parallel;
+#else
+  const bool parallel_cells = false;
+#endif
+
+  const auto run_cell = [&](std::size_t i) {
+    CellOutcome& cell = out.cells[i];
+    try {
+      scenario::ScenarioSpec run_spec = cell.requested;
+      if (parallel_cells) {
+        // Cells are the parallel unit here; nested trial teams would
+        // oversubscribe. Trial results are thread-count invariant, so this
+        // changes scheduling only.
+        run_spec.parallel = false;
+      }
+      std::unique_ptr<ProbeObserver> probe;
+      if (probes_on) {
+        probe = std::make_unique<ProbeObserver>(probe_options(spec.observe, run_spec.trials));
+      }
+      const scenario::ScenarioResult result = scenario::run_scenario(run_spec, probe.get());
+      if (probe != nullptr) probe->finalize();
+      cell.resolved_backend = result.resolved.backend;
+      cell.summary = result.summary;
+      cell.metrics =
+          metrics_from_run(result.summary, result.wall_seconds, probe.get(), spec.observe);
+      if (files) {
+        atomic_write_json(cells_dir / (cell.id + ".json"), cell_result_to_json(cell));
+        if (spec.observe.trajectory > 0 && probe != nullptr) {
+          write_trajectory_csv(cells_dir / (cell.id + "_trajectory.csv"), *probe);
+        }
+      }
+    } catch (const std::exception& e) {
+      errors[i] = e.what();
+    }
+#if defined(PLURALITY_HAVE_OPENMP)
+#pragma omp critical(plurality_sweep_progress)
+#endif
+    {
+      ++done;
+      if (options.on_cell) options.on_cell(cell, done, total);
+    }
+  };
+
+#if defined(PLURALITY_HAVE_OPENMP)
+  if (parallel_cells) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::size_t p = 0; p < pending.size(); ++p) run_cell(pending[p]);
+  } else {
+    for (const std::size_t i : pending) run_cell(i);
+  }
+#else
+  for (const std::size_t i : pending) run_cell(i);
+#endif
+
+  std::size_t failed = 0;
+  std::string failure_list;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (errors[i].empty()) continue;
+    ++failed;
+    failure_list += "\n  " + out.cells[i].id + " (" +
+                    out.cells[i].requested.to_spec_string() + "): " + errors[i];
+  }
+  out.ran = pending.size() - failed;
+  PLURALITY_REQUIRE(failed == 0, "sweep: " << failed << " of " << total
+                                           << " cells failed (completed cells are "
+                                              "checkpointed; rerun with resume to retry "
+                                              "just the failures):"
+                                           << failure_list);
+
+  // --- aggregate ----------------------------------------------------------
+  if (files) {
+    const fs::path aggregate = fs::path(options.out_dir) / "aggregate.csv";
+    const fs::path tmp = aggregate.string() + ".tmp";
+    {
+      io::CsvWriter csv(tmp.string(), aggregate_columns(spec));
+      for (const CellOutcome& cell : out.cells) {
+        csv.add_row(aggregate_row(spec, cell));
+      }
+    }
+    fs::rename(tmp, aggregate);
+    out.aggregate_path = aggregate.string();
+  }
+
+  out.wall_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace plurality::sweep

@@ -1,0 +1,126 @@
+// Sweep orchestrator — runs a SweepSpec's whole grid as one resumable job.
+//
+// Execution model: cells are the parallel unit. The expanded grid is
+// scheduled work-stealing across OpenMP threads (schedule(dynamic, 1)), and
+// each cell runs its trials sequentially inside its thread (the cell spec's
+// `parallel` flag is forced off while cells run in parallel — nested teams
+// would oversubscribe, and trial results are thread-count invariant by
+// construction, so this changes nothing but the schedule). Every cell's
+// randomness derives from its own spec's seed, so WHICH thread runs WHICH
+// cell can never affect any result.
+//
+// Checkpointing: with an out_dir, the orchestrator writes
+//
+//   <out_dir>/manifest.json             the sweep spec + the cell table
+//   <out_dir>/cells/cell_NNNNN.json     one ScenarioResult (+ probes) per cell
+//   <out_dir>/cells/cell_NNNNN_trajectory.csv   (observe.trajectory > 0)
+//   <out_dir>/aggregate.csv             one row per cell, plot-ready
+//
+// Cell files are written atomically (tmp + rename), so a killed sweep
+// leaves only complete files behind; resume(= SweepOptions::resume) then
+// re-expands the grid, trusts cells whose file matches the expected spec,
+// and runs only the rest. A manifest whose sweep differs from the current
+// spec refuses to resume — silently mixing two grids' cells is how result
+// files stop being trustworthy.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/trials.hpp"
+#include "sweep/sweep_spec.hpp"
+
+namespace plurality::sweep {
+
+/// Flat per-cell numbers for the aggregate CSV — fillable from a live run
+/// or re-read from a completed cell's result file (-1 marks "absent").
+struct CellMetrics {
+  std::uint64_t trials = 0;
+  std::uint64_t consensus_count = 0;
+  std::uint64_t plurality_wins = 0;
+  std::uint64_t round_limit_hits = 0;
+  std::uint64_t predicate_stops = 0;
+  std::uint64_t rounds_count = 0;
+  double consensus_rate = 0.0;
+  double win_rate = 0.0;
+  double rounds_mean = -1.0;
+  double rounds_min = -1.0;
+  double rounds_max = -1.0;
+  double rounds_p50 = -1.0;
+  double rounds_p95 = -1.0;
+  double wall_seconds = 0.0;
+  // Probe products (observe.m_plurality / final-state scalars).
+  double ttm_hits = -1.0;
+  double ttm_p50 = -1.0;
+  double ttm_p95 = -1.0;
+  double final_fraction_mean = -1.0;
+  double final_support_mean = -1.0;
+  double final_mono_mean = -1.0;
+};
+
+struct CellOutcome {
+  std::size_t index = 0;
+  std::string id;
+  /// The expanded cell spec as requested (backend may still be "auto").
+  scenario::ScenarioSpec requested;
+  /// Backend the cell actually ran on (echoed from the result).
+  std::string resolved_backend;
+  /// True when --resume accepted an existing result file instead of
+  /// recomputing the cell.
+  bool resumed = false;
+  CellMetrics metrics;
+  /// Full summary — populated for freshly run cells only (resumed cells
+  /// reload metrics, not the sketch; summary.trials == 0 marks that).
+  TrialSummary summary;
+};
+
+struct SweepOptions {
+  /// Directory for manifest / cell files / aggregate.csv. Empty = run
+  /// purely in memory (no files, no resume) — the bench wrappers' mode.
+  std::string out_dir;
+  /// Skip cells whose result file exists and matches the expected spec.
+  bool resume = false;
+  /// Allow starting over inside an out_dir that already has a manifest
+  /// (cell files get overwritten). Without resume or force, a populated
+  /// out_dir is an error — results must never be clobbered silently.
+  bool force = false;
+  /// Run cells across OpenMP threads (cells' own trial loops then run
+  /// sequentially). Off: cells run one at a time, trials parallel as the
+  /// spec says.
+  bool cells_in_parallel = true;
+  /// CI shrink: override every cell's trial count (0 = use spec values).
+  /// Applied BEFORE expansion, so the manifest and resume matching see the
+  /// overridden grid (a resume must pass the same override).
+  std::uint64_t trials_override = 0;
+  /// Called after each cell completes (inside a critical section, in
+  /// completion order), e.g. for progress lines.
+  std::function<void(const CellOutcome&, std::size_t done, std::size_t total)> on_cell;
+};
+
+struct SweepOutcome {
+  std::vector<CellOutcome> cells;  // expansion order
+  std::size_t ran = 0;
+  std::size_t resumed = 0;
+  double wall_seconds = 0.0;
+  std::string manifest_path;   // empty without out_dir
+  std::string aggregate_path;  // empty without out_dir
+};
+
+/// Expands, schedules, checkpoints, and aggregates the sweep. Throws
+/// CheckError on spec/validation/resume-mismatch errors; if individual
+/// cells fail at run time the remaining cells still execute, then one
+/// CheckError lists every failed cell (rerun with resume to retry just
+/// those).
+SweepOutcome run_sweep(const SweepSpec& spec, const SweepOptions& options);
+
+/// The aggregate table for a set of outcomes (one row per cell: resolved
+/// spec columns + CellMetrics columns) — what run_sweep writes to
+/// aggregate.csv, exposed for the bench wrappers' console reporting.
+io::JsonValue cell_result_to_json(const CellOutcome& outcome);
+
+/// CSV header/row serialization shared by run_sweep and the CLI.
+std::vector<std::string> aggregate_columns(const SweepSpec& spec);
+std::vector<std::string> aggregate_row(const SweepSpec& spec, const CellOutcome& outcome);
+
+}  // namespace plurality::sweep

@@ -20,6 +20,7 @@
 #include "core/hplurality.hpp"
 #include "core/majority.hpp"
 #include "core/median.hpp"
+#include "core/observer.hpp"
 #include "core/runner.hpp"
 #include "core/undecided.hpp"
 #include "core/workloads.hpp"
@@ -256,6 +257,59 @@ TEST(ZeroAllocation, GraphBatchedIrregularAndHPlurality) {
   sim.step();
   const std::uint64_t allocs = allocations_during([&] {
     for (int r = 0; r < 30; ++r) sim.step();
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocation, ObservedCountRounds) {
+  // The observer pipeline's contract: probing a materialized round (all
+  // four probes — plurality fraction, support, monochromatic distance,
+  // time-to-m — plus a trajectory append) touches no heap. Every buffer is
+  // preallocated at ProbeObserver construction.
+  ThreeMajority dyn;
+  Configuration c({40000, 30000, 20000, 10000});
+  rng::Xoshiro256pp gen(21);
+  StepWorkspace ws;
+  plurality::ProbeOptions po;
+  po.trials = 1;
+  po.trajectory_capacity = 512;
+  po.track_m_plurality = true;
+  po.m_plurality = 100;
+  ProbeObserver probe(po);
+  probe.begin_trial(0, c, 4);
+  step_count_based(dyn, c, gen, ws);  // warm-up
+  probe.observe_round(0, 1, c, 4);
+  const std::uint64_t allocs = allocations_during([&] {
+    for (round_t r = 2; r < 202; ++r) {
+      step_count_based(dyn, c, gen, ws);
+      probe.observe_round(0, r, c, 4);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocation, ObservedGraphRounds) {
+  // Same contract on the graph stepper: an observed warm round allocates
+  // exactly as much as an unobserved one — nothing.
+  ThreeMajority dyn;
+  rng::Xoshiro256pp topo_gen(22);
+  const graph::Topology topo = graph::random_regular(2000, 8, topo_gen);
+  const graph::AgentGraph csr = graph::AgentGraph::from_topology(topo);
+  graph::GraphSimulation sim(dyn, csr, workloads::additive_bias(2000, 3, 500), 23);
+  plurality::ProbeOptions po;
+  po.trials = 1;
+  po.trajectory_capacity = 256;
+  po.track_m_plurality = true;
+  po.m_plurality = 50;
+  ProbeObserver probe(po);
+  probe.begin_trial(0, sim.configuration(), 3);
+  sim.step();  // warm-up
+  probe.observe_round(0, 1, sim.configuration(), 3);
+  const std::uint64_t allocs = allocations_during([&] {
+    for (round_t r = 2; r < 52; ++r) {
+      sim.step();
+      probe.observe_round(0, r, sim.configuration(), 3);
+    }
   });
   EXPECT_EQ(allocs, 0u);
 }

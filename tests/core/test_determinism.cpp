@@ -103,7 +103,7 @@ TEST(GoldenTrajectories, AgentUndecided) {
 TEST(GoldenTrajectories, TrialSummaries) {
   {
     ThreeMajority dyn;
-    TrialOptions options;
+    CommonTrialOptions options;
     options.trials = 32;
     options.seed = 99;
     options.parallel = false;
@@ -114,7 +114,7 @@ TEST(GoldenTrajectories, TrialSummaries) {
   }
   {
     UndecidedState dyn;
-    TrialOptions options;
+    CommonTrialOptions options;
     options.trials = 24;
     options.seed = 7;
     options.parallel = false;
@@ -208,7 +208,7 @@ struct ThreadCountGuard {
 
 TrialSummary majority_trials(bool parallel) {
   ThreeMajority dyn;
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 48;
   options.seed = 2026;
   options.parallel = parallel;

@@ -113,10 +113,10 @@ TEST(MarkovK2, SimulationMatchesExactWinProbability) {
   const auto analysis = analyze_k2(majority, n);
   const double exact = analysis.win_color0[start_c0];
 
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 4000;
   options.seed = 9;
-  options.run.max_rounds = 100000;
+  options.max_rounds = 100000;
   const TrialSummary summary =
       run_trials(majority, Configuration({start_c0, n - start_c0}), options);
   const auto ci = stats::wilson_interval(summary.plurality_wins, summary.trials,
@@ -132,10 +132,10 @@ TEST(MarkovK2, SimulationMatchesExactExpectedRounds) {
   const auto analysis = analyze_k2(majority, n);
   const double exact = analysis.expected_rounds[start_c0];
 
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 4000;
   options.seed = 10;
-  options.run.max_rounds = 100000;
+  options.max_rounds = 100000;
   const TrialSummary summary =
       run_trials(majority, Configuration({start_c0, n - start_c0}), options);
   EXPECT_EQ(summary.consensus_count, summary.trials);

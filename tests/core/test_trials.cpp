@@ -13,7 +13,7 @@ namespace {
 TEST(Trials, CountsAddUp) {
   ThreeMajority dynamics;
   const Configuration start = workloads::additive_bias(2000, 3, 600);
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 50;
   options.seed = 1;
   const TrialSummary summary = run_trials(dynamics, start, options);
@@ -28,7 +28,7 @@ TEST(Trials, CountsAddUp) {
 TEST(Trials, HeavyBiasWinsEssentiallyAlways) {
   ThreeMajority dynamics;
   const Configuration start = workloads::additive_bias(10000, 2, 6000);
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 40;
   options.seed = 2;
   const TrialSummary summary = run_trials(dynamics, start, options);
@@ -42,11 +42,11 @@ TEST(Trials, ParallelAndSequentialAgreeExactly) {
   // not change any trial's outcome.
   ThreeMajority dynamics;
   const Configuration start = workloads::additive_bias(3000, 3, 900);
-  TrialOptions parallel_options;
+  CommonTrialOptions parallel_options;
   parallel_options.trials = 32;
   parallel_options.seed = 3;
   parallel_options.parallel = true;
-  TrialOptions serial_options = parallel_options;
+  CommonTrialOptions serial_options = parallel_options;
   serial_options.parallel = false;
 
   const TrialSummary parallel_summary = run_trials(dynamics, start, parallel_options);
@@ -62,7 +62,7 @@ TEST(Trials, ParallelAndSequentialAgreeExactly) {
 TEST(Trials, FactoryReceivesTrialIndexAndStream) {
   ThreeMajority dynamics;
   std::vector<std::uint8_t> seen(16, 0);
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 16;
   options.seed = 4;
   options.parallel = false;
@@ -82,10 +82,10 @@ TEST(Trials, FactoryReceivesTrialIndexAndStream) {
 TEST(Trials, RoundLimitCountsSeparately) {
   Voter dynamics;
   const Configuration start = workloads::balanced(100000, 2);
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 10;
   options.seed = 5;
-  options.run.max_rounds = 5;  // voter can't finish in 5 rounds from balance
+  options.max_rounds = 5;  // voter can't finish in 5 rounds from balance
   const TrialSummary summary = run_trials(dynamics, start, options);
   EXPECT_EQ(summary.round_limit_hits, 10u);
   EXPECT_EQ(summary.consensus_count, 0u);
@@ -95,10 +95,10 @@ TEST(Trials, RoundLimitCountsSeparately) {
 TEST(Trials, PredicateStopsAreRecorded) {
   ThreeMajority dynamics;
   const Configuration start = workloads::additive_bias(2000, 2, 600);
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 20;
   options.seed = 6;
-  options.run.stop_predicate = stop_when_any_color_reaches(1500, 2);
+  options.stop_predicate = stop_when_any_color_reaches(1500, 2);
   const TrialSummary summary = run_trials(dynamics, start, options);
   EXPECT_EQ(summary.predicate_stops, 20u);
   EXPECT_EQ(summary.rounds.count(), 20u);
@@ -107,7 +107,7 @@ TEST(Trials, PredicateStopsAreRecorded) {
 TEST(Trials, WilsonCiBracketsTheRate) {
   ThreeMajority dynamics;
   const Configuration start = workloads::additive_bias(5000, 2, 2500);
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 30;
   options.seed = 7;
   const TrialSummary summary = run_trials(dynamics, start, options);
@@ -120,7 +120,7 @@ TEST(Trials, WilsonCiBracketsTheRate) {
 
 TEST(Trials, ZeroTrialsRejected) {
   ThreeMajority dynamics;
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 0;
   EXPECT_THROW(run_trials(dynamics, Configuration({1, 1}), options), CheckError);
 }

@@ -167,7 +167,7 @@ TEST(GraphBatched, ThreadCountNeverChangesResults) {
 std::vector<double> consensus_times(const Dynamics& dynamics, const AgentGraph& graph,
                                     const Configuration& start, EngineMode mode,
                                     std::uint64_t seed, std::uint64_t trials) {
-  GraphTrialOptions options;
+  CommonTrialOptions options;
   options.trials = trials;
   options.seed = seed;
   options.max_rounds = 200'000;

@@ -241,7 +241,7 @@ TEST(GoldenGraphTrajectories, GraphTrialSummary) {
   ThreeMajority dyn;
   rng::Xoshiro256pp topo_gen(8);
   const AgentGraph graph = AgentGraph::from_topology(random_regular(300, 8, topo_gen));
-  GraphTrialOptions options;
+  CommonTrialOptions options;
   options.trials = 24;
   options.seed = 31;
   options.parallel = false;
@@ -295,7 +295,7 @@ TEST(GraphThreadInvariance, TrajectoryIdenticalAcrossThreadCounts) {
 TrialSummary torus_trials(bool parallel) {
   ThreeMajority dyn;
   const AgentGraph graph = AgentGraph::from_topology(torus(10, 10));
-  GraphTrialOptions options;
+  CommonTrialOptions options;
   options.trials = 16;
   options.seed = 2026;
   options.parallel = parallel;

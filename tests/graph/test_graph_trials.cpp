@@ -30,7 +30,7 @@ TEST(GraphTrials, BiasedStartOnExpanderReachesPluralityConsensus) {
   ThreeMajority dyn;
   rng::Xoshiro256pp topo_gen(5);
   const AgentGraph graph = AgentGraph::from_topology(random_regular(400, 10, topo_gen));
-  GraphTrialOptions options;
+  CommonTrialOptions options;
   options.trials = 16;
   options.seed = 9;
   options.max_rounds = 5000;
@@ -46,7 +46,7 @@ TEST(GraphTrials, RoundLimitIsReported) {
   // The voter on a large cycle mixes in Θ(n^2); 3 rounds cannot absorb.
   Voter dyn;
   const AgentGraph graph = AgentGraph::from_topology(cycle(200));
-  GraphTrialOptions options;
+  CommonTrialOptions options;
   options.trials = 8;
   options.seed = 11;
   options.max_rounds = 3;
@@ -60,7 +60,7 @@ TEST(GraphTrials, RoundLimitIsReported) {
 TEST(GraphTrials, FactoryReceivesTrialIndex) {
   ThreeMajority dyn;
   const AgentGraph graph = AgentGraph::from_topology(cycle(60));
-  GraphTrialOptions options;
+  CommonTrialOptions options;
   options.trials = 6;
   options.seed = 3;
   options.parallel = false;
@@ -82,7 +82,7 @@ TEST(GraphTrials, IsolatedVertexRejected) {
   // Node 3 has no edges.
   const std::vector<std::pair<count_t, count_t>> edges = {{0, 1}, {1, 2}, {2, 0}};
   const AgentGraph graph = AgentGraph::from_edges(4, edges);
-  GraphTrialOptions options;
+  CommonTrialOptions options;
   options.trials = 2;
   EXPECT_THROW(run_graph_trials(dyn, graph, workloads::balanced(4, 2), options),
                CheckError);
@@ -158,11 +158,11 @@ TEST(GraphTrials, AdversaryBlocksExactConsensus) {
   ThreeMajority dyn;
   const AgentGraph graph = AgentGraph::complete(300);
   const Configuration start = workloads::additive_bias(300, 2, 60);
-  GraphTrialOptions clean;
+  CommonTrialOptions clean;
   clean.trials = 12;
   clean.seed = 77;
   clean.max_rounds = 300;
-  GraphTrialOptions attacked = clean;
+  CommonTrialOptions attacked = clean;
   const BoostRunnerUp adversary(25);
   attacked.adversary = &adversary;
 

@@ -20,7 +20,7 @@ TEST(Corollaries, C3_ConstantShareMeansLogarithmicRounds) {
   double worst_ratio = 0.0;
   for (const count_t n : {50'000ull, 200'000ull, 800'000ull}) {
     const Configuration start = workloads::plurality_share(n, 8, 0.35);
-    TrialOptions options;
+    CommonTrialOptions options;
     options.trials = 20;
     options.seed = 100 + n;
     const TrialSummary summary = run_trials(dynamics, start, options);
@@ -40,7 +40,7 @@ TEST(Corollaries, C2_PolylogShareMeansPolylogRounds) {
   const auto lambda = static_cast<state_t>(std::ceil(ln_n));
   // k = lambda colors with c1 = 2n/lambda satisfies c1 >= n/log n.
   const Configuration start = workloads::plurality_share(n, lambda, 2.0 / lambda);
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 20;
   options.seed = 7;
   const TrialSummary summary = run_trials(dynamics, start, options);

@@ -25,15 +25,15 @@ TEST(CrossValidation, FullRunWinRatesAgreeAcrossBackends) {
   ThreeMajority dynamics;
   const Configuration start = workloads::additive_bias(400, 3, 40);
 
-  TrialOptions count_options;
+  CommonTrialOptions count_options;
   count_options.trials = 1500;
   count_options.seed = 1;
-  count_options.run.max_rounds = 100000;
+  count_options.max_rounds = 100000;
   const TrialSummary count_summary = run_trials(dynamics, start, count_options);
 
-  TrialOptions agent_options = count_options;
+  CommonTrialOptions agent_options = count_options;
   agent_options.seed = 2;
-  agent_options.run.backend = Backend::Agent;
+  agent_options.backend = Backend::Agent;
   const TrialSummary agent_summary = run_trials(dynamics, start, agent_options);
 
   // 99.9% Wilson intervals must overlap.
@@ -48,12 +48,12 @@ TEST(CrossValidation, FullRunWinRatesAgreeAcrossBackends) {
 TEST(CrossValidation, FullRunRoundsAgreeAcrossBackends) {
   ThreeMajority dynamics;
   const Configuration start = workloads::additive_bias(2000, 3, 600);
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 200;
   options.seed = 3;
   const TrialSummary count_summary = run_trials(dynamics, start, options);
   options.seed = 4;
-  options.run.backend = Backend::Agent;
+  options.backend = Backend::Agent;
   const TrialSummary agent_summary = run_trials(dynamics, start, options);
   const double diff = std::fabs(count_summary.rounds.mean() - agent_summary.rounds.mean());
   const double joint_sem = std::sqrt(count_summary.rounds.sem() * count_summary.rounds.sem() +
@@ -102,10 +102,10 @@ TEST(CrossValidation, ExactK3MatchesMonteCarloForMajority) {
   const auto exact = analyze_k3(dynamics, n);
   const auto& win = exact.win[exact.index(c0, c1)];
 
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 3000;
   options.seed = 6;
-  options.run.max_rounds = 100000;
+  options.max_rounds = 100000;
   const TrialSummary summary =
       run_trials(dynamics, Configuration({c0, c1, n - c0 - c1}), options);
   const auto ci =
@@ -122,10 +122,10 @@ TEST(CrossValidation, ExactK3MatchesMonteCarloForMedian) {
   const auto& win = exact.win[exact.index(c0, c1)];
   EXPECT_GT(win[1], win[0]);  // exact analysis already favors the median color
 
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = 3000;
   options.seed = 7;
-  options.run.max_rounds = 100000;
+  options.max_rounds = 100000;
   const TrialSummary summary =
       run_trials(dynamics, Configuration({c0, c1, n - c0 - c1}), options);
   // Count winner==color1 from the winner distribution: plurality_wins counts

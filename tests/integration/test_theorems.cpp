@@ -19,12 +19,12 @@
 namespace plurality {
 namespace {
 
-TrialOptions quick_trials(std::uint64_t trials, std::uint64_t seed,
+CommonTrialOptions quick_trials(std::uint64_t trials, std::uint64_t seed,
                           round_t max_rounds = 200000) {
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = trials;
   options.seed = seed;
-  options.run.max_rounds = max_rounds;
+  options.max_rounds = max_rounds;
   return options;
 }
 
@@ -69,8 +69,8 @@ TEST(TheoremShapes, T2_NearBalancedStartIsSlowInK) {
   const count_t n = 65536;
   std::vector<double> times;
   for (state_t k : {4, 16}) {
-    TrialOptions options = quick_trials(20, 300 + k);
-    options.run.stop_predicate = stop_when_any_color_reaches(2 * (n / k), k);
+    CommonTrialOptions options = quick_trials(20, 300 + k);
+    options.stop_predicate = stop_when_any_color_reaches(2 * (n / k), k);
     const TrialSummary summary =
         run_trials(dynamics, workloads::near_balanced(n, k, 0.25), options);
     EXPECT_EQ(summary.predicate_stops, summary.trials) << "k=" << k;

@@ -42,7 +42,7 @@ void expect_same_summary(const TrialSummary& actual, const TrialSummary& expecte
 }
 
 /// The legacy count-path call for a spec: workload parsed by hand,
-/// TrialOptions filled field by field, run_trials — exactly what the
+/// CommonTrialOptions filled field by field, run_trials — exactly what the
 /// pre-scenario binaries wrote.
 TrialSummary legacy_count_run(const ScenarioSpec& spec, const Adversary* adversary,
                               Backend backend, EngineMode engine,
@@ -52,20 +52,20 @@ TrialSummary legacy_count_run(const ScenarioSpec& spec, const Adversary* adversa
   if (dynamics->num_states(start.k()) > start.k()) {
     start = UndecidedState::extend_with_undecided(start);
   }
-  TrialOptions options;
+  CommonTrialOptions options;
   options.trials = spec.trials;
   options.seed = spec.seed;
   options.parallel = spec.parallel;
-  options.run.max_rounds = spec.max_rounds;
-  options.run.backend = backend;
-  options.run.engine = engine;
-  options.run.adversary = adversary;
-  options.run.stop_predicate = std::move(stop);
+  options.max_rounds = spec.max_rounds;
+  options.backend = backend;
+  options.mode = engine;
+  options.adversary = adversary;
+  options.stop_predicate = std::move(stop);
   return run_trials(*dynamics, start, options);
 }
 
 /// The legacy graph-path call for a spec: graph built from the same
-/// topology stream the scenario layer reserves, GraphTrialOptions filled
+/// topology stream the scenario layer reserves, CommonTrialOptions filled
 /// field by field, run_graph_trials.
 TrialSummary legacy_graph_run(const ScenarioSpec& spec, const Adversary* adversary,
                               EngineMode mode) {
@@ -77,7 +77,7 @@ TrialSummary legacy_graph_run(const ScenarioSpec& spec, const Adversary* adversa
   rng::Xoshiro256pp topo_gen =
       rng::StreamFactory(spec.seed).child(kTopologyStreamTag).stream(0);
   const graph::AgentGraph graph = graph::make_topology(spec.topology, spec.n, topo_gen);
-  graph::GraphTrialOptions options;
+  CommonTrialOptions options;
   options.trials = spec.trials;
   options.seed = spec.seed;
   options.parallel = spec.parallel;
@@ -254,30 +254,6 @@ TEST(ScenarioEquivalence, SameSpecSameResult) {
   const ScenarioSpec reloaded =
       ScenarioSpec::from_json(io::parse_json(spec.to_json().to_string()));
   expect_same_summary(run_scenario(reloaded).summary, first);
-}
-
-TEST(ScenarioEquivalence, LegacyOptionStructsStillWork) {
-  // The compat wrappers must forward to the CommonTrialOptions driver
-  // without perturbing anything: old-struct call == new-struct call.
-  const auto dynamics = make_dynamics("3-majority");
-  const Configuration start = workloads::parse_workload("bias:400", 5000, 4);
-
-  TrialOptions legacy;
-  legacy.trials = 8;
-  legacy.seed = 21;
-  legacy.run.max_rounds = 2000;
-  expect_same_summary(run_trials(*dynamics, start, legacy),
-                      run_trials(*dynamics, start, legacy.to_common()));
-
-  rng::Xoshiro256pp topo_gen(3);
-  const graph::AgentGraph graph = graph::make_topology("regular:8", 2500, topo_gen);
-  const Configuration gstart = workloads::parse_workload("bias:300", 2500, 3);
-  graph::GraphTrialOptions glegacy;
-  glegacy.trials = 5;
-  glegacy.seed = 4;
-  glegacy.max_rounds = 1500;
-  expect_same_summary(run_graph_trials(*dynamics, graph, gstart, glegacy),
-                      run_graph_trials(*dynamics, graph, gstart, glegacy.to_common()));
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+// QuantileSketch: exact below capacity, bounded + deterministic above.
+#include "stats/quantile_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/quantile.hpp"
+#include "support/check.hpp"
+
+namespace plurality::stats {
+namespace {
+
+TEST(QuantileSketch, ExactModeMatchesBatchQuantiles) {
+  QuantileSketch sketch(64);
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) {
+    const double x = (i * 37) % 50;  // permuted insertion order
+    sketch.add(x);
+    values.push_back(x);
+  }
+  EXPECT_TRUE(sketch.exact());
+  EXPECT_EQ(sketch.count(), 50u);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(sketch.quantile(q), quantile(values, q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 49.0);
+}
+
+TEST(QuantileSketch, ExactModePreservesInsertionOrder) {
+  // TrialSummary's bitwise pins compare per-trial samples in trial order;
+  // the sketch must not reorder them while exact.
+  QuantileSketch sketch(8);
+  for (const double x : {5.0, 1.0, 9.0, 3.0}) sketch.add(x);
+  const auto samples = sketch.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(samples[0], 5.0);
+  EXPECT_DOUBLE_EQ(samples[1], 1.0);
+  EXPECT_DOUBLE_EQ(samples[2], 9.0);
+  EXPECT_DOUBLE_EQ(samples[3], 3.0);
+}
+
+TEST(QuantileSketch, ReservoirBoundsMemoryAndStaysDeterministic) {
+  QuantileSketch a(128);
+  QuantileSketch b(128);
+  for (int i = 0; i < 10'000; ++i) {
+    a.add(i);
+    b.add(i);
+  }
+  EXPECT_FALSE(a.exact());
+  EXPECT_EQ(a.count(), 10'000u);
+  EXPECT_EQ(a.samples().size(), 128u);  // bounded forever
+  // Same insertion sequence -> same reservoir (the replacement RNG is a
+  // fixed private stream, never a simulation stream).
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples()[i], b.samples()[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+}
+
+TEST(QuantileSketch, ReservoirEstimatesUniformStream) {
+  QuantileSketch sketch(2048);
+  const int total = 200'000;
+  for (int i = 0; i < total; ++i) {
+    // Low-discrepancy-ish permuted stream over [0, 1).
+    sketch.add(static_cast<double>((i * 7919) % total) / total);
+  }
+  // Reservoir rank error ~ 1/sqrt(2048) ~ 2.2%; allow 3 sigma.
+  EXPECT_NEAR(sketch.quantile(0.5), 0.5, 0.07);
+  EXPECT_NEAR(sketch.quantile(0.95), 0.95, 0.07);
+  // Extremes are tracked exactly even when the reservoir dropped them.
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), sketch.max());
+}
+
+TEST(QuantileSketch, EmptyAndInvalidUse) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_THROW(sketch.quantile(0.5), CheckError);
+  EXPECT_THROW(sketch.min(), CheckError);
+  EXPECT_THROW(QuantileSketch(1), CheckError);
+}
+
+}  // namespace
+}  // namespace plurality::stats

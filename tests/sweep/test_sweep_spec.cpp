@@ -1,0 +1,116 @@
+// SweepSpec grammar, expansion order, per-cell seeds, up-front validation.
+#include "sweep/sweep_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace plurality::sweep {
+namespace {
+
+TEST(SweepSpec, StringFormSplitsAxesOnCommas) {
+  const SweepSpec sweep = SweepSpec::parse(
+      "dynamics=3-majority workload=bias:2c n=2000 trials=4 k=2,4,8 "
+      "engine=strict,batched");
+  EXPECT_EQ(sweep.base.dynamics, "3-majority");
+  EXPECT_EQ(sweep.base.n, 2000u);
+  ASSERT_EQ(sweep.axes.size(), 2u);
+  EXPECT_EQ(sweep.axes[0].field, "k");
+  EXPECT_EQ(sweep.axes[0].values, (std::vector<std::string>{"2", "4", "8"}));
+  EXPECT_EQ(sweep.axes[1].field, "engine");
+  EXPECT_EQ(sweep.axes[1].values, (std::vector<std::string>{"strict", "batched"}));
+  EXPECT_EQ(sweep.cell_count(), 6u);
+}
+
+TEST(SweepSpec, ExpansionIsRowMajorLastAxisFastest) {
+  const SweepSpec sweep =
+      SweepSpec::parse("workload=bias:300 n=2000 trials=2 k=2,4 engine=strict,batched");
+  const auto cells = sweep.expand();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].k, 2u);
+  EXPECT_EQ(cells[0].engine, "strict");
+  EXPECT_EQ(cells[1].k, 2u);
+  EXPECT_EQ(cells[1].engine, "batched");
+  EXPECT_EQ(cells[2].k, 4u);
+  EXPECT_EQ(cells[2].engine, "strict");
+  EXPECT_EQ(cells[3].k, 4u);
+  EXPECT_EQ(cells[3].engine, "batched");
+}
+
+TEST(SweepSpec, PerCellSeedsDeriveFromIndex) {
+  SweepSpec sweep = SweepSpec::parse("workload=bias:300 n=2000 seed=100 k=2,4,8");
+  auto cells = sweep.expand();
+  EXPECT_EQ(cells[0].seed, 100u);
+  EXPECT_EQ(cells[1].seed, 101u);
+  EXPECT_EQ(cells[2].seed, 102u);
+
+  sweep.per_cell_seeds = false;
+  cells = sweep.expand();
+  for (const auto& cell : cells) EXPECT_EQ(cell.seed, 100u);
+}
+
+TEST(SweepSpec, ExplicitSeedAxisWinsOverDerivation) {
+  const SweepSpec sweep = SweepSpec::parse("workload=bias:300 n=2000 seed=9,17");
+  const auto cells = sweep.expand();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].seed, 9u);
+  EXPECT_EQ(cells[1].seed, 17u);
+}
+
+TEST(SweepSpec, JsonRoundTrip) {
+  SweepSpec sweep = SweepSpec::parse(
+      "dynamics=undecided workload=bias:2c n=4000 trials=3 k=2,4 backend=count,graph");
+  sweep.observe.m_plurality = true;
+  sweep.observe.m = 400;
+  const SweepSpec reloaded =
+      SweepSpec::from_json(io::parse_json(sweep.to_json().to_string()));
+  EXPECT_EQ(reloaded.to_json().to_string(), sweep.to_json().to_string());
+  EXPECT_EQ(reloaded.cell_count(), 4u);
+  EXPECT_TRUE(reloaded.observe.m_plurality);
+  EXPECT_EQ(reloaded.observe.m, 400u);
+}
+
+TEST(SweepSpec, MalformedSpecsThrowActionably) {
+  // Unknown axis field.
+  EXPECT_THROW(SweepSpec::parse("colour=red,blue"), CheckError);
+  // Unknown base field.
+  EXPECT_THROW(SweepSpec::parse("dynamic=3-majority k=2,4"), CheckError);
+  // Axis value that does not parse for the field.
+  EXPECT_THROW(SweepSpec::parse("n=2000 k=2,banana"), CheckError);
+  // Empty axis value (trailing comma).
+  EXPECT_THROW(SweepSpec::parse("n=2000 k=2,4,"), CheckError);
+  // Duplicate field.
+  EXPECT_THROW(SweepSpec::parse("k=2,4 k=8,16"), CheckError);
+  // Empty string.
+  EXPECT_THROW(SweepSpec::parse("   "), CheckError);
+  // JSON: unknown top-level key.
+  EXPECT_THROW(SweepSpec::from_json(io::parse_json(R"({"bases": {}})")), CheckError);
+  // JSON: unknown observe key.
+  EXPECT_THROW(SweepSpec::from_json(
+                   io::parse_json(R"({"observe": {"m-plurality": 3}})")),
+               CheckError);
+  // JSON: empty axis array.
+  EXPECT_THROW(SweepSpec::from_json(io::parse_json(R"({"axes": {"k": []}})")),
+               CheckError);
+}
+
+TEST(SweepSpec, ExpansionValidatesEveryCellUpFront) {
+  // k=301 exceeds n=300 — cell 2 must be named before anything runs (cells
+  // 0 and 1 are fine, so this also proves validation covers EVERY cell).
+  const SweepSpec sweep = SweepSpec::parse("workload=bias:50 n=300 trials=2 k=2,4,301");
+  try {
+    (void)sweep.expand();
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("cell 2"), std::string::npos) << message;
+  }
+}
+
+TEST(SweepSpec, CellIdsAreStableAndSortable) {
+  EXPECT_EQ(cell_id(0), "cell_00000");
+  EXPECT_EQ(cell_id(12345), "cell_12345");
+}
+
+}  // namespace
+}  // namespace plurality::sweep
