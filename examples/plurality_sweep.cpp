@@ -13,8 +13,10 @@
 //         --resume
 //   $ ./plurality_sweep --sweep sweeps/adversary_budget.json --print-cells
 #include <iostream>
+#include <map>
 
 #include "sweep/orchestrator.hpp"
+#include "sweep/watchdog.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/format.hpp"
@@ -43,6 +45,20 @@ int run(int argc, char** argv) {
   cli.add_uint("observe-trajectory", 0,
                "record this many per-trial trajectory rows per cell "
                "(cells/<id>_trajectory.csv)");
+  cli.add_double("cell-timeout", 0.0,
+                 "per-cell wall-clock deadline in seconds, watchdog-enforced "
+                 "(0 = none); overruns count as failed_timeout and retry");
+  cli.add_uint("retries", 2,
+               "retries per cell after a retryable failure (timeout / crash / "
+               "corrupt write); attempts persist across process deaths");
+  cli.add_string("fault-plan", "",
+                 "deterministic fault-injection plan (JSON); torture/CI use only");
+  cli.add_uint("memory-budget-mb", 0,
+               "preflight memory budget in MiB (0 = ~80% of physical RAM); "
+               "oversized cells are refused as failed_spec");
+  cli.add_flag("zero-wall-times",
+               "write wall_seconds as 0 everywhere so identical grids produce "
+               "bitwise-identical artifacts (CI golden comparisons)");
   cli.add_flag("print-cells", "list the expanded cells and exit without running");
   cli.add_flag("quiet", "suppress per-cell progress lines");
   if (!cli.parse(argc, argv)) return 0;
@@ -79,6 +95,13 @@ int run(int argc, char** argv) {
   options.force = cli.flag("force");
   options.cells_in_parallel = !cli.flag("seq-cells");
   options.trials_override = cli.get_uint("trials");
+  options.cell_timeout_seconds = cli.get_double("cell-timeout");
+  options.max_retries = static_cast<std::uint32_t>(cli.get_uint("retries"));
+  options.memory_budget_bytes = cli.get_uint("memory-budget-mb") * (1ull << 20);
+  options.zero_wall_times = cli.flag("zero-wall-times");
+  if (!cli.get_string("fault-plan").empty()) {
+    options.fault_plan = sweep::FaultPlan::from_json_file(cli.get_string("fault-plan"));
+  }
   if (!cli.flag("quiet")) {
     options.on_cell = [](const sweep::CellOutcome& cell, std::size_t done,
                          std::size_t total) {
@@ -97,6 +120,7 @@ int run(int argc, char** argv) {
     };
   }
 
+  sweep::install_shutdown_signal_handlers();
   const sweep::SweepOutcome outcome = sweep::run_sweep(spec, options);
 
   std::cout << "\nsweep complete: " << outcome.cells.size() << " cells (" << outcome.ran
@@ -105,6 +129,39 @@ int run(int argc, char** argv) {
   if (!outcome.aggregate_path.empty()) {
     std::cout << "aggregate -> " << outcome.aggregate_path << "\n"
               << "manifest  -> " << outcome.manifest_path << "\n";
+  }
+
+  if (outcome.failed > 0) {
+    // Per-taxonomy failure summary; the full table is failures.csv.
+    std::map<std::string, std::size_t> by_status;
+    for (const sweep::CellOutcome& cell : outcome.cells) {
+      if (sweep::cell_status_failed(cell.status)) {
+        ++by_status[sweep::cell_status_name(cell.status)];
+      }
+    }
+    std::cerr << "plurality_sweep: " << outcome.failed << " of " << outcome.cells.size()
+              << " cells failed:";
+    for (const auto& [status, count] : by_status) {
+      std::cerr << "  " << status << "=" << count;
+    }
+    std::cerr << "\n";
+    for (const sweep::CellOutcome& cell : outcome.cells) {
+      if (sweep::cell_status_failed(cell.status)) {
+        std::cerr << "  " << cell.id << " [" << sweep::cell_status_name(cell.status)
+                  << ", " << cell.attempts << " attempt(s)]: " << cell.error << "\n";
+      }
+    }
+    if (!outcome.failures_path.empty()) {
+      std::cerr << "failure table -> " << outcome.failures_path << "\n";
+    }
+    std::cerr << "completed cells are checkpointed; rerun with --resume to retry "
+                 "just the failures\n";
+    return 2;
+  }
+  if (outcome.interrupted) {
+    std::cerr << "plurality_sweep: interrupted by shutdown request; the out-dir is "
+                 "resumable (rerun with --resume)\n";
+    return 130;
   }
   return 0;
 }

@@ -87,6 +87,12 @@ RunResult run_dynamics(const Dynamics& dynamics, const Configuration& start,
   }
 
   for (round_t round = 1; round <= options.max_rounds; ++round) {
+    if (options.cancel != nullptr && options.cancel->stop_requested()) {
+      // Between-rounds cooperative stop: cheapest possible check (one
+      // relaxed load), and the partially-advanced config is discarded by
+      // every caller that sees Cancelled.
+      return finish(round - 1, StopReason::Cancelled);
+    }
     if (options.backend == Backend::CountBased) {
       if (philox != nullptr) {
         step_count_based(dynamics, config, *philox, ws);

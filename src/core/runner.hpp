@@ -15,6 +15,7 @@
 #include "core/dynamics.hpp"
 #include "core/engine_mode.hpp"
 #include "rng/xoshiro.hpp"
+#include "support/cancellation.hpp"
 #include "support/types.hpp"
 
 namespace plurality {
@@ -37,6 +38,7 @@ enum class StopReason {
   NonColorAbsorbed, // absorbed in a non-color state (all-undecided)
   PredicateMet,     // caller's stop_predicate returned true
   RoundLimit,       // max_rounds exhausted without absorption
+  Cancelled,        // RunOptions::cancel fired — result must be discarded
 };
 
 struct RunResult {
@@ -81,6 +83,13 @@ struct RunOptions {
   /// Trial index forwarded to the observer's callbacks (run_trials sets it;
   /// standalone runs default to 0).
   std::uint64_t observer_trial = 0;
+  /// Cooperative cancellation (support/cancellation.hpp): checked between
+  /// rounds (one relaxed atomic load). A fired token stops the run at the
+  /// next round boundary with StopReason::Cancelled — the run's partial
+  /// state is NOT a valid result and must be discarded by the caller (the
+  /// trial drivers translate it into a CancelledError once outside their
+  /// parallel regions). nullptr = never cancelled.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Runs `dynamics` from `start` (already in the dynamics' state space —

@@ -57,6 +57,10 @@ void TrialOutcomes::record(std::uint64_t trial, StopReason reason, bool pluralit
       break;
     case StopReason::NonColorAbsorbed:
       break;
+    case StopReason::Cancelled:
+      // A cancelled trial has no outcome; the driver throws CancelledError
+      // after joining, so this recording is never summarized.
+      break;
   }
 }
 
@@ -97,6 +101,7 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
   run_options.adversary = options.adversary;
   run_options.stop_predicate = options.stop_predicate;
   run_options.observer = options.observer;
+  run_options.cancel = options.cancel;
 
   const rng::StreamFactory streams(options.seed);
   TrialOutcomes outcomes(options.trials, options.exact_round_samples);
@@ -138,6 +143,12 @@ TrialSummary run_trials(const Dynamics& dynamics, const ConfigFactory& factory,
   StepWorkspace ws;
   for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial, ws);
 #endif
+
+  // Unwinding is only safe here, outside the OpenMP region. Any token that
+  // fired poisons the whole run: partial summaries are not reproducible.
+  if (options.cancel != nullptr && options.cancel->stop_requested()) {
+    throw CancelledError(options.cancel->reason());
+  }
 
   return outcomes.summarize();
 }

@@ -83,6 +83,13 @@ struct CommonTrialOptions {
   /// many samples (exact quantiles); past it, round_samples is cleared and
   /// quantiles come from the streaming sketch.
   std::size_t exact_round_samples = stats::QuantileSketch::kDefaultExactCapacity;
+  /// Cooperative cancellation (support/cancellation.hpp), threaded into
+  /// every trial's between-rounds check by BOTH drivers. When the token
+  /// fires, in-flight trials stop at their next round boundary, remaining
+  /// trials drain immediately, and the driver throws CancelledError after
+  /// its parallel region joins — a cancelled run never returns a partial
+  /// TrialSummary. nullptr = never cancelled.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Per-trial outcome flags with the shared reduction into a TrialSummary.

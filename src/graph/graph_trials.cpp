@@ -111,6 +111,13 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
       won = initial_plurality == config.plurality(num_colors);
     } else {
       for (round_t r = 1; r <= options.max_rounds; ++r) {
+        if (options.cancel != nullptr && options.cancel->stop_requested()) {
+          // Cooperative between-rounds stop; the driver throws after the
+          // parallel region joins, so this trial's record is discarded.
+          reason = StopReason::Cancelled;
+          rounds = r - 1;
+          break;
+        }
         step_graph(dynamics, graph, config, trial_streams, r - 1, ws, options.mode);
         if (options.adversary != nullptr) {
           corrupt_nodes(*options.adversary, config, num_colors, r, gen, ws);
@@ -154,6 +161,12 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
   GraphStepWorkspace ws;
   for (std::uint64_t trial = 0; trial < options.trials; ++trial) body(trial, ws);
 #endif
+
+  // Outside the OpenMP region, where throwing is safe: a fired token means
+  // at least one trial stopped mid-run, so the whole summary is invalid.
+  if (options.cancel != nullptr && options.cancel->stop_requested()) {
+    throw CancelledError(options.cancel->reason());
+  }
 
   return outcomes.summarize();
 }

@@ -1,0 +1,114 @@
+#include "io/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/crc32.hpp"
+
+namespace plurality::io {
+
+namespace {
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& why) {
+  throw CheckpointCorruptError("checkpoint: " + path + " is corrupt — " + why);
+}
+
+}  // namespace
+
+std::string checkpoint_envelope_text(const JsonValue& payload, std::uint32_t schema) {
+  const std::string canonical = payload.to_string();
+  JsonValue envelope = JsonValue::object();
+  envelope.set("checkpoint_schema", static_cast<std::uint64_t>(schema));
+  envelope.set("crc32", crc32_hex(crc32(canonical)));
+  // Embedding re-serializes the payload at depth 1 (different indentation
+  // than `canonical`) — harmless, because verification always re-derives
+  // the canonical form from the parsed payload, never from file bytes.
+  JsonValue payload_copy = parse_json(canonical);
+  envelope.set("payload", std::move(payload_copy));
+  return envelope.to_string();
+}
+
+void atomic_write_text(const std::string& path, const std::string& text) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    PLURALITY_REQUIRE(out.good(), "checkpoint: cannot open '" << tmp << "' for writing");
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    PLURALITY_REQUIRE(out.good(), "checkpoint: write to '" << tmp << "' failed");
+  }
+  fs::rename(tmp, path);
+}
+
+void write_checkpoint_file(const std::string& path, const JsonValue& payload,
+                           std::uint32_t schema) {
+  atomic_write_text(path, checkpoint_envelope_text(payload, schema));
+}
+
+JsonValue verify_checkpoint_text(const std::string& text, const std::string& path,
+                                 std::uint32_t expected_schema) {
+  JsonValue doc;
+  try {
+    doc = parse_json(text);
+  } catch (const CheckError& e) {
+    corrupt(path, std::string("unparseable (") + e.what() + ")");
+  }
+  if (!doc.is_object()) corrupt(path, "top-level value is not an object");
+
+  if (!doc.contains("checkpoint_schema")) {
+    if (doc.contains("schema_version")) {
+      // Recognizably the pre-envelope (v1) format: version skew, not rot.
+      throw CheckpointSchemaError(
+          "checkpoint: " + path +
+          " is a pre-integrity (schema 1) file; this build reads checkpoint schema " +
+          std::to_string(expected_schema) +
+          " — rerun the sweep into a fresh out_dir (or delete the stale file to "
+          "recompute that cell)");
+    }
+    corrupt(path, "missing checkpoint_schema / not a checkpoint envelope");
+  }
+
+  std::uint64_t schema = 0;
+  try {
+    schema = doc.at("checkpoint_schema").as_uint();
+  } catch (const CheckError&) {
+    corrupt(path, "checkpoint_schema is not an integer");
+  }
+  if (schema != expected_schema) {
+    throw CheckpointSchemaError(
+        "checkpoint: " + path + " has checkpoint_schema " + std::to_string(schema) +
+        " but this build reads schema " + std::to_string(expected_schema) +
+        " — it was written by a different version; use a fresh out_dir or delete "
+        "the file to recompute");
+  }
+
+  if (!doc.contains("crc32") || !doc.at("crc32").is_string()) {
+    corrupt(path, "missing crc32 stamp");
+  }
+  std::uint32_t stamped = 0;
+  if (!parse_crc32_hex(doc.at("crc32").as_string(), stamped)) {
+    corrupt(path, "malformed crc32 stamp '" + doc.at("crc32").as_string() + "'");
+  }
+  if (!doc.contains("payload")) corrupt(path, "missing payload");
+
+  const std::string canonical = doc.at("payload").to_string();
+  const std::uint32_t actual = crc32(canonical);
+  if (actual != stamped) {
+    corrupt(path, "crc32 mismatch (stamped " + doc.at("crc32").as_string() +
+                      ", content hashes to " + crc32_hex(actual) + ")");
+  }
+  return parse_json(canonical);
+}
+
+JsonValue read_checkpoint_file(const std::string& path, std::uint32_t expected_schema) {
+  std::ifstream in(path, std::ios::binary);
+  PLURALITY_REQUIRE(in.good(), "checkpoint: cannot open '" << path << "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  PLURALITY_REQUIRE(!in.bad(), "checkpoint: read from '" << path << "' failed");
+  return verify_checkpoint_text(buffer.str(), path, expected_schema);
+}
+
+}  // namespace plurality::io

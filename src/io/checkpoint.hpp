@@ -1,0 +1,90 @@
+// CRC-stamped, schema-versioned checkpoint files.
+//
+// The sweep orchestrator's resume path used to trust any cell file that
+// parsed — a bit-flipped digit would be loaded into aggregate.csv as a
+// legitimate result, and an old-format file was indistinguishable from a
+// corrupt one. Every checkpoint (cell results, the sweep manifest) is now
+// written as an integrity envelope:
+//
+//   {
+//     "checkpoint_schema": 2,
+//     "crc32": "cbf43926",          // CRC-32 of payload.to_string()
+//     "payload": { ...document... }
+//   }
+//
+// The CRC is computed over the payload's own canonical serialization
+// (src/io/json.hpp's writer is deterministic and parse∘emit is the
+// identity on everything it emits), so a reader re-serializes the parsed
+// payload and compares. Any flip that changes payload *content* changes
+// the canonical bytes and is caught; flips confined to inter-token
+// whitespace canonicalize away and are harmless by construction.
+//
+// Readers throw two DISTINCT error types so callers can route them
+// differently (the orchestrator quarantines corruption but hard-refuses
+// version skew with an actionable message):
+//   CheckpointCorruptError  — unparseable, truncated, malformed envelope,
+//                             or CRC mismatch: the bytes cannot be trusted.
+//   CheckpointSchemaError   — a well-formed envelope (or a recognizable
+//                             pre-envelope file) whose schema version is
+//                             not the one this binary reads/writes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/json.hpp"
+#include "support/check.hpp"
+
+namespace plurality::io {
+
+/// The checkpoint envelope schema this build reads and writes. Version 1
+/// is the pre-envelope format (bare payload with a top-level
+/// "schema_version"); version 2 added the CRC envelope.
+inline constexpr std::uint32_t kCheckpointSchema = 2;
+
+/// File bytes that cannot be trusted (truncated, bit-flipped, duplicate
+/// keys, CRC mismatch, malformed envelope).
+class CheckpointCorruptError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
+/// A structurally sound checkpoint from a different schema version —
+/// refusing it is a compatibility decision, not a corruption verdict.
+class CheckpointSchemaError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
+/// Serializes `payload` into the envelope text (CRC stamped) — exposed
+/// separately from write_checkpoint_file so the orchestrator can stage the
+/// bytes itself (its fault-injection hooks corrupt/crash between the
+/// serialize, tmp-write, and rename steps).
+[[nodiscard]] std::string checkpoint_envelope_text(const JsonValue& payload,
+                                                   std::uint32_t schema = kCheckpointSchema);
+
+/// Writes `text` to `path` atomically: tmp file + flush + rename, so a
+/// crash at any instant leaves either the old file or the new one, never a
+/// prefix. Throws CheckError on I/O failure.
+void atomic_write_text(const std::string& path, const std::string& text);
+
+/// checkpoint_envelope_text + atomic_write_text.
+void write_checkpoint_file(const std::string& path, const JsonValue& payload,
+                           std::uint32_t schema = kCheckpointSchema);
+
+/// Parses, schema-checks, and CRC-verifies `text` (as read from `path`,
+/// which is only used in error messages). Returns the verified payload.
+/// Throws CheckpointSchemaError / CheckpointCorruptError as documented
+/// above; a pre-envelope file (top-level "schema_version") is reported as
+/// schema skew, not corruption.
+[[nodiscard]] JsonValue verify_checkpoint_text(const std::string& text,
+                                               const std::string& path,
+                                               std::uint32_t expected_schema = kCheckpointSchema);
+
+/// Reads `path` and returns its verified payload. I/O failures (missing /
+/// unreadable file) throw plain CheckError — "file absent" is the caller's
+/// normal recompute path, not corruption.
+[[nodiscard]] JsonValue read_checkpoint_file(const std::string& path,
+                                             std::uint32_t expected_schema = kCheckpointSchema);
+
+}  // namespace plurality::io

@@ -73,27 +73,30 @@ Scenario Scenario::compile(const ScenarioSpec& spec) {
   return compiled;
 }
 
-TrialSummary Scenario::run(RoundObserver* observer) const {
-  if (observer == nullptr) {
+TrialSummary Scenario::run(RoundObserver* observer,
+                           const CancellationToken* cancel) const {
+  if (observer == nullptr && cancel == nullptr) {
     if (use_graph_) {
       return graph::run_graph_trials(*dynamics_, graph_, start_, options_);
     }
     return run_trials(*dynamics_, start_, options_);
   }
-  CommonTrialOptions observed = options_;
-  observed.observer = observer;
+  CommonTrialOptions extended = options_;
+  extended.observer = observer;
+  extended.cancel = cancel;
   if (use_graph_) {
-    return graph::run_graph_trials(*dynamics_, graph_, start_, observed);
+    return graph::run_graph_trials(*dynamics_, graph_, start_, extended);
   }
-  return run_trials(*dynamics_, start_, observed);
+  return run_trials(*dynamics_, start_, extended);
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec, RoundObserver* observer) {
+ScenarioResult run_scenario(const ScenarioSpec& spec, RoundObserver* observer,
+                            const CancellationToken* cancel) {
   const Scenario compiled = Scenario::compile(spec);
   ScenarioResult result;
   result.resolved = compiled.spec();
   WallTimer timer;
-  result.summary = compiled.run(observer);
+  result.summary = compiled.run(observer, cancel);
   result.wall_seconds = timer.seconds();
   return result;
 }

@@ -54,8 +54,13 @@ class Scenario {
   /// `observer` (optional) is threaded into the trial driver's per-round
   /// probe pipeline (core/observer.hpp) — it never changes the summary
   /// (observer-on == observer-off, bitwise; the sweep orchestrator relies
-  /// on this to enrich cells without unpinning them).
-  [[nodiscard]] TrialSummary run(RoundObserver* observer = nullptr) const;
+  /// on this to enrich cells without unpinning them). `cancel` (optional)
+  /// is the cooperative cancellation token every driver checks between
+  /// rounds; a fired token makes run() throw CancelledError (never a
+  /// partial summary) — like the observer, an unfired token changes
+  /// nothing, bitwise.
+  [[nodiscard]] TrialSummary run(RoundObserver* observer = nullptr,
+                                 const CancellationToken* cancel = nullptr) const;
 
  private:
   Scenario() = default;
@@ -79,8 +84,10 @@ struct ScenarioResult {
 
 /// parse -> validate -> compile -> run in one call — the single entry
 /// point the simulator CLI, benches, and examples share. `observer` (when
-/// given) sees every round of every trial without affecting the result.
-ScenarioResult run_scenario(const ScenarioSpec& spec, RoundObserver* observer = nullptr);
+/// given) sees every round of every trial without affecting the result;
+/// `cancel` (when given) bounds the run cooperatively — see Scenario::run.
+ScenarioResult run_scenario(const ScenarioSpec& spec, RoundObserver* observer = nullptr,
+                            const CancellationToken* cancel = nullptr);
 
 /// The result as an ordered JSON document (schema_version 1): the resolved
 /// spec echo, the summary counters/rates, round statistics (mean/min/max

@@ -1,0 +1,125 @@
+// Deterministic fault injection for the sweep orchestrator.
+//
+// Every recovery path the orchestrator promises — timeout, retry, crash
+// resume, corrupt-checkpoint quarantine — must be exercised by tests and
+// CI, not hoped for. A FaultPlan is a declarative, seeded list of faults
+// addressed at specific cells of a sweep:
+//
+//   {
+//     "seed": 7,
+//     "faults": [
+//       {"cell": "cell_00002", "kind": "throw"},
+//       {"cell": 3, "kind": "hang", "seconds": 30},
+//       {"match": "backend=graph k=8", "kind": "crash", "point": "mid_write"},
+//       {"cell": "cell_00005", "kind": "corrupt", "times": 2}
+//     ]
+//   }
+//
+// Kinds:
+//   throw    the driver throws mid-cell (an in-process crash)
+//   hang     the cell stalls (cooperative sleep — simulates a computation
+//            that runs past its deadline; returns early once its token or
+//            a shutdown request fires, which is exactly when a real
+//            watchdogged computation would be abandoned)
+//   crash    the PROCESS dies (std::_Exit) at a chosen point around the
+//            cell's checkpoint write: "before_write" (result computed,
+//            nothing on disk), "mid_write" (tmp written, rename never
+//            happens — the atomic-write discipline's worst case), or
+//            "after_write" (complete file on disk, bookkeeping unfinished)
+//   corrupt  the serialized checkpoint has one payload byte flipped before
+//            it hits disk (byte chosen by the plan's seed via Philox, so
+//            the corruption is reproducible)
+//
+// Addressing: "cell" takes a cell id ("cell_00002") or a bare index;
+// "match" fires on every cell whose expanded spec string contains the
+// substring — so faults can target "whatever cell runs k=64 on graph"
+// without knowing its index.
+//
+// Each fault fires at most `times` times (default 1). Firings are
+// PERSISTED as marker files under <out_dir>/faults/, so a crash fault
+// does not re-kill every resume attempt — after its budget is spent, the
+// cell runs clean. (Without an out_dir, counts are in-memory.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "support/cancellation.hpp"
+
+namespace plurality::sweep {
+
+/// Exit code of an injected process crash — distinct from every normal
+/// exit path so the torture harness can assert the crash actually fired.
+inline constexpr int kFaultCrashExitCode = 86;
+
+enum class FaultKind { Throw, Hang, Crash, Corrupt };
+enum class CrashPoint { BeforeWrite, MidWrite, AfterWrite };
+
+struct FaultSpec {
+  /// Cell addressing: exactly one of (cell id / index) or match is set.
+  std::string cell_id;     // "cell_00002" form; empty if unused
+  bool by_index = false;
+  std::size_t index = 0;
+  std::string match;       // spec-substring form; empty if unused
+  FaultKind kind = FaultKind::Throw;
+  CrashPoint point = CrashPoint::BeforeWrite;  // crash kind only
+  double seconds = 30.0;   // hang kind only
+  std::uint32_t times = 1;
+
+  [[nodiscard]] bool matches(std::size_t cell_index, const std::string& id,
+                             const std::string& spec_string) const;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;  // seeds the corrupt-byte choice
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+
+  /// Strict JSON (unknown keys throw): {"seed": u64?, "faults": [...]}.
+  static FaultPlan from_json(const io::JsonValue& doc);
+  static FaultPlan from_json_file(const std::string& path);
+};
+
+/// Runtime face the orchestrator calls at its injection points. Thread-safe
+/// (cells run in parallel); counts persist under <out_dir>/faults/ when an
+/// out_dir is given.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, const std::string& out_dir);
+
+  [[nodiscard]] bool empty() const { return plan_.empty(); }
+
+  /// Injection point: cell driver start. Throw faults raise
+  /// std::runtime_error here; hang faults sleep (cooperatively watching
+  /// `token` and the shutdown flag).
+  void at_driver_start(std::size_t index, const std::string& id,
+                       const std::string& spec_string, const CancellationToken* token);
+
+  /// Injection point: checkpoint bytes about to be written. Corrupt faults
+  /// flip one payload byte of `text` (seeded, reproducible).
+  void mutate_checkpoint_text(std::size_t index, const std::string& id,
+                              const std::string& spec_string, std::string& text);
+
+  /// Injection point: before / between / after the tmp-write + rename pair.
+  /// Crash faults call std::_Exit(kFaultCrashExitCode) — the fired marker
+  /// is persisted FIRST, so the next process sees the budget spent.
+  void at_write_point(std::size_t index, const std::string& id,
+                      const std::string& spec_string, CrashPoint point);
+
+ private:
+  /// True iff fault `fault_index` should fire for this cell now; records
+  /// the firing (marker file or in-memory count) before returning true.
+  bool arm(std::size_t fault_index, const FaultSpec& fault, const std::string& id);
+
+  FaultPlan plan_;
+  std::string fault_dir_;  // empty = in-memory counts only
+  std::mutex mutex_;
+  std::map<std::string, std::uint32_t> memory_counts_;
+};
+
+}  // namespace plurality::sweep

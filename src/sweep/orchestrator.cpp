@@ -1,14 +1,21 @@
 #include "sweep/orchestrator.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <thread>
 
 #include "core/observer.hpp"
+#include "io/checkpoint.hpp"
 #include "io/csv.hpp"
+#include "rng/philox.hpp"
 #include "scenario/scenario.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
+#include "sweep/preflight.hpp"
+#include "sweep/watchdog.hpp"
 
 #if defined(PLURALITY_HAVE_OPENMP)
 #include <omp.h>
@@ -20,18 +27,27 @@ namespace fs = std::filesystem;
 
 namespace {
 
+/// Stream-family tag for retry-scoped randomness (backoff jitter). Trial
+/// streams NEVER derive from it — a retried cell reproduces its
+/// first-attempt results bitwise.
+constexpr std::uint64_t kRetryStreamTag = 0x7265747279ull;  // "retry"
+
 std::string fmt_double(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.12g", v);
   return buf;
 }
 
-/// tmp + rename so a killed sweep can never leave a half-written result
-/// behind — resume trusts any file that exists and parses.
-void atomic_write_json(const fs::path& path, const io::JsonValue& doc) {
-  const fs::path tmp = path.string() + ".tmp";
-  io::write_json_file(tmp.string(), doc);
-  fs::rename(tmp, path);
+std::string fmt_hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t retry_stream_word(std::uint64_t cell_seed, std::uint32_t attempt,
+                                std::uint64_t w) {
+  return rng::Philox4x32::word(rng::Philox4x32::key_from_seed(cell_seed, kRetryStreamTag),
+                               attempt, w);
 }
 
 ProbeOptions probe_options(const ObserveSpec& observe, std::uint64_t trials) {
@@ -80,7 +96,7 @@ CellMetrics metrics_from_run(const TrialSummary& summary, double wall_seconds,
   return m;
 }
 
-/// Reloads the CSV-level metrics from a completed cell file (resume path).
+/// Reloads the CSV-level metrics from a completed cell payload (resume).
 CellMetrics metrics_from_json(const io::JsonValue& doc) {
   CellMetrics m;
   const io::JsonValue& summary = doc.at("summary");
@@ -133,7 +149,90 @@ void write_trajectory_csv(const fs::path& path, const ProbeObserver& probe) {
   fs::rename(tmp, path);
 }
 
+/// Moves a corrupt checkpoint into cells/quarantine/ under a unique name —
+/// the bytes are evidence (what corrupted them?), never silently deleted.
+std::string quarantine_file(const fs::path& path, const fs::path& quarantine_dir) {
+  fs::create_directories(quarantine_dir);
+  fs::path target = quarantine_dir / path.filename();
+  for (int n = 1; fs::exists(target); ++n) {
+    target = quarantine_dir / (path.filename().string() + "." + std::to_string(n));
+  }
+  fs::rename(path, target);
+  return target.string();
+}
+
+/// The per-cell attempts ledger survives process deaths: written before
+/// each attempt, removed on success/interrupt. A resume finding a ledger
+/// but no valid result file knows the process died mid-cell — those
+/// attempts count against the retry budget (or the cell would crash-loop
+/// under a persistent fault forever).
+fs::path ledger_path(const fs::path& cells_dir, const std::string& id) {
+  return cells_dir / (id + ".attempts.json");
+}
+
+std::uint32_t read_ledger(const fs::path& path) {
+  if (!fs::exists(path)) return 0;
+  try {
+    return static_cast<std::uint32_t>(
+        io::read_json_file(path.string()).at("attempts").as_uint());
+  } catch (const CheckError&) {
+    return 0;  // unreadable ledger: assume nothing, the cell just retries
+  }
+}
+
+void write_ledger(const fs::path& path, std::uint32_t attempts) {
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("attempts", std::uint64_t{attempts});
+  io::atomic_write_text(path.string(), doc.to_string());
+}
+
+void remove_stray_tmp_files(const fs::path& dir) {
+  if (!fs::exists(dir)) return;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tmp") {
+      fs::remove(entry.path());
+    }
+  }
+}
+
+/// Chunked sleep that gives up early on shutdown — a backoff must never
+/// outlive a Ctrl-C.
+void backoff_sleep(double seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget = std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() - start < budget) {
+    if (shutdown_requested()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
 }  // namespace
+
+const char* cell_status_name(CellStatus status) {
+  switch (status) {
+    case CellStatus::Pending: return "pending";
+    case CellStatus::Done: return "done";
+    case CellStatus::Resumed: return "resumed";
+    case CellStatus::FailedTimeout: return "failed_timeout";
+    case CellStatus::FailedCrash: return "failed_crash";
+    case CellStatus::FailedCorrupt: return "failed_corrupt";
+    case CellStatus::FailedSpec: return "failed_spec";
+    case CellStatus::Interrupted: return "interrupted";
+  }
+  return "?";
+}
+
+bool cell_status_failed(CellStatus status) {
+  switch (status) {
+    case CellStatus::FailedTimeout:
+    case CellStatus::FailedCrash:
+    case CellStatus::FailedCorrupt:
+    case CellStatus::FailedSpec:
+      return true;
+    default:
+      return false;
+  }
+}
 
 io::JsonValue cell_result_to_json(const CellOutcome& outcome) {
   scenario::ScenarioResult result;
@@ -149,6 +248,15 @@ io::JsonValue cell_result_to_json(const CellOutcome& outcome) {
   // The PRE-resolution spec string — what resume matches against, so a
   // re-expanded grid recognizes its own cells even through backend=auto.
   cell.set("requested", outcome.requested.to_spec_string());
+
+  if (outcome.attempts > 1) {
+    // Retry audit block: how many attempts this result took, and the
+    // retry-derived stream tag (keys backoff jitter only — the summary
+    // above is bitwise what attempt 1 would have produced).
+    io::JsonValue& retry = doc.set("retry", io::JsonValue::object());
+    retry.set("attempts", std::uint64_t{outcome.attempts});
+    retry.set("stream_tag", outcome.retry_tag);
+  }
 
   const CellMetrics& m = outcome.metrics;
   if (m.ttm_hits >= 0.0 || m.final_fraction_mean >= 0.0) {
@@ -230,6 +338,28 @@ std::vector<std::string> aggregate_row(const SweepSpec& spec, const CellOutcome&
   return row;
 }
 
+namespace {
+
+io::JsonValue manifest_payload(const SweepSpec& spec,
+                               const std::vector<CellOutcome>& cells) {
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("schema_version", std::uint64_t{io::kCheckpointSchema});
+  doc.set("sweep", spec.to_json());
+  io::JsonValue& cell_list = doc.set("cells", io::JsonValue::array());
+  for (const CellOutcome& cell : cells) {
+    io::JsonValue& entry = cell_list.push(io::JsonValue::object());
+    entry.set("index", std::uint64_t{cell.index});
+    entry.set("id", cell.id);
+    entry.set("spec", cell.requested.to_spec_string());
+    entry.set("status", cell_status_name(cell.status));
+    if (cell.attempts > 0) entry.set("attempts", std::uint64_t{cell.attempts});
+    if (!cell.error.empty()) entry.set("error", cell.error);
+  }
+  return doc;
+}
+
+}  // namespace
+
 SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
   WallTimer timer;
   SweepSpec spec = spec_in;
@@ -257,15 +387,21 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
   const bool files = !options.out_dir.empty();
   PLURALITY_REQUIRE(files || !options.resume, "sweep: resume requires an out_dir");
   fs::path cells_dir;
+  fs::path quarantine_dir;
+  fs::path manifest;
   if (files) {
     const fs::path dir(options.out_dir);
     cells_dir = dir / "cells";
+    quarantine_dir = cells_dir / "quarantine";
     fs::create_directories(cells_dir);
-    const fs::path manifest = dir / "manifest.json";
+    manifest = dir / "manifest.json";
     const std::string sweep_json = spec.to_json().to_string();
     if (fs::exists(manifest)) {
       if (options.resume) {
-        const io::JsonValue stored = io::read_json_file(manifest.string());
+        // Schema skew and corruption both surface here with their own
+        // actionable errors (a corrupt manifest means the cell table's
+        // provenance is unverifiable — use a fresh out_dir).
+        const io::JsonValue stored = io::read_checkpoint_file(manifest.string());
         PLURALITY_REQUIRE(stored.at("sweep").to_string() == sweep_json,
                           "sweep: manifest at " << manifest.string()
                               << " records a DIFFERENT sweep (spec or trial override "
@@ -278,87 +414,245 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
                                  "or force to start over (cell files get overwritten)");
       }
     }
-    io::JsonValue doc = io::JsonValue::object();
-    doc.set("schema_version", 1);
-    doc.set("sweep", spec.to_json());
-    io::JsonValue& cell_list = doc.set("cells", io::JsonValue::array());
-    for (const CellOutcome& cell : out.cells) {
-      io::JsonValue& entry = cell_list.push(io::JsonValue::object());
-      entry.set("index", std::uint64_t{cell.index});
-      entry.set("id", cell.id);
-      entry.set("spec", cell.requested.to_spec_string());
-    }
-    atomic_write_json(manifest, doc);
+    // A killed run can leave *.tmp staging files (never partial results —
+    // the rename is atomic). Sweep them before writing anything new.
+    remove_stray_tmp_files(dir);
+    remove_stray_tmp_files(cells_dir);
+    io::write_checkpoint_file(manifest.string(), manifest_payload(spec, out.cells));
     out.manifest_path = manifest.string();
+    out.failures_path = (dir / "failures.csv").string();
   }
 
-  // --- resume: trust completed cells whose file matches their spec -------
+  FaultInjector injector(options.fault_plan, options.out_dir);
+
+  // --- resume: trust verified cells whose payload matches their spec -----
   std::size_t done = 0;
   std::vector<std::size_t> pending;
+  std::vector<std::uint32_t> prior_attempts(total, 0);
   pending.reserve(total);
   for (std::size_t i = 0; i < total; ++i) {
     CellOutcome& cell = out.cells[i];
     if (options.resume) {
       const fs::path path = cells_dir / (cell.id + ".json");
       if (fs::exists(path)) {
+        bool trusted = false;
         try {
-          const io::JsonValue doc = io::read_json_file(path.string());
-          if (doc.at("cell").at("requested").as_string() == cell.requested.to_spec_string()) {
+          const io::JsonValue doc = io::read_checkpoint_file(path.string());
+          if (doc.at("cell").at("requested").as_string() ==
+              cell.requested.to_spec_string()) {
             cell.metrics = metrics_from_json(doc);
             cell.resolved_backend = doc.at("spec").at("backend").as_string();
-            cell.resumed = true;
-            ++out.resumed;
-            ++done;
-            if (options.on_cell) options.on_cell(cell, done, total);
-            continue;
+            if (const io::JsonValue* retry = doc.get("retry")) {
+              cell.attempts = static_cast<std::uint32_t>(retry->at("attempts").as_uint());
+              cell.retry_tag = retry->at("stream_tag").as_string();
+            }
+            trusted = true;
           }
+          // A verified file for a DIFFERENT spec: not corruption — the
+          // grid changed around it (caught above for whole-manifest skew);
+          // recompute.
+        } catch (const io::CheckpointSchemaError&) {
+          throw;  // version skew is a hard, actionable refusal — never silent
         } catch (const CheckError&) {
-          // Unreadable or mismatched file: recompute the cell (the fresh
-          // result overwrites it atomically).
+          // Corrupt (CRC mismatch, truncation, malformed envelope) or a
+          // verified envelope with an impossible payload shape: quarantine
+          // the bytes as evidence, recompute the cell.
+          const std::string moved = quarantine_file(path, quarantine_dir);
+          std::fprintf(stderr, "sweep: quarantined corrupt checkpoint %s -> %s\n",
+                       path.string().c_str(), moved.c_str());
+        }
+        if (trusted) {
+          cell.status = CellStatus::Resumed;
+          cell.resumed = true;
+          fs::remove(ledger_path(cells_dir, cell.id));  // stale crash ledger
+          ++out.resumed;
+          ++done;
+          if (options.on_cell) options.on_cell(cell, done, total);
+          continue;
         }
       }
+      // No trusted result; a surviving ledger records attempts that died
+      // with the previous process.
+      prior_attempts[i] = read_ledger(ledger_path(cells_dir, cell.id));
     }
     pending.push_back(i);
   }
 
-  // --- schedule pending cells --------------------------------------------
-  std::vector<std::string> errors(total);
-
+  // --- memory preflight ---------------------------------------------------
+  const std::uint64_t budget = options.memory_budget_bytes > 0
+                                   ? options.memory_budget_bytes
+                                   : default_memory_budget_bytes();
 #if defined(PLURALITY_HAVE_OPENMP)
   const bool parallel_cells = options.cells_in_parallel;
+  const std::uint64_t threads =
+      parallel_cells ? static_cast<std::uint64_t>(omp_get_max_threads()) : 1;
 #else
   const bool parallel_cells = false;
+  const std::uint64_t threads = 1;
 #endif
 
-  const auto run_cell = [&](std::size_t i) {
+  std::vector<std::size_t> parallel_batch;
+  std::vector<std::size_t> serial_batch;
+  for (const std::size_t i : pending) {
     CellOutcome& cell = out.cells[i];
-    try {
-      scenario::ScenarioSpec run_spec = cell.requested;
-      if (parallel_cells) {
-        // Cells are the parallel unit here; nested trial teams would
-        // oversubscribe. Trial results are thread-count invariant, so this
-        // changes scheduling only.
-        run_spec.parallel = false;
-      }
-      std::unique_ptr<ProbeObserver> probe;
-      if (probes_on) {
-        probe = std::make_unique<ProbeObserver>(probe_options(spec.observe, run_spec.trials));
-      }
-      const scenario::ScenarioResult result = scenario::run_scenario(run_spec, probe.get());
-      if (probe != nullptr) probe->finalize();
-      cell.resolved_backend = result.resolved.backend;
-      cell.summary = result.summary;
-      cell.metrics =
-          metrics_from_run(result.summary, result.wall_seconds, probe.get(), spec.observe);
-      if (files) {
-        atomic_write_json(cells_dir / (cell.id + ".json"), cell_result_to_json(cell));
-        if (spec.observe.trajectory > 0 && probe != nullptr) {
-          write_trajectory_csv(cells_dir / (cell.id + "_trajectory.csv"), *probe);
-        }
-      }
-    } catch (const std::exception& e) {
-      errors[i] = e.what();
+    const std::uint64_t estimate = estimate_cell_memory_bytes(cell.requested);
+    if (estimate > budget) {
+      cell.status = CellStatus::FailedSpec;
+      cell.error = "preflight: estimated peak memory " + format_bytes(estimate) +
+                   " exceeds the sweep budget " + format_bytes(budget) +
+                   " (raise memory_budget_bytes or shrink the cell)";
+      ++done;
+      if (options.on_cell) options.on_cell(cell, done, total);
+    } else if (threads > 1 && estimate > budget / threads) {
+      // Would fit alone but not times `threads`: degrade to the serial
+      // phase instead of gambling on the allocator.
+      serial_batch.push_back(i);
+    } else {
+      parallel_batch.push_back(i);
     }
+  }
+
+  // --- run cells (watchdogged, retried) -----------------------------------
+  Watchdog watchdog;
+
+  const auto run_cell = [&](std::size_t i, bool in_parallel_phase) {
+    CellOutcome& cell = out.cells[i];
+    if (shutdown_requested()) return;  // skipped cells stay Pending (resumable)
+
+    const std::string spec_string = cell.requested.to_spec_string();
+    const fs::path cell_path = files ? cells_dir / (cell.id + ".json") : fs::path();
+    const fs::path ledger = files ? ledger_path(cells_dir, cell.id) : fs::path();
+
+    scenario::ScenarioSpec run_spec = cell.requested;
+    if (in_parallel_phase && parallel_cells) {
+      // Cells are the parallel unit here; nested trial teams would
+      // oversubscribe. Trial results are thread-count invariant, so this
+      // changes scheduling only.
+      run_spec.parallel = false;
+    }
+
+    CancellationToken token;
+    std::uint32_t attempt = prior_attempts[i];
+    if (attempt > options.max_retries) {
+      // The ledger shows this cell already burned its whole budget killing
+      // processes — do not run it an (N+2)th time.
+      cell.status = CellStatus::FailedCrash;
+      cell.attempts = attempt;
+      cell.error = "process died during " + std::to_string(attempt) +
+                   " attempt(s) (attempts ledger); retry budget exhausted";
+      if (files) fs::remove(ledger);  // a future resume starts fresh
+    }
+    while (cell.status == CellStatus::Pending) {
+      ++attempt;
+      cell.attempts = attempt;
+      if (attempt > 1) {
+        cell.retry_tag = fmt_hex64(retry_stream_word(cell.requested.seed, attempt, 0));
+      }
+      if (files) write_ledger(ledger, attempt);
+
+      token.reset();
+      const auto deadline =
+          options.cell_timeout_seconds > 0
+              ? Watchdog::Clock::now() + std::chrono::duration_cast<Watchdog::Clock::duration>(
+                    std::chrono::duration<double>(options.cell_timeout_seconds))
+              : Watchdog::Clock::time_point::max();
+      const std::uint64_t handle = watchdog.watch(&token, deadline);
+
+      CellStatus failure = CellStatus::Pending;  // Pending = no failure yet
+      try {
+        injector.at_driver_start(i, cell.id, spec_string, &token);
+
+        std::unique_ptr<ProbeObserver> probe;
+        if (probes_on) {
+          probe = std::make_unique<ProbeObserver>(probe_options(spec.observe, run_spec.trials));
+        }
+        const scenario::ScenarioResult result =
+            scenario::run_scenario(run_spec, probe.get(), &token);
+        if (probe != nullptr) probe->finalize();
+        cell.resolved_backend = result.resolved.backend;
+        cell.summary = result.summary;
+        cell.metrics = metrics_from_run(result.summary,
+                                        options.zero_wall_times ? 0.0 : result.wall_seconds,
+                                        probe.get(), spec.observe);
+        if (files) {
+          std::string text = io::checkpoint_envelope_text(cell_result_to_json(cell));
+          injector.mutate_checkpoint_text(i, cell.id, spec_string, text);
+          injector.at_write_point(i, cell.id, spec_string, CrashPoint::BeforeWrite);
+          const fs::path tmp = cell_path.string() + ".tmp";
+          {
+            std::ofstream out_file(tmp, std::ios::binary | std::ios::trunc);
+            out_file << text;
+            out_file.flush();
+            PLURALITY_REQUIRE(out_file.good(), "sweep: cannot write " << tmp.string());
+          }
+          injector.at_write_point(i, cell.id, spec_string, CrashPoint::MidWrite);
+          fs::rename(tmp, cell_path);
+          injector.at_write_point(i, cell.id, spec_string, CrashPoint::AfterWrite);
+
+          // Read-back verification closes the loop: if what landed on disk
+          // does not CRC-verify (injected corruption, actual I/O fault),
+          // this attempt FAILED even though the driver succeeded.
+          try {
+            (void)io::read_checkpoint_file(cell_path.string());
+          } catch (const io::CheckpointCorruptError& e) {
+            const std::string moved = quarantine_file(cell_path, quarantine_dir);
+            throw io::CheckpointCorruptError(std::string(e.what()) +
+                                             " (quarantined to " + moved + ")");
+          }
+          if (spec.observe.trajectory > 0 && probe != nullptr) {
+            write_trajectory_csv(cells_dir / (cell.id + "_trajectory.csv"), *probe);
+          }
+        }
+        cell.status = CellStatus::Done;
+        cell.error.clear();
+        if (files) fs::remove(ledger);
+      } catch (const CancelledError& e) {
+        if (e.reason() == CancellationToken::Reason::kShutdown) {
+          // Not a failure: the user asked the whole sweep to stop. Drop
+          // the ledger — a clean cancellation is not a crash.
+          cell.status = CellStatus::Interrupted;
+          cell.error = e.what();
+          if (files) fs::remove(ledger);
+        } else {
+          failure = CellStatus::FailedTimeout;
+          cell.error = e.what();
+        }
+      } catch (const io::CheckpointCorruptError& e) {
+        failure = CellStatus::FailedCorrupt;
+        cell.error = e.what();
+      } catch (const CheckError& e) {
+        // Spec/validation errors are deterministic — retrying re-proves them.
+        cell.status = CellStatus::FailedSpec;
+        cell.error = e.what();
+        if (files) fs::remove(ledger);
+      } catch (const std::exception& e) {
+        failure = CellStatus::FailedCrash;
+        cell.error = e.what();
+      }
+      watchdog.unwatch(handle);
+
+      if (failure == CellStatus::Pending) break;  // success / terminal verdict
+      if (shutdown_requested()) {
+        // A retryable failure racing a shutdown stays RESUMABLE, not failed.
+        cell.status = CellStatus::Interrupted;
+        if (files) fs::remove(ledger);
+        break;
+      }
+      if (attempt > options.max_retries) {
+        cell.status = failure;
+        if (files) fs::remove(ledger);  // a future resume starts fresh
+        break;
+      }
+      // Exponential backoff with a jitter drawn from the retry stream (the
+      // ONLY consumer of retry-derived randomness).
+      const double jitter =
+          static_cast<double>(retry_stream_word(cell.requested.seed, attempt, 1) % 1000) /
+          1000.0;
+      const std::uint32_t doublings = attempt - 1 < 20 ? attempt - 1 : 20;
+      backoff_sleep(options.retry_backoff_seconds *
+                    static_cast<double>(std::uint64_t{1} << doublings) * (1.0 + jitter));
+    }
+
 #if defined(PLURALITY_HAVE_OPENMP)
 #pragma omp critical(plurality_sweep_progress)
 #endif
@@ -371,36 +665,65 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
 #if defined(PLURALITY_HAVE_OPENMP)
   if (parallel_cells) {
 #pragma omp parallel for schedule(dynamic, 1)
-    for (std::size_t p = 0; p < pending.size(); ++p) run_cell(pending[p]);
+    for (std::size_t p = 0; p < parallel_batch.size(); ++p) {
+      run_cell(parallel_batch[p], true);
+    }
   } else {
-    for (const std::size_t i : pending) run_cell(i);
+    for (const std::size_t i : parallel_batch) run_cell(i, false);
   }
 #else
-  for (const std::size_t i : pending) run_cell(i);
+  for (const std::size_t i : parallel_batch) run_cell(i, false);
 #endif
+  // Degraded phase: cells whose estimate does not fit next to siblings run
+  // alone, with their spec's own trial parallelism intact.
+  for (const std::size_t i : serial_batch) run_cell(i, false);
 
-  std::size_t failed = 0;
-  std::string failure_list;
-  for (std::size_t i = 0; i < total; ++i) {
-    if (errors[i].empty()) continue;
-    ++failed;
-    failure_list += "\n  " + out.cells[i].id + " (" +
-                    out.cells[i].requested.to_spec_string() + "): " + errors[i];
+  // --- account statuses ----------------------------------------------------
+  bool complete = true;
+  for (const CellOutcome& cell : out.cells) {
+    switch (cell.status) {
+      case CellStatus::Done:
+        ++out.ran;
+        break;
+      case CellStatus::Resumed:
+        break;
+      case CellStatus::Interrupted:
+      case CellStatus::Pending:
+        out.interrupted = true;
+        complete = false;
+        break;
+      default:
+        ++out.failed;
+        complete = false;
+        break;
+    }
   }
-  out.ran = pending.size() - failed;
-  PLURALITY_REQUIRE(failed == 0, "sweep: " << failed << " of " << total
-                                           << " cells failed (completed cells are "
-                                              "checkpointed; rerun with resume to retry "
-                                              "just the failures):"
-                                           << failure_list);
+  if (shutdown_requested()) out.interrupted = true;
 
-  // --- aggregate ----------------------------------------------------------
+  // --- failure table + final manifest -------------------------------------
   if (files) {
+    const fs::path failures = fs::path(options.out_dir) / "failures.csv";
+    const fs::path tmp = failures.string() + ".tmp";
+    {
+      io::CsvWriter csv(tmp.string(), {"cell", "status", "attempts", "retry_tag", "error"});
+      for (const CellOutcome& cell : out.cells) {
+        if (!cell_status_failed(cell.status)) continue;
+        csv.add_row({cell.id, cell_status_name(cell.status),
+                     std::to_string(cell.attempts), cell.retry_tag, cell.error});
+      }
+    }
+    fs::rename(tmp, failures);
+    io::write_checkpoint_file(manifest.string(), manifest_payload(spec, out.cells));
+  }
+
+  // --- aggregate (complete runs only) --------------------------------------
+  if (files && complete) {
     const fs::path aggregate = fs::path(options.out_dir) / "aggregate.csv";
     const fs::path tmp = aggregate.string() + ".tmp";
     {
       io::CsvWriter csv(tmp.string(), aggregate_columns(spec));
-      for (const CellOutcome& cell : out.cells) {
+      for (CellOutcome& cell : out.cells) {
+        if (options.zero_wall_times) cell.metrics.wall_seconds = 0.0;
         csv.add_row(aggregate_row(spec, cell));
       }
     }

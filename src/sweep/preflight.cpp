@@ -1,0 +1,107 @@
+#include "sweep/preflight.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace plurality::sweep {
+
+namespace {
+
+/// Edge-count upper bound for the packed CSR, from the topology grammar
+/// (graph/topology_registry.hpp). Unknown/garbled arguments fall back to
+/// the clique worst case — preflight must never under-estimate.
+std::uint64_t estimate_edges(const std::string& topology, std::uint64_t n) {
+  const std::uint64_t clique_edges = (n * (n - 1)) / 2;
+  const std::size_t colon = topology.find(':');
+  const std::string kind = topology.substr(0, colon);
+  const std::string arg = colon == std::string::npos ? "" : topology.substr(colon + 1);
+  try {
+    if (kind == "clique") return clique_edges;
+    if (kind == "ring") return n;
+    if (kind == "torus") return 2 * n;
+    if (kind == "regular") return (std::stoull(arg) * n + 1) / 2;
+    if (kind == "gnm") return std::stoull(arg);
+    if (kind == "er") {
+      const double p = std::stod(arg);
+      // Mean p*C(n,2) plus slack for the binomial tail.
+      const double mean = p * 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+      return static_cast<std::uint64_t>(mean * 1.25) + 4 * n;
+    }
+    if (kind == "edges") {
+      // Proxy: an edge list line is >= 4 bytes ("a b\n"), so file bytes / 4
+      // bounds the edge count from above.
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(arg, ec);
+      if (!ec) return static_cast<std::uint64_t>(size) / 4 + 1;
+    }
+  } catch (...) {
+    // stoull/stod failure: validation will reject the spec; estimate big.
+  }
+  return clique_edges;
+}
+
+}  // namespace
+
+std::uint64_t estimate_cell_memory_bytes(const scenario::ScenarioSpec& spec) {
+  std::string backend;
+  try {
+    backend = spec.resolved_backend();
+  } catch (...) {
+    backend = spec.backend == "auto" ? "graph" : spec.backend;
+  }
+  const std::uint64_t n = spec.n;
+  const std::uint64_t k = spec.k;
+  constexpr std::uint64_t kFixed = 1ull << 20;  // code, spec, summaries
+
+  if (backend == "count") {
+    // Θ(k) counters per engine state; trials reuse one workspace.
+    return kFixed + 64 * k * 8;
+  }
+  if (backend == "agent") {
+    // Two state arrays (u32), two byte mirrors, per-thread count partials.
+    const std::uint64_t per_trial = 2 * n * 4 + 2 * n + 64 * k * 8;
+    return kFixed + (per_trial * 3) / 2;
+  }
+  // graph: CSR arena (offsets u64 + both directions' endpoints u32) plus
+  // the step workspace (graph/graph_workspace.hpp: node/scratch u32 + u8
+  // mirrors + 64-lane count partials), with 1.5x construction slack (the
+  // builder holds an edge list alongside the arena while packing).
+  const std::uint64_t m = estimate_edges(spec.topology, n);
+  const std::uint64_t csr = (n + 1) * 8 + 2 * m * 4;
+  const std::uint64_t workspace = 2 * n * 4 + 2 * n + 64 * k * 8;
+  return kFixed + (csr * 3) / 2 + workspace;
+}
+
+std::uint64_t default_memory_budget_bytes() {
+  constexpr std::uint64_t kFallback = 2ull << 30;
+#if defined(_SC_PHYS_PAGES) && defined(_SC_PAGESIZE)
+  const long pages = sysconf(_SC_PHYS_PAGES);
+  const long page = sysconf(_SC_PAGESIZE);
+  if (pages > 0 && page > 0) {
+    const std::uint64_t physical =
+        static_cast<std::uint64_t>(pages) * static_cast<std::uint64_t>(page);
+    return physical - physical / 5;  // keep 20% headroom for the OS
+  }
+#endif
+  return kFallback;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), unit == 0 ? "%.0f %s" : "%.1f %s", value, units[unit]);
+  return buf;
+}
+
+}  // namespace plurality::sweep

@@ -1,0 +1,40 @@
+// Arena-size preflight for sweep cells.
+//
+// A sweep grid can hold one cell whose topology allocates two orders of
+// magnitude more than its neighbours (er:0.01 at n=1e6 is a ~10^10-entry
+// CSR). Discovering that by OOM-kill mid-sweep loses every in-flight cell
+// and — on Linux default overcommit — can take the whole machine with it.
+// The orchestrator therefore estimates each cell's peak allocation from
+// its RESOLVED spec before running anything:
+//
+//   estimate > budget            the cell is refused up front (failed_spec;
+//                                it would be refused by the allocator
+//                                anyway, just less politely)
+//   estimate > budget / threads  the cell is forced onto the serial phase
+//                                (cells_in_parallel would multiply peaks)
+//
+// Estimates are deliberately coarse upper bounds (±2x is fine); they only
+// have to rank "fits comfortably / fits alone / cannot fit".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/spec.hpp"
+
+namespace plurality::sweep {
+
+/// Upper-bound estimate of one cell's peak heap use in bytes, derived from
+/// the resolved backend, n, k, and the topology's edge count. Never throws
+/// on a well-formed spec; an unparseable topology argument returns a
+/// clique-sized worst case (validation will reject the cell anyway).
+[[nodiscard]] std::uint64_t estimate_cell_memory_bytes(const scenario::ScenarioSpec& spec);
+
+/// The default sweep memory budget: ~80% of physical RAM, or 2 GiB when
+/// the platform won't say. SweepOptions::memory_budget_bytes overrides.
+[[nodiscard]] std::uint64_t default_memory_budget_bytes();
+
+/// Human-readable "1.5 GiB" style rendering for refusal messages.
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace plurality::sweep

@@ -1,0 +1,80 @@
+#include "sweep/watchdog.hpp"
+
+#include <csignal>
+
+namespace plurality::sweep {
+
+namespace {
+
+/// One process-wide flag; std::sig_atomic_t would also do, but atomic<int>
+/// is both async-signal-safe (lock-free on every target we build) and
+/// thread-safe for the pollers.
+std::atomic<int> g_shutdown{0};
+
+extern "C" void plurality_sweep_signal_handler(int) {
+  g_shutdown.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_signal_handlers() {
+  std::signal(SIGINT, plurality_sweep_signal_handler);
+  std::signal(SIGTERM, plurality_sweep_signal_handler);
+}
+
+bool shutdown_requested() { return g_shutdown.load(std::memory_order_relaxed) != 0; }
+
+void request_shutdown() { g_shutdown.store(1, std::memory_order_relaxed); }
+
+void reset_shutdown_flag() { g_shutdown.store(0, std::memory_order_relaxed); }
+
+Watchdog::Watchdog(std::chrono::milliseconds tick) : tick_(tick) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::uint64_t Watchdog::watch(CancellationToken* token, Clock::time_point deadline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t handle = next_handle_++;
+  entries_.push_back(Entry{handle, token, deadline});
+  return handle;
+}
+
+void Watchdog::unwatch(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].handle == handle) {
+      entries_[i] = entries_.back();
+      entries_.pop_back();
+      return;
+    }
+  }
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const Clock::time_point now = Clock::now();
+    const bool shutdown = shutdown_requested();
+    for (const Entry& entry : entries_) {
+      if (shutdown) {
+        entry.token->cancel(CancellationToken::Reason::kShutdown);
+      } else if (entry.deadline <= now) {
+        entry.token->cancel(CancellationToken::Reason::kDeadline);
+      }
+    }
+    // Fired tokens stay registered until their owner unwatches — cancel()
+    // is idempotent and first-reason-wins, so re-firing is harmless.
+    cv_.wait_for(lock, tick_, [this] { return stopping_; });
+  }
+}
+
+}  // namespace plurality::sweep

@@ -1,0 +1,82 @@
+// Watchdog thread + graceful-shutdown signal plumbing for the sweep
+// orchestrator.
+//
+// The trial drivers' cooperative cancellation check is a single relaxed
+// atomic load (support/cancellation.hpp) — deliberately clock-free so the
+// hot path pays nothing. Someone therefore has to own the clock: the
+// Watchdog is one background thread that wakes every `tick`, fires any
+// registered token whose wall-clock deadline passed (Reason::kDeadline),
+// and propagates a process-wide shutdown request (Reason::kShutdown) to
+// every active token so in-flight cells stop at their next round boundary.
+//
+// Shutdown: install_shutdown_signal_handlers() routes SIGINT/SIGTERM into
+// one async-signal-safe atomic flag. Nothing else happens in the handler —
+// the watchdog (and the orchestrator's scheduling loop) poll the flag, let
+// in-flight cells finish or cancel cooperatively, flush their atomic
+// checkpoint writes, rewrite the manifest, and exit resumable.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/cancellation.hpp"
+
+namespace plurality::sweep {
+
+class Watchdog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit Watchdog(std::chrono::milliseconds tick = std::chrono::milliseconds(20));
+  ~Watchdog();  // stops and joins the thread; outstanding tokens are left as-is
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Starts watching `token`: cancelled with kDeadline once `deadline`
+  /// passes, or with kShutdown when shutdown_requested() turns true.
+  /// Pass Clock::time_point::max() for "no deadline, shutdown only".
+  /// The token must stay alive until unwatch(). Returns a handle.
+  std::uint64_t watch(CancellationToken* token, Clock::time_point deadline);
+
+  /// Stops watching. Idempotent; safe for handles already expired.
+  void unwatch(std::uint64_t handle);
+
+ private:
+  struct Entry {
+    std::uint64_t handle;
+    CancellationToken* token;
+    Clock::time_point deadline;
+  };
+
+  void loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_handle_ = 1;
+  bool stopping_ = false;
+  std::chrono::milliseconds tick_;
+  std::thread thread_;
+};
+
+/// Installs SIGINT/SIGTERM handlers that set the shutdown flag (idempotent;
+/// only the CLI calls this — library embedders keep their own handlers).
+void install_shutdown_signal_handlers();
+
+/// True once a shutdown was requested (signal or request_shutdown()).
+[[nodiscard]] bool shutdown_requested();
+
+/// Programmatic shutdown request — what the signal handler does, callable
+/// from tests and embedders.
+void request_shutdown();
+
+/// Clears the flag so one process can host several sweep runs (tests; a
+/// daemon restarting its accept loop).
+void reset_shutdown_flag();
+
+}  // namespace plurality::sweep

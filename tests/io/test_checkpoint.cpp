@@ -1,0 +1,173 @@
+// Checkpoint envelope contract: what verifies, what is corruption, and
+// what is schema skew — the three verdicts the sweep resume path routes
+// differently (trust / quarantine / hard refusal).
+#include "io/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/crc32.hpp"
+
+namespace plurality::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+JsonValue sample_payload() {
+  JsonValue payload = JsonValue::object();
+  payload.set("schema_version", 1);
+  JsonValue& summary = payload.set("summary", JsonValue::object());
+  summary.set("trials", 20);
+  summary.set("win_rate", 0.85);
+  JsonValue& rounds = payload.set("rounds", JsonValue::array());
+  rounds.push(12);
+  rounds.push(15);
+  return payload;
+}
+
+fs::path temp_file(const std::string& name) {
+  return fs::path(testing::TempDir()) / ("plurality_checkpoint_" + name + ".json");
+}
+
+TEST(Checkpoint, EnvelopeRoundTripsThePayload) {
+  const JsonValue payload = sample_payload();
+  const std::string text = checkpoint_envelope_text(payload);
+  const JsonValue back = verify_checkpoint_text(text, "test.json");
+  EXPECT_EQ(back.to_string(), payload.to_string());
+}
+
+TEST(Checkpoint, EnvelopeCarriesSchemaAndCrc) {
+  const std::string text = checkpoint_envelope_text(sample_payload());
+  const JsonValue envelope = parse_json(text);
+  EXPECT_EQ(envelope.at("checkpoint_schema").as_uint(), kCheckpointSchema);
+  // The stamp is the CRC of the payload's canonical serialization.
+  std::uint32_t stamp = 0;
+  ASSERT_TRUE(parse_crc32_hex(envelope.at("crc32").as_string(), stamp));
+  EXPECT_EQ(stamp, crc32(envelope.at("payload").to_string()));
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const fs::path path = temp_file("roundtrip");
+  write_checkpoint_file(path.string(), sample_payload());
+  const JsonValue back = read_checkpoint_file(path.string());
+  EXPECT_EQ(back.to_string(), sample_payload().to_string());
+  fs::remove(path);
+}
+
+TEST(Checkpoint, MissingFileIsPlainCheckErrorNotCorruption) {
+  // Absence is the caller's normal recompute path; corruption is evidence.
+  try {
+    (void)read_checkpoint_file("/nonexistent/never/here.json");
+    FAIL() << "expected CheckError";
+  } catch (const CheckpointCorruptError&) {
+    FAIL() << "missing file misreported as corruption";
+  } catch (const CheckError&) {
+    SUCCEED();
+  }
+}
+
+TEST(Checkpoint, TruncationIsCorruption) {
+  // Every proper prefix must either throw corruption or — when only
+  // trailing whitespace was cut — verify to the EXACT original payload.
+  // No truncation may ever yield different accepted content.
+  const std::string canonical = sample_payload().to_string();
+  const std::string text = checkpoint_envelope_text(sample_payload());
+  std::size_t accepted = 0;
+  for (std::size_t keep = 0; keep < text.size(); ++keep) {
+    try {
+      const JsonValue back = verify_checkpoint_text(text.substr(0, keep), "t.json");
+      EXPECT_EQ(back.to_string(), canonical) << "kept " << keep << " bytes";
+      ++accepted;
+    } catch (const CheckpointCorruptError&) {
+    }
+  }
+  // Sanity: nearly every truncation point must be detected outright.
+  EXPECT_LE(accepted, 2u);
+}
+
+TEST(Checkpoint, AnyContentBitFlipIsCorruptionOrSyntaxError) {
+  // Flip one bit in every byte of the envelope: each mutation must either
+  // fail to parse (corrupt), fail the CRC (corrupt), or break the envelope
+  // shape (corrupt). None may verify with DIFFERENT payload content.
+  const JsonValue payload = sample_payload();
+  const std::string canonical = payload.to_string();
+  const std::string text = checkpoint_envelope_text(payload);
+  std::size_t accepted = 0;
+  for (std::size_t byte = 0; byte < text.size(); ++byte) {
+    std::string flipped = text;
+    flipped[byte] = static_cast<char>(flipped[byte] ^ 0x01);
+    try {
+      const JsonValue back = verify_checkpoint_text(flipped, "t.json");
+      // A flip confined to inter-token whitespace canonicalizes away; the
+      // verified payload must then be bitwise the original.
+      EXPECT_EQ(back.to_string(), canonical) << "byte " << byte;
+      ++accepted;
+    } catch (const CheckpointCorruptError&) {
+    } catch (const CheckpointSchemaError&) {
+      // e.g. the flip turned the schema number into another digit — an
+      // honest refusal either way.
+    }
+  }
+  // Sanity: the harness exercised real corruption, not just whitespace.
+  EXPECT_LT(accepted, text.size());
+}
+
+TEST(Checkpoint, DuplicateKeysAreCorruption) {
+  const std::string text =
+      "{\"checkpoint_schema\": 2, \"crc32\": \"00000000\", "
+      "\"payload\": {\"a\": 1, \"a\": 2}}";
+  EXPECT_THROW((void)verify_checkpoint_text(text, "t.json"), CheckpointCorruptError);
+}
+
+TEST(Checkpoint, WrongCrcStampIsCorruption) {
+  JsonValue envelope = JsonValue::object();
+  envelope.set("checkpoint_schema", std::uint64_t{kCheckpointSchema});
+  envelope.set("crc32", std::string("deadbeef"));
+  envelope.set("payload", sample_payload());
+  EXPECT_THROW((void)verify_checkpoint_text(envelope.to_string(), "t.json"),
+               CheckpointCorruptError);
+  // Malformed stamp text (not 8 hex digits) is also corruption.
+  envelope.set("crc32", std::string("not-a-crc"));
+  EXPECT_THROW((void)verify_checkpoint_text(envelope.to_string(), "t.json"),
+               CheckpointCorruptError);
+}
+
+TEST(Checkpoint, PreEnvelopeFileIsSchemaSkewWithActionableMessage) {
+  // A v1-era file: bare payload, top-level "schema_version", no envelope.
+  // That is VERSION SKEW (the bytes are fine), and the error must name the
+  // file so the operator can act on it.
+  const std::string v1 = sample_payload().to_string();
+  try {
+    (void)verify_checkpoint_text(v1, "out/cells/cell_00007.json");
+    FAIL() << "expected CheckpointSchemaError";
+  } catch (const CheckpointSchemaError& e) {
+    EXPECT_NE(std::string(e.what()).find("cell_00007.json"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, FutureSchemaIsSkewNamingBothVersions) {
+  const std::string text =
+      checkpoint_envelope_text(sample_payload(), kCheckpointSchema + 5);
+  try {
+    (void)verify_checkpoint_text(text, "future.json");
+    FAIL() << "expected CheckpointSchemaError";
+  } catch (const CheckpointSchemaError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("future.json"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(kCheckpointSchema + 5)), std::string::npos) << what;
+  }
+}
+
+TEST(Checkpoint, AtomicWriteLeavesNoTmpBehind) {
+  const fs::path path = temp_file("atomic");
+  write_checkpoint_file(path.string(), sample_payload());
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace plurality::io

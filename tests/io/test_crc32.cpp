@@ -1,0 +1,69 @@
+// CRC-32 (IEEE 802.3, reflected) — the checkpoint envelope's integrity
+// primitive. The check value below is the algorithm's published test
+// vector; getting it right pins polynomial, reflection, init, and xorout
+// all at once.
+#include "io/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace plurality::io {
+namespace {
+
+TEST(Crc32, MatchesThePublishedCheckValue) {
+  // Every CRC-32/IEEE implementation must map "123456789" to 0xCBF43926.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+  // Embedded NUL bytes are data, not terminators.
+  const std::string with_nul("a\0b", 3);
+  EXPECT_NE(crc32(with_nul), crc32("ab"));
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    std::uint32_t state = kCrc32Init;
+    state = crc32_update(state, text.data(), split);
+    state = crc32_update(state, text.data() + split, text.size() - split);
+    EXPECT_EQ(crc32_finalize(state), crc32(text)) << "split at " << split;
+  }
+}
+
+TEST(Crc32, SingleBitFlipsAlwaysChangeTheSum) {
+  // Not a proof (CRCs guarantee this for burst errors, and single-bit flips
+  // are 1-bit bursts) — a regression tripwire for table/finalize bugs.
+  const std::string base = "{\"trials\": 20, \"win_rate\": 0.85}";
+  const std::uint32_t reference = crc32(base);
+  for (std::size_t byte = 0; byte < base.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = base;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(crc32(flipped), reference) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32, HexRoundTrip) {
+  EXPECT_EQ(crc32_hex(0xCBF43926u), "cbf43926");
+  EXPECT_EQ(crc32_hex(0x00000001u), "00000001");
+  std::uint32_t value = 0;
+  EXPECT_TRUE(parse_crc32_hex("cbf43926", value));
+  EXPECT_EQ(value, 0xCBF43926u);
+  EXPECT_TRUE(parse_crc32_hex("00000000", value));
+  EXPECT_EQ(value, 0u);
+  // Strict: exactly 8 lowercase-or-uppercase hex digits, nothing else.
+  EXPECT_FALSE(parse_crc32_hex("", value));
+  EXPECT_FALSE(parse_crc32_hex("cbf4392", value));
+  EXPECT_FALSE(parse_crc32_hex("cbf439261", value));
+  EXPECT_FALSE(parse_crc32_hex("cbf4392g", value));
+  EXPECT_FALSE(parse_crc32_hex("0xcbf439", value));
+}
+
+}  // namespace
+}  // namespace plurality::io

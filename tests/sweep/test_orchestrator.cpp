@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "io/checkpoint.hpp"
 #include "scenario/scenario.hpp"
 #include "support/check.hpp"
 
@@ -96,9 +97,17 @@ TEST(Orchestrator, WritesManifestCellFilesAndAggregate) {
     EXPECT_EQ(entry.path().extension() == ".tmp", false) << entry.path();
   }
 
-  const io::JsonValue manifest = io::read_json_file((dir / "manifest.json").string());
-  EXPECT_EQ(manifest.at("schema_version").as_uint(), 1u);
+  // The manifest is a CRC-stamped checkpoint envelope; the payload carries
+  // the schema stamp and the cell table with statuses.
+  const io::JsonValue raw = io::read_json_file((dir / "manifest.json").string());
+  EXPECT_EQ(raw.at("checkpoint_schema").as_uint(), io::kCheckpointSchema);
+  EXPECT_TRUE(raw.contains("crc32"));
+  const io::JsonValue manifest = io::read_checkpoint_file((dir / "manifest.json").string());
+  EXPECT_EQ(manifest.at("schema_version").as_uint(), io::kCheckpointSchema);
   EXPECT_EQ(manifest.at("cells").size(), outcome.cells.size());
+  for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+    EXPECT_EQ(manifest.at("cells").item(i).at("status").as_string(), "done");
+  }
 }
 
 TEST(Orchestrator, ResumeSkipsCompletedCellsAndRecomputesMissing) {
@@ -171,8 +180,11 @@ TEST(Orchestrator, CorruptCellFileIsRecomputedNotTrusted) {
   const SweepOutcome resumed = run_sweep(sweep, options);
   EXPECT_EQ(resumed.ran, 1u);
   EXPECT_EQ(resumed.resumed, 3u);
-  // The recomputed file is valid again.
-  EXPECT_NO_THROW((void)io::read_json_file((dir / "cells" / "cell_00001.json").string()));
+  // The recomputed file verifies again, and the corrupt bytes were
+  // QUARANTINED (preserved as evidence), not silently deleted.
+  EXPECT_NO_THROW(
+      (void)io::read_checkpoint_file((dir / "cells" / "cell_00001.json").string()));
+  EXPECT_TRUE(fs::exists(dir / "cells" / "quarantine" / "cell_00001.json"));
 }
 
 TEST(Orchestrator, TrialsOverrideShrinksEveryCell) {
@@ -198,7 +210,7 @@ TEST(Orchestrator, ObserverProbesLandInCellFilesAndAggregate) {
     EXPECT_GE(cell.metrics.ttm_hits, 0.0) << cell.id;
     EXPECT_GE(cell.metrics.final_fraction_mean, 0.0) << cell.id;
     const io::JsonValue doc =
-        io::read_json_file((dir / "cells" / (cell.id + ".json")).string());
+        io::read_checkpoint_file((dir / "cells" / (cell.id + ".json")).string());
     EXPECT_TRUE(doc.at("observers").contains("m_plurality")) << cell.id;
     EXPECT_TRUE(fs::exists(dir / "cells" / (cell.id + "_trajectory.csv"))) << cell.id;
   }
