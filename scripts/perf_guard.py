@@ -117,6 +117,13 @@ def main():
             print(f"  [{status:>4}] {key[0]} / {key[1]} / {metric}: "
                   f"{meas:.3g} vs baseline {base:.3g} (floor {floor:.3g})")
 
+    rename_targets = set(renames.values())
+    for key in sorted(meas_cells):
+        if key in base_cells or key in rename_targets:
+            continue
+        print(f"  [new ] {key}: not in baseline document — unguarded until the "
+              f"committed baseline is regenerated")
+
     if checked == 0:
         print("perf_guard: no comparable cells — schema mismatch?", file=sys.stderr)
         return 1

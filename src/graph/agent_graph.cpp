@@ -31,6 +31,25 @@ AgentGraph AgentGraph::complete(count_t n) {
   return g;
 }
 
+AgentGraph AgentGraph::implicit(const ImplicitTopology& topo) {
+  PLURALITY_REQUIRE(topo.implicit(), "AgentGraph::implicit: empty descriptor");
+  if (topo.family == ImplicitTopology::Family::Gossip) {
+    // Gossip IS the implicit complete graph; tag the descriptor so the
+    // scenario layer can report how the graph was built.
+    AgentGraph g = complete(static_cast<count_t>(topo.n));
+    g.implicit_ = topo;
+    return g;
+  }
+  AgentGraph g;
+  g.n_ = static_cast<count_t>(topo.n);
+  g.complete_ = false;
+  g.arcs_ = topo.n * topo.degree;  // same count the arena twin would store
+  g.min_degree_ = static_cast<count_t>(topo.degree);
+  g.max_degree_ = static_cast<count_t>(topo.degree);
+  g.implicit_ = topo;
+  return g;
+}
+
 AgentGraph AgentGraph::from_topology(const Topology& topology) {
   if (topology.kind() == Topology::Kind::CompleteImplicit) {
     return complete(topology.num_nodes());
@@ -72,12 +91,13 @@ AgentGraph AgentGraph::from_edges(count_t n,
 count_t AgentGraph::degree(count_t v) const {
   PLURALITY_REQUIRE(v < n_, "AgentGraph::degree: node out of range");
   if (complete_) return n_;
+  if (is_implicit()) return static_cast<count_t>(implicit_.degree);
   return offsets()[v + 1] - offsets()[v];
 }
 
 std::span<const std::uint32_t> AgentGraph::neighbors_of(count_t v) const {
-  PLURALITY_REQUIRE(!complete_,
-                    "AgentGraph::neighbors_of: implicit complete graph has no list");
+  PLURALITY_REQUIRE(!complete_ && !is_implicit(),
+                    "AgentGraph::neighbors_of: implicit graph stores no list");
   PLURALITY_REQUIRE(v < n_, "AgentGraph::neighbors_of: node out of range");
   const std::uint64_t lo = offsets()[v];
   return {neighbors() + lo, static_cast<std::size_t>(offsets()[v + 1] - lo)};
@@ -87,6 +107,30 @@ std::span<const std::uint32_t> AgentGraph::neighbors_of(count_t v) const {
 
 void load_nodes(const Configuration& start, bool shuffle_layout,
                 const rng::StreamFactory& streams, GraphStepWorkspace& ws) {
+  if (ws.bytes_only) {
+    // The byte array IS the state. rng::shuffle's swap sequence depends
+    // only on the element count, so shuffling bytes here yields the same
+    // node->state assignment as the u32 path — bitwise-identical runs.
+    PLURALITY_REQUIRE(start.k() <= 256,
+                      "load_nodes: bytes-only mode needs k <= 256");
+    const std::size_t n = start.n();
+    ws.nodes8.resize(n + 4);
+    std::size_t pos = 0;
+    for (state_t j = 0; j < start.k(); ++j) {
+      const count_t c = start.at(j);
+      std::fill_n(ws.nodes8.begin() + static_cast<std::ptrdiff_t>(pos), c,
+                  static_cast<std::uint8_t>(j));
+      pos += c;
+    }
+    if (shuffle_layout) {
+      rng::Xoshiro256pp gen = streams.stream(kLayoutStream);
+      rng::shuffle(gen, ws.nodes8.data(), n);
+    }
+    std::fill_n(ws.nodes8.begin() + static_cast<std::ptrdiff_t>(n), 4,
+                std::uint8_t{0});  // SIMD tail slack
+    ws.mirror_fresh = true;  // nodes8 is authoritative by definition
+    return;
+  }
   ws.nodes.resize(start.n());
   std::size_t pos = 0;
   for (state_t j = 0; j < start.k(); ++j) {
@@ -112,14 +156,17 @@ void chunk_sweep(const Rule& rule, const TNode* nodes, TNode* mirror_out,
                  round_t round, GraphStepWorkspace& ws) {
   const std::size_t n = graph.num_nodes();
   const std::size_t chunk_size = (n + kGraphChunks - 1) / kGraphChunks;
-  state_t* out = ws.scratch.data();
+  // Bytes-only mode: no u32 array exists; publish() skips the wide write.
+  state_t* out = ws.bytes_only ? nullptr : ws.scratch.data();
   count_t* partials = ws.partials.data();
   const bool complete = graph.is_complete();
-  const std::uint64_t* offsets = complete ? nullptr : graph.offsets();
-  const std::uint32_t* neighbors = complete ? nullptr : graph.neighbors();
+  const bool implicit = graph.is_implicit();
+  const std::uint64_t* offsets = (complete || implicit) ? nullptr : graph.offsets();
+  const std::uint32_t* neighbors = (complete || implicit) ? nullptr : graph.neighbors();
   // Degree-uniform graphs (cycle, torus, random-regular) take the
   // specialized kernel: same results, no per-node offset loads.
-  const bool regular = !complete && graph.min_degree() == graph.max_degree();
+  const bool regular =
+      !complete && !implicit && graph.min_degree() == graph.max_degree();
   const std::uint64_t uniform_degree = regular ? graph.min_degree() : 0;
 
 #if defined(PLURALITY_HAVE_OPENMP)
@@ -135,6 +182,9 @@ void chunk_sweep(const Rule& rule, const TNode* nodes, TNode* mirror_out,
       if (complete) {
         kernels::run_chunk_complete(rule, nodes, out, mirror_out, local, lo, hi, n, k,
                                     gen);
+      } else if (implicit) {
+        kernels::run_chunk_implicit(rule, nodes, out, mirror_out, local, lo, hi,
+                                    graph.implicit_topology(), k, gen);
       } else if (regular) {
         kernels::run_chunk_regular(rule, nodes, out, mirror_out, local, lo, hi,
                                    neighbors, uniform_degree, k, gen);
@@ -161,7 +211,10 @@ void step_all_chunks(const Rule& rule, const AgentGraph& graph, Configuration& c
     // kernels.hpp); the explicit refresh below only runs when somebody
     // rewrote ws.nodes since the last sweep (trial start, adversary).
     std::uint8_t* mirror = ws.nodes8.data();
-    if (!ws.mirror_fresh) {
+    // Bytes-only mode has no u32 array to refresh from; load_nodes writes
+    // nodes8 directly and nothing else can stale it (corrupt_nodes rejects
+    // the mode).
+    if (!ws.bytes_only && !ws.mirror_fresh) {
       const state_t* nodes = ws.nodes.data();
 #if defined(PLURALITY_HAVE_OPENMP)
 #pragma omp parallel for schedule(static)
@@ -183,7 +236,7 @@ void step_all_chunks(const Rule& rule, const AgentGraph& graph, Configuration& c
     chunk_sweep(rule, ws.nodes.data(), no_mirror, graph, k, streams, round, ws);
   }
 
-  ws.nodes.swap(ws.scratch);
+  ws.nodes.swap(ws.scratch);  // no-op (both empty) in bytes-only mode
   std::fill(ws.counts.begin(), ws.counts.end(), count_t{0});
   for (unsigned chunk = 0; chunk < kGraphChunks; ++chunk) {
     const count_t* local = ws.partials.data() + static_cast<std::size_t>(chunk) * k;
@@ -200,8 +253,8 @@ void step_graph(const Dynamics& dynamics, const AgentGraph& graph,
   const count_t n = graph.num_nodes();
   PLURALITY_REQUIRE(config.n() == n, "step_graph: configuration has "
                                          << config.n() << " nodes but graph has " << n);
-  PLURALITY_REQUIRE(ws.nodes.size() == n,
-                    "step_graph: workspace holds " << ws.nodes.size()
+  PLURALITY_REQUIRE(ws.state_size() == n,
+                    "step_graph: workspace holds " << ws.state_size()
                         << " node states for " << n << " nodes — call load_nodes first");
   PLURALITY_REQUIRE(graph.is_complete() || graph.min_degree() >= 1,
                     "step_graph: isolated vertices cannot sample");

@@ -33,6 +33,7 @@
 #include "core/configuration.hpp"
 #include "core/dynamics.hpp"
 #include "graph/graph_workspace.hpp"
+#include "graph/implicit_topology.hpp"
 #include "graph/topology.hpp"
 #include "rng/stream.hpp"
 #include "support/types.hpp"
@@ -54,6 +55,14 @@ class AgentGraph {
   /// Implicit complete graph on n >= 1 nodes.
   static AgentGraph complete(count_t n);
 
+  /// Arena-free graph over an ImplicitTopology descriptor: the kernels
+  /// compute neighbor ids from the node id instead of gathering from the
+  /// CSR arena, so memory is O(1) and node ids are not bound by the
+  /// arena's 32-bit packing. A Gossip descriptor yields the implicit
+  /// complete graph (is_complete() true) — uniform pull over the whole
+  /// population is exactly the clique sampling model.
+  static AgentGraph implicit(const ImplicitTopology& topo);
+
   /// Packs an explicit (or implicit-complete) Topology.
   static AgentGraph from_topology(const Topology& topology);
 
@@ -64,6 +73,16 @@ class AgentGraph {
 
   [[nodiscard]] bool is_complete() const { return complete_; }
   [[nodiscard]] count_t num_nodes() const { return n_; }
+
+  /// True when neighbors are computed (ring/torus/lattice descriptors),
+  /// false for arena-backed and complete/gossip graphs (which have their
+  /// own dedicated sampling path).
+  [[nodiscard]] bool is_implicit() const {
+    return implicit_.family != ImplicitTopology::Family::None && !complete_;
+  }
+  /// The descriptor (family None on arena-backed graphs; family Gossip on
+  /// gossip-built complete graphs).
+  [[nodiscard]] const ImplicitTopology& implicit_topology() const { return implicit_; }
 
   /// Stored directed arcs (2x undirected edge count; 0 for the implicit
   /// complete graph).
@@ -97,6 +116,7 @@ class AgentGraph {
   std::uint64_t arcs_ = 0;
   count_t min_degree_ = 0;
   count_t max_degree_ = 0;
+  ImplicitTopology implicit_{};
   std::vector<std::uint64_t> arena_;
 };
 

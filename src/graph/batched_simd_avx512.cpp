@@ -183,7 +183,9 @@ void fused_kernel(const FusedArgs& args) {
       const __mmask16 isund = _mm512_cmpeq_epi32_mask(own, undecided);
       next = _mm512_mask_blend_epi32(isund, colored, seen);
     }
-    _mm512_storeu_si512(reinterpret_cast<__m512i*>(args.out32 + i), next);
+    if (args.out32 != nullptr) {  // absent in bytes-only mode
+      _mm512_storeu_si512(reinterpret_cast<__m512i*>(args.out32 + i), next);
+    }
     _mm_storeu_si128(reinterpret_cast<__m128i*>(args.out8 + i), _mm512_cvtepi32_epi8(next));
   }
   while (i < end) fused_scalar_node<Tag>(args, i++);

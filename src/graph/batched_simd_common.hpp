@@ -47,7 +47,7 @@ inline void fused_scalar_node(const FusedArgs& args, std::uint64_t i) {
     next = kernels::select(own == undecided, seen, colored);
   }
   args.out8[i] = static_cast<std::uint8_t>(next);
-  args.out32[i] = next;
+  if (args.out32 != nullptr) args.out32[i] = next;  // absent in bytes-only mode
 }
 
 }  // namespace plurality::graph::simd

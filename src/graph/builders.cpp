@@ -33,6 +33,27 @@ Topology torus(count_t rows, count_t cols) {
   return Topology::from_edges(n, edges);
 }
 
+Topology circulant_lattice(count_t n, count_t d) {
+  PLURALITY_REQUIRE(d >= 2 && d % 2 == 0,
+                    "circulant_lattice: degree must be even and >= 2, got " << d);
+  PLURALITY_REQUIRE(n >= d + 2,
+                    "circulant_lattice: degree " << d << " needs n >= " << d + 2
+                                                 << ", got " << n);
+  // Edge emission order (j outer, v inner) is the implicit-topology
+  // contract: ImplicitTopology::neighbor reproduces the resulting CSR row
+  // order arithmetically, so do not reorder these loops.
+  const count_t half = d / 2;
+  std::vector<std::pair<count_t, count_t>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * half);
+  for (count_t j = 1; j <= half; ++j) {
+    for (count_t v = 0; v < n; ++v) {
+      const count_t u = v + j >= n ? v + j - n : v + j;
+      edges.emplace_back(v, u);
+    }
+  }
+  return Topology::from_edges(n, edges);
+}
+
 Topology random_regular(count_t n, count_t d, rng::Xoshiro256pp& gen) {
   PLURALITY_REQUIRE(n >= 2 && d >= 1, "random_regular: need n >= 2, d >= 1");
   PLURALITY_REQUIRE((n * d) % 2 == 0, "random_regular: n*d must be even");

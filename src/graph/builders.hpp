@@ -14,6 +14,12 @@ Topology cycle(count_t n);
 /// rows x cols torus grid (4-regular, wrap-around; rows, cols >= 3).
 Topology torus(count_t rows, count_t cols);
 
+/// Circulant d-regular lattice: v ~ v +- j (mod n) for j = 1..d/2 (d even,
+/// 2 <= d <= n - 2). d = 2 is exactly cycle(n). The arena twin of
+/// ImplicitTopology::lattice — edge emission order is part of the implicit
+/// engine's bitwise contract (implicit_topology.hpp).
+Topology circulant_lattice(count_t n, count_t d);
+
 /// Random d-regular multigraph via the configuration model: d*n stubs
 /// paired uniformly (d*n must be even). Self-loops and parallel edges are
 /// re-paired with bounded retries; a handful may survive for tiny n, which

@@ -1,6 +1,7 @@
 #include "graph/graph_trials.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/observer.hpp"
 #include "rng/distributions.hpp"
@@ -12,10 +13,29 @@
 
 namespace plurality::graph {
 
+namespace {
+std::atomic<int> g_bytes_only_override{-1};
+}  // namespace
+
+bool graph_bytes_only_auto(count_t n, state_t k, bool has_adversary) {
+  const bool eligible = k <= 256 && !has_adversary;
+  const int mode = g_bytes_only_override.load(std::memory_order_relaxed);
+  if (mode == 0) return false;
+  if (mode == 1) return eligible;
+  return eligible && n >= kBytesOnlyAutoThreshold;
+}
+
+void set_graph_bytes_only_override(int mode) {
+  g_bytes_only_override.store(mode, std::memory_order_relaxed);
+}
+
 void corrupt_nodes(const Adversary& adversary, Configuration& config,
                    state_t num_colors, round_t round, rng::Xoshiro256pp& gen,
                    GraphStepWorkspace& ws) {
   const state_t k = config.k();
+  PLURALITY_REQUIRE(!ws.bytes_only,
+                    "corrupt_nodes: adversaries edit the u32 node array; the "
+                    "bytes-only memory mode never auto-enables with one wired in");
   PLURALITY_REQUIRE(ws.nodes.size() == config.n(),
                     "corrupt_nodes: workspace/config node count mismatch");
   ws.prepare_adversary(k);
@@ -97,6 +117,8 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
     const state_t num_colors = dynamics.num_colors(config.k());
     const state_t initial_plurality = config.plurality(num_colors);
 
+    ws.bytes_only = graph_bytes_only_auto(config.n(), config.k(),
+                                          options.adversary != nullptr);
     ws.prepare(config.n(), config.k());
     load_nodes(config, options.shuffle_layout, trial_streams, ws);
 

@@ -28,6 +28,22 @@ TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
                               const ConfigFactory& factory,
                               const CommonTrialOptions& options);
 
+/// Auto-enable threshold of the bytes-only memory mode (below, the u32
+/// arrays cost little and keep GraphSimulation-style state access around).
+inline constexpr count_t kBytesOnlyAutoThreshold = count_t{1} << 26;
+
+/// Memory-mode policy of run_graph_trials: true when trials at (n, k)
+/// should run bytes-only (state = the ~2n-byte double-buffered byte array,
+/// no u32 node arrays — bitwise-identical results, see
+/// GraphStepWorkspace::bytes_only). Requires k <= 256 and no adversary;
+/// auto-enables at n >= kBytesOnlyAutoThreshold, subject to
+/// set_graph_bytes_only_override.
+bool graph_bytes_only_auto(count_t n, state_t k, bool has_adversary);
+
+/// Test/bench hook: -1 = auto threshold (default), 0 = never, 1 = always
+/// when eligible (k <= 256, no adversary).
+void set_graph_bytes_only_override(int mode);
+
 /// Convenience overload: every trial starts from the same configuration.
 TrialSummary run_graph_trials(const Dynamics& dynamics, const AgentGraph& graph,
                               const Configuration& start,

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/engine_mode.hpp"
+#include "support/check.hpp"
 #include "support/types.hpp"
 
 namespace plurality::graph {
@@ -53,6 +54,15 @@ struct GraphStepWorkspace {
   std::vector<std::uint8_t> nodes8;
   std::vector<std::uint8_t> scratch8;
   bool mirror_fresh = false;
+  /// Bytes-only memory mode: the byte arrays above ARE the whole node
+  /// state and the u32 nodes/scratch arrays are never allocated, so a
+  /// trial's state is ~2n bytes instead of ~10n — the difference between
+  /// fitting and not fitting n = 10^9 in RAM. Requires k <= 256 and no
+  /// adversary (corrupt_nodes edits the u32 array). Results are bitwise
+  /// identical: with k <= 256 the kernels already sample from the byte
+  /// mirror, and the u32 writes they skip were redundant copies. Set
+  /// BEFORE prepare()/load_nodes(); flipping it mid-trial is undefined.
+  bool bytes_only = false;
   /// kGraphChunks x k per-chunk partial counts.
   std::vector<count_t> partials;
   /// k-entry reduction of partials (the published next configuration).
@@ -73,8 +83,13 @@ struct GraphStepWorkspace {
   /// Sizes every buffer for an (n, k) instance; allocation-free once the
   /// workspace has seen these sizes (buffers only ever grow in capacity).
   void prepare(count_t n, state_t k) {
-    nodes.resize(n);
-    scratch.resize(n);
+    PLURALITY_REQUIRE(!bytes_only || k <= 256,
+                      "GraphStepWorkspace: bytes-only mode needs k <= 256, got "
+                          << static_cast<unsigned>(k));
+    if (!bytes_only) {
+      nodes.resize(n);
+      scratch.resize(n);
+    }
     if (k <= 256) {
       // +4 bytes of tail slack: the batched SIMD gathers read the byte
       // mirror through 32-bit lane loads (value masked to the low byte), so
@@ -85,6 +100,15 @@ struct GraphStepWorkspace {
     }
     partials.resize(static_cast<std::size_t>(kGraphChunks) * k);
     counts.resize(k);
+  }
+
+  /// Node count the workspace currently holds states for — ws.nodes.size()
+  /// normally, the byte array (minus its 4 bytes of SIMD tail slack) in
+  /// bytes-only mode. The steppers' "call load_nodes first" checks go
+  /// through here so they work in either memory mode.
+  [[nodiscard]] std::size_t state_size() const {
+    if (!bytes_only) return nodes.size();
+    return nodes8.size() >= 4 ? nodes8.size() - 4 : 0;
   }
 
   /// Extra buffers used only when an adversary is wired in.

@@ -20,6 +20,7 @@
 #include <type_traits>
 
 #include "core/dynamics.hpp"
+#include "graph/implicit_topology.hpp"
 #include "rng/xoshiro.hpp"
 #include "support/types.hpp"
 
@@ -72,6 +73,21 @@ struct CsrSampler {
   std::uint64_t degree;
   state_t operator()(rng::Xoshiro256pp& gen) const {
     return nodes[neighbors[uniform_below(gen, degree)]];
+  }
+};
+
+/// Implicit neighborhood: the neighbor id is arithmetic on the node id
+/// (implicit_topology.hpp) instead of an arena load. Draws the SAME
+/// uniform_below(gen, degree) index the CSR sampler would and
+/// ImplicitTopology::neighbor reproduces the arena twin's row order, so
+/// runs are bitwise-identical to the arena-backed graph.
+template <typename TNode>
+struct ImplicitSampler {
+  const TNode* nodes;
+  const ImplicitTopology* topo;
+  std::uint64_t v;
+  state_t operator()(rng::Xoshiro256pp& gen) const {
+    return nodes[topo->neighbor(v, uniform_below(gen, topo->degree))];
   }
 };
 
@@ -233,13 +249,14 @@ struct GenericRule {
 
 // --- Chunk drivers. -----------------------------------------------------
 
-/// Publishes one node's next state: the state_t scratch always; the byte
-/// mirror's double buffer too when the sweep runs on the narrow mirror
-/// (next round then reuses it with no refresh pass).
+/// Publishes one node's next state: the state_t scratch (null in the
+/// bytes-only memory mode, where the byte mirror is the whole state); the
+/// byte mirror's double buffer too when the sweep runs on the narrow
+/// mirror (next round then reuses it with no refresh pass).
 template <typename TNode>
 inline void publish(state_t* out, TNode* mirror_out, count_t* local, std::size_t i,
                     state_t next) {
-  out[i] = next;
+  if (out != nullptr) out[i] = next;
   if constexpr (!std::is_same_v<TNode, state_t>) {
     mirror_out[i] = static_cast<TNode>(next);
   }
@@ -289,6 +306,22 @@ inline void run_chunk_csr(const Rule& rule, const TNode* __restrict nodes,
   for (std::size_t i = lo; i < hi; ++i) {
     step_one_csr(rule, nodes, out, mirror_out, local, i, offsets, neighbors, states,
                  gen);
+  }
+}
+
+/// Steps nodes [lo, hi) of an implicit topology (ring/torus/lattice
+/// descriptors): neighbor ids computed from the node id, no arena at all.
+/// Bitwise-equal to run_chunk_csr/run_chunk_regular on the arena twin
+/// (same index draws, same neighbor order — see implicit_topology.hpp).
+template <class Rule, typename TNode>
+inline void run_chunk_implicit(const Rule& rule, const TNode* __restrict nodes,
+                               state_t* __restrict out, TNode* __restrict mirror_out,
+                               count_t* __restrict local, std::size_t lo,
+                               std::size_t hi, const ImplicitTopology& topo,
+                               state_t states, rng::Xoshiro256pp& gen) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const ImplicitSampler<TNode> sample{nodes, &topo, i};
+    publish(out, mirror_out, local, i, rule(nodes[i], states, sample, gen));
   }
 }
 

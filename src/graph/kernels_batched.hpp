@@ -249,6 +249,24 @@ struct BatchedRegularSampler {
   }
 };
 
+/// Implicit topology (ring/torus/lattice descriptors): neighbor ids are
+/// arithmetic on the node id (implicit_topology.hpp), no arena gather.
+/// Same scale_word(x, degree) index draws as the CSR samplers and the
+/// descriptor reproduces the arena twin's row order, so batched runs are
+/// bitwise-identical to the arena-backed graph.
+template <typename TS>
+struct BatchedImplicitSampler {
+  const TS* nodes;
+  ImplicitTopology topo;
+  std::uint64_t bound(std::size_t) const { return topo.degree; }
+  TS state(std::size_t node, std::uint32_t idx) const {
+    return nodes[topo.neighbor(node, idx)];
+  }
+  const TS* prefetch_target(std::size_t node, std::uint32_t idx) const {
+    return nodes + topo.neighbor(node, idx);
+  }
+};
+
 /// General CSR graph (per-node offsets and degrees).
 template <typename TS>
 struct BatchedCsrSampler {
@@ -272,7 +290,8 @@ struct BatchedCsrSampler {
 // them verbatim.
 
 /// Pass 4: apply the rule over the tile's gathered planes and publish into
-/// the state_t scratch (+ byte mirror when TS is byte-wide).
+/// the state_t scratch (null in the bytes-only memory mode, where the byte
+/// mirror is the whole state) + byte mirror when TS is byte-wide.
 template <class Rule, typename TNode, typename TS>
 inline void apply_tile(const Rule& rule, unsigned arity, const TNode* nodes,
                        state_t* out, TNode* mirror_out, state_t states,
@@ -282,7 +301,7 @@ inline void apply_tile(const Rule& rule, unsigned arity, const TNode* nodes,
     // Planes are node-major per tile: sample s of node i at [s*stride + i].
     const state_t next = rule.apply(static_cast<state_t>(nodes[base + i]), states,
                                     sample_states + i, plane_stride, tie_words + i);
-    out[base + i] = next;
+    if (out != nullptr) out[base + i] = next;
     if constexpr (!std::is_same_v<TNode, state_t>) {
       mirror_out[base + i] = static_cast<TNode>(next);
     }

@@ -169,11 +169,15 @@ void step_batched_all(const Rule& rule, unsigned arity, unsigned tie_words,
       rng::Philox4x32::key_from_seed(streams.master_seed(), kb::kBatchedKeyTag);
   const std::size_t chunk_size = (n + kGraphChunks - 1) / kGraphChunks;
   const bool complete = graph.is_complete();
-  const bool regular = !complete && graph.min_degree() == graph.max_degree();
+  const bool implicit = graph.is_implicit();
+  const bool regular =
+      !complete && !implicit && graph.min_degree() == graph.max_degree();
   const std::uint64_t uniform_degree = regular ? graph.min_degree() : 0;
   const simd::Ops* ops = active_ops();
   count_t* partials = ws.partials.data();
-  state_t* out = ws.scratch.data();
+  // Bytes-only mode: no u32 scratch exists; apply_tile and the fused SIMD
+  // kernels skip the wide write on a null out pointer.
+  state_t* out = ws.bytes_only ? nullptr : ws.scratch.data();
 
   const auto sweep = [&](auto nodes_ptr, auto* mirror_out) {
     using TNode = std::remove_const_t<std::remove_pointer_t<decltype(nodes_ptr)>>;
@@ -213,6 +217,11 @@ void step_batched_all(const Rule& rule, unsigned arity, unsigned tie_words,
         const kb::BatchedCompleteSampler<TNode> sampler{nodes_ptr, n};
         batched_chunk(rule, arity, tie_words, key, round, n_pad, sampler, nodes_ptr, out,
                       mirror_out, k, lo, hi, ops, fused_proto, local, k);
+      } else if (implicit) {
+        const kb::BatchedImplicitSampler<TNode> sampler{nodes_ptr,
+                                                        graph.implicit_topology()};
+        batched_chunk(rule, arity, tie_words, key, round, n_pad, sampler, nodes_ptr, out,
+                      mirror_out, k, lo, hi, ops, fused_proto, local, k);
       } else if (regular) {
         const kb::BatchedRegularSampler<TNode> sampler{nodes_ptr, graph.neighbors(),
                                                        uniform_degree};
@@ -231,7 +240,9 @@ void step_batched_all(const Rule& rule, unsigned arity, unsigned tie_words,
     // Byte-mirror path (same rationale as the strict engine: the random
     // sample loads hit a 4x denser array; values identical either way).
     std::uint8_t* mirror = ws.nodes8.data();
-    if (!ws.mirror_fresh) {
+    // Bytes-only mode: load_nodes writes nodes8 directly; there is no u32
+    // array to refresh from (and corrupt_nodes rejects the mode).
+    if (!ws.bytes_only && !ws.mirror_fresh) {
       const state_t* nodes = ws.nodes.data();
 #if defined(PLURALITY_HAVE_OPENMP)
 #pragma omp parallel for schedule(static)
@@ -252,7 +263,7 @@ void step_batched_all(const Rule& rule, unsigned arity, unsigned tie_words,
     sweep(static_cast<const state_t*>(ws.nodes.data()), no_mirror);
   }
 
-  ws.nodes.swap(ws.scratch);
+  ws.nodes.swap(ws.scratch);  // no-op (both empty) in bytes-only mode
   std::fill(ws.counts.begin(), ws.counts.end(), count_t{0});
   for (unsigned chunk = 0; chunk < kGraphChunks; ++chunk) {
     const count_t* local = ws.partials.data() + static_cast<std::size_t>(chunk) * k;
@@ -279,12 +290,18 @@ void step_graph_batched(const Dynamics& dynamics, const AgentGraph& graph,
   const count_t n = graph.num_nodes();
   PLURALITY_REQUIRE(config.n() == n, "step_graph_batched: configuration has "
                                          << config.n() << " nodes but graph has " << n);
-  PLURALITY_REQUIRE(ws.nodes.size() == n,
+  PLURALITY_REQUIRE(ws.state_size() == n,
                     "step_graph_batched: workspace holds "
-                        << ws.nodes.size() << " node states for " << n
+                        << ws.state_size() << " node states for " << n
                         << " nodes — call load_nodes first");
   PLURALITY_REQUIRE(graph.is_complete() || graph.min_degree() >= 1,
                     "step_graph_batched: isolated vertices cannot sample");
+  // scale_word (kernels_batched.hpp) requires every sample bound < 2^32;
+  // sparse graphs satisfy it by the arena's 32-bit ids, the clique/gossip
+  // bound is n itself.
+  PLURALITY_REQUIRE(!graph.is_complete() || n <= 0xffffffffULL,
+                    "step_graph_batched: the clique/gossip sample bound must fit "
+                    "32 bits (n=" << n << ")");
   ws.prepare(n, config.k());
 
   // Fixed-arity rules: the word-plane layout (arity + tie words) comes from

@@ -7,12 +7,28 @@
 #include <utility>
 
 #include "graph/builders.hpp"
+#include "graph/implicit_topology.hpp"
 #include "support/check.hpp"
 #include "support/specs.hpp"
 
 namespace plurality::graph {
 
 namespace {
+
+/// The CSR arena packs neighbor ids as u32, and the batched clique/gossip
+/// sampler's index conversion (scale_word) needs its bound < 2^32 — both
+/// cap n at this value on their respective paths.
+constexpr count_t kU32Max = 4294967295ULL;
+
+/// Arena-backed topologies stop here; the named escape hatches do not.
+void require_arena_ids(const std::string& spec, count_t n) {
+  PLURALITY_REQUIRE(n <= kU32Max,
+                    "topology '" << spec << "': node ids are 32-bit in the CSR "
+                    "arena, so n is capped at 4294967295 (got " << n << "); for "
+                    "larger populations use an implicit topology — 'ring', "
+                    "'torus', 'lattice:<d>' (with topology_backend=implicit or "
+                    "auto) have no id cap");
+}
 
 std::uint64_t parse_uint_field(const std::string& text, const std::string& spec,
                                const char* what) {
@@ -57,14 +73,26 @@ std::pair<count_t, count_t> torus_shape(const std::string& arg, const std::strin
                       "topology '" << spec << "': expected 'torus:<r>x<c>'");
     rows = parse_uint_field(arg.substr(0, x), spec, "rows");
     cols = parse_uint_field(arg.substr(x + 1), spec, "cols");
-    PLURALITY_REQUIRE(rows * cols == n, "topology '" << spec << "': " << rows << "x" << cols
-                                                     << " = " << rows * cols
-                                                     << " does not match n = " << n);
+    // 128-bit product: r*c must not silently wrap u64 before the comparison.
+    const auto product = static_cast<__uint128_t>(rows) * cols;
+    PLURALITY_REQUIRE(product == n, "topology '" << spec << "': " << rows << "x" << cols
+                                                 << " does not match n = " << n);
   }
   PLURALITY_REQUIRE(rows >= 3 && cols >= 3,
                     "topology '" << spec << "': torus sides must be >= 3 (got " << rows
                                  << "x" << cols << ")");
   return {rows, cols};
+}
+
+count_t lattice_degree(const std::string& arg, const std::string& spec, count_t n) {
+  PLURALITY_REQUIRE(!arg.empty(),
+                    "topology 'lattice': needs an even degree, e.g. 'lattice:8'");
+  const count_t d = parse_uint_field(arg, spec, "degree");
+  PLURALITY_REQUIRE(d >= 2 && d % 2 == 0,
+                    "topology '" << spec << "': degree must be even and >= 2, got " << d);
+  PLURALITY_REQUIRE(n >= d + 2, "topology '" << spec << "': degree " << d
+                                             << " needs n >= " << d + 2 << ", got " << n);
+  return d;
 }
 
 count_t regular_degree(const std::string& arg, const std::string& spec, count_t n) {
@@ -134,17 +162,35 @@ std::uint64_t gnm_edges(const std::string& arg, const std::string& spec, count_t
 }
 
 constexpr const char* kUnknownMessage =
-    "; known: clique, ring, torus[:<r>x<c>], regular:<d>, er:<p>, gnm:<m>, edges:<path>";
+    "; known: clique, gossip, ring, torus[:<r>x<c>], lattice:<d>, regular:<d>, "
+    "er:<p>, gnm:<m>, edges:<path>";
 
 }  // namespace
 
 bool topology_is_clique(const std::string& spec) { return spec == "clique"; }
+
+bool topology_is_implicit_capable(const std::string& spec) {
+  const auto [kind, arg] = split_spec(spec);
+  (void)arg;
+  return kind == "clique" || kind == "gossip" || kind == "ring" || kind == "torus" ||
+         kind == "lattice";
+}
 
 void validate_topology_spec(const std::string& spec, count_t n) {
   PLURALITY_REQUIRE(n >= 1, "topology '" << spec << "': n must be >= 1");
   const auto [kind, arg] = split_spec(spec);
   if (kind == "clique") {
     PLURALITY_REQUIRE(arg.empty(), "topology 'clique' takes no argument");
+    PLURALITY_REQUIRE(n <= kU32Max,
+                      "topology 'clique': the batched engine's sample bound is n "
+                      "itself and must fit 32 bits (got " << n << ")");
+    return;
+  }
+  if (kind == "gossip") {
+    PLURALITY_REQUIRE(arg.empty(), "topology 'gossip' takes no argument");
+    PLURALITY_REQUIRE(n <= kU32Max,
+                      "topology 'gossip': the batched engine's sample bound is n "
+                      "itself and must fit 32 bits (got " << n << ")");
     return;
   }
   if (kind == "ring") {
@@ -156,19 +202,27 @@ void validate_topology_spec(const std::string& spec, count_t n) {
     (void)torus_shape(arg, spec, n);
     return;
   }
+  if (kind == "lattice") {
+    (void)lattice_degree(arg, spec, n);
+    return;
+  }
   if (kind == "regular") {
+    require_arena_ids(spec, n);
     (void)regular_degree(arg, spec, n);
     return;
   }
   if (kind == "er") {
+    require_arena_ids(spec, n);
     (void)er_edges(arg, spec, n);
     return;
   }
   if (kind == "gnm") {
+    require_arena_ids(spec, n);
     (void)gnm_edges(arg, spec, n);
     return;
   }
   if (kind == "edges") {
+    require_arena_ids(spec, n);
     PLURALITY_REQUIRE(!arg.empty(), "topology 'edges': needs a file path, e.g. "
                                     "'edges:graph.txt'");
     const std::ifstream probe(arg);
@@ -184,27 +238,45 @@ AgentGraph make_topology(const std::string& spec, count_t n, rng::Xoshiro256pp& 
     PLURALITY_REQUIRE(arg.empty(), "topology 'clique' takes no argument");
     return AgentGraph::complete(n);
   }
+  if (kind == "gossip") {
+    PLURALITY_REQUIRE(arg.empty(), "topology 'gossip' takes no argument");
+    PLURALITY_REQUIRE(n <= kU32Max,
+                      "topology 'gossip': the batched engine's sample bound is n "
+                      "itself and must fit 32 bits (got " << n << ")");
+    return AgentGraph::implicit(ImplicitTopology::gossip(n));
+  }
   if (kind == "ring") {
     PLURALITY_REQUIRE(arg.empty(), "topology 'ring' takes no argument");
+    require_arena_ids(spec, n);
     return AgentGraph::from_topology(cycle(n));
   }
   if (kind == "torus") {
     const auto [rows, cols] = torus_shape(arg, spec, n);
+    require_arena_ids(spec, n);
     return AgentGraph::from_topology(torus(rows, cols));
   }
+  if (kind == "lattice") {
+    const count_t d = lattice_degree(arg, spec, n);
+    require_arena_ids(spec, n);
+    return AgentGraph::from_topology(circulant_lattice(n, d));
+  }
   if (kind == "regular") {
+    require_arena_ids(spec, n);
     const count_t d = regular_degree(arg, spec, n);
     return AgentGraph::from_topology(random_regular(n, d, gen));
   }
   if (kind == "er") {
+    require_arena_ids(spec, n);
     const std::uint64_t m = er_edges(arg, spec, n);
     return AgentGraph::from_topology(erdos_renyi(n, m, gen, /*patch_isolated=*/true));
   }
   if (kind == "gnm") {
+    require_arena_ids(spec, n);
     const std::uint64_t m = gnm_edges(arg, spec, n);
     return AgentGraph::from_topology(erdos_renyi(n, m, gen, /*patch_isolated=*/true));
   }
   if (kind == "edges") {
+    require_arena_ids(spec, n);
     PLURALITY_REQUIRE(!arg.empty(), "topology 'edges': needs a file path, e.g. "
                                     "'edges:graph.txt'");
     const auto edges = read_edge_list(arg, n);
@@ -214,9 +286,40 @@ AgentGraph make_topology(const std::string& spec, count_t n, rng::Xoshiro256pp& 
   return AgentGraph();  // unreachable
 }
 
+AgentGraph make_topology_implicit(const std::string& spec, count_t n) {
+  const auto [kind, arg] = split_spec(spec);
+  if (kind == "clique") {
+    PLURALITY_REQUIRE(arg.empty(), "topology 'clique' takes no argument");
+    return AgentGraph::complete(n);
+  }
+  if (kind == "gossip") {
+    PLURALITY_REQUIRE(arg.empty(), "topology 'gossip' takes no argument");
+    PLURALITY_REQUIRE(n <= kU32Max,
+                      "topology 'gossip': the batched engine's sample bound is n "
+                      "itself and must fit 32 bits (got " << n << ")");
+    return AgentGraph::implicit(ImplicitTopology::gossip(n));
+  }
+  if (kind == "ring") {
+    PLURALITY_REQUIRE(arg.empty(), "topology 'ring' takes no argument");
+    return AgentGraph::implicit(ImplicitTopology::ring(n));
+  }
+  if (kind == "torus") {
+    const auto [rows, cols] = torus_shape(arg, spec, n);
+    return AgentGraph::implicit(ImplicitTopology::torus(rows, cols));
+  }
+  if (kind == "lattice") {
+    const count_t d = lattice_degree(arg, spec, n);
+    return AgentGraph::implicit(ImplicitTopology::lattice(n, d));
+  }
+  PLURALITY_REQUIRE(false, "topology '" << spec << "' has no implicit form; "
+                    "implicit-capable: clique, gossip, ring, torus[:<r>x<c>], "
+                    "lattice:<d>");
+  return AgentGraph();  // unreachable
+}
+
 std::vector<std::string> topology_names() {
-  return {"clique", "ring", "torus", "torus:<r>x<c>", "regular:<d>", "er:<p>",
-          "gnm:<m>", "edges:<path>"};
+  return {"clique", "gossip", "ring", "torus", "torus:<r>x<c>", "lattice:<d>",
+          "regular:<d>", "er:<p>", "gnm:<m>", "edges:<path>"};
 }
 
 }  // namespace plurality::graph

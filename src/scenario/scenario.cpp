@@ -39,11 +39,20 @@ Scenario Scenario::compile(const ScenarioSpec& spec) {
 
   compiled.use_graph_ = backend == "graph";
   if (compiled.use_graph_) {
-    // Topology randomness lives on its own stream family so the SAME seed
-    // reproduces the same random graph without touching trial streams.
-    rng::Xoshiro256pp topo_gen =
-        rng::StreamFactory(spec.seed).child(kTopologyStreamTag).stream(0);
-    compiled.graph_ = graph::make_topology(spec.topology, spec.n, topo_gen);
+    // topology_backend "auto" resolves here (echoed into the resolved spec
+    // like `backend` above). Implicit builds are deterministic and
+    // arena-free; arena builds draw their randomness from a dedicated
+    // stream family so the SAME seed reproduces the same random graph
+    // without touching trial streams.
+    const std::string topo_backend = spec.resolved_topology_backend();
+    compiled.spec_.topology_backend = topo_backend;
+    if (topo_backend == "implicit") {
+      compiled.graph_ = graph::make_topology_implicit(spec.topology, spec.n);
+    } else {
+      rng::Xoshiro256pp topo_gen =
+          rng::StreamFactory(spec.seed).child(kTopologyStreamTag).stream(0);
+      compiled.graph_ = graph::make_topology(spec.topology, spec.n, topo_gen);
+    }
   }
 
   CommonTrialOptions& options = compiled.options_;

@@ -9,6 +9,7 @@
 #include "core/adversary.hpp"
 #include "core/registry.hpp"
 #include "core/workloads.hpp"
+#include "graph/implicit_topology.hpp"
 #include "graph/topology_registry.hpp"
 #include "support/check.hpp"
 #include "support/specs.hpp"
@@ -63,6 +64,8 @@ void assign_field(ScenarioSpec& spec, const std::string& key, const io::JsonValu
     spec.engine = value.as_string();
   } else if (key == "stop") {
     spec.stop = value.as_string();
+  } else if (key == "topology_backend") {
+    spec.topology_backend = value.as_string();
   } else if (key == "n") {
     spec.n = value.as_uint();
   } else if (key == "k") {
@@ -83,8 +86,8 @@ void assign_field(ScenarioSpec& spec, const std::string& key, const io::JsonValu
     PLURALITY_REQUIRE(false,
                       "scenario: unknown field '"
                           << key << "'; known: dynamics, workload, topology, adversary, "
-                          << "backend, engine, stop, n, k, trials, seed, max_rounds, "
-                          << "parallel, shuffle_layout");
+                          << "backend, engine, stop, topology_backend, n, k, trials, "
+                          << "seed, max_rounds, parallel, shuffle_layout");
   }
 }
 
@@ -99,6 +102,17 @@ std::string resolve_backend_impl(const ScenarioSpec& spec, const Dynamics& dyn) 
   // backend has no batched pipeline; the graph engine's implicit clique
   // does.
   return spec.engine == "batched" ? "graph" : "agent";
+}
+
+/// The topology backend "auto" denotes (shared by validate() and
+/// Scenario::compile() so both always agree on what gets built).
+std::string resolve_topology_backend_impl(const ScenarioSpec& spec) {
+  if (spec.topology_backend != "auto") return spec.topology_backend;
+  if (!graph::topology_is_implicit_capable(spec.topology)) return "arena";
+  const std::string kind = split_spec(spec.topology).kind;
+  // Clique/gossip store nothing either way; report them as implicit.
+  if (kind == "clique" || kind == "gossip") return "implicit";
+  return spec.n >= graph::kImplicitAutoThreshold ? "implicit" : "arena";
 }
 
 }  // namespace
@@ -176,6 +190,7 @@ io::JsonValue ScenarioSpec::to_json() const {
   doc.set("backend", backend);
   doc.set("engine", engine);
   doc.set("stop", stop);
+  doc.set("topology_backend", topology_backend);
   doc.set("n", std::uint64_t{n});
   doc.set("k", std::uint64_t{k});
   doc.set("trials", trials);
@@ -190,7 +205,8 @@ std::string ScenarioSpec::to_spec_string() const {
   std::ostringstream os;
   os << "dynamics=" << dynamics << " workload=" << workload << " topology=" << topology
      << " adversary=" << adversary << " backend=" << backend << " engine=" << engine
-     << " stop=" << stop << " n=" << n << " k=" << k << " trials=" << trials
+     << " stop=" << stop << " topology_backend=" << topology_backend << " n=" << n
+     << " k=" << k << " trials=" << trials
      << " seed=" << seed << " max_rounds=" << max_rounds
      << " parallel=" << (parallel ? "true" : "false")
      << " shuffle_layout=" << (shuffle_layout ? "true" : "false");
@@ -200,6 +216,11 @@ std::string ScenarioSpec::to_spec_string() const {
 std::string ScenarioSpec::resolved_backend() const {
   validate();
   return resolve_backend_impl(*this, *make_dynamics(dynamics));
+}
+
+std::string ScenarioSpec::resolved_topology_backend() const {
+  validate();
+  return resolve_topology_backend_impl(*this);
 }
 
 void ScenarioSpec::validate() const {
@@ -229,6 +250,28 @@ void ScenarioSpec::validate() const {
                         backend == "graph",
                     "scenario: backend must be auto/count/agent/graph, got '" << backend
                                                                               << "'");
+  PLURALITY_REQUIRE(topology_backend == "auto" || topology_backend == "arena" ||
+                        topology_backend == "implicit",
+                    "scenario: topology_backend must be auto/arena/implicit, got '"
+                        << topology_backend << "'");
+  if (topology_backend == "implicit") {
+    PLURALITY_REQUIRE(graph::topology_is_implicit_capable(topology),
+                      "scenario: topology '" << topology << "' has no implicit form; "
+                      "implicit-capable: clique, gossip, ring, torus[:<r>x<c>], "
+                      "lattice:<d>; use topology_backend 'arena' (or 'auto')");
+  }
+  if (topology_backend == "arena") {
+    const std::string topo_kind = split_spec(topology).kind;
+    PLURALITY_REQUIRE(topo_kind != "clique" && topo_kind != "gossip",
+                      "scenario: topology '" << topology << "' is implicit by "
+                      "construction (there is no CSR arena to build); use "
+                      "topology_backend 'implicit' or 'auto'");
+    PLURALITY_REQUIRE(n <= 4294967295ULL,
+                      "scenario: topology_backend 'arena' packs node ids as u32, "
+                      "capping n at 4294967295 (got " << n << "); use "
+                      "topology_backend 'implicit' (ring, torus, lattice:<d>) or "
+                      "topology 'gossip'");
+  }
 
   const bool clique = graph::topology_is_clique(topology);
   const state_t states = dyn->num_states(k);

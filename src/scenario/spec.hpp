@@ -50,6 +50,21 @@ struct ScenarioSpec {
   ///   "any-reaches:<T>"   some color holds >= T nodes (Theorem 2 runs)
   /// Predicates are count-path only (the graph driver stops on consensus).
   std::string stop = "consensus";
+  /// How the graph backend materializes the topology:
+  ///   "auto"      implicit whenever the topology has an implicit form and
+  ///               it pays off — always for clique/gossip (arena-free by
+  ///               construction), for ring/torus/lattice:<d> once
+  ///               n >= 2^22 (graph::kImplicitAutoThreshold); arena below
+  ///               that (cheap, and keeps the fused SIMD CSR kernels).
+  ///   "arena"     force the CSR arena build (caps n at 2^32 - 1 node ids;
+  ///               rejects clique/gossip, which have no arena form)
+  ///   "implicit"  force arithmetic neighborhoods (clique, gossip, ring,
+  ///               torus, lattice:<d> only; no id cap beyond clique/gossip's
+  ///               batched sample bound)
+  /// Implicit ring/torus/lattice are bitwise-identical to their arena
+  /// builds, so this knob never changes results — only memory and the
+  /// reachable n. Ignored by the count/agent backends.
+  std::string topology_backend = "auto";
   count_t n = 10'000;
   state_t k = 3;
   std::uint64_t trials = 20;
@@ -98,6 +113,12 @@ struct ScenarioSpec {
   /// The backend "auto" resolves to under this spec's topology, dynamics,
   /// and engine (identity for explicit backends). validate()s first.
   [[nodiscard]] std::string resolved_backend() const;
+
+  /// The topology backend ("arena" or "implicit") this spec's graph would
+  /// be built with (identity for explicit values, auto rule above
+  /// otherwise). validate()s first. Meaningful only when the trial backend
+  /// resolves to "graph".
+  [[nodiscard]] std::string resolved_topology_backend() const;
 };
 
 /// A parsed `stop` field (shared by validate() and Scenario::compile()).

@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <string>
 
+#include "graph/graph_trials.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
 #endif
@@ -12,25 +14,49 @@ namespace plurality::sweep {
 
 namespace {
 
+// Saturating u64 arithmetic: estimates feed a "fits / cannot fit"
+// comparison, so wrapping is the one failure mode preflight must never
+// have — a clique at n = 7e9 once wrapped (n*(n-1))/2 to a small number
+// and sailed through the budget check. Saturated values compare as
+// "cannot fit", which is always the safe answer.
+constexpr std::uint64_t kSatMax = ~std::uint64_t{0};
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  const auto wide = static_cast<__uint128_t>(a) * b;
+  return wide > kSatMax ? kSatMax : static_cast<std::uint64_t>(wide);
+}
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t sum = a + b;
+  return sum < a ? kSatMax : sum;
+}
+
+std::uint64_t sat_from_double(double v) {
+  if (!(v > 0.0)) return 0;
+  if (v >= 1.8e19) return kSatMax;  // below kSatMax, above any real estimate
+  return static_cast<std::uint64_t>(v);
+}
+
 /// Edge-count upper bound for the packed CSR, from the topology grammar
 /// (graph/topology_registry.hpp). Unknown/garbled arguments fall back to
 /// the clique worst case — preflight must never under-estimate.
 std::uint64_t estimate_edges(const std::string& topology, std::uint64_t n) {
-  const std::uint64_t clique_edges = (n * (n - 1)) / 2;
+  const std::uint64_t clique_edges = sat_mul(n, n > 0 ? n - 1 : 0) / 2;
   const std::size_t colon = topology.find(':');
   const std::string kind = topology.substr(0, colon);
   const std::string arg = colon == std::string::npos ? "" : topology.substr(colon + 1);
   try {
-    if (kind == "clique") return clique_edges;
+    if (kind == "clique" || kind == "gossip") return clique_edges;
     if (kind == "ring") return n;
-    if (kind == "torus") return 2 * n;
-    if (kind == "regular") return (std::stoull(arg) * n + 1) / 2;
+    if (kind == "torus") return sat_mul(2, n);
+    if (kind == "lattice") return sat_mul(std::stoull(arg), n) / 2;
+    if (kind == "regular") return sat_add(sat_mul(std::stoull(arg), n), 1) / 2;
     if (kind == "gnm") return std::stoull(arg);
     if (kind == "er") {
       const double p = std::stod(arg);
       // Mean p*C(n,2) plus slack for the binomial tail.
       const double mean = p * 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
-      return static_cast<std::uint64_t>(mean * 1.25) + 4 * n;
+      return sat_add(sat_from_double(mean * 1.25), sat_mul(4, n));
     }
     if (kind == "edges") {
       // Proxy: an edge list line is >= 4 bytes ("a b\n"), so file bytes / 4
@@ -43,6 +69,19 @@ std::uint64_t estimate_edges(const std::string& topology, std::uint64_t n) {
     // stoull/stod failure: validation will reject the spec; estimate big.
   }
   return clique_edges;
+}
+
+/// Per-node state bytes of the graph step workspace, matching the memory
+/// mode run_graph_trials will actually pick (graph_workspace.hpp):
+/// bytes-only = the two u8 buffers; k <= 256 = u32 pair + u8 mirror pair;
+/// otherwise u32 pair only.
+std::uint64_t graph_state_bytes_per_node(const scenario::ScenarioSpec& spec) {
+  const bool has_adversary = spec.adversary != "none";
+  if (spec.k <= 256 &&
+      graph::graph_bytes_only_auto(spec.n, spec.k, has_adversary)) {
+    return 2;
+  }
+  return spec.k <= 256 ? 2 * 4 + 2 : 2 * 4;
 }
 
 }  // namespace
@@ -64,17 +103,33 @@ std::uint64_t estimate_cell_memory_bytes(const scenario::ScenarioSpec& spec) {
   }
   if (backend == "agent") {
     // Two state arrays (u32), two byte mirrors, per-thread count partials.
-    const std::uint64_t per_trial = 2 * n * 4 + 2 * n + 64 * k * 8;
-    return kFixed + (per_trial * 3) / 2;
+    const std::uint64_t per_trial =
+        sat_add(sat_mul(2 * 4 + 2, n), 64 * k * 8);
+    return sat_add(kFixed, sat_mul(per_trial, 3) / 2);
   }
-  // graph: CSR arena (offsets u64 + both directions' endpoints u32) plus
-  // the step workspace (graph/graph_workspace.hpp: node/scratch u32 + u8
-  // mirrors + 64-lane count partials), with 1.5x construction slack (the
-  // builder holds an edge list alongside the arena while packing).
+
+  // graph backend. Implicit topologies (gossip/clique, and ring/torus/
+  // lattice once the auto rule kicks in) build no arena: total state is the
+  // step workspace — at n = 1e9 in bytes-only mode that is ~2 GB, which is
+  // exactly why preflight must NOT bill such cells for a clique-sized CSR.
+  std::string topo_backend;
+  try {
+    topo_backend = spec.resolved_topology_backend();
+  } catch (...) {
+    topo_backend = spec.topology_backend;  // "auto" falls to the arena model
+  }
+  const std::uint64_t workspace =
+      sat_add(sat_mul(graph_state_bytes_per_node(spec), n), 64 * k * 8);
+  if (topo_backend == "implicit") {
+    return sat_add(kFixed, workspace);
+  }
+  // Arena build: CSR (offsets u64 + both directions' endpoints u32) plus
+  // the workspace, with 1.5x construction slack (the builder holds an edge
+  // list alongside the arena while packing).
   const std::uint64_t m = estimate_edges(spec.topology, n);
-  const std::uint64_t csr = (n + 1) * 8 + 2 * m * 4;
-  const std::uint64_t workspace = 2 * n * 4 + 2 * n + 64 * k * 8;
-  return kFixed + (csr * 3) / 2 + workspace;
+  const std::uint64_t csr =
+      sat_add(sat_mul(sat_add(n, 1), 8), sat_mul(sat_mul(2, m), 4));
+  return sat_add(sat_add(kFixed, sat_mul(csr, 3) / 2), workspace);
 }
 
 std::uint64_t default_memory_budget_bytes() {

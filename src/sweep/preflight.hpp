@@ -25,9 +25,14 @@
 namespace plurality::sweep {
 
 /// Upper-bound estimate of one cell's peak heap use in bytes, derived from
-/// the resolved backend, n, k, and the topology's edge count. Never throws
-/// on a well-formed spec; an unparseable topology argument returns a
-/// clique-sized worst case (validation will reject the cell anyway).
+/// the resolved backend, n, k, and — for arena-backed graph cells — the
+/// topology's edge count. Cells whose topology resolves to the implicit
+/// backend are billed for the state arrays only (no CSR arena; the whole
+/// point of gossip/implicit cells at n = 1e9). All arithmetic saturates
+/// instead of wrapping, so a clique at n = 7e9 estimates "cannot fit"
+/// rather than wrapping u64 into "fits". Never throws on a well-formed
+/// spec; an unparseable topology argument returns a clique-sized worst
+/// case (validation will reject the cell anyway).
 [[nodiscard]] std::uint64_t estimate_cell_memory_bytes(const scenario::ScenarioSpec& spec);
 
 /// The default sweep memory budget: ~80% of physical RAM, or 2 GiB when
