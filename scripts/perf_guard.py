@@ -36,9 +36,18 @@ ENGINE_METRICS = [
 ]
 
 
-def load_cells(path):
-    with open(path) as f:
-        doc = json.load(f)
+def load_cells(path, role):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"perf_guard: {role} file '{path}' does not exist — "
+            f"{'the committed baseline is missing (regenerate it with the bench and commit it)' if role == 'baseline' else 'the bench that should have produced it did not run or wrote elsewhere'}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(
+            f"perf_guard: {role} file '{path}' is not valid JSON ({e}) — "
+            f"likely a truncated or interrupted bench run; regenerate it")
     cells = {}
     for row in doc.get("topologies", []):
         key = (row.get("topology"), row.get("dynamics"))
@@ -76,8 +85,8 @@ def main():
             return 2
         renames[(old_topo, old_dyn)] = (new_topo, new_dyn)
 
-    base_doc, base_cells = load_cells(args.baseline)
-    meas_doc, meas_cells = load_cells(args.measured)
+    base_doc, base_cells = load_cells(args.baseline, "baseline")
+    meas_doc, meas_cells = load_cells(args.measured, "measured")
     print(f"baseline: mode={base_doc.get('mode')} n={base_doc.get('n')} "
           f"threads={base_doc.get('threads')}")
     print(f"measured: mode={meas_doc.get('mode')} n={meas_doc.get('n')} "

@@ -111,6 +111,52 @@ class PerfGuardTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("no comparable cells", err)
 
+    def test_missing_bench_json_names_the_file_no_traceback(self):
+        # A bench that never ran must produce an actionable one-liner
+        # naming the missing path, not a FileNotFoundError traceback.
+        base = doc([("ring", "3-majority", 100.0, 400.0)])
+        base_path = os.path.join(self._tmp.name, "base.json")
+        with open(base_path, "w") as f:
+            json.dump(base, f)
+        missing = os.path.join(self._tmp.name, "never_written.json")
+        proc = subprocess.run(
+            [sys.executable, GUARD, base_path, missing],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn(missing, proc.stderr)
+        self.assertIn("did not run", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_missing_baseline_names_the_file_no_traceback(self):
+        meas = doc([("ring", "3-majority", 100.0, 400.0)])
+        meas_path = os.path.join(self._tmp.name, "meas.json")
+        with open(meas_path, "w") as f:
+            json.dump(meas, f)
+        missing = os.path.join(self._tmp.name, "no_baseline.json")
+        proc = subprocess.run(
+            [sys.executable, GUARD, missing, meas_path],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn(missing, proc.stderr)
+        self.assertIn("baseline", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_truncated_bench_json_is_actionable(self):
+        base = doc([("ring", "3-majority", 100.0, 400.0)])
+        base_path = os.path.join(self._tmp.name, "base.json")
+        with open(base_path, "w") as f:
+            json.dump(base, f)
+        trunc_path = os.path.join(self._tmp.name, "truncated.json")
+        with open(trunc_path, "w") as f:
+            f.write('{"mode": "quick", "topologies": [')
+        proc = subprocess.run(
+            [sys.executable, GUARD, base_path, trunc_path],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn(trunc_path, proc.stderr)
+        self.assertIn("not valid JSON", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
     def test_config_mismatch_fails_without_flag(self):
         base = doc([("ring", "3-majority", 100.0, 400.0)], n=100000)
         meas = doc([("ring", "3-majority", 100.0, 400.0)], n=1000000)

@@ -223,6 +223,43 @@ std::string JsonValue::to_string() const {
   return os.str();
 }
 
+void JsonValue::write_compact(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::Null: os << "null"; break;
+    case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+    case Kind::Double: write_double(os, double_); break;
+    case Kind::Uint: os << uint_; break;
+    case Kind::Int: os << int_; break;
+    case Kind::String: write_escaped(os, string_); break;
+    case Kind::Array: {
+      os << '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) os << ',';
+        items_[i]->write_compact(os);
+      }
+      os << ']';
+      break;
+    }
+    case Kind::Object: {
+      os << '{';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) os << ',';
+        write_escaped(os, keys_[i]);
+        os << ':';
+        items_[i]->write_compact(os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::to_compact_string() const {
+  std::ostringstream os;
+  write_compact(os);
+  return os.str();
+}
+
 namespace {
 
 /// Recursive-descent parser over the whole text (documents here are specs

@@ -81,6 +81,13 @@ class JsonValue {
   /// The serialized document plus a trailing newline.
   [[nodiscard]] std::string to_string() const;
 
+  /// Single-line serialization (no indentation or inter-token newlines; no
+  /// trailing newline) — the framing the net layer's line-delimited JSON
+  /// protocol needs. String content is escaped as always, so the output is
+  /// newline-free by construction. Parses back to the same document.
+  void write_compact(std::ostream& os) const;
+  [[nodiscard]] std::string to_compact_string() const;
+
  private:
   enum class Kind { Null, Bool, Double, Uint, Int, String, Array, Object };
   explicit JsonValue(Kind kind) : kind_(kind) {}

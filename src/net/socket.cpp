@@ -1,0 +1,265 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace plurality::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& op) {
+  throw NetError(op + ": " + std::strerror(errno));
+}
+
+Clock::time_point deadline_from(double timeout_seconds) {
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+}
+
+/// Remaining milliseconds before `deadline`, clamped to [0, int-max] for
+/// poll(2); returns 0 once the deadline has passed.
+int remaining_ms(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 3'600'000) return 3'600'000;  // cap one poll at an hour
+  return static_cast<int>(left.count());
+}
+
+/// poll() one fd for `events`, honoring the deadline. Returns true when the
+/// fd is ready, false on deadline expiry. EINTR rechecks the clock and
+/// retries (a signal mid-poll must not extend the budget).
+bool poll_one(int fd, short events, Clock::time_point deadline, const std::string& op) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (rc > 0) return true;
+    if (rc == 0) return false;  // timed out
+    if (errno == EINTR) {
+      if (Clock::now() >= deadline) return false;
+      continue;
+    }
+    throw_errno(op + ": poll");
+  }
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("net: cannot parse address '" + host +
+                   "' (numeric IPv4 or localhost only)");
+  }
+  return addr;
+}
+
+}  // namespace
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void TcpConnection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void TcpConnection::send_all(std::string_view data, double timeout_seconds) {
+  if (fd_ < 0) throw NetError("net send: connection is closed");
+  const auto deadline = deadline_from(timeout_seconds);
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    if (!poll_one(fd_, POLLOUT, deadline, "net send")) {
+      throw NetError("net send: timed out after sending " + std::to_string(sent) + " of " +
+                     std::to_string(data.size()) + " bytes");
+    }
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    throw_errno("net send");
+  }
+}
+
+bool TcpConnection::take_buffered_line(std::string& line) {
+  const std::size_t pos = buffer_.find('\n');
+  if (pos == std::string::npos) {
+    if (buffer_.size() > kMaxLineBytes) {
+      throw NetError("net recv: line exceeds " + std::to_string(kMaxLineBytes) +
+                     " bytes without a terminator");
+    }
+    return false;
+  }
+  line.assign(buffer_, 0, pos);
+  buffer_.erase(0, pos + 1);
+  return true;
+}
+
+bool TcpConnection::fill_from_socket() {
+  if (fd_ < 0) return false;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) return true;
+      continue;  // possibly more queued
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;  // reset/errored: the connection is dead
+  }
+}
+
+bool TcpConnection::recv_line(std::string& line, double timeout_seconds) {
+  if (fd_ < 0) throw NetError("net recv: connection is closed");
+  const auto deadline = deadline_from(timeout_seconds);
+  for (;;) {
+    if (take_buffered_line(line)) return true;
+    if (!poll_one(fd_, POLLIN, deadline, "net recv")) {
+      throw NetError("net recv: timed out waiting for a line");
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      // Clean close at a line boundary is the peer's normal goodbye; a
+      // close mid-line means the last message was truncated.
+      if (buffer_.empty()) return false;
+      throw NetError("net recv: peer closed mid-line (" + std::to_string(buffer_.size()) +
+                     " unterminated bytes)");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw_errno("net recv");
+  }
+}
+
+TcpConnection connect_tcp(const std::string& host, std::uint16_t port,
+                          double timeout_seconds) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("net connect: socket");
+  TcpConnection conn(fd);  // owns the fd from here on
+
+  // Nonblocking connect + poll gives the deadline; flip back to blocking
+  // after (all later I/O is poll-guarded anyway).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) throw_errno("net connect");
+  if (rc != 0) {
+    if (!poll_one(fd, POLLOUT, deadline_from(timeout_seconds), "net connect")) {
+      throw NetError("net connect: timed out reaching " + host + ":" +
+                     std::to_string(port));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      throw_errno("net connect: getsockopt");
+    }
+    if (err != 0) {
+      throw NetError("net connect: " + host + ":" + std::to_string(port) + ": " +
+                     std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port, int backlog) {
+  sockaddr_in addr = make_addr(host, port);
+  // The listener itself is NONBLOCKING: accept_nonblocking() is called in
+  // a drain-until-empty loop from the master's event loop, and a blocking
+  // listener would wedge that loop on the accept after the last pending
+  // connection. Accepted connections come back blocking (their I/O is
+  // poll-guarded).
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("net listen: socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("net listen: bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("net listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw_errno("net listen: getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpConnection TcpListener::accept(double timeout_seconds) {
+  if (!poll_one(fd_, POLLIN, deadline_from(timeout_seconds), "net accept")) {
+    return TcpConnection();
+  }
+  return accept_nonblocking();
+}
+
+TcpConnection TcpListener::accept_nonblocking() {
+  for (;;) {
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpConnection(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return TcpConnection();
+    }
+    throw_errno("net accept");
+  }
+}
+
+}  // namespace plurality::net

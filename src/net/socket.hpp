@@ -1,0 +1,117 @@
+// Hand-rolled POSIX TCP sockets with wall-clock deadlines, for the sweep
+// service (src/service/).
+//
+// The master/worker protocol is line-delimited JSON over TCP; everything a
+// distributed sweep needs from the network layer is "listen", "connect",
+// "send these bytes before the deadline", and "give me the next
+// newline-terminated line before the deadline". No third-party deps, no
+// async framework: blocking sockets guarded by poll(2), so every blocking
+// call has a bounded wall-clock cost and EINTR (the daemon's SIGTERM) wakes
+// it immediately.
+//
+// Failure discipline: every network failure is a thrown NetError naming
+// the operation — the service layer maps them onto its lease/reassignment
+// machinery (a worker that cannot reach the master degrades to
+// local-orchestrator mode; a master that cannot reach a worker expires the
+// lease). A clean peer close is NOT an error on reads: recv_line returns
+// false so callers can distinguish "worker went away" from "socket broke".
+//
+// Writes use MSG_NOSIGNAL, so a peer reset surfaces as EPIPE -> NetError
+// instead of killing the process with SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace plurality::net {
+
+/// Any socket-layer failure (connect refused, timeout, reset, oversized
+/// frame). what() names the operation and the errno text.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Upper bound on one protocol line — a lease message is < 1 KiB, so
+/// anything near this is a corrupt or hostile peer, not a big message.
+inline constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+/// One connected TCP stream, move-only; closes its fd on destruction.
+/// Reads are line-buffered: bytes beyond the first '\n' stay in the
+/// connection's buffer for the next recv_line / take_buffered_line call.
+class TcpConnection {
+ public:
+  TcpConnection() = default;           // invalid (fd -1)
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection() { close(); }
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Sends all of `data`, polling for writability so the total wall time
+  /// never exceeds `timeout_seconds`. Throws NetError on error, timeout,
+  /// or peer reset.
+  void send_all(std::string_view data, double timeout_seconds);
+
+  /// Fills `line` with the next newline-terminated line (the '\n' is
+  /// consumed, not included). Returns false on a clean EOF at a line
+  /// boundary (peer closed); throws NetError on timeout, error, EOF
+  /// mid-line, or a line exceeding kMaxLineBytes.
+  bool recv_line(std::string& line, double timeout_seconds);
+
+  // --- poll-loop face (the master's event loop owns its own poll(2)) ----
+
+  /// Reads whatever is available RIGHT NOW into the line buffer without
+  /// blocking. Returns false when the peer has closed or the socket
+  /// errored (the connection is dead); true otherwise (including "nothing
+  /// available"). Throws NetError only on an oversized buffered line.
+  bool fill_from_socket();
+
+  /// Pops one complete buffered line if present (no socket I/O).
+  bool take_buffered_line(std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Connects to host:port (numeric IPv4 dotted quad or "localhost") with a
+/// connect deadline. Throws NetError on failure or timeout.
+[[nodiscard]] TcpConnection connect_tcp(const std::string& host, std::uint16_t port,
+                                        double timeout_seconds);
+
+/// A listening IPv4 socket. Binding port 0 picks an ephemeral port;
+/// port() reports the bound one (how tests and --port-file avoid races).
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, std::uint16_t port, int backlog = 16);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Waits up to `timeout_seconds` for a connection. Returns an invalid
+  /// TcpConnection on timeout; throws NetError on listener failure.
+  [[nodiscard]] TcpConnection accept(double timeout_seconds);
+
+  /// Accepts without blocking (for poll loops that already know the
+  /// listener is readable). Invalid connection when none is pending.
+  [[nodiscard]] TcpConnection accept_nonblocking();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace plurality::net

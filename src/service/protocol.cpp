@@ -1,0 +1,34 @@
+#include "service/protocol.hpp"
+
+#include "support/check.hpp"
+
+namespace plurality::service {
+
+io::JsonValue make_message(const std::string& type) {
+  io::JsonValue msg = io::JsonValue::object();
+  msg.set("type", type);
+  return msg;
+}
+
+std::string encode(const io::JsonValue& message) {
+  return message.to_compact_string() + "\n";
+}
+
+io::JsonValue parse_message(const std::string& line) {
+  io::JsonValue msg;
+  try {
+    msg = io::parse_json(line);
+  } catch (const CheckError& e) {
+    throw ProtocolError(std::string("protocol: frame is not valid JSON: ") + e.what());
+  }
+  if (!msg.is_object() || msg.get("type") == nullptr || !msg.at("type").is_string()) {
+    throw ProtocolError("protocol: frame must be an object with a string 'type'");
+  }
+  return msg;
+}
+
+const std::string& message_type(const io::JsonValue& message) {
+  return message.at("type").as_string();
+}
+
+}  // namespace plurality::service

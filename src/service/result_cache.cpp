@@ -1,0 +1,111 @@
+#include "service/result_cache.hpp"
+
+#include <cstdio>
+
+#include "io/checkpoint.hpp"
+#include "support/check.hpp"
+
+namespace plurality::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Deep copy through the serializer — JsonValue is move-only (unique_ptr
+/// children), and parse(emit(v)) reproduces kinds exactly.
+io::JsonValue clone(const io::JsonValue& v) { return io::parse_json(v.to_compact_string()); }
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir, sweep::ObserveSpec observe, bool zero_wall_times)
+    : dir_(std::move(dir)), observe_(observe), zero_wall_times_(zero_wall_times) {
+  if (!dir_.empty()) fs::create_directories(dir_);
+}
+
+bool ResultCache::cacheable() const {
+  // Trajectory cells produce a per-trial CSV next to the payload; caching
+  // only the payload would resurrect cells without their product.
+  return enabled() && observe_.trajectory == 0;
+}
+
+std::uint64_t ResultCache::key(const sweep::CellOutcome& cell) const {
+  std::uint64_t h = fnv1a(cell.requested.to_spec_string(), 1469598103934665603ull);
+  h = fnv1a(" observe:m_plurality=" + std::to_string(observe_.m_plurality ? 1 : 0) +
+                " m=" + std::to_string(observe_.m) +
+                " trajectory=" + std::to_string(observe_.trajectory) +
+                " stride=" + std::to_string(observe_.trajectory_stride) +
+                " zero_wall=" + std::to_string(zero_wall_times_ ? 1 : 0),
+            h);
+  return h;
+}
+
+fs::path ResultCache::entry_path(std::uint64_t key) const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(key));
+  return fs::path(dir_) / (std::string(buf) + ".json");
+}
+
+bool ResultCache::fetch(const sweep::CellOutcome& cell, const fs::path& cell_path) {
+  if (!cacheable()) return false;
+  const fs::path entry = entry_path(key(cell));
+  io::JsonValue payload;
+  try {
+    payload = io::read_checkpoint_file(entry.string());
+    // Hash collision or a foreign cache dir: the payload must describe
+    // EXACTLY this cell's requested spec, or installing it would wedge the
+    // cell (scan_cell_file would reject it forever while first-write-wins
+    // keeps it pinned on disk).
+    if (payload.at("cell").at("requested").as_string() != cell.requested.to_spec_string()) {
+      return false;
+    }
+  } catch (const CheckError&) {
+    // Corrupt/truncated/unreadable entry: the cache is an optimization,
+    // not a source of truth — drop the entry, treat as a miss.
+    std::error_code ec;
+    fs::remove(entry, ec);
+    return false;
+  }
+
+  // Rewrite the grid position to the fetching cell (the payload may have
+  // been stored from a different sweep's grid).
+  io::JsonValue doc = io::JsonValue::object();
+  for (const std::string& k : payload.keys()) {
+    if (k == "cell") {
+      io::JsonValue& cell_obj = doc.set("cell", io::JsonValue::object());
+      cell_obj.set("index", std::uint64_t{cell.index});
+      cell_obj.set("id", cell.id);
+      cell_obj.set("requested", cell.requested.to_spec_string());
+    } else {
+      doc.set(k, clone(payload.at(k)));
+    }
+  }
+  io::write_checkpoint_file(cell_path.string(), doc);
+  return true;
+}
+
+void ResultCache::store(const sweep::CellOutcome& cell, const fs::path& cell_path) {
+  if (!cacheable()) return;
+  try {
+    const io::JsonValue payload = io::read_checkpoint_file(cell_path.string());
+    io::JsonValue doc = io::JsonValue::object();
+    for (const std::string& k : payload.keys()) {
+      // How many times some past run crashed is not a property of the
+      // result — strip the retry audit block so hits are attempt-clean.
+      if (k == "retry") continue;
+      doc.set(k, clone(payload.at(k)));
+    }
+    io::write_checkpoint_file(entry_path(key(cell)).string(), doc);
+  } catch (const CheckError&) {
+    // Best-effort: a failed store never fails the sweep.
+  }
+}
+
+}  // namespace plurality::service

@@ -1,0 +1,66 @@
+// Cross-run result cache for the sweep service, keyed by resolved-spec
+// hash.
+//
+// Two sweeps that share a cell (same expanded ScenarioSpec, same observer
+// config) compute the same result — by the library's determinism contract,
+// bitwise. The master therefore checks a content-addressed cache before
+// leasing any cell: a hit installs the cached payload as the cell's
+// checkpoint file (id/index rewritten to the current grid position) and
+// the cell never touches a worker. Every freshly completed cell is stored
+// back.
+//
+// Keying: FNV-1a 64 over the cell's REQUESTED spec string (pre-backend
+// resolution — the same string resume matching uses), the observe config,
+// and the zero_wall_times flag. wall-clock numbers are part of the payload,
+// so a cache shared between timed and zeroed runs must not cross-hit.
+//
+// Safety:
+//   - entries are full CRC checkpoint envelopes; a corrupt entry is
+//     deleted and treated as a miss (the cache is an optimization, never
+//     a source of truth)
+//   - the stored payload strips the "retry" audit block — how many times
+//     SOME PAST RUN crashed is not a property of this result
+//   - cells with trajectory probes are never cached (their product is a
+//     per-trial CSV, not just the payload)
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "sweep/orchestrator.hpp"
+#include "sweep/sweep_spec.hpp"
+
+namespace plurality::service {
+
+class ResultCache {
+ public:
+  /// Empty dir = disabled (every lookup misses, every store is a no-op).
+  ResultCache(std::string dir, sweep::ObserveSpec observe, bool zero_wall_times);
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+
+  /// Cache key for a cell (stable across runs and processes).
+  [[nodiscard]] std::uint64_t key(const sweep::CellOutcome& cell) const;
+
+  /// On hit: writes the cached payload (cell id/index rewritten) as a CRC
+  /// envelope at `cell_path` and returns true — the caller then trusts it
+  /// through the normal scan_cell_file path, exactly like any other
+  /// on-disk result. Returns false on miss/disabled/uncacheable.
+  bool fetch(const sweep::CellOutcome& cell, const std::filesystem::path& cell_path);
+
+  /// Stores the verified checkpoint at `cell_path` under the cell's key
+  /// (retry block stripped). No-op when disabled/uncacheable; best-effort
+  /// (a failed store never fails the sweep).
+  void store(const sweep::CellOutcome& cell, const std::filesystem::path& cell_path);
+
+ private:
+  [[nodiscard]] bool cacheable() const;
+  [[nodiscard]] std::filesystem::path entry_path(std::uint64_t key) const;
+
+  std::string dir_;
+  sweep::ObserveSpec observe_;
+  bool zero_wall_times_;
+};
+
+}  // namespace plurality::service

@@ -32,8 +32,11 @@ class CancellationToken {
   /// failure taxonomy is stable under racing causes.
   enum class Reason : std::uint32_t {
     kNone = 0,
-    kDeadline = 1,  // per-cell wall-clock budget exhausted (watchdog)
-    kShutdown = 2,  // SIGINT/SIGTERM graceful-shutdown request
+    kDeadline = 1,   // per-cell wall-clock budget exhausted (watchdog)
+    kShutdown = 2,   // SIGINT/SIGTERM graceful-shutdown request
+    kLeaseLost = 3,  // sweep service: the master reassigned this cell's
+                     // lease (missed heartbeats); the result would be
+                     // discarded, so stop burning cycles on it
   };
 
   CancellationToken() = default;
@@ -74,6 +77,8 @@ class CancelledError : public std::runtime_error {
   explicit CancelledError(CancellationToken::Reason reason)
       : std::runtime_error(reason == CancellationToken::Reason::kDeadline
                                ? "run cancelled: wall-clock deadline exceeded"
+                           : reason == CancellationToken::Reason::kLeaseLost
+                               ? "run cancelled: lease expired and was reassigned"
                                : "run cancelled: shutdown requested"),
         reason_(reason) {}
 

@@ -30,8 +30,13 @@ FaultKind parse_kind(const std::string& kind) {
   if (kind == "hang") return FaultKind::Hang;
   if (kind == "crash") return FaultKind::Crash;
   if (kind == "corrupt") return FaultKind::Corrupt;
+  if (kind == "drop_heartbeat") return FaultKind::DropHeartbeat;
+  if (kind == "stall_conn") return FaultKind::StallConn;
+  if (kind == "worker_crash") return FaultKind::WorkerCrash;
   PLURALITY_REQUIRE(false, "fault plan: unknown kind '"
-                               << kind << "' (known: throw, hang, crash, corrupt)");
+                               << kind
+                               << "' (known: throw, hang, crash, corrupt, "
+                                  "drop_heartbeat, stall_conn, worker_crash)");
   return FaultKind::Throw;  // unreachable
 }
 
@@ -51,6 +56,9 @@ const char* kind_name(FaultKind kind) {
     case FaultKind::Hang: return "hang";
     case FaultKind::Crash: return "crash";
     case FaultKind::Corrupt: return "corrupt";
+    case FaultKind::DropHeartbeat: return "drop_heartbeat";
+    case FaultKind::StallConn: return "stall_conn";
+    case FaultKind::WorkerCrash: return "worker_crash";
   }
   return "?";
 }
@@ -217,6 +225,49 @@ void FaultInjector::at_write_point(std::size_t index, const std::string& id,
                  id.c_str());
     std::_Exit(kFaultCrashExitCode);
   }
+}
+
+void FaultInjector::at_lease_start(std::size_t index, const std::string& id,
+                                   const std::string& spec_string) {
+  for (std::size_t f = 0; f < plan_.faults.size(); ++f) {
+    const FaultSpec& fault = plan_.faults[f];
+    if (fault.kind != FaultKind::WorkerCrash) continue;
+    if (!fault.matches(index, id, spec_string)) continue;
+    if (!arm(f, fault, id)) continue;
+    // Same power-loss semantics as the crash kind — the marker persisted
+    // by arm() is the only trace, so the NEXT worker to lease this cell
+    // runs it clean.
+    std::fprintf(stderr, "injected fault: worker_crash at lease start of %s\n",
+                 id.c_str());
+    std::_Exit(kFaultCrashExitCode);
+  }
+}
+
+bool FaultInjector::should_drop_heartbeats(std::size_t index, const std::string& id,
+                                           const std::string& spec_string) {
+  for (std::size_t f = 0; f < plan_.faults.size(); ++f) {
+    const FaultSpec& fault = plan_.faults[f];
+    if (fault.kind != FaultKind::DropHeartbeat) continue;
+    if (!fault.matches(index, id, spec_string)) continue;
+    if (!arm(f, fault, id)) continue;
+    std::fprintf(stderr, "injected fault: dropping heartbeats for %s\n", id.c_str());
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::stall_connection_seconds(std::size_t index, const std::string& id,
+                                               const std::string& spec_string) {
+  for (std::size_t f = 0; f < plan_.faults.size(); ++f) {
+    const FaultSpec& fault = plan_.faults[f];
+    if (fault.kind != FaultKind::StallConn) continue;
+    if (!fault.matches(index, id, spec_string)) continue;
+    if (!arm(f, fault, id)) continue;
+    std::fprintf(stderr, "injected fault: stalling connection %.3fs before reporting %s\n",
+                 fault.seconds, id.c_str());
+    return fault.seconds;
+  }
+  return 0.0;
 }
 
 }  // namespace plurality::sweep

@@ -30,6 +30,20 @@
 //            it hits disk (byte chosen by the plan's seed via Philox, so
 //            the corruption is reproducible)
 //
+// Network kinds (fire only inside the sweep service's worker — the
+// in-process orchestrator has no network and ignores them):
+//   drop_heartbeat  the worker stops heartbeating for the REST of the
+//                   current lease while still computing — the classic
+//                   "alive but partitioned" failure. Exercises lease
+//                   expiry, reassignment, and the duplicate-completion
+//                   race (two workers finishing one cell)
+//   stall_conn      the worker's connection stalls for `seconds` right
+//                   before it reports completion — a slow/buffering
+//                   network path
+//   worker_crash    the worker PROCESS dies (std::_Exit, exit code 86)
+//                   the moment it accepts a lease — the hard-kill case
+//                   masters must survive
+//
 // Addressing: "cell" takes a cell id ("cell_00002") or a bare index;
 // "match" fires on every cell whose expanded spec string contains the
 // substring — so faults can target "whatever cell runs k=64 on graph"
@@ -56,7 +70,7 @@ namespace plurality::sweep {
 /// exit path so the torture harness can assert the crash actually fired.
 inline constexpr int kFaultCrashExitCode = 86;
 
-enum class FaultKind { Throw, Hang, Crash, Corrupt };
+enum class FaultKind { Throw, Hang, Crash, Corrupt, DropHeartbeat, StallConn, WorkerCrash };
 enum class CrashPoint { BeforeWrite, MidWrite, AfterWrite };
 
 struct FaultSpec {
@@ -110,6 +124,25 @@ class FaultInjector {
   /// is persisted FIRST, so the next process sees the budget spent.
   void at_write_point(std::size_t index, const std::string& id,
                       const std::string& spec_string, CrashPoint point);
+
+  // --- service-worker injection points (network kinds) -------------------
+
+  /// Injection point: worker accepted a lease. worker_crash faults die
+  /// here (std::_Exit(kFaultCrashExitCode), marker persisted first).
+  void at_lease_start(std::size_t index, const std::string& id,
+                      const std::string& spec_string);
+
+  /// Injection point: worker's heartbeat loop is about to start for a
+  /// lease. True = a drop_heartbeat fault fired; the worker suppresses
+  /// every heartbeat for the REMAINDER of this lease (while continuing to
+  /// compute), so the master sees it as dead and reassigns.
+  [[nodiscard]] bool should_drop_heartbeats(std::size_t index, const std::string& id,
+                                            const std::string& spec_string);
+
+  /// Injection point: worker about to report a cell's completion. Returns
+  /// the stall duration of a fired stall_conn fault (0 = none fired).
+  [[nodiscard]] double stall_connection_seconds(std::size_t index, const std::string& id,
+                                                const std::string& spec_string);
 
  private:
   /// True iff fault `fault_index` should fire for this cell now; records

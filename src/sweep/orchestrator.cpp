@@ -1,19 +1,14 @@
 #include "sweep/orchestrator.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <memory>
-#include <thread>
 
-#include "core/observer.hpp"
 #include "io/checkpoint.hpp"
 #include "io/csv.hpp"
-#include "rng/philox.hpp"
 #include "scenario/scenario.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
+#include "sweep/cell_runner.hpp"
 #include "sweep/preflight.hpp"
 #include "sweep/watchdog.hpp"
 
@@ -27,183 +22,10 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// Stream-family tag for retry-scoped randomness (backoff jitter). Trial
-/// streams NEVER derive from it — a retried cell reproduces its
-/// first-attempt results bitwise.
-constexpr std::uint64_t kRetryStreamTag = 0x7265747279ull;  // "retry"
-
 std::string fmt_double(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.12g", v);
   return buf;
-}
-
-std::string fmt_hex64(std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
-  return buf;
-}
-
-std::uint64_t retry_stream_word(std::uint64_t cell_seed, std::uint32_t attempt,
-                                std::uint64_t w) {
-  return rng::Philox4x32::word(rng::Philox4x32::key_from_seed(cell_seed, kRetryStreamTag),
-                               attempt, w);
-}
-
-ProbeOptions probe_options(const ObserveSpec& observe, std::uint64_t trials) {
-  ProbeOptions options;
-  options.trials = trials;
-  options.trajectory_capacity = observe.trajectory;
-  options.trajectory_stride = observe.trajectory_stride;
-  options.track_m_plurality = observe.m_plurality;
-  options.m_plurality = observe.m;
-  return options;
-}
-
-CellMetrics metrics_from_run(const TrialSummary& summary, double wall_seconds,
-                             const ProbeObserver* probe, const ObserveSpec& observe) {
-  CellMetrics m;
-  m.trials = summary.trials;
-  m.consensus_count = summary.consensus_count;
-  m.plurality_wins = summary.plurality_wins;
-  m.round_limit_hits = summary.round_limit_hits;
-  m.predicate_stops = summary.predicate_stops;
-  m.rounds_count = summary.rounds.count();
-  m.consensus_rate = summary.consensus_rate();
-  m.win_rate = summary.win_rate();
-  if (summary.rounds.count() > 0) {
-    m.rounds_mean = summary.rounds.mean();
-    m.rounds_min = summary.rounds.min();
-    m.rounds_max = summary.rounds.max();
-    m.rounds_p50 = summary.rounds_p(0.5);
-    m.rounds_p95 = summary.rounds_p(0.95);
-  }
-  m.wall_seconds = wall_seconds;
-  if (probe != nullptr) {
-    if (probe->final_plurality_fraction().count() > 0) {
-      m.final_fraction_mean = probe->final_plurality_fraction().mean();
-      m.final_support_mean = probe->final_support().mean();
-      m.final_mono_mean = probe->final_mono_distance().mean();
-    }
-    if (observe.m_plurality) {
-      m.ttm_hits = static_cast<double>(probe->m_plurality_hits());
-      if (probe->m_plurality_hits() > 0) {
-        m.ttm_p50 = probe->time_to_m_sketch().quantile(0.5);
-        m.ttm_p95 = probe->time_to_m_sketch().quantile(0.95);
-      }
-    }
-  }
-  return m;
-}
-
-/// Reloads the CSV-level metrics from a completed cell payload (resume).
-CellMetrics metrics_from_json(const io::JsonValue& doc) {
-  CellMetrics m;
-  const io::JsonValue& summary = doc.at("summary");
-  m.trials = summary.at("trials").as_uint();
-  m.consensus_count = summary.at("consensus_count").as_uint();
-  m.plurality_wins = summary.at("plurality_wins").as_uint();
-  m.round_limit_hits = summary.at("round_limit_hits").as_uint();
-  m.predicate_stops = summary.at("predicate_stops").as_uint();
-  m.consensus_rate = summary.at("consensus_rate").as_double();
-  m.win_rate = summary.at("win_rate").as_double();
-  const io::JsonValue& rounds = summary.at("rounds");
-  m.rounds_count = rounds.at("count").as_uint();
-  if (m.rounds_count > 0) {
-    m.rounds_mean = rounds.at("mean").as_double();
-    m.rounds_min = rounds.at("min").as_double();
-    m.rounds_max = rounds.at("max").as_double();
-    m.rounds_p50 = rounds.at("p50").as_double();
-    m.rounds_p95 = rounds.at("p95").as_double();
-  }
-  m.wall_seconds = doc.at("wall_seconds").as_double();
-  if (const io::JsonValue* observers = doc.get("observers")) {
-    if (const io::JsonValue* ttm = observers->get("m_plurality")) {
-      m.ttm_hits = static_cast<double>(ttm->at("hits").as_uint());
-      if (const io::JsonValue* p50 = ttm->get("p50")) m.ttm_p50 = p50->as_double();
-      if (const io::JsonValue* p95 = ttm->get("p95")) m.ttm_p95 = p95->as_double();
-    }
-    if (const io::JsonValue* fin = observers->get("final")) {
-      m.final_fraction_mean = fin->at("plurality_fraction_mean").as_double();
-      m.final_support_mean = fin->at("support_mean").as_double();
-      m.final_mono_mean = fin->at("mono_distance_mean").as_double();
-    }
-  }
-  return m;
-}
-
-void write_trajectory_csv(const fs::path& path, const ProbeObserver& probe) {
-  const fs::path tmp = path.string() + ".tmp";
-  {
-    io::CsvWriter csv(tmp.string(),
-                      {"trial", "round", "plurality_fraction", "support", "mono_distance"});
-    for (std::uint64_t trial = 0; trial < probe.options().trials; ++trial) {
-      for (const ProbeRow& row : probe.trajectory(trial)) {
-        csv.add_row({std::to_string(trial), std::to_string(row.round),
-                     fmt_double(row.plurality_fraction),
-                     std::to_string(static_cast<std::uint64_t>(row.support)),
-                     fmt_double(row.mono_distance)});
-      }
-    }
-  }
-  fs::rename(tmp, path);
-}
-
-/// Moves a corrupt checkpoint into cells/quarantine/ under a unique name —
-/// the bytes are evidence (what corrupted them?), never silently deleted.
-std::string quarantine_file(const fs::path& path, const fs::path& quarantine_dir) {
-  fs::create_directories(quarantine_dir);
-  fs::path target = quarantine_dir / path.filename();
-  for (int n = 1; fs::exists(target); ++n) {
-    target = quarantine_dir / (path.filename().string() + "." + std::to_string(n));
-  }
-  fs::rename(path, target);
-  return target.string();
-}
-
-/// The per-cell attempts ledger survives process deaths: written before
-/// each attempt, removed on success/interrupt. A resume finding a ledger
-/// but no valid result file knows the process died mid-cell — those
-/// attempts count against the retry budget (or the cell would crash-loop
-/// under a persistent fault forever).
-fs::path ledger_path(const fs::path& cells_dir, const std::string& id) {
-  return cells_dir / (id + ".attempts.json");
-}
-
-std::uint32_t read_ledger(const fs::path& path) {
-  if (!fs::exists(path)) return 0;
-  try {
-    return static_cast<std::uint32_t>(
-        io::read_json_file(path.string()).at("attempts").as_uint());
-  } catch (const CheckError&) {
-    return 0;  // unreadable ledger: assume nothing, the cell just retries
-  }
-}
-
-void write_ledger(const fs::path& path, std::uint32_t attempts) {
-  io::JsonValue doc = io::JsonValue::object();
-  doc.set("attempts", std::uint64_t{attempts});
-  io::atomic_write_text(path.string(), doc.to_string());
-}
-
-void remove_stray_tmp_files(const fs::path& dir) {
-  if (!fs::exists(dir)) return;
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".tmp") {
-      fs::remove(entry.path());
-    }
-  }
-}
-
-/// Chunked sleep that gives up early on shutdown — a backoff must never
-/// outlive a Ctrl-C.
-void backoff_sleep(double seconds) {
-  const auto start = std::chrono::steady_clock::now();
-  const auto budget = std::chrono::duration<double>(seconds);
-  while (std::chrono::steady_clock::now() - start < budget) {
-    if (shutdown_requested()) return;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
 }
 
 }  // namespace
@@ -338,9 +160,7 @@ std::vector<std::string> aggregate_row(const SweepSpec& spec, const CellOutcome&
   return row;
 }
 
-namespace {
-
-io::JsonValue manifest_payload(const SweepSpec& spec,
+io::JsonValue manifest_to_json(const SweepSpec& spec,
                                const std::vector<CellOutcome>& cells) {
   io::JsonValue doc = io::JsonValue::object();
   doc.set("schema_version", std::uint64_t{io::kCheckpointSchema});
@@ -358,7 +178,31 @@ io::JsonValue manifest_payload(const SweepSpec& spec,
   return doc;
 }
 
-}  // namespace
+void write_failures_csv(const std::string& path, const std::vector<CellOutcome>& cells) {
+  const fs::path tmp = path + ".tmp";
+  {
+    io::CsvWriter csv(tmp.string(), {"cell", "status", "attempts", "retry_tag", "error"});
+    for (const CellOutcome& cell : cells) {
+      if (!cell_status_failed(cell.status)) continue;
+      csv.add_row({cell.id, cell_status_name(cell.status),
+                   std::to_string(cell.attempts), cell.retry_tag, cell.error});
+    }
+  }
+  fs::rename(tmp, path);
+}
+
+void write_aggregate_csv(const std::string& path, const SweepSpec& spec,
+                         std::vector<CellOutcome>& cells, bool zero_wall_times) {
+  const fs::path tmp = path + ".tmp";
+  {
+    io::CsvWriter csv(tmp.string(), aggregate_columns(spec));
+    for (CellOutcome& cell : cells) {
+      if (zero_wall_times) cell.metrics.wall_seconds = 0.0;
+      csv.add_row(aggregate_row(spec, cell));
+    }
+  }
+  fs::rename(tmp, path);
+}
 
 SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
   WallTimer timer;
@@ -373,7 +217,6 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
 
   const std::vector<scenario::ScenarioSpec> expanded = spec.expand();
   const std::size_t total = expanded.size();
-  const bool probes_on = spec.observe.m_plurality || spec.observe.trajectory > 0;
 
   SweepOutcome out;
   out.cells.resize(total);
@@ -418,7 +261,7 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
     // the rename is atomic). Sweep them before writing anything new.
     remove_stray_tmp_files(dir);
     remove_stray_tmp_files(cells_dir);
-    io::write_checkpoint_file(manifest.string(), manifest_payload(spec, out.cells));
+    io::write_checkpoint_file(manifest.string(), manifest_to_json(spec, out.cells));
     out.manifest_path = manifest.string();
     out.failures_path = (dir / "failures.csv").string();
   }
@@ -434,46 +277,18 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
     CellOutcome& cell = out.cells[i];
     if (options.resume) {
       const fs::path path = cells_dir / (cell.id + ".json");
-      if (fs::exists(path)) {
-        bool trusted = false;
-        try {
-          const io::JsonValue doc = io::read_checkpoint_file(path.string());
-          if (doc.at("cell").at("requested").as_string() ==
-              cell.requested.to_spec_string()) {
-            cell.metrics = metrics_from_json(doc);
-            cell.resolved_backend = doc.at("spec").at("backend").as_string();
-            if (const io::JsonValue* retry = doc.get("retry")) {
-              cell.attempts = static_cast<std::uint32_t>(retry->at("attempts").as_uint());
-              cell.retry_tag = retry->at("stream_tag").as_string();
-            }
-            trusted = true;
-          }
-          // A verified file for a DIFFERENT spec: not corruption — the
-          // grid changed around it (caught above for whole-manifest skew);
-          // recompute.
-        } catch (const io::CheckpointSchemaError&) {
-          throw;  // version skew is a hard, actionable refusal — never silent
-        } catch (const CheckError&) {
-          // Corrupt (CRC mismatch, truncation, malformed envelope) or a
-          // verified envelope with an impossible payload shape: quarantine
-          // the bytes as evidence, recompute the cell.
-          const std::string moved = quarantine_file(path, quarantine_dir);
-          std::fprintf(stderr, "sweep: quarantined corrupt checkpoint %s -> %s\n",
-                       path.string().c_str(), moved.c_str());
-        }
-        if (trusted) {
-          cell.status = CellStatus::Resumed;
-          cell.resumed = true;
-          fs::remove(ledger_path(cells_dir, cell.id));  // stale crash ledger
-          ++out.resumed;
-          ++done;
-          if (options.on_cell) options.on_cell(cell, done, total);
-          continue;
-        }
+      if (scan_cell_file(path, quarantine_dir, cell) == CellScan::Trusted) {
+        cell.status = CellStatus::Resumed;
+        cell.resumed = true;
+        fs::remove(ledger_path(cells_dir, cell.id));  // stale crash ledger
+        ++out.resumed;
+        ++done;
+        if (options.on_cell) options.on_cell(cell, done, total);
+        continue;
       }
       // No trusted result; a surviving ledger records attempts that died
       // with the previous process.
-      prior_attempts[i] = read_ledger(ledger_path(cells_dir, cell.id));
+      prior_attempts[i] = read_attempts_ledger(ledger_path(cells_dir, cell.id));
     }
     pending.push_back(i);
   }
@@ -519,139 +334,18 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
     CellOutcome& cell = out.cells[i];
     if (shutdown_requested()) return;  // skipped cells stay Pending (resumable)
 
-    const std::string spec_string = cell.requested.to_spec_string();
-    const fs::path cell_path = files ? cells_dir / (cell.id + ".json") : fs::path();
-    const fs::path ledger = files ? ledger_path(cells_dir, cell.id) : fs::path();
-
-    scenario::ScenarioSpec run_spec = cell.requested;
-    if (in_parallel_phase && parallel_cells) {
-      // Cells are the parallel unit here; nested trial teams would
-      // oversubscribe. Trial results are thread-count invariant, so this
-      // changes scheduling only.
-      run_spec.parallel = false;
-    }
-
-    CancellationToken token;
-    std::uint32_t attempt = prior_attempts[i];
-    if (attempt > options.max_retries) {
-      // The ledger shows this cell already burned its whole budget killing
-      // processes — do not run it an (N+2)th time.
-      cell.status = CellStatus::FailedCrash;
-      cell.attempts = attempt;
-      cell.error = "process died during " + std::to_string(attempt) +
-                   " attempt(s) (attempts ledger); retry budget exhausted";
-      if (files) fs::remove(ledger);  // a future resume starts fresh
-    }
-    while (cell.status == CellStatus::Pending) {
-      ++attempt;
-      cell.attempts = attempt;
-      if (attempt > 1) {
-        cell.retry_tag = fmt_hex64(retry_stream_word(cell.requested.seed, attempt, 0));
-      }
-      if (files) write_ledger(ledger, attempt);
-
-      token.reset();
-      const auto deadline =
-          options.cell_timeout_seconds > 0
-              ? Watchdog::Clock::now() + std::chrono::duration_cast<Watchdog::Clock::duration>(
-                    std::chrono::duration<double>(options.cell_timeout_seconds))
-              : Watchdog::Clock::time_point::max();
-      const std::uint64_t handle = watchdog.watch(&token, deadline);
-
-      CellStatus failure = CellStatus::Pending;  // Pending = no failure yet
-      try {
-        injector.at_driver_start(i, cell.id, spec_string, &token);
-
-        std::unique_ptr<ProbeObserver> probe;
-        if (probes_on) {
-          probe = std::make_unique<ProbeObserver>(probe_options(spec.observe, run_spec.trials));
-        }
-        const scenario::ScenarioResult result =
-            scenario::run_scenario(run_spec, probe.get(), &token);
-        if (probe != nullptr) probe->finalize();
-        cell.resolved_backend = result.resolved.backend;
-        cell.summary = result.summary;
-        cell.metrics = metrics_from_run(result.summary,
-                                        options.zero_wall_times ? 0.0 : result.wall_seconds,
-                                        probe.get(), spec.observe);
-        if (files) {
-          std::string text = io::checkpoint_envelope_text(cell_result_to_json(cell));
-          injector.mutate_checkpoint_text(i, cell.id, spec_string, text);
-          injector.at_write_point(i, cell.id, spec_string, CrashPoint::BeforeWrite);
-          const fs::path tmp = cell_path.string() + ".tmp";
-          {
-            std::ofstream out_file(tmp, std::ios::binary | std::ios::trunc);
-            out_file << text;
-            out_file.flush();
-            PLURALITY_REQUIRE(out_file.good(), "sweep: cannot write " << tmp.string());
-          }
-          injector.at_write_point(i, cell.id, spec_string, CrashPoint::MidWrite);
-          fs::rename(tmp, cell_path);
-          injector.at_write_point(i, cell.id, spec_string, CrashPoint::AfterWrite);
-
-          // Read-back verification closes the loop: if what landed on disk
-          // does not CRC-verify (injected corruption, actual I/O fault),
-          // this attempt FAILED even though the driver succeeded.
-          try {
-            (void)io::read_checkpoint_file(cell_path.string());
-          } catch (const io::CheckpointCorruptError& e) {
-            const std::string moved = quarantine_file(cell_path, quarantine_dir);
-            throw io::CheckpointCorruptError(std::string(e.what()) +
-                                             " (quarantined to " + moved + ")");
-          }
-          if (spec.observe.trajectory > 0 && probe != nullptr) {
-            write_trajectory_csv(cells_dir / (cell.id + "_trajectory.csv"), *probe);
-          }
-        }
-        cell.status = CellStatus::Done;
-        cell.error.clear();
-        if (files) fs::remove(ledger);
-      } catch (const CancelledError& e) {
-        if (e.reason() == CancellationToken::Reason::kShutdown) {
-          // Not a failure: the user asked the whole sweep to stop. Drop
-          // the ledger — a clean cancellation is not a crash.
-          cell.status = CellStatus::Interrupted;
-          cell.error = e.what();
-          if (files) fs::remove(ledger);
-        } else {
-          failure = CellStatus::FailedTimeout;
-          cell.error = e.what();
-        }
-      } catch (const io::CheckpointCorruptError& e) {
-        failure = CellStatus::FailedCorrupt;
-        cell.error = e.what();
-      } catch (const CheckError& e) {
-        // Spec/validation errors are deterministic — retrying re-proves them.
-        cell.status = CellStatus::FailedSpec;
-        cell.error = e.what();
-        if (files) fs::remove(ledger);
-      } catch (const std::exception& e) {
-        failure = CellStatus::FailedCrash;
-        cell.error = e.what();
-      }
-      watchdog.unwatch(handle);
-
-      if (failure == CellStatus::Pending) break;  // success / terminal verdict
-      if (shutdown_requested()) {
-        // A retryable failure racing a shutdown stays RESUMABLE, not failed.
-        cell.status = CellStatus::Interrupted;
-        if (files) fs::remove(ledger);
-        break;
-      }
-      if (attempt > options.max_retries) {
-        cell.status = failure;
-        if (files) fs::remove(ledger);  // a future resume starts fresh
-        break;
-      }
-      // Exponential backoff with a jitter drawn from the retry stream (the
-      // ONLY consumer of retry-derived randomness).
-      const double jitter =
-          static_cast<double>(retry_stream_word(cell.requested.seed, attempt, 1) % 1000) /
-          1000.0;
-      const std::uint32_t doublings = attempt - 1 < 20 ? attempt - 1 : 20;
-      backoff_sleep(options.retry_backoff_seconds *
-                    static_cast<double>(std::uint64_t{1} << doublings) * (1.0 + jitter));
-    }
+    CellRunContext ctx;
+    ctx.cells_dir = files ? cells_dir : fs::path();
+    ctx.observe = spec.observe;
+    ctx.zero_wall_times = options.zero_wall_times;
+    ctx.cell_timeout_seconds = options.cell_timeout_seconds;
+    ctx.max_retries = options.max_retries;
+    ctx.retry_backoff_seconds = options.retry_backoff_seconds;
+    ctx.force_serial_trials = in_parallel_phase && parallel_cells;
+    ctx.prior_attempts = prior_attempts[i];
+    ctx.injector = &injector;
+    ctx.watchdog = &watchdog;
+    run_cell_to_verdict(cell, ctx);
 
 #if defined(PLURALITY_HAVE_OPENMP)
 #pragma omp critical(plurality_sweep_progress)
@@ -702,33 +396,24 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
 
   // --- failure table + final manifest -------------------------------------
   if (files) {
-    const fs::path failures = fs::path(options.out_dir) / "failures.csv";
-    const fs::path tmp = failures.string() + ".tmp";
-    {
-      io::CsvWriter csv(tmp.string(), {"cell", "status", "attempts", "retry_tag", "error"});
-      for (const CellOutcome& cell : out.cells) {
-        if (!cell_status_failed(cell.status)) continue;
-        csv.add_row({cell.id, cell_status_name(cell.status),
-                     std::to_string(cell.attempts), cell.retry_tag, cell.error});
+    // Prune attempts ledgers for cells that reached a clean verdict — a
+    // ledger's job ends when its cell's story does. (Covers ledgers left
+    // by OTHER processes of this out_dir, e.g. a service worker that died
+    // between committing the cell file and removing its ledger.)
+    for (const CellOutcome& cell : out.cells) {
+      if (cell.status == CellStatus::Done || cell.status == CellStatus::Resumed) {
+        fs::remove(ledger_path(cells_dir, cell.id));
       }
     }
-    fs::rename(tmp, failures);
-    io::write_checkpoint_file(manifest.string(), manifest_payload(spec, out.cells));
+    write_failures_csv((fs::path(options.out_dir) / "failures.csv").string(), out.cells);
+    io::write_checkpoint_file(manifest.string(), manifest_to_json(spec, out.cells));
   }
 
   // --- aggregate (complete runs only) --------------------------------------
   if (files && complete) {
-    const fs::path aggregate = fs::path(options.out_dir) / "aggregate.csv";
-    const fs::path tmp = aggregate.string() + ".tmp";
-    {
-      io::CsvWriter csv(tmp.string(), aggregate_columns(spec));
-      for (CellOutcome& cell : out.cells) {
-        if (options.zero_wall_times) cell.metrics.wall_seconds = 0.0;
-        csv.add_row(aggregate_row(spec, cell));
-      }
-    }
-    fs::rename(tmp, aggregate);
-    out.aggregate_path = aggregate.string();
+    const std::string aggregate = (fs::path(options.out_dir) / "aggregate.csv").string();
+    write_aggregate_csv(aggregate, spec, out.cells, options.zero_wall_times);
+    out.aggregate_path = aggregate;
   }
 
   out.wall_seconds = timer.seconds();

@@ -196,4 +196,20 @@ io::JsonValue cell_result_to_json(const CellOutcome& outcome);
 std::vector<std::string> aggregate_columns(const SweepSpec& spec);
 std::vector<std::string> aggregate_row(const SweepSpec& spec, const CellOutcome& outcome);
 
+/// Manifest checkpoint payload (sweep spec + cell table with statuses) —
+/// written by run_sweep and by the sweep service master (plurality_sweepd),
+/// so a drained service out_dir resumes under either runner.
+io::JsonValue manifest_to_json(const SweepSpec& spec,
+                               const std::vector<CellOutcome>& cells);
+
+/// Atomically (tmp + rename) writes failures.csv — one row per failed_*
+/// cell. Shared by run_sweep and the service master.
+void write_failures_csv(const std::string& path, const std::vector<CellOutcome>& cells);
+
+/// Atomically writes aggregate.csv (one row per cell, expansion order).
+/// Call only when every cell is Done/Resumed. zero_wall_times zeroes the
+/// wall column so identical grids produce bitwise-identical files.
+void write_aggregate_csv(const std::string& path, const SweepSpec& spec,
+                         std::vector<CellOutcome>& cells, bool zero_wall_times);
+
 }  // namespace plurality::sweep

@@ -1,0 +1,56 @@
+// Wire protocol contract: every message is one line of compact JSON with
+// a "type", encode/parse round-trips, and garbage is a ProtocolError the
+// event loop can pin on the offending connection.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plurality::service {
+namespace {
+
+TEST(Protocol, MakeEncodeParseRoundTrip) {
+  io::JsonValue msg = make_message("lease");
+  msg.set("cell", std::string("cell_00003"));
+  msg.set("index", std::uint64_t{3});
+  msg.set("attempt", std::uint64_t{2});
+  msg.set("memory_budget_bytes", std::uint64_t{1} << 30);
+
+  const std::string wire = encode(msg);
+  ASSERT_FALSE(wire.empty());
+  EXPECT_EQ(wire.back(), '\n');
+  // Exactly ONE line: embedded newlines would desynchronize framing.
+  EXPECT_EQ(wire.find('\n'), wire.size() - 1);
+
+  const io::JsonValue parsed = parse_message(wire.substr(0, wire.size() - 1));
+  EXPECT_EQ(message_type(parsed), "lease");
+  EXPECT_EQ(parsed.at("cell").as_string(), "cell_00003");
+  EXPECT_EQ(parsed.at("index").as_uint(), 3u);
+  EXPECT_EQ(parsed.at("attempt").as_uint(), 2u);
+  EXPECT_EQ(parsed.at("memory_budget_bytes").as_uint(), std::uint64_t{1} << 30);
+}
+
+TEST(Protocol, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_message("not json at all"), ProtocolError);
+  EXPECT_THROW(parse_message(""), ProtocolError);
+  EXPECT_THROW(parse_message("[1,2,3]"), ProtocolError);       // not an object
+  EXPECT_THROW(parse_message("{\"cell\":\"x\"}"), ProtocolError);  // no type
+  EXPECT_THROW(parse_message("{\"type\":7}"), ProtocolError);  // type not a string
+}
+
+TEST(Protocol, NestedPayloadSurvivesTheWire) {
+  // The welcome carries a whole SweepSpec as a nested object; compact
+  // encoding must not lose structure.
+  io::JsonValue msg = make_message("welcome");
+  io::JsonValue& sweep = msg.set("sweep", io::JsonValue::object());
+  sweep.set("n", std::uint64_t{1000});
+  io::JsonValue& axes = sweep.set("axes", io::JsonValue::array());
+  axes.push(io::JsonValue(std::string("k=2,4,8")));
+
+  const std::string wire = encode(msg);
+  const io::JsonValue parsed = parse_message(wire.substr(0, wire.size() - 1));
+  EXPECT_EQ(parsed.at("sweep").at("n").as_uint(), 1000u);
+  EXPECT_EQ(parsed.at("sweep").at("axes").item(0).as_string(), "k=2,4,8");
+}
+
+}  // namespace
+}  // namespace plurality::service

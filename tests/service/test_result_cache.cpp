@@ -1,0 +1,153 @@
+// Result cache contract: a stored cell hits for the SAME spec+observe
+// config (with its grid identity rewritten), misses for anything else,
+// never trusts a corrupt entry, and the installed file passes the same
+// disk-scan trust path as a freshly computed result.
+#include "service/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/checkpoint.hpp"
+#include "sweep/cell_runner.hpp"
+#include "sweep/orchestrator.hpp"
+
+namespace plurality::service {
+namespace {
+
+namespace fs = std::filesystem;
+using sweep::CellOutcome;
+using sweep::CellScan;
+using sweep::CellStatus;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("plurality_cache_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Runs a one-cell grid to completion on disk and returns the outcome
+/// (cells/cell_00000.json exists and is trusted).
+CellOutcome completed_cell(const fs::path& out_dir, const sweep::SweepSpec& spec) {
+  sweep::SweepOptions options;
+  options.out_dir = out_dir.string();
+  options.zero_wall_times = true;
+  const sweep::SweepOutcome outcome = sweep::run_sweep(spec, options);
+  EXPECT_EQ(outcome.failed, 0u);
+  EXPECT_EQ(outcome.cells.size(), 1u);
+  return outcome.cells[0];
+}
+
+sweep::SweepSpec one_cell_spec() {
+  return sweep::SweepSpec::parse(
+      "dynamics=3-majority workload=bias:2c n=500 trials=2 max_rounds=5000 k=2 seed=11");
+}
+
+TEST(ResultCache, StoreThenFetchRewritesGridIdentity) {
+  const fs::path run_dir = fresh_dir("store_run");
+  const fs::path cache_dir = fresh_dir("store_cache");
+  const sweep::SweepSpec spec = one_cell_spec();
+  const CellOutcome done = completed_cell(run_dir, spec);
+
+  ResultCache cache(cache_dir.string(), spec.observe, /*zero_wall_times=*/true);
+  cache.store(done, run_dir / "cells" / (done.id + ".json"));
+
+  // Fetch as if the same spec appeared at a DIFFERENT grid position.
+  CellOutcome other;
+  other.index = 7;
+  other.id = "cell_00007";
+  other.requested = done.requested;
+  const fs::path target = fresh_dir("store_target") / "cell_00007.json";
+  ASSERT_TRUE(cache.fetch(other, target));
+
+  // The installed file must earn trust through the normal scan path and
+  // carry the fetching cell's identity.
+  const fs::path quarantine = target.parent_path() / "quarantine";
+  EXPECT_EQ(sweep::scan_cell_file(target, quarantine, other), CellScan::Trusted);
+  const io::JsonValue payload = io::read_checkpoint_file(target.string());
+  EXPECT_EQ(payload.at("cell").at("id").as_string(), "cell_00007");
+  EXPECT_EQ(payload.at("cell").at("index").as_uint(), 7u);
+  EXPECT_FALSE(payload.contains("retry"));  // audit block never cached
+}
+
+TEST(ResultCache, MissesAcrossSpecObserveAndWallConfig) {
+  const fs::path run_dir = fresh_dir("miss_run");
+  const fs::path cache_dir = fresh_dir("miss_cache");
+  const sweep::SweepSpec spec = one_cell_spec();
+  const CellOutcome done = completed_cell(run_dir, spec);
+
+  ResultCache cache(cache_dir.string(), spec.observe, /*zero_wall_times=*/true);
+  cache.store(done, run_dir / "cells" / (done.id + ".json"));
+
+  const fs::path target = fresh_dir("miss_target") / "probe.json";
+
+  // Different spec: different key.
+  CellOutcome different = done;
+  different.requested.k = 4;
+  EXPECT_FALSE(cache.fetch(different, target));
+
+  // Same spec, different observer config: different key.
+  sweep::ObserveSpec observe = spec.observe;
+  observe.m_plurality = true;
+  observe.m = 2;
+  ResultCache observing(cache_dir.string(), observe, /*zero_wall_times=*/true);
+  EXPECT_FALSE(observing.fetch(done, target));
+
+  // Same spec, timed run: wall numbers are part of the payload, so a
+  // zeroed entry must not satisfy it.
+  ResultCache timed(cache_dir.string(), spec.observe, /*zero_wall_times=*/false);
+  EXPECT_FALSE(timed.fetch(done, target));
+
+  // The real key still hits.
+  EXPECT_TRUE(cache.fetch(done, target));
+}
+
+TEST(ResultCache, CorruptEntryIsDroppedNotTrusted) {
+  const fs::path run_dir = fresh_dir("corrupt_run");
+  const fs::path cache_dir = fresh_dir("corrupt_cache");
+  const sweep::SweepSpec spec = one_cell_spec();
+  const CellOutcome done = completed_cell(run_dir, spec);
+
+  ResultCache cache(cache_dir.string(), spec.observe, /*zero_wall_times=*/true);
+  cache.store(done, run_dir / "cells" / (done.id + ".json"));
+
+  // Flip bytes in the single cache entry.
+  fs::path entry;
+  for (const auto& e : fs::directory_iterator(cache_dir)) entry = e.path();
+  ASSERT_FALSE(entry.empty());
+  {
+    std::ofstream out(entry, std::ios::app);
+    out << "garbage";
+  }
+
+  const fs::path target = fresh_dir("corrupt_target") / "probe.json";
+  EXPECT_FALSE(cache.fetch(done, target));
+  EXPECT_FALSE(fs::exists(entry));  // dropped, so the next store can heal it
+  EXPECT_FALSE(fs::exists(target));
+}
+
+TEST(ResultCache, DisabledAndTrajectoryConfigsNeverCache) {
+  const fs::path run_dir = fresh_dir("gate_run");
+  const sweep::SweepSpec spec = one_cell_spec();
+  const CellOutcome done = completed_cell(run_dir, spec);
+  const fs::path cell_file = run_dir / "cells" / (done.id + ".json");
+
+  ResultCache disabled("", spec.observe, true);
+  EXPECT_FALSE(disabled.enabled());
+  disabled.store(done, cell_file);
+  EXPECT_FALSE(disabled.fetch(done, fresh_dir("gate_target") / "x.json"));
+
+  // Trajectory cells produce a CSV next to the payload; caching only the
+  // payload would resurrect cells without their product.
+  sweep::ObserveSpec trajectory = spec.observe;
+  trajectory.trajectory = 2;
+  const fs::path cache_dir = fresh_dir("gate_cache");
+  ResultCache gated(cache_dir.string(), trajectory, true);
+  gated.store(done, cell_file);
+  EXPECT_TRUE(fs::is_empty(cache_dir));
+}
+
+}  // namespace
+}  // namespace plurality::service

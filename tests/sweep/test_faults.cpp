@@ -83,6 +83,39 @@ TEST(FaultPlan, ParsesEveryKindAndAddressingMode) {
   EXPECT_FALSE(plan.faults[2].matches(0, "x", "n=2000 backend=count k=4"));
 }
 
+TEST(FaultPlan, ParsesNetworkKindsAndBoundsTheirFirings) {
+  // The service-only kinds parse, address, and spend marker budget like
+  // every other fault; the in-process orchestrator simply never calls
+  // their injection points.
+  const io::JsonValue doc = io::parse_json(R"({
+    "faults": [
+      {"cell": "cell_00000", "kind": "drop_heartbeat"},
+      {"cell": 1, "kind": "stall_conn", "seconds": 0.25},
+      {"match": "k=8", "kind": "worker_crash", "times": 2}
+    ]
+  })");
+  const FaultPlan plan = FaultPlan::from_json(doc);
+  ASSERT_EQ(plan.faults.size(), 3u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::DropHeartbeat);
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::StallConn);
+  EXPECT_DOUBLE_EQ(plan.faults[1].seconds, 0.25);
+  EXPECT_EQ(plan.faults[2].kind, FaultKind::WorkerCrash);
+  EXPECT_EQ(plan.faults[2].times, 2u);
+
+  // drop_heartbeat / stall_conn fire once (marker-file bounded across
+  // injector instances, like crash faults) and then run clean.
+  const fs::path dir = fresh_dir("network_markers");
+  fs::create_directories(dir);
+  {
+    FaultInjector injector(plan, dir.string());
+    EXPECT_TRUE(injector.should_drop_heartbeats(0, "cell_00000", ""));
+    EXPECT_DOUBLE_EQ(injector.stall_connection_seconds(1, "cell_00001", ""), 0.25);
+  }
+  FaultInjector second(plan, dir.string());
+  EXPECT_FALSE(second.should_drop_heartbeats(0, "cell_00000", ""));
+  EXPECT_DOUBLE_EQ(second.stall_connection_seconds(1, "cell_00001", ""), 0.0);
+}
+
 TEST(FaultPlan, StrictParsingRejectsMistakes) {
   const auto parse = [](const std::string& text) {
     return FaultPlan::from_json(io::parse_json(text));
