@@ -15,6 +15,7 @@
 #include <iostream>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "sweep/orchestrator.hpp"
 #include "sweep/watchdog.hpp"
 #include "support/check.hpp"
@@ -59,6 +60,12 @@ int run(int argc, char** argv) {
   cli.add_flag("zero-wall-times",
                "write wall_seconds as 0 everywhere so identical grids produce "
                "bitwise-identical artifacts (CI golden comparisons)");
+  cli.add_double("progress-seconds", 0.0,
+                 "print an aggregate progress line (cells done/running/failed, "
+                 "node-updates/s) every N seconds (0 = off)");
+  cli.add_string("trace-out", "",
+                 "write a Chrome trace-event JSON (cell attempts, trials, checkpoint "
+                 "writes) to this file on exit");
   cli.add_flag("print-cells", "list the expanded cells and exit without running");
   cli.add_flag("quiet", "suppress per-cell progress lines");
   if (!cli.parse(argc, argv)) return 0;
@@ -99,6 +106,7 @@ int run(int argc, char** argv) {
   options.max_retries = static_cast<std::uint32_t>(cli.get_uint("retries"));
   options.memory_budget_bytes = cli.get_uint("memory-budget-mb") * (1ull << 20);
   options.zero_wall_times = cli.flag("zero-wall-times");
+  options.progress_seconds = cli.get_double("progress-seconds");
   if (!cli.get_string("fault-plan").empty()) {
     options.fault_plan = sweep::FaultPlan::from_json_file(cli.get_string("fault-plan"));
   }
@@ -120,8 +128,12 @@ int run(int argc, char** argv) {
     };
   }
 
+  const std::string trace_out = cli.get_string("trace-out");
+  if (!trace_out.empty()) obs::TraceRecorder::global().enable();
+
   sweep::install_shutdown_signal_handlers();
   const sweep::SweepOutcome outcome = sweep::run_sweep(spec, options);
+  if (!trace_out.empty()) obs::TraceRecorder::global().write(trace_out);
 
   std::cout << "\nsweep complete: " << outcome.cells.size() << " cells (" << outcome.ran
             << " ran, " << outcome.resumed << " resumed) in "

@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition document (stdlib only).
+
+CI's telemetry smoke job scrapes plurality_sweepd's --metrics-port endpoint
+and pipes the body through this script, so a malformed exposition fails the
+build instead of silently breaking whoever points a real scraper at it.
+
+Checks:
+  * every line is a comment (# HELP / # TYPE), blank, or a sample
+    ``name{label="value",...} value`` with a finite-or-Inf/NaN float value
+  * metric and label names match the Prometheus grammar
+  * label values use only the three legal escapes (\\\\, \\", \\n)
+  * a family's # TYPE line appears at most once, before its samples
+  * # TYPE kinds are counter/gauge/histogram/summary/untyped
+  * histogram families carry _bucket/_sum/_count samples with
+    non-decreasing cumulative buckets ending in le="+Inf"
+
+Usage:
+  check_exposition.py [FILE] [--require NAME ...]   # FILE defaults to stdin
+  check_exposition.py --self-test                   # run the embedded tests
+
+Exit codes: 0 valid (and all --require names present), 1 invalid, 2 usage.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPE_KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+class ExpositionError(ValueError):
+    """One grammar violation, carrying the 1-based line number."""
+
+    def __init__(self, lineno, message):
+        super().__init__("line %d: %s" % (lineno, message))
+        self.lineno = lineno
+
+
+def _parse_value(text, lineno):
+    if text in ("+Inf", "-Inf", "Inf"):
+        return math.inf if not text.startswith("-") else -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(lineno, "unparsable sample value %r" % text)
+
+
+def _parse_labels(block, lineno):
+    """Parses the inside of a {...} block into an ordered (name, value) list."""
+    labels = []
+    i = 0
+    while i < len(block):
+        match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", block[i:])
+        if not match:
+            raise ExpositionError(lineno, "bad label name at %r" % block[i:])
+        name = match.group(0)
+        i += len(name)
+        if not block[i:].startswith('="'):
+            raise ExpositionError(lineno, 'label %s missing ="..." value' % name)
+        i += 2
+        value = []
+        while True:
+            if i >= len(block):
+                raise ExpositionError(lineno, "unterminated label value for %s" % name)
+            c = block[i]
+            if c == "\\":
+                if i + 1 >= len(block) or block[i + 1] not in ("\\", '"', "n"):
+                    raise ExpositionError(lineno, "illegal escape in label %s" % name)
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[block[i + 1]])
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            else:
+                value.append(c)
+                i += 1
+        labels.append((name, "".join(value)))
+        if i < len(block):
+            if block[i] != ",":
+                raise ExpositionError(lineno, "expected ',' between labels")
+            i += 1
+    return labels
+
+
+def parse_sample(line, lineno):
+    """Parses one sample line into (name, labels, value)."""
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            raise ExpositionError(lineno, "unbalanced '{' in sample line")
+        name = line[:brace]
+        labels = _parse_labels(line[brace + 1 : close], lineno)
+        rest = line[close + 1 :].strip()
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ExpositionError(lineno, "sample line needs a name and a value")
+        name, rest = parts
+        labels = []
+    if not METRIC_NAME.match(name):
+        raise ExpositionError(lineno, "bad metric name %r" % name)
+    fields = rest.split()
+    if not fields or len(fields) > 2:  # optional trailing timestamp
+        raise ExpositionError(lineno, "expected 'value [timestamp]' after name")
+    value = _parse_value(fields[0], lineno)
+    if len(fields) == 2 and not re.match(r"^-?\d+$", fields[1]):
+        raise ExpositionError(lineno, "bad timestamp %r" % fields[1])
+    return name, labels, value
+
+
+def _family_of(name, typed_histograms):
+    """Maps a sample name to its family (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in typed_histograms:
+            return name[: -len(suffix)]
+    return name
+
+
+def check_exposition(text):
+    """Validates the document; returns {sample name -> count}. Raises
+    ExpositionError on the first violation."""
+    types = {}
+    seen_samples = {}
+    histogram_state = {}  # family -> {"last_cumulative", "saw_inf", labels_key}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                    raise ExpositionError(lineno, "bad metric name in %s line" % parts[1])
+                if parts[1] == "TYPE":
+                    if len(parts) != 4 or parts[3] not in TYPE_KINDS:
+                        raise ExpositionError(
+                            lineno, "TYPE kind must be one of %s" % (TYPE_KINDS,))
+                    name = parts[2]
+                    if name in types:
+                        raise ExpositionError(lineno, "duplicate TYPE for %s" % name)
+                    if any(_family_of(s, ()) == name for s in seen_samples):
+                        raise ExpositionError(
+                            lineno, "TYPE for %s after its samples" % name)
+                    types[name] = parts[3]
+            continue  # other comments are legal and ignored
+        name, labels, value = parse_sample(line, lineno)
+        typed_histograms = tuple(n for n, k in types.items() if k == "histogram")
+        family = _family_of(name, typed_histograms)
+        seen_samples[name] = seen_samples.get(name, 0) + 1
+
+        if family in typed_histograms and name == family + "_bucket":
+            le = [v for k, v in labels if k == "le"]
+            if len(le) != 1:
+                raise ExpositionError(lineno, "%s needs exactly one le label" % name)
+            key = tuple((k, v) for k, v in labels if k != "le")
+            state = histogram_state.setdefault(
+                (family, key), {"last": -1.0, "saw_inf": False})
+            if state["saw_inf"]:
+                state = histogram_state[(family, key)] = {"last": -1.0, "saw_inf": False}
+            if value < state["last"]:
+                raise ExpositionError(
+                    lineno, "%s cumulative bucket counts decreased" % family)
+            state["last"] = value
+            if le[0] == "+Inf":
+                state["saw_inf"] = True
+        if types.get(family) == "counter" and value < 0:
+            raise ExpositionError(lineno, "counter %s has negative value" % family)
+
+    for (family, key), state in histogram_state.items():
+        if not state["saw_inf"]:
+            raise ExpositionError(0, "histogram %s%r has no +Inf bucket" % (family, key))
+    return seen_samples
+
+
+def _require_present(seen_samples, required):
+    """Returns the subset of `required` with no matching sample family."""
+    missing = []
+    for name in required:
+        if name in seen_samples:
+            continue
+        if any(s.startswith(name + suffix)
+               for s in seen_samples
+               for suffix in ("_bucket", "_sum", "_count", "{")):
+            continue
+        missing.append(name)
+    return missing
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", nargs="?", help="exposition file (default stdin)")
+    parser.add_argument("--require", action="append", default=[], metavar="NAME",
+                        help="fail unless a sample of this family is present")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded unit tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        import unittest
+
+        result = unittest.main(module=sys.modules[__name__], argv=["check_exposition"],
+                               exit=False).result
+        return 0 if result.wasSuccessful() else 1
+
+    text = open(args.file, encoding="utf-8").read() if args.file else sys.stdin.read()
+    try:
+        seen = check_exposition(text)
+    except ExpositionError as error:
+        print("check_exposition: %s" % error, file=sys.stderr)
+        return 1
+    missing = _require_present(seen, args.require)
+    if missing:
+        print("check_exposition: missing required metrics: %s" % ", ".join(missing),
+              file=sys.stderr)
+        return 1
+    print("check_exposition: OK (%d samples, %d names)"
+          % (sum(seen.values()), len(seen)))
+    return 0
+
+
+# --- embedded tests (python3 check_exposition.py --self-test) ---------------
+
+import unittest  # noqa: E402  (kept below main() so --help stays fast to read)
+
+
+VALID = """\
+# HELP requests_total Total requests
+# TYPE requests_total counter
+requests_total 3
+requests_total{cell="c0"} 2
+# TYPE temp gauge
+temp 1.5
+# TYPE lat histogram
+lat_bucket{le="1"} 1
+lat_bucket{le="2.5"} 2
+lat_bucket{le="+Inf"} 3
+lat_sum 11.5
+lat_count 3
+"""
+
+
+class CheckExpositionTest(unittest.TestCase):
+    def test_valid_document(self):
+        seen = check_exposition(VALID)
+        self.assertEqual(seen["requests_total"], 2)
+        self.assertEqual(seen["lat_bucket"], 3)
+
+    def test_empty_document_is_valid(self):
+        self.assertEqual(check_exposition(""), {})
+
+    def test_escaped_label_values(self):
+        seen = check_exposition('g{path="a\\\\b\\"c\\nd"} 1\n')
+        self.assertEqual(seen["g"], 1)
+
+    def test_rejects_bad_value(self):
+        with self.assertRaises(ExpositionError):
+            check_exposition("m twelve\n")
+
+    def test_rejects_bad_metric_name(self):
+        with self.assertRaises(ExpositionError):
+            check_exposition("9bad 1\n")
+
+    def test_rejects_bad_escape(self):
+        with self.assertRaises(ExpositionError):
+            check_exposition('m{l="a\\x"} 1\n')
+
+    def test_rejects_unterminated_label(self):
+        with self.assertRaises(ExpositionError):
+            check_exposition('m{l="open 1\n')
+
+    def test_rejects_type_after_samples(self):
+        with self.assertRaises(ExpositionError):
+            check_exposition("m 1\n# TYPE m counter\n")
+
+    def test_rejects_duplicate_type(self):
+        with self.assertRaises(ExpositionError):
+            check_exposition("# TYPE m counter\n# TYPE m counter\nm 1\n")
+
+    def test_rejects_unknown_kind(self):
+        with self.assertRaises(ExpositionError):
+            check_exposition("# TYPE m widget\n")
+
+    def test_rejects_negative_counter(self):
+        with self.assertRaises(ExpositionError):
+            check_exposition("# TYPE m counter\nm -1\n")
+
+    def test_rejects_decreasing_histogram_buckets(self):
+        with self.assertRaises(ExpositionError):
+            check_exposition(
+                '# TYPE h histogram\n'
+                'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\nh_sum 1\nh_count 5\n')
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        with self.assertRaises(ExpositionError):
+            check_exposition(
+                '# TYPE h histogram\nh_bucket{le="1"} 5\nh_sum 1\nh_count 5\n')
+
+    def test_timestamps_and_comments_are_legal(self):
+        seen = check_exposition("# a freeform comment\nm 1 1700000000\n")
+        self.assertEqual(seen["m"], 1)
+
+    def test_require_matches_families_and_suffixes(self):
+        seen = check_exposition(VALID)
+        self.assertEqual(_require_present(seen, ["requests_total", "lat"]), [])
+        self.assertEqual(_require_present(seen, ["absent_total"]), ["absent_total"])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

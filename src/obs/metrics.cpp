@@ -1,0 +1,400 @@
+#include "obs/metrics.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace plurality::obs {
+
+namespace {
+
+/// Shortest round-trip formatting (same as the JSON writer) so exposition
+/// goldens are stable across platforms.
+std::string fmt_number(double v) {
+  PLURALITY_REQUIRE(std::isfinite(v), "metrics: non-finite sample value " << v);
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  PLURALITY_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void append_escaped(std::string& out, const std::string& v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_label_block(std::string& out, const Labels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped(out, v);
+    out += '"';
+  }
+  out += '}';
+}
+
+/// Registry key: name + serialized labels (labels are order-preserving, so
+/// the same declaration site always produces the same key).
+std::string metric_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  append_label_block(key, labels);
+  return key;
+}
+
+const char* kind_name(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::Counter: return "counter";
+    case MetricSample::Kind::Gauge: return "gauge";
+    case MetricSample::Kind::Histogram: return "histogram";
+  }
+  return "counter";
+}
+
+MetricSample::Kind kind_from_name(const std::string& name) {
+  if (name == "gauge") return MetricSample::Kind::Gauge;
+  if (name == "histogram") return MetricSample::Kind::Histogram;
+  PLURALITY_REQUIRE(name == "counter", "metrics: unknown sample kind '" << name << "'");
+  return MetricSample::Kind::Counter;
+}
+
+}  // namespace
+
+std::size_t metric_shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return idx;
+}
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  PLURALITY_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "metrics: histogram bounds must be ascending");
+  for (Shard& s : shards_) {
+    s.counts = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) s.counts[b].store(0);
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  // Linear scan: engine histograms have ~a dozen bounds and this is
+  // per-trial, not per-round.
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  Shard& s = shards_[metric_shard_index()];
+  s.counts[b].fetch_add(1, std::memory_order_relaxed);
+  double sum = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(sum, sum + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const Shard& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      total += s.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(const std::string& name,
+                                                        const std::string& help,
+                                                        const Labels& labels,
+                                                        MetricSample::Kind kind) {
+  const std::string key = metric_key(name, labels);
+  for (const auto& entry : entries_) {
+    if (metric_key(entry->name, entry->labels) != key) continue;
+    PLURALITY_REQUIRE(entry->kind == kind, "metrics: '" << key << "' re-registered as a "
+                                                        << kind_name(kind) << " (was "
+                                                        << kind_name(entry->kind) << ")");
+    return *entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->labels = labels;
+  entry->kind = kind;
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = find_or_create(name, help, labels, MetricSample::Kind::Counter);
+  if (!entry.c) entry.c = std::make_unique<Counter>();
+  return *entry.c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = find_or_create(name, help, labels, MetricSample::Kind::Gauge);
+  if (!entry.g) entry.g = std::make_unique<Gauge>();
+  return *entry.g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds,
+                                      const std::string& help, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = find_or_create(name, help, labels, MetricSample::Kind::Histogram);
+  if (!entry.h) entry.h = std::make_unique<Histogram>(std::move(bounds));
+  return *entry.h;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSample s;
+    s.name = entry->name;
+    s.help = entry->help;
+    s.labels = entry->labels;
+    s.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricSample::Kind::Counter:
+        s.counter = entry->c->value();
+        break;
+      case MetricSample::Kind::Gauge:
+        s.gauge = entry->g->value();
+        break;
+      case MetricSample::Kind::Histogram:
+        s.bounds = entry->h->bounds();
+        s.buckets = entry->h->bucket_counts();
+        s.sum = entry->h->sum();
+        s.count = entry->h->count();
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+// --- MetricsSnapshot -------------------------------------------------------
+
+const MetricSample* MetricsSnapshot::find(const std::string& name,
+                                          const Labels& labels) const {
+  const std::string key = metric_key(name, labels);
+  for (const MetricSample& s : samples) {
+    if (metric_key(s.name, s.labels) == key) return &s;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const MetricSample& theirs : other.samples) {
+    const std::string key = metric_key(theirs.name, theirs.labels);
+    MetricSample* mine = nullptr;
+    for (MetricSample& s : samples) {
+      if (metric_key(s.name, s.labels) == key) {
+        mine = &s;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      samples.push_back(theirs);
+      continue;
+    }
+    PLURALITY_REQUIRE(mine->kind == theirs.kind,
+                      "metrics: merge kind mismatch for '" << key << "'");
+    switch (theirs.kind) {
+      case MetricSample::Kind::Counter:
+        mine->counter += theirs.counter;
+        break;
+      case MetricSample::Kind::Gauge:
+        mine->gauge = theirs.gauge;
+        break;
+      case MetricSample::Kind::Histogram:
+        PLURALITY_REQUIRE(mine->bounds == theirs.bounds,
+                          "metrics: merge bound mismatch for '" << key << "'");
+        for (std::size_t b = 0; b < mine->buckets.size(); ++b) {
+          mine->buckets[b] += theirs.buckets[b];
+        }
+        mine->sum += theirs.sum;
+        mine->count += theirs.count;
+        break;
+    }
+  }
+}
+
+std::string MetricsSnapshot::to_exposition_text() const {
+  std::string out;
+  std::string last_family;
+  for (const MetricSample& s : samples) {
+    if (s.name != last_family) {
+      last_family = s.name;
+      if (!s.help.empty()) {
+        out += "# HELP " + s.name + " " + s.help + "\n";
+      }
+      out += "# TYPE " + s.name + " ";
+      out += kind_name(s.kind);
+      out += '\n';
+    }
+    switch (s.kind) {
+      case MetricSample::Kind::Counter:
+        out += s.name;
+        append_label_block(out, s.labels);
+        out += ' ' + std::to_string(s.counter) + '\n';
+        break;
+      case MetricSample::Kind::Gauge:
+        out += s.name;
+        append_label_block(out, s.labels);
+        out += ' ' + fmt_number(s.gauge) + '\n';
+        break;
+      case MetricSample::Kind::Histogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+          cumulative += s.buckets[b];
+          Labels le = s.labels;
+          le.emplace_back("le", b < s.bounds.size() ? fmt_number(s.bounds[b]) : "+Inf");
+          out += s.name + "_bucket";
+          append_label_block(out, le);
+          out += ' ' + std::to_string(cumulative) + '\n';
+        }
+        out += s.name + "_sum";
+        append_label_block(out, s.labels);
+        out += ' ' + fmt_number(s.sum) + '\n';
+        out += s.name + "_count";
+        append_label_block(out, s.labels);
+        out += ' ' + std::to_string(s.count) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+io::JsonValue MetricsSnapshot::to_json() const {
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("schema", std::uint64_t{1});
+  io::JsonValue& list = doc.set("metrics", io::JsonValue::array());
+  for (const MetricSample& s : samples) {
+    io::JsonValue m = io::JsonValue::object();
+    m.set("name", s.name);
+    if (!s.help.empty()) m.set("help", s.help);
+    m.set("kind", std::string(kind_name(s.kind)));
+    if (!s.labels.empty()) {
+      io::JsonValue& labels = m.set("labels", io::JsonValue::object());
+      for (const auto& [k, v] : s.labels) labels.set(k, v);
+    }
+    switch (s.kind) {
+      case MetricSample::Kind::Counter:
+        m.set("value", s.counter);
+        break;
+      case MetricSample::Kind::Gauge:
+        m.set("value", s.gauge);
+        break;
+      case MetricSample::Kind::Histogram: {
+        io::JsonValue& bounds = m.set("bounds", io::JsonValue::array());
+        for (const double b : s.bounds) bounds.push(io::JsonValue(b));
+        io::JsonValue& buckets = m.set("buckets", io::JsonValue::array());
+        for (const std::uint64_t c : s.buckets) buckets.push(io::JsonValue(c));
+        m.set("sum", s.sum);
+        m.set("count", s.count);
+        break;
+      }
+    }
+    list.push(std::move(m));
+  }
+  return doc;
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(const io::JsonValue& doc) {
+  PLURALITY_REQUIRE(doc.at("schema").as_uint() == 1,
+                    "metrics: unsupported snapshot schema "
+                        << doc.at("schema").as_uint());
+  MetricsSnapshot snap;
+  const io::JsonValue& list = doc.at("metrics");
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const io::JsonValue& m = list.item(i);
+    MetricSample s;
+    s.name = m.at("name").as_string();
+    if (const io::JsonValue* help = m.get("help")) s.help = help->as_string();
+    s.kind = kind_from_name(m.at("kind").as_string());
+    if (const io::JsonValue* labels = m.get("labels")) {
+      for (const std::string& k : labels->keys()) {
+        s.labels.emplace_back(k, labels->at(k).as_string());
+      }
+    }
+    switch (s.kind) {
+      case MetricSample::Kind::Counter:
+        s.counter = m.at("value").as_uint();
+        break;
+      case MetricSample::Kind::Gauge:
+        s.gauge = m.at("value").as_double();
+        break;
+      case MetricSample::Kind::Histogram: {
+        const io::JsonValue& bounds = m.at("bounds");
+        for (std::size_t b = 0; b < bounds.size(); ++b) {
+          s.bounds.push_back(bounds.item(b).as_double());
+        }
+        const io::JsonValue& buckets = m.at("buckets");
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+          s.buckets.push_back(buckets.item(b).as_uint());
+        }
+        s.sum = m.at("sum").as_double();
+        s.count = m.at("count").as_uint();
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::uint64_t current_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total = 0;
+  unsigned long long resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return resident * static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+}  // namespace plurality::obs

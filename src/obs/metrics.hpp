@@ -1,0 +1,187 @@
+// Live telemetry: a lock-free metrics registry for the engine, the sweep
+// orchestrator, and the sweep service.
+//
+// The paper's measurements are offline curves; running them at production
+// scale (1e9-node gossip cells taking minutes per round) needs ONLINE
+// telemetry: how many rounds per second is this cell doing, which trials
+// are in flight, is the plurality fraction moving. This registry is that
+// channel, built so that switching it on cannot perturb what it measures:
+//
+//  * Hot-path writes (Counter::add, Gauge::set, Histogram::observe) touch
+//    one relaxed atomic in a per-thread shard — no locks, no allocation,
+//    no RNG. Observed runs stay bitwise-identical to unobserved runs
+//    (tests/obs pins this on the backend × engine grid) and warm rounds
+//    stay at zero heap traffic (tests/alloc).
+//  * Registration (counter()/gauge()/histogram()) takes a mutex and may
+//    allocate; callers resolve handles ONCE up front and keep references
+//    (the registry never relocates a registered metric).
+//  * snapshot() sums the shards into a plain-data MetricsSnapshot that can
+//    be merged across registries/processes, rendered as Prometheus-style
+//    text exposition, or serialized through src/io JSON.
+//
+// Shard discipline: each thread hashes to one of kMetricShards slots (ids
+// assigned on first use, round-robin), shards are cache-line separated, and
+// readers sum with relaxed loads — totals are exact once writers quiesce
+// and monotonically catch up while they run.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace plurality::obs {
+
+/// Label set of one metric instance ({{"cell","cell_00017"}, ...}). Order
+/// is preserved in exposition output; (name, labels) identifies a metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Per-thread shard count. Power of two; threads beyond it share slots
+/// (still correct, just contended).
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Index of the calling thread's shard (assigned round-robin on first use).
+[[nodiscard]] std::size_t metric_shard_index() noexcept;
+
+/// Monotonically increasing counter, sharded per thread.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    shards_[metric_shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-write-wins scalar. set() is one relaxed store; concurrent writers
+/// race benignly (monitoring semantics, not accounting).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bound histogram (Prometheus bucket semantics: bounds are upper
+/// edges, +Inf implicit). Bucket counts are sharded per thread; the sum is
+/// a per-shard CAS-add (uncontended in the common case).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bound counts (NON-cumulative; exposition cumulates), +Inf last.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<double> sum{0.0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+  };
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Plain-data copy of one metric at snapshot time.
+struct MetricSample {
+  enum class Kind { Counter, Gauge, Histogram };
+  std::string name;
+  std::string help;
+  Labels labels;
+  Kind kind = Kind::Counter;
+  std::uint64_t counter = 0;  ///< Kind::Counter
+  double gauge = 0.0;         ///< Kind::Gauge
+  // Kind::Histogram (buckets are per-bound, +Inf last, NON-cumulative).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// A point-in-time copy of a registry, safe to merge, serialize, and ship.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< registration order
+
+  [[nodiscard]] const MetricSample* find(const std::string& name,
+                                         const Labels& labels = {}) const;
+
+  /// Folds `other` in: counters and histograms add (matching name+labels;
+  /// unmatched samples append), gauges take `other`'s value — merging a
+  /// NEWER snapshot over an older one keeps last-write-wins semantics.
+  void merge(const MetricsSnapshot& other);
+
+  /// Prometheus text exposition: "# HELP" / "# TYPE" per family, then
+  /// name{label="v"} value lines in registration order.
+  [[nodiscard]] std::string to_exposition_text() const;
+
+  /// Compact-JSON form ({"schema":1,"metrics":[...]}); round-trips through
+  /// from_json.
+  [[nodiscard]] io::JsonValue to_json() const;
+  static MetricsSnapshot from_json(const io::JsonValue& doc);
+};
+
+/// Named registry of counters/gauges/histograms. Registration is
+/// idempotent: the same (name, labels) returns the same object, so
+/// independent layers can share one handle.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "", const Labels& labels = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// The process-wide registry — what the CLI tools, the orchestrator's
+  /// progress line, and the service worker's heartbeat share.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    Labels labels;
+    MetricSample::Kind kind;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+  Entry& find_or_create(const std::string& name, const std::string& help,
+                        const Labels& labels, MetricSample::Kind kind);
+
+  mutable std::mutex mu_;  ///< registration + snapshot only, never the hot path
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order, stable addresses
+};
+
+/// Resident set size of this process in bytes (Linux /proc/self/statm;
+/// 0 where unavailable) — the worker's heartbeat progress block reports it.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+}  // namespace plurality::obs

@@ -1,0 +1,58 @@
+// MetricsObserver — live engine telemetry riding the RoundObserver
+// pipeline (core/observer.hpp).
+//
+// Feeds the standard engine metric set (rounds, node updates, current
+// plurality fraction / support size, trial lifecycle) from every
+// materialized round into a MetricsRegistry, and forwards each callback to
+// an optional inner observer so the sweep's ProbeObserver keeps working
+// unchanged underneath it.
+//
+// It obeys the full observer contract: reads the materialized
+// configuration only, draws no RNG (metrics-on runs are bitwise-identical
+// to metrics-off — tests/obs pins the backend × engine grid), allocates
+// nothing per round (every registry handle is resolved at construction;
+// tests/alloc pins warm observed rounds at zero heap traffic), and writes
+// only sharded/atomic slots, so OpenMP-parallel trials need no locks.
+#pragma once
+
+#include "core/observer.hpp"
+#include "obs/metrics.hpp"
+
+namespace plurality::obs {
+
+/// Handles to the standard engine metric set, resolved once so per-round
+/// updates never touch the registry lock. Shareable: several observers
+/// (parallel cells) may feed the same registry concurrently.
+struct EngineMetrics {
+  explicit EngineMetrics(MetricsRegistry& registry);
+
+  Counter& rounds_total;
+  Counter& node_updates_total;
+  Counter& trials_started_total;
+  Counter& trials_finished_total;
+  Gauge& plurality_fraction;
+  Gauge& support_size;
+  Gauge& current_trial;
+  Gauge& current_round;
+  Histogram& trial_rounds;
+};
+
+class MetricsObserver final : public RoundObserver {
+ public:
+  /// `inner` (optional, borrowed) receives every callback after the
+  /// metrics update — how a sweep cell stacks this on its ProbeObserver.
+  explicit MetricsObserver(MetricsRegistry& registry, RoundObserver* inner = nullptr);
+
+  void begin_trial(std::uint64_t trial, const Configuration& start,
+                   state_t num_colors) override;
+  void observe_round(std::uint64_t trial, round_t round, const Configuration& config,
+                     state_t num_colors) override;
+  void end_trial(std::uint64_t trial, StopReason reason, round_t rounds,
+                 const Configuration& final, state_t num_colors) override;
+
+ private:
+  EngineMetrics m_;
+  RoundObserver* inner_;
+};
+
+}  // namespace plurality::obs

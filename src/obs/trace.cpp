@@ -1,0 +1,100 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+
+#include "support/check.hpp"
+
+namespace plurality::obs {
+
+double TraceRecorder::now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::buffer_for_this_thread() {
+  // One buffer per (recorder, thread). The thread_local holds a shared_ptr
+  // so the buffer outlives whichever of the two — thread or recorder dump —
+  // finishes first.
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  thread_local const TraceRecorder* owner = nullptr;
+  if (owner != this) {
+    buffer = std::make_shared<ThreadBuffer>();
+    owner = this;
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->events.reserve(256);
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void TraceRecorder::record(const char* name, const char* category, double start_us,
+                           double duration_us, std::string arg) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  static std::atomic<std::uint32_t> next_tid{0};
+  thread_local const std::uint32_t tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  buf.events.push_back(Event{name, category, start_us, duration_us, tid, std::move(arg)});
+}
+
+io::JsonValue TraceRecorder::to_json() const {
+  io::JsonValue doc = io::JsonValue::object();
+  io::JsonValue& events = doc.set("traceEvents", io::JsonValue::array());
+  const std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    for (const Event& e : buf->events) {
+      io::JsonValue ev = io::JsonValue::object();
+      ev.set("name", std::string(e.name));
+      ev.set("cat", std::string(e.category));
+      ev.set("ph", "X");
+      ev.set("ts", e.start_us);
+      ev.set("dur", e.duration_us);
+      ev.set("pid", pid);
+      ev.set("tid", std::uint64_t{e.tid});
+      if (!e.arg.empty()) {
+        io::JsonValue& args = ev.set("args", io::JsonValue::object());
+        args.set("detail", e.arg);
+      }
+      events.push(std::move(ev));
+    }
+  }
+  return doc;
+}
+
+void TraceRecorder::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << to_json().to_string();
+  PLURALITY_REQUIRE(out.good(), "trace: cannot write " << path);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category, std::string arg)
+    : name_(name), category_(category), arg_(std::move(arg)) {
+  if (TraceRecorder::global().enabled()) {
+    armed_ = true;
+    start_us_ = TraceRecorder::now_us();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  const double end_us = TraceRecorder::now_us();
+  TraceRecorder::global().record(name_, category_, start_us_, end_us - start_us_,
+                                 std::move(arg_));
+}
+
+}  // namespace plurality::obs

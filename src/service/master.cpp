@@ -10,11 +10,13 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "io/checkpoint.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "service/result_cache.hpp"
 #include "support/check.hpp"
 #include "sweep/cell_runner.hpp"
@@ -37,10 +39,26 @@ double now_s() {
       .count();
 }
 
-/// One connected worker.
+/// One connected peer (worker or monitor).
 struct Conn {
   net::TcpConnection tcp;
   std::string worker = "?";
+  /// True once the peer has requested a lease — only such peers count
+  /// toward the per-worker memory share. A monitor (plurality_sweep_top)
+  /// that only polls `status` must not shrink everyone's budget.
+  bool compute = false;
+};
+
+/// Latest heartbeat progress block for one leased cell (version-tolerant:
+/// old workers send heartbeats without one and `valid` stays false).
+struct CellProgress {
+  bool valid = false;
+  std::uint64_t trial = 0;
+  std::uint64_t round = 0;
+  double node_updates_per_sec = 0.0;
+  std::uint64_t rss_bytes = 0;
+  std::string worker;
+  double updated = 0.0;  ///< now_s() of the carrying heartbeat
 };
 
 /// Lease bookkeeping for one cell (cell results live in CellOutcome).
@@ -64,7 +82,8 @@ class Master {
  public:
   explicit Master(MasterOptions options)
       : opt_(std::move(options)),
-        cache_(opt_.cache_dir, opt_.spec.observe, opt_.zero_wall_times) {}
+        cache_(opt_.cache_dir, opt_.spec.observe, opt_.zero_wall_times,
+               opt_.cache_max_entries) {}
 
   int run();
 
@@ -101,11 +120,17 @@ class Master {
   io::JsonValue lease_reply(std::size_t conn_key, const std::string& worker);
   io::JsonValue handle_message(std::size_t conn_key, const io::JsonValue& msg);
   void handle_complete(std::size_t conn_key, const io::JsonValue& msg);
+  io::JsonValue status_reply();
+  [[nodiscard]] std::size_t compute_conn_count() const;
+  void serve_metrics_scrape(net::TcpConnection scrape);
+  [[nodiscard]] std::string exposition_text();
+  void maybe_print_progress(double now);
 
   MasterOptions opt_;
   ResultCache cache_;
   std::vector<CellOutcome> cells_;
   std::vector<LeaseState> leases_;
+  std::vector<CellProgress> progress_;
   std::unordered_map<std::string, std::size_t> index_by_id_;
   fs::path cells_dir_;
   fs::path quarantine_dir_;
@@ -113,6 +138,10 @@ class Master {
   std::map<std::size_t, Conn> conns_;
   std::size_t done_count_ = 0;  // done + resumed + failed (progress display)
   bool draining_ = false;
+  /// Master-side registry behind the exposition endpoint (per-master, not
+  /// the process global: in-process tests run several masters).
+  obs::MetricsRegistry registry_;
+  double last_progress_line_ = 0.0;
 };
 
 void Master::log(const char* fmt, ...) {
@@ -264,6 +293,16 @@ std::size_t Master::leased_count() const {
   return n;
 }
 
+std::size_t Master::compute_conn_count() const {
+  // Peers that have requested a lease (every current holder has). Monitors
+  // never request, so they never dilute the share.
+  std::size_t n = 0;
+  for (const auto& [key, conn] : conns_) {
+    if (conn.compute) ++n;
+  }
+  return n;
+}
+
 void Master::write_outputs(bool allow_aggregate) {
   // Prune ledgers whose cells reached a clean verdict (covers workers that
   // died between committing the cell file and removing their ledger).
@@ -309,9 +348,11 @@ io::JsonValue Master::lease_reply(std::size_t conn_key, const std::string& worke
                                    ? opt_.memory_budget_bytes
                                    : sweep::default_memory_budget_bytes();
   // Preflight share: the budget is a HOST property, divided across the
-  // workers that will run cells concurrently on it.
+  // workers that will run cells concurrently on it — i.e. peers that hold
+  // or request leases, NOT every open connection (an idle monitor like
+  // plurality_sweep_top must not shrink everyone's budget).
   const std::uint64_t share =
-      budget / std::max<std::uint64_t>(1, static_cast<std::uint64_t>(conns_.size()));
+      budget / std::max<std::uint64_t>(1, static_cast<std::uint64_t>(compute_conn_count()));
 
   double soonest = 1.0;
   bool any_pending = false;
@@ -341,6 +382,7 @@ io::JsonValue Master::lease_reply(std::size_t conn_key, const std::string& worke
     st.holder = worker;
     st.attempt = prior + 1;
     st.expiry = now + lease_length();
+    progress_[i] = CellProgress{};  // a new lease starts with a clean block
     io::JsonValue msg = make_message("lease");
     msg.set("cell", cell.id);
     msg.set("index", std::uint64_t{cell.index});
@@ -420,6 +462,7 @@ io::JsonValue Master::handle_message(std::size_t conn_key, const io::JsonValue& 
     return welcome_message();
   }
   if (type == "request") {
+    conn.compute = true;  // a lease-taking worker, not a monitor
     return lease_reply(conn_key, conn.worker);
   }
   if (type == "heartbeat") {
@@ -429,6 +472,20 @@ io::JsonValue Master::handle_message(std::size_t conn_key, const io::JsonValue& 
       LeaseState& st = leases_[it->second];
       if (st.leased && st.conn_key == conn_key) {
         st.expiry = now_s() + lease_length();
+        // Optional live-progress block (newer workers). Absence is fine —
+        // the heartbeat still renews the lease (version tolerance).
+        if (const io::JsonValue* prog = msg.get("progress")) {
+          CellProgress& p = progress_[it->second];
+          p.valid = true;
+          p.trial = prog->contains("trial") ? prog->at("trial").as_uint() : 0;
+          p.round = prog->contains("round") ? prog->at("round").as_uint() : 0;
+          p.node_updates_per_sec = prog->contains("node_updates_per_sec")
+                                       ? prog->at("node_updates_per_sec").as_double()
+                                       : 0.0;
+          p.rss_bytes = prog->contains("rss_bytes") ? prog->at("rss_bytes").as_uint() : 0;
+          p.worker = conn.worker;
+          p.updated = now_s();
+        }
         return make_message("ack");
       }
     }
@@ -440,7 +497,177 @@ io::JsonValue Master::handle_message(std::size_t conn_key, const io::JsonValue& 
     handle_complete(conn_key, msg);
     return make_message("ack");
   }
+  if (type == "status") {
+    return status_reply();
+  }
   throw ProtocolError("protocol: unexpected message type '" + type + "' from worker");
+}
+
+io::JsonValue Master::status_reply() {
+  const double now = now_s();
+  io::JsonValue msg = make_message("status");
+  msg.set("cells_total", std::uint64_t{cells_.size()});
+
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t pending = 0;
+  io::JsonValue failures = io::JsonValue::object();
+  std::map<std::string, std::uint64_t> failure_counts;
+  for (const CellOutcome& cell : cells_) {
+    if (cell.status == CellStatus::Done || cell.status == CellStatus::Resumed) {
+      ++done;
+    } else if (sweep::cell_status_failed(cell.status)) {
+      ++failed;
+      ++failure_counts[sweep::cell_status_name(cell.status)];
+    } else {
+      ++pending;
+    }
+  }
+  msg.set("done", done);
+  msg.set("failed", failed);
+  msg.set("pending", pending);
+  msg.set("leased", std::uint64_t{leased_count()});
+  msg.set("draining", draining_);
+  for (const auto& [name, count] : failure_counts) failures.set(name, count);
+  msg.set("failures", std::move(failures));
+
+  // Workers table: lease count per connected compute peer.
+  io::JsonValue workers = io::JsonValue::array();
+  for (const auto& [key, conn] : conns_) {
+    if (!conn.compute) continue;
+    std::uint64_t held = 0;
+    for (const LeaseState& st : leases_) {
+      if (st.leased && st.conn_key == key) ++held;
+    }
+    io::JsonValue w = io::JsonValue::object();
+    w.set("worker", conn.worker);
+    w.set("leases", held);
+    workers.push(std::move(w));
+  }
+  msg.set("workers", std::move(workers));
+
+  // Per-cell live table: every leased cell, with its latest heartbeat
+  // progress block when the holder sends one.
+  double total_rate = 0.0;
+  io::JsonValue cell_rows = io::JsonValue::array();
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const LeaseState& st = leases_[i];
+    if (!st.leased) continue;
+    io::JsonValue row = io::JsonValue::object();
+    row.set("cell", cells_[i].id);
+    row.set("index", std::uint64_t{cells_[i].index});
+    row.set("worker", st.holder);
+    row.set("attempt", std::uint64_t{st.attempt});
+    const CellProgress& p = progress_[i];
+    if (p.valid) {
+      row.set("trial", p.trial);
+      row.set("round", p.round);
+      row.set("node_updates_per_sec", p.node_updates_per_sec);
+      row.set("rss_bytes", p.rss_bytes);
+      row.set("progress_age_seconds", now - p.updated);
+      total_rate += p.node_updates_per_sec;
+    }
+    cell_rows.push(std::move(row));
+  }
+  msg.set("cells", std::move(cell_rows));
+  msg.set("node_updates_per_sec", total_rate);
+
+  if (cache_.enabled()) {
+    io::JsonValue cache = io::JsonValue::object();
+    cache.set("hits", cache_.stats().hits);
+    cache.set("misses", cache_.stats().misses);
+    cache.set("evictions", cache_.stats().evictions);
+    msg.set("cache", std::move(cache));
+  }
+  return msg;
+}
+
+std::string Master::exposition_text() {
+  // Refresh the registry from the cell table, then render. Counter-typed
+  // families advance by delta (a Counter only adds); everything here runs
+  // on the master's single thread.
+  const io::JsonValue status = status_reply();
+  auto set_gauge = [&](const char* name, const char* help, double v) {
+    registry_.gauge(name, help).set(v);
+  };
+  set_gauge("sweepd_cells_total", "Cells in the grid",
+            static_cast<double>(status.at("cells_total").as_uint()));
+  set_gauge("sweepd_cells_done", "Cells done or resumed",
+            static_cast<double>(status.at("done").as_uint()));
+  set_gauge("sweepd_cells_failed", "Cells with a terminal failed_* verdict",
+            static_cast<double>(status.at("failed").as_uint()));
+  set_gauge("sweepd_cells_pending", "Cells not yet done or failed",
+            static_cast<double>(status.at("pending").as_uint()));
+  set_gauge("sweepd_cells_leased", "Cells currently leased",
+            static_cast<double>(status.at("leased").as_uint()));
+  set_gauge("sweepd_workers_connected", "Connected compute workers",
+            static_cast<double>(status.at("workers").size()));
+  set_gauge("sweepd_node_updates_per_sec",
+            "Summed node-updates/s over the latest worker heartbeats",
+            status.at("node_updates_per_sec").as_double());
+  if (cache_.enabled()) {
+    auto set_counter = [&](const char* name, const char* help, std::uint64_t v) {
+      obs::Counter& c = registry_.counter(name, help);
+      c.add(v - c.value());
+    };
+    set_counter("sweepd_cache_hits_total", "Result-cache hits", cache_.stats().hits);
+    set_counter("sweepd_cache_misses_total", "Result-cache misses", cache_.stats().misses);
+    set_counter("sweepd_cache_evictions_total", "Result-cache evictions",
+                cache_.stats().evictions);
+  }
+  const io::JsonValue& rows = status.at("cells");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const io::JsonValue& row = rows.item(r);
+    if (!row.contains("round")) continue;
+    const obs::Labels labels{{"cell", row.at("cell").as_string()}};
+    registry_.gauge("sweepd_cell_round", "Latest reported round of a leased cell", labels)
+        .set(static_cast<double>(row.at("round").as_uint()));
+    registry_
+        .gauge("sweepd_cell_node_updates_per_sec",
+               "Latest reported node-updates/s of a leased cell", labels)
+        .set(row.at("node_updates_per_sec").as_double());
+  }
+  return registry_.snapshot().to_exposition_text();
+}
+
+/// Minimal HTTP/1.0 exposition endpoint: read the request line, answer
+/// with text/plain, close. Enough for curl / python urllib / Prometheus.
+void Master::serve_metrics_scrape(net::TcpConnection scrape) {
+  try {
+    std::string request_line;
+    (void)scrape.recv_line(request_line, 1.0);
+    const std::string body = exposition_text();
+    std::string response = "HTTP/1.0 200 OK\r\n";
+    response += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+    response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    response += "Connection: close\r\n\r\n";
+    response += body;
+    scrape.send_all(response, kIoTimeoutSeconds);
+  } catch (const net::NetError&) {
+    // A slow or vanished scraper is its own problem, never the sweep's.
+  }
+  scrape.close();
+}
+
+void Master::maybe_print_progress(double now) {
+  if (opt_.progress_seconds <= 0) return;
+  if (now - last_progress_line_ < opt_.progress_seconds) return;
+  last_progress_line_ = now;
+  double total_rate = 0.0;
+  for (std::size_t i = 0; i < leases_.size(); ++i) {
+    if (leases_[i].leased && progress_[i].valid) {
+      total_rate += progress_[i].node_updates_per_sec;
+    }
+  }
+  std::size_t failed = 0;
+  for (const CellOutcome& cell : cells_) {
+    if (sweep::cell_status_failed(cell.status)) ++failed;
+  }
+  std::fprintf(stderr,
+               "[sweepd] %zu/%zu done, %zu leased, %zu pending, %zu failed | "
+               "%zu worker(s) | %.3g node-upd/s\n",
+               done_count_, cells_.size(), leased_count(), pending_count(), failed,
+               compute_conn_count(), total_rate);
 }
 
 int Master::run() {
@@ -456,6 +683,7 @@ int Master::run() {
   const std::vector<scenario::ScenarioSpec> expanded = opt_.spec.expand();
   cells_.resize(expanded.size());
   leases_.resize(expanded.size());
+  progress_.resize(expanded.size());
   for (std::size_t i = 0; i < expanded.size(); ++i) {
     cells_[i].index = i;
     cells_[i].id = sweep::cell_id(i);
@@ -473,6 +701,17 @@ int Master::run() {
   }
   log("listening on %s:%u (lease %.3gs, heartbeat %.3gs)", opt_.host.c_str(),
       static_cast<unsigned>(listener.port()), lease_length(), opt_.heartbeat_seconds);
+
+  std::unique_ptr<net::TcpListener> metrics_listener;
+  if (opt_.serve_metrics) {
+    metrics_listener = std::make_unique<net::TcpListener>(opt_.host, opt_.metrics_port);
+    if (!opt_.metrics_port_file.empty()) {
+      io::atomic_write_text(opt_.metrics_port_file,
+                            std::to_string(metrics_listener->port()) + "\n");
+    }
+    log("metrics exposition on %s:%u", opt_.host.c_str(),
+        static_cast<unsigned>(metrics_listener->port()));
+  }
 
   std::size_t next_conn_key = 1;
   double drain_deadline = 0.0;
@@ -525,10 +764,17 @@ int Master::run() {
       return failed > 0 ? kExitFailedCells : kExitComplete;
     }
 
-    // --- poll listener + workers -------------------------------------
+    maybe_print_progress(now);
+
+    // --- poll listeners + workers ------------------------------------
     std::vector<pollfd> fds;
     std::vector<std::size_t> keys;
     fds.push_back({listener.fd(), POLLIN, 0});
+    std::size_t first_conn = 1;
+    if (metrics_listener != nullptr) {
+      fds.push_back({metrics_listener->fd(), POLLIN, 0});
+      first_conn = 2;
+    }
     for (auto& [key, conn] : conns_) {
       fds.push_back({conn.tcp.fd(), POLLIN, 0});
       keys.push_back(key);
@@ -546,10 +792,17 @@ int Master::run() {
         conns_.emplace(next_conn_key++, Conn{std::move(accepted), "?"});
       }
     }
+    if (metrics_listener != nullptr && (fds[1].revents & POLLIN)) {
+      for (;;) {
+        net::TcpConnection scrape = metrics_listener->accept_nonblocking();
+        if (!scrape.valid()) break;
+        serve_metrics_scrape(std::move(scrape));
+      }
+    }
 
     std::vector<std::size_t> dead;
-    for (std::size_t f = 1; f < fds.size(); ++f) {
-      const std::size_t key = keys[f - 1];
+    for (std::size_t f = first_conn; f < fds.size(); ++f) {
+      const std::size_t key = keys[f - first_conn];
       if (!(fds[f].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       Conn& conn = conns_.at(key);
       bool alive = true;
@@ -571,6 +824,7 @@ int Master::run() {
     }
     for (const std::size_t key : dead) {
       const std::string worker = conns_.at(key).worker;
+      const bool compute = conns_.at(key).compute;
       conns_.erase(key);
       // A dead connection kills its leases NOW (worker crash / TCP reset)
       // — no reason to wait out the heartbeat budget.
@@ -579,7 +833,11 @@ int Master::run() {
           revoke_lease(i, "connection lost");
         }
       }
-      log("worker %s disconnected (%zu left)", worker.c_str(), conns_.size());
+      // Monitors (status-only connections) come and go constantly; only
+      // compute peers are worth a log line.
+      if (compute || worker != "?") {
+        log("worker %s disconnected (%zu left)", worker.c_str(), conns_.size());
+      }
     }
   }
 }

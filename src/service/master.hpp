@@ -69,7 +69,22 @@ struct MasterOptions {
   std::string fault_plan_text;
   /// Result cache directory (result_cache.hpp); empty = disabled.
   std::string cache_dir;
+  /// Bound on result-cache entries (oldest-mtime trim on store); 0 = never
+  /// evict.
+  std::uint64_t cache_max_entries = 0;
   bool verbose = true;  ///< progress lines on stderr
+  /// > 0: a periodic aggregate progress line on stderr every N seconds
+  /// (done/leased/pending cells, summed worker node-updates/s) — readable
+  /// on big grids where per-cell completion lines scroll away.
+  double progress_seconds = 0.0;
+  /// != 0 (or metrics_port_file set): serve the Prometheus text exposition
+  /// over HTTP on this port. 0 with a metrics_port_file = ephemeral port,
+  /// written to the file like port_file.
+  std::uint16_t metrics_port = 0;
+  std::string metrics_port_file;
+  /// Serve the exposition endpoint (set by the CLI when either
+  /// metrics_port or metrics_port_file was given).
+  bool serve_metrics = false;
 };
 
 /// Runs the master to completion (or drain) and returns the process exit

@@ -17,10 +17,22 @@
 //                                                 memory_budget_bytes}
 //                                        wait    {seconds}     nothing leasable yet
 //                                        drain   {}            no more leases, ever
-//   heartbeat{worker, cell}              ack     {}            lease still yours
+//   heartbeat{worker, cell, progress?}   ack     {}            lease still yours
 //                                        expired {}            lease reassigned: abandon
 //   complete {worker, cell, status,      ack     {}
 //             attempts, error?}
+//   status   {}                          status  {cells_total, done, failed, pending,
+//                                                 leased, workers[], cells[],
+//                                                 failures{}, cache?, ...}
+//
+// heartbeat.progress (optional, version-tolerant — masters ack heartbeats
+// without it, so old workers keep working) is the live telemetry block:
+//   {cell, trial, round, node_updates_per_sec, rss_bytes}
+// The master aggregates the latest block per leased cell and serves the
+// result through the `status` verb (plurality_sweep_top renders it) and
+// the --metrics-port text exposition endpoint. `status` needs no hello —
+// a monitor client never counts as a worker (it takes no leases and does
+// not shrink the per-worker memory share).
 //
 // Trust discipline: `complete` is a NOTIFICATION, not a data channel.
 // Results never cross the wire — workers share the out_dir filesystem, and

@@ -1,6 +1,9 @@
 #include "service/result_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "io/checkpoint.hpp"
 #include "support/check.hpp"
@@ -25,8 +28,12 @@ io::JsonValue clone(const io::JsonValue& v) { return io::parse_json(v.to_compact
 
 }  // namespace
 
-ResultCache::ResultCache(std::string dir, sweep::ObserveSpec observe, bool zero_wall_times)
-    : dir_(std::move(dir)), observe_(observe), zero_wall_times_(zero_wall_times) {
+ResultCache::ResultCache(std::string dir, sweep::ObserveSpec observe, bool zero_wall_times,
+                         std::uint64_t max_entries)
+    : dir_(std::move(dir)),
+      observe_(observe),
+      zero_wall_times_(zero_wall_times),
+      max_entries_(max_entries) {
   if (!dir_.empty()) fs::create_directories(dir_);
 }
 
@@ -64,6 +71,7 @@ bool ResultCache::fetch(const sweep::CellOutcome& cell, const fs::path& cell_pat
     // cell (scan_cell_file would reject it forever while first-write-wins
     // keeps it pinned on disk).
     if (payload.at("cell").at("requested").as_string() != cell.requested.to_spec_string()) {
+      ++stats_.misses;
       return false;
     }
   } catch (const CheckError&) {
@@ -71,8 +79,10 @@ bool ResultCache::fetch(const sweep::CellOutcome& cell, const fs::path& cell_pat
     // not a source of truth — drop the entry, treat as a miss.
     std::error_code ec;
     fs::remove(entry, ec);
+    ++stats_.misses;
     return false;
   }
+  ++stats_.hits;
 
   // Rewrite the grid position to the fetching cell (the payload may have
   // been stored from a different sweep's grid).
@@ -103,8 +113,30 @@ void ResultCache::store(const sweep::CellOutcome& cell, const fs::path& cell_pat
       doc.set(k, clone(payload.at(k)));
     }
     io::write_checkpoint_file(entry_path(key(cell)).string(), doc);
+    trim_to_max_entries();
   } catch (const CheckError&) {
     // Best-effort: a failed store never fails the sweep.
+  }
+}
+
+void ResultCache::trim_to_max_entries() {
+  if (max_entries_ == 0) return;
+  // Oldest-mtime-first trim on insert: a bounded cache sheds the entries
+  // that have gone longest without a store. Misses after eviction are
+  // harmless — the cell recomputes and re-enters.
+  std::vector<std::pair<fs::file_time_type, fs::path>> entries;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    if (!e.is_regular_file() || e.path().extension() != ".json") continue;
+    std::error_code ec;
+    const fs::file_time_type mtime = fs::last_write_time(e.path(), ec);
+    if (!ec) entries.emplace_back(mtime, e.path());
+  }
+  if (entries.size() <= max_entries_) return;
+  std::sort(entries.begin(), entries.end());
+  const std::size_t excess = entries.size() - max_entries_;
+  for (std::size_t i = 0; i < excess; ++i) {
+    std::error_code ec;
+    if (fs::remove(entries[i].second, ec)) ++stats_.evictions;
   }
 }
 

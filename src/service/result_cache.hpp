@@ -35,10 +35,23 @@ namespace plurality::service {
 
 class ResultCache {
  public:
+  /// Hit/miss/eviction accounting, surfaced in the master's status table
+  /// and metrics exposition.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
   /// Empty dir = disabled (every lookup misses, every store is a no-op).
-  ResultCache(std::string dir, sweep::ObserveSpec observe, bool zero_wall_times);
+  /// max_entries > 0 bounds the entry count: each store trims the
+  /// OLDEST-mtime entries until the cache fits again (mtime == last store;
+  /// an evicted cell simply recomputes and re-enters on its next store).
+  ResultCache(std::string dir, sweep::ObserveSpec observe, bool zero_wall_times,
+              std::uint64_t max_entries = 0);
 
   [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
   /// Cache key for a cell (stable across runs and processes).
   [[nodiscard]] std::uint64_t key(const sweep::CellOutcome& cell) const;
@@ -57,10 +70,13 @@ class ResultCache {
  private:
   [[nodiscard]] bool cacheable() const;
   [[nodiscard]] std::filesystem::path entry_path(std::uint64_t key) const;
+  void trim_to_max_entries();
 
   std::string dir_;
   sweep::ObserveSpec observe_;
   bool zero_wall_times_;
+  std::uint64_t max_entries_;
+  Stats stats_;
 };
 
 }  // namespace plurality::service

@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_observer.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "sweep/cell_runner.hpp"
 #include "sweep/preflight.hpp"
@@ -189,6 +192,12 @@ LeaseEnd Worker::run_lease(const io::JsonValue& lease, sweep::FaultInjector& inj
   ctx.token = &token;
   ctx.injector = &injector;
   ctx.watchdog = &watchdog;
+  // Workers always feed the process-global registry: the heartbeat's
+  // progress block below is read from these same handles.
+  ctx.metrics = &obs::MetricsRegistry::global();
+  const obs::EngineMetrics em(obs::MetricsRegistry::global());
+  std::uint64_t last_updates = em.node_updates_total.value();
+  auto last_rate_time = std::chrono::steady_clock::now();
 
   std::atomic<bool> compute_done{false};
   std::thread compute([&] {
@@ -212,6 +221,23 @@ LeaseEnd Worker::run_lease(const io::JsonValue& lease, sweep::FaultInjector& inj
     io::JsonValue hb = make_message("heartbeat");
     hb.set("worker", opt_.name);
     hb.set("cell", id);
+    {
+      // Live progress, folded into the heartbeat we were sending anyway
+      // (version-tolerant: old masters ignore unknown fields). The rate is
+      // the node-updates counter delta over the heartbeat interval.
+      const std::uint64_t updates = em.node_updates_total.value();
+      const double elapsed = std::chrono::duration<double>(now - last_rate_time).count();
+      const double rate =
+          elapsed > 0 ? static_cast<double>(updates - last_updates) / elapsed : 0.0;
+      last_updates = updates;
+      last_rate_time = now;
+      io::JsonValue& progress = hb.set("progress", io::JsonValue::object());
+      progress.set("cell", id);
+      progress.set("trial", static_cast<std::uint64_t>(em.current_trial.value()));
+      progress.set("round", static_cast<std::uint64_t>(em.current_round.value()));
+      progress.set("node_updates_per_sec", rate);
+      progress.set("rss_bytes", obs::current_rss_bytes());
+    }
     try {
       if (message_type(exchange(hb)) == "expired") {
         // The master reassigned this cell. Stop burning cycles; whatever
@@ -274,6 +300,7 @@ int Worker::run() {
     request.set("worker", opt_.name);
     io::JsonValue reply;
     try {
+      obs::TraceSpan span("lease_roundtrip", "service", opt_.name);
       reply = exchange(request);
     } catch (const net::NetError&) {
       // Master gone while we hold nothing: nothing owed, clean exit.

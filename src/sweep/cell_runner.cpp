@@ -13,6 +13,8 @@
 #include "core/observer.hpp"
 #include "io/checkpoint.hpp"
 #include "io/csv.hpp"
+#include "obs/metrics_observer.hpp"
+#include "obs/trace.hpp"
 #include "rng/philox.hpp"
 #include "scenario/scenario.hpp"
 #include "support/check.hpp"
@@ -224,6 +226,7 @@ CellMetrics metrics_from_json(const io::JsonValue& doc) {
 CellScan scan_cell_file(const fs::path& path, const fs::path& quarantine_dir,
                         CellOutcome& cell) {
   if (!fs::exists(path)) return CellScan::Missing;
+  obs::TraceSpan span("scan_cell_file", "sweep", cell.id);
   try {
     const io::JsonValue doc = io::read_checkpoint_file(path.string());
     if (doc.at("cell").at("requested").as_string() != cell.requested.to_spec_string()) {
@@ -283,6 +286,27 @@ void run_cell_to_verdict(CellOutcome& cell, const CellRunContext& ctx) {
   CancellationToken local_token;
   CancellationToken* token = ctx.token != nullptr ? ctx.token : &local_token;
 
+  // Cell-level telemetry. Handles resolve once here; a null registry costs
+  // nothing below (every use is guarded).
+  obs::Counter* cells_started = nullptr;
+  obs::Counter* cells_done = nullptr;
+  obs::Counter* cells_failed = nullptr;
+  obs::Counter* cell_retries = nullptr;
+  obs::Counter* cell_cancellations = nullptr;
+  if (ctx.metrics != nullptr) {
+    cells_started = &ctx.metrics->counter("sweep_cells_started_total",
+                                          "Cells entering the attempt loop");
+    cells_done =
+        &ctx.metrics->counter("sweep_cells_finished_total", "Cells run to Done");
+    cells_failed =
+        &ctx.metrics->counter("sweep_cells_failed_total", "Cells with a failed_* verdict");
+    cell_retries = &ctx.metrics->counter("sweep_cell_retries_total",
+                                         "Cell attempts after the first");
+    cell_cancellations = &ctx.metrics->counter(
+        "sweep_cell_cancellations_total", "Cell attempts cancelled (shutdown/lease/timeout)");
+    cells_started->add(1);
+  }
+
   std::uint32_t attempt = ctx.prior_attempts;
   if (ctx.single_attempt > 0) {
     attempt = ctx.single_attempt - 1;  // the loop's ++ lands on the leased attempt
@@ -299,6 +323,9 @@ void run_cell_to_verdict(CellOutcome& cell, const CellRunContext& ctx) {
   while (cell.status == CellStatus::Pending) {
     ++attempt;
     cell.attempts = attempt;
+    obs::TraceSpan attempt_span("cell_attempt", "sweep",
+                                cell.id + " attempt " + std::to_string(attempt));
+    if (cell_retries != nullptr && attempt > ctx.prior_attempts + 1) cell_retries->add(1);
     if (attempt > 1) {
       cell.retry_tag = retry_tag_hex(cell.requested.seed, attempt);
     }
@@ -320,8 +347,17 @@ void run_cell_to_verdict(CellOutcome& cell, const CellRunContext& ctx) {
       if (probes_on) {
         probe = std::make_unique<ProbeObserver>(probe_options(ctx.observe, run_spec.trials));
       }
+      // Metrics stack ON TOP of the probes: the MetricsObserver forwards
+      // every callback, so probe products are untouched and the drivers
+      // still see exactly one observer.
+      std::unique_ptr<obs::MetricsObserver> metrics_observer;
+      RoundObserver* observer = probe.get();
+      if (ctx.metrics != nullptr) {
+        metrics_observer = std::make_unique<obs::MetricsObserver>(*ctx.metrics, probe.get());
+        observer = metrics_observer.get();
+      }
       const scenario::ScenarioResult result =
-          scenario::run_scenario(run_spec, probe.get(), token);
+          scenario::run_scenario(run_spec, observer, token);
       if (probe != nullptr) probe->finalize();
       cell.resolved_backend = result.resolved.backend;
       cell.summary = result.summary;
@@ -329,6 +365,7 @@ void run_cell_to_verdict(CellOutcome& cell, const CellRunContext& ctx) {
                                       ctx.zero_wall_times ? 0.0 : result.wall_seconds,
                                       probe.get(), ctx.observe);
       if (files) {
+        obs::TraceSpan write_span("checkpoint_write", "sweep", cell.id);
         std::string text = io::checkpoint_envelope_text(cell_result_to_json(cell));
         ctx.injector->mutate_checkpoint_text(i, cell.id, spec_string, text);
         ctx.injector->at_write_point(i, cell.id, spec_string, CrashPoint::BeforeWrite);
@@ -365,6 +402,7 @@ void run_cell_to_verdict(CellOutcome& cell, const CellRunContext& ctx) {
       cell.error.clear();
       if (files) fs::remove(ledger);
     } catch (const CancelledError& e) {
+      if (cell_cancellations != nullptr) cell_cancellations->add(1);
       if (e.reason() == CancellationToken::Reason::kShutdown) {
         // Not a failure: the user asked the whole sweep to stop. Drop
         // the ledger — a clean cancellation is not a crash.
@@ -421,6 +459,14 @@ void run_cell_to_verdict(CellOutcome& cell, const CellRunContext& ctx) {
     const std::uint32_t doublings = attempt - 1 < 20 ? attempt - 1 : 20;
     backoff_sleep(ctx.retry_backoff_seconds *
                   static_cast<double>(std::uint64_t{1} << doublings) * (1.0 + jitter));
+  }
+
+  if (ctx.metrics != nullptr) {
+    if (cell.status == CellStatus::Done) {
+      cells_done->add(1);
+    } else if (cell_status_failed(cell.status)) {
+      cells_failed->add(1);
+    }
   }
 }
 

@@ -28,6 +28,7 @@
 #include <filesystem>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "support/cancellation.hpp"
 #include "sweep/fault_plan.hpp"
 #include "sweep/orchestrator.hpp"
@@ -118,6 +119,12 @@ struct CellRunContext {
   CancellationToken* token = nullptr;
   FaultInjector* injector = nullptr;  ///< required
   Watchdog* watchdog = nullptr;       ///< required
+  /// Live telemetry (obs/metrics.hpp): a MetricsObserver is stacked on the
+  /// cell's probe chain and cell-level counters (started / finished /
+  /// retries / cancellations) tick here. Null = metrics off — the hot path
+  /// then carries no observer and no atomics (runs stay bitwise-identical
+  /// either way; tests/obs pins that).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs `cell` until it leaves Pending (or, in single_attempt mode, for

@@ -1,10 +1,14 @@
 #include "sweep/orchestrator.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "io/checkpoint.hpp"
 #include "io/csv.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/scenario.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
@@ -330,6 +334,52 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
   // --- run cells (watchdogged, retried) -----------------------------------
   Watchdog watchdog;
 
+  // Live telemetry: --progress-seconds implies metrics (the global
+  // registry unless the caller supplied one). The progress thread reads
+  // ONLY registry atomics — never the cell table, which worker threads own.
+  obs::MetricsRegistry* metrics =
+      options.metrics != nullptr
+          ? options.metrics
+          : (options.progress_seconds > 0 ? &obs::MetricsRegistry::global() : nullptr);
+  std::atomic<bool> progress_stop{false};
+  std::thread progress_thread;
+  if (options.progress_seconds > 0 && metrics != nullptr) {
+    obs::Counter& updates =
+        metrics->counter("engine_node_updates_total",
+                         "Node state updates (one per node per round) across all trials");
+    obs::Counter& started =
+        metrics->counter("sweep_cells_started_total", "Cells entering the attempt loop");
+    obs::Counter& finished =
+        metrics->counter("sweep_cells_finished_total", "Cells run to Done");
+    obs::Counter& failed =
+        metrics->counter("sweep_cells_failed_total", "Cells with a failed_* verdict");
+    const double interval = options.progress_seconds;
+    const std::size_t grand_total = total;
+    progress_thread = std::thread([&updates, &started, &finished, &failed, &progress_stop,
+                                   interval, grand_total] {
+      std::uint64_t last_updates = updates.value();
+      auto last_time = std::chrono::steady_clock::now();
+      while (!progress_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const auto now = std::chrono::steady_clock::now();
+        const double elapsed = std::chrono::duration<double>(now - last_time).count();
+        if (elapsed < interval) continue;
+        const std::uint64_t now_updates = updates.value();
+        const double rate = static_cast<double>(now_updates - last_updates) / elapsed;
+        last_updates = now_updates;
+        last_time = now;
+        const std::uint64_t s = started.value();
+        const std::uint64_t f = finished.value();
+        const std::uint64_t x = failed.value();
+        std::fprintf(stderr,
+                     "[sweep] %llu/%zu done, %llu running, %llu failed | %.3g node-upd/s\n",
+                     static_cast<unsigned long long>(f + x), grand_total,
+                     static_cast<unsigned long long>(s - (f + x)),
+                     static_cast<unsigned long long>(x), rate);
+      }
+    });
+  }
+
   const auto run_cell = [&](std::size_t i, bool in_parallel_phase) {
     CellOutcome& cell = out.cells[i];
     if (shutdown_requested()) return;  // skipped cells stay Pending (resumable)
@@ -345,6 +395,7 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
     ctx.prior_attempts = prior_attempts[i];
     ctx.injector = &injector;
     ctx.watchdog = &watchdog;
+    ctx.metrics = metrics;
     run_cell_to_verdict(cell, ctx);
 
 #if defined(PLURALITY_HAVE_OPENMP)
@@ -371,6 +422,11 @@ SweepOutcome run_sweep(const SweepSpec& spec_in, const SweepOptions& options) {
   // Degraded phase: cells whose estimate does not fit next to siblings run
   // alone, with their spec's own trial parallelism intact.
   for (const std::size_t i : serial_batch) run_cell(i, false);
+
+  if (progress_thread.joinable()) {
+    progress_stop.store(true, std::memory_order_release);
+    progress_thread.join();
+  }
 
   // --- account statuses ----------------------------------------------------
   bool complete = true;

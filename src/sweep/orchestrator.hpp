@@ -51,6 +51,10 @@
 #include "sweep/fault_plan.hpp"
 #include "sweep/sweep_spec.hpp"
 
+namespace plurality::obs {
+class MetricsRegistry;
+}
+
 namespace plurality::sweep {
 
 /// Where a cell ended up. Pending = never started (shutdown skipped it);
@@ -166,6 +170,15 @@ struct SweepOptions {
   /// Called after each cell completes (inside a critical section, in
   /// completion order), e.g. for progress lines.
   std::function<void(const CellOutcome&, std::size_t done, std::size_t total)> on_cell;
+  /// > 0: a progress line every N seconds on stderr (cells done / running
+  /// / failed, aggregate node-updates/s) from live registry snapshots —
+  /// the replacement for per-cell-completion verbose spam on big grids.
+  /// Implies metrics (the global registry when `metrics` is null).
+  double progress_seconds = 0.0;
+  /// Live telemetry registry threaded into every cell (obs/metrics.hpp).
+  /// Null and progress_seconds == 0: metrics fully off (no per-round
+  /// observer cost). Results are bitwise-identical either way.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SweepOutcome {

@@ -27,6 +27,7 @@
 #include "graph/agent_graph.hpp"
 #include "graph/builders.hpp"
 #include "graph/step_batched.hpp"
+#include "obs/metrics_observer.hpp"
 #include "rng/philox.hpp"
 
 namespace {
@@ -312,6 +313,64 @@ TEST(ZeroAllocation, ObservedGraphRounds) {
     }
   });
   EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocation, MetricsObservedCountRounds) {
+  // Telemetry under the same contract: a warm observed round with a
+  // MetricsObserver stacked on the ProbeObserver touches no heap — every
+  // registry handle is resolved at construction, and per-round updates are
+  // single relaxed atomics in preallocated shards.
+  ThreeMajority dyn;
+  Configuration c({40000, 30000, 20000, 10000});
+  rng::Xoshiro256pp gen(31);
+  StepWorkspace ws;
+  plurality::ProbeOptions po;
+  po.trials = 1;
+  po.trajectory_capacity = 512;
+  po.track_m_plurality = true;
+  po.m_plurality = 100;
+  ProbeObserver probe(po);
+  obs::MetricsRegistry registry;
+  obs::MetricsObserver observer(registry, &probe);
+  observer.begin_trial(0, c, 4);
+  step_count_based(dyn, c, gen, ws);  // warm-up
+  observer.observe_round(0, 1, c, 4);
+  const std::uint64_t allocs = allocations_during([&] {
+    for (round_t r = 2; r < 202; ++r) {
+      step_count_based(dyn, c, gen, ws);
+      observer.observe_round(0, r, c, 4);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(registry.counter("engine_rounds_total").value(), 201u);
+}
+
+TEST(ZeroAllocation, MetricsObservedGraphRounds) {
+  // Same contract on the graph stepper with metrics enabled.
+  ThreeMajority dyn;
+  rng::Xoshiro256pp topo_gen(32);
+  const graph::Topology topo = graph::random_regular(2000, 8, topo_gen);
+  const graph::AgentGraph csr = graph::AgentGraph::from_topology(topo);
+  graph::GraphSimulation sim(dyn, csr, workloads::additive_bias(2000, 3, 500), 33);
+  plurality::ProbeOptions po;
+  po.trials = 1;
+  po.trajectory_capacity = 256;
+  po.track_m_plurality = true;
+  po.m_plurality = 50;
+  ProbeObserver probe(po);
+  obs::MetricsRegistry registry;
+  obs::MetricsObserver observer(registry, &probe);
+  observer.begin_trial(0, sim.configuration(), 3);
+  sim.step();  // warm-up
+  observer.observe_round(0, 1, sim.configuration(), 3);
+  const std::uint64_t allocs = allocations_during([&] {
+    for (round_t r = 2; r < 52; ++r) {
+      sim.step();
+      observer.observe_round(0, r, sim.configuration(), 3);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(registry.counter("engine_node_updates_total").value(), 51u * 2000u);
 }
 
 TEST(SanityCheck, CounterSeesVectorAllocations) {

@@ -1,0 +1,161 @@
+// MetricsRegistry contract:
+//  (1) sharded counters/histograms are exact under concurrent writers —
+//      N threads hammering one handle sum to precisely N × increments;
+//  (2) snapshots merge with counter/histogram addition and gauge
+//      last-write-wins, appending unmatched samples;
+//  (3) the text exposition matches byte-for-byte goldens (HELP/TYPE
+//      grouping, label escaping, cumulative histogram buckets);
+//  (4) the JSON form round-trips losslessly.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace plurality::obs {
+namespace {
+
+TEST(Counter, ExactUnderConcurrentWriters) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hits_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 200000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(registry.snapshot().find("hits_total")->counter, kThreads * kPerThread);
+}
+
+TEST(Histogram, ExactUnderConcurrentWriters) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("sizes", {10, 100});
+  constexpr int kThreads = 6;
+  constexpr std::uint64_t kPerThread = 30000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>((t * 37 + i) % 150));  // spans all buckets
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0] + buckets[1] + buckets[2], kThreads * kPerThread);
+  EXPECT_GT(buckets[0], 0u);  // values <= 10
+  EXPECT_GT(buckets[1], 0u);  // 10 < values <= 100
+  EXPECT_GT(buckets[2], 0u);  // values > 100
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentAndKindChecked) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x_total", "help once");
+  Counter& b = registry.counter("x_total");
+  EXPECT_EQ(&a, &b) << "same (name, labels) must return the same object";
+  Counter& c = registry.counter("x_total", "", {{"cell", "c0"}});
+  EXPECT_NE(&a, &c) << "labels distinguish instances";
+  EXPECT_THROW((void)registry.gauge("x_total"), CheckError);
+  Histogram& h1 = registry.histogram("y", {1, 2});
+  Histogram& h2 = registry.histogram("y", {5, 6});  // bounds ignored on re-registration
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1, 2}));
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersAndHistogramsGaugesLastWriteWins) {
+  MetricsRegistry a;
+  a.counter("req_total").add(3);
+  a.gauge("temp").set(1.0);
+  a.histogram("lat", {1, 10}).observe(0.5);
+
+  MetricsRegistry b;
+  b.counter("req_total").add(4);
+  b.gauge("temp").set(2.5);
+  Histogram& hb = b.histogram("lat", {1, 10});
+  hb.observe(5);
+  hb.observe(50);
+  b.counter("only_in_b_total").add(7);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+
+  EXPECT_EQ(merged.find("req_total")->counter, 7u);
+  EXPECT_EQ(merged.find("temp")->gauge, 2.5);
+  const MetricSample* lat = merged.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 3u);
+  EXPECT_EQ(lat->sum, 55.5);
+  EXPECT_EQ(lat->buckets, (std::vector<std::uint64_t>{1, 1, 1}));
+  ASSERT_NE(merged.find("only_in_b_total"), nullptr);
+  EXPECT_EQ(merged.find("only_in_b_total")->counter, 7u);
+
+  // Mismatched bounds refuse to merge rather than corrupt the buckets.
+  MetricsRegistry c;
+  c.histogram("lat", {2, 3}).observe(1);
+  EXPECT_THROW(merged.merge(c.snapshot()), CheckError);
+}
+
+TEST(MetricsSnapshot, ExpositionGolden) {
+  MetricsRegistry registry;
+  Counter& total = registry.counter("requests_total", "Total requests");
+  total.add(3);
+  registry.counter("requests_total", "", {{"cell", "c0"}}).add(2);
+  registry.gauge("temp").set(1.5);
+  Histogram& lat = registry.histogram("lat", {1, 2.5});
+  lat.observe(0.5);
+  lat.observe(2);
+  lat.observe(9);
+
+  const std::string expected =
+      "# HELP requests_total Total requests\n"
+      "# TYPE requests_total counter\n"
+      "requests_total 3\n"
+      "requests_total{cell=\"c0\"} 2\n"
+      "# TYPE temp gauge\n"
+      "temp 1.5\n"
+      "# TYPE lat histogram\n"
+      "lat_bucket{le=\"1\"} 1\n"
+      "lat_bucket{le=\"2.5\"} 2\n"
+      "lat_bucket{le=\"+Inf\"} 3\n"
+      "lat_sum 11.5\n"
+      "lat_count 3\n";
+  EXPECT_EQ(registry.snapshot().to_exposition_text(), expected);
+}
+
+TEST(MetricsSnapshot, ExpositionEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.gauge("g", "", {{"path", "a\\b\"c\nd"}}).set(1);
+  EXPECT_EQ(registry.snapshot().to_exposition_text(),
+            "# TYPE g gauge\n"
+            "g{path=\"a\\\\b\\\"c\\nd\"} 1\n");
+}
+
+TEST(MetricsSnapshot, JsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("req_total", "Requests", {{"cell", "c1"}}).add(42);
+  registry.gauge("frac").set(0.125);
+  Histogram& h = registry.histogram("rounds", {1, 10, 100}, "Rounds per trial");
+  h.observe(3);
+  h.observe(250);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const io::JsonValue doc = io::parse_json(snap.to_json().to_compact_string());
+  const MetricsSnapshot back = MetricsSnapshot::from_json(doc);
+  EXPECT_EQ(back.to_exposition_text(), snap.to_exposition_text());
+  EXPECT_EQ(back.find("req_total", {{"cell", "c1"}})->counter, 42u);
+  EXPECT_EQ(back.find("frac")->gauge, 0.125);
+  EXPECT_EQ(back.find("rounds")->count, 2u);
+}
+
+}  // namespace
+}  // namespace plurality::obs

@@ -1,0 +1,83 @@
+// TraceRecorder contract: disabled recorders record nothing (spans armed
+// at construction only), enabled recorders collect complete events from
+// many threads, and the dump is valid Chrome trace-event JSON.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace plurality::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  TraceRecorder recorder;
+  recorder.record("x", "test", 0.0, 1.0);
+  EXPECT_EQ(recorder.to_json().at("traceEvents").size(), 0u);
+  recorder.enable();
+  recorder.record("x", "test", 0.0, 1.0);
+  EXPECT_EQ(recorder.to_json().at("traceEvents").size(), 1u);
+}
+
+TEST(TraceRecorder, SpansGateOnTheGlobalRecorder) {
+  // The global recorder starts disabled in the test binary: a span costs
+  // one load and records nothing.
+  const std::size_t before = TraceRecorder::global().to_json().at("traceEvents").size();
+  { TraceSpan span("noop", "test"); }
+  EXPECT_EQ(TraceRecorder::global().to_json().at("traceEvents").size(), before);
+}
+
+TEST(TraceRecorder, CollectsEventsFromManyThreads) {
+  TraceRecorder recorder;
+  recorder.enable();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const double start = TraceRecorder::now_us();
+        recorder.record("work", "test", start, TraceRecorder::now_us() - start, "item");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const io::JsonValue doc = recorder.to_json();
+  const io::JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const io::JsonValue& e = events.item(i);
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_EQ(e.at("name").as_string(), "work");
+    EXPECT_EQ(e.at("cat").as_string(), "test");
+    EXPECT_GE(e.at("dur").as_double(), 0.0);
+    EXPECT_EQ(e.at("args").at("detail").as_string(), "item");
+  }
+}
+
+TEST(TraceRecorder, WriteProducesParsableJson) {
+  TraceRecorder recorder;
+  recorder.enable();
+  const double start = TraceRecorder::now_us();
+  recorder.record("span", "test", start, 12.5, "detail text");
+  const fs::path path = fs::temp_directory_path() / "plurality_trace_test.json";
+  recorder.write(path.string());
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const io::JsonValue doc = io::parse_json(buf.str());
+  ASSERT_EQ(doc.at("traceEvents").size(), 1u);
+  EXPECT_EQ(doc.at("traceEvents").item(0).at("name").as_string(), "span");
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace plurality::obs

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 
@@ -147,6 +149,92 @@ TEST(ResultCache, DisabledAndTrajectoryConfigsNeverCache) {
   ResultCache gated(cache_dir.string(), trajectory, true);
   gated.store(done, cell_file);
   EXPECT_TRUE(fs::is_empty(cache_dir));
+}
+
+/// The on-disk name of a cell's cache entry (mirrors entry_path).
+fs::path entry_file(const fs::path& cache_dir, const ResultCache& cache,
+                    const CellOutcome& cell) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(cache.key(cell)));
+  return cache_dir / (std::string(buf) + ".json");
+}
+
+TEST(ResultCache, MaxEntriesEvictsOldestMtimeFirstAndRecomputesAfter) {
+  const fs::path run_dir = fresh_dir("trim_run");
+  const fs::path cache_dir = fresh_dir("trim_cache");
+  const sweep::SweepSpec spec = sweep::SweepSpec::parse(
+      "dynamics=3-majority workload=bias:2c n=500 trials=2 max_rounds=5000 k=2,4,8 seed=11");
+  sweep::SweepOptions options;
+  options.out_dir = run_dir.string();
+  options.zero_wall_times = true;
+  const sweep::SweepOutcome outcome = sweep::run_sweep(spec, options);
+  ASSERT_EQ(outcome.failed, 0u);
+  ASSERT_EQ(outcome.cells.size(), 3u);
+  const auto cell_file = [&](const CellOutcome& cell) {
+    return run_dir / "cells" / (cell.id + ".json");
+  };
+
+  ResultCache cache(cache_dir.string(), spec.observe, /*zero_wall_times=*/true,
+                    /*max_entries=*/2);
+  const CellOutcome& a = outcome.cells[0];
+  const CellOutcome& b = outcome.cells[1];
+  const CellOutcome& c = outcome.cells[2];
+
+  // Age the first two entries with explicit mtimes so the trim order is
+  // deterministic: a is oldest, b newer, c (stored last) newest.
+  cache.store(a, cell_file(a));
+  fs::last_write_time(entry_file(cache_dir, cache, a),
+                      fs::file_time_type::clock::now() - std::chrono::hours(3));
+  cache.store(b, cell_file(b));
+  fs::last_write_time(entry_file(cache_dir, cache, b),
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  cache.store(c, cell_file(c));  // 3 entries > 2: trims exactly the oldest
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(fs::exists(entry_file(cache_dir, cache, a)));
+  EXPECT_TRUE(fs::exists(entry_file(cache_dir, cache, b)));
+  EXPECT_TRUE(fs::exists(entry_file(cache_dir, cache, c)));
+
+  // The evicted cell misses (recompute path); survivors still hit.
+  const fs::path target_dir = fresh_dir("trim_target");
+  EXPECT_FALSE(cache.fetch(a, target_dir / "a.json"));
+  EXPECT_TRUE(cache.fetch(b, target_dir / "b.json"));
+  EXPECT_TRUE(cache.fetch(c, target_dir / "c.json"));
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // After the recompute, storing re-enters the cell and it hits again
+  // (evicting the now-oldest survivor to stay within the bound).
+  cache.store(a, cell_file(a));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_TRUE(cache.fetch(a, target_dir / "a2.json"));
+  EXPECT_EQ(cache.stats().hits, 3u);
+}
+
+TEST(ResultCache, UnboundedByDefault) {
+  const fs::path run_dir = fresh_dir("unbounded_run");
+  const fs::path cache_dir = fresh_dir("unbounded_cache");
+  const sweep::SweepSpec spec = sweep::SweepSpec::parse(
+      "dynamics=3-majority workload=bias:2c n=500 trials=2 max_rounds=5000 k=2,4,8 seed=13");
+  sweep::SweepOptions options;
+  options.out_dir = run_dir.string();
+  options.zero_wall_times = true;
+  const sweep::SweepOutcome outcome = sweep::run_sweep(spec, options);
+  ASSERT_EQ(outcome.cells.size(), 3u);
+
+  ResultCache cache(cache_dir.string(), spec.observe, /*zero_wall_times=*/true);
+  for (const CellOutcome& cell : outcome.cells) {
+    cache.store(cell, run_dir / "cells" / (cell.id + ".json"));
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(cache_dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 3u);
 }
 
 }  // namespace

@@ -370,5 +370,104 @@ TEST_F(ServiceTest, ExhaustedLedgerIsTerminalWithoutALease) {
   EXPECT_NE(failures.find("failed_crash"), std::string::npos);
 }
 
+TEST_F(ServiceTest, StatusReflectsMidRunHeartbeatProgress) {
+  // The status verb must render a mid-run heartbeat's progress block: a
+  // holder reports round 57 and the next status reply shows it, live,
+  // before the cell completes. Also pins version tolerance — a heartbeat
+  // WITHOUT progress still renews the lease.
+  const fs::path dir = fresh_dir("status");
+  const MasterOptions options = fast_master(
+      dir, "dynamics=3-majority workload=bias:2c n=500 trials=2 max_rounds=5000 k=2 seed=3");
+
+  int master_exit = -1;
+  std::thread master([&] { master_exit = run_master(options); });
+  const std::uint16_t port = wait_for_port(dir / "port");
+
+  FakeWorker holder(port, "holder");
+  const io::JsonValue lease = holder.acquire_lease();
+  const std::string cell = lease.at("cell").as_string();
+
+  // Old-style heartbeat (no progress): still an ack.
+  io::JsonValue bare = make_message("heartbeat");
+  bare.set("cell", cell);
+  EXPECT_EQ(message_type(holder.exchange(bare)), "ack");
+
+  io::JsonValue hb = make_message("heartbeat");
+  hb.set("cell", cell);
+  io::JsonValue& progress = hb.set("progress", io::JsonValue::object());
+  progress.set("cell", cell);
+  progress.set("trial", std::uint64_t{1});
+  progress.set("round", std::uint64_t{57});
+  progress.set("node_updates_per_sec", 123.5);
+  progress.set("rss_bytes", std::uint64_t{1024});
+  EXPECT_EQ(message_type(holder.exchange(hb)), "ack");
+
+  // A monitor needs no hello, takes no lease, and sees the live block.
+  net::TcpConnection monitor = net::connect_tcp("127.0.0.1", port, 5.0);
+  monitor.send_all(encode(make_message("status")), 5.0);
+  std::string line;
+  ASSERT_TRUE(monitor.recv_line(line, 5.0));
+  const io::JsonValue status = parse_message(line);
+  EXPECT_EQ(message_type(status), "status");
+  EXPECT_EQ(status.at("cells_total").as_uint(), 1u);
+  EXPECT_EQ(status.at("leased").as_uint(), 1u);
+  EXPECT_EQ(status.at("done").as_uint(), 0u);
+  const io::JsonValue& rows = status.at("cells");
+  ASSERT_EQ(rows.size(), 1u);
+  const io::JsonValue& row = rows.item(0);
+  EXPECT_EQ(row.at("cell").as_string(), cell);
+  EXPECT_EQ(row.at("worker").as_string(), "holder");
+  EXPECT_EQ(row.at("trial").as_uint(), 1u);
+  EXPECT_EQ(row.at("round").as_uint(), 57u);
+  EXPECT_EQ(row.at("node_updates_per_sec").as_double(), 123.5);
+  EXPECT_EQ(row.at("rss_bytes").as_uint(), 1024u);
+  EXPECT_GE(row.at("progress_age_seconds").as_double(), 0.0);
+  // The workers list counts lease-takers only — never the monitor.
+  ASSERT_EQ(status.at("workers").size(), 1u);
+  EXPECT_EQ(status.at("workers").item(0).at("worker").as_string(), "holder");
+  monitor.close();
+
+  // Release the cell (crash the holder) and let a real worker finish.
+  holder.conn.close();
+  int w_exit = -1;
+  std::thread w = worker_thread(dir, "finisher", w_exit);
+  master.join();
+  w.join();
+  EXPECT_EQ(master_exit, kExitComplete);
+}
+
+TEST_F(ServiceTest, IdleMonitorDoesNotShrinkWorkerShares) {
+  // The per-worker memory share divides the host budget across peers that
+  // RUN cells. An attached monitor (status-only connection, or even one
+  // that spoke hello) must not halve everyone's preflight budget.
+  const fs::path dir = fresh_dir("monitor_share");
+  MasterOptions options = fast_master(
+      dir, "dynamics=3-majority workload=bias:2c n=500 trials=2 max_rounds=5000 k=2 seed=7");
+  options.memory_budget_bytes = 1ull << 30;
+
+  int master_exit = -1;
+  std::thread master([&] { master_exit = run_master(options); });
+  const std::uint16_t port = wait_for_port(dir / "port");
+
+  // Two idle connections: one hello-only, one status-only.
+  FakeWorker lurker(port, "lurker");
+  net::TcpConnection monitor = net::connect_tcp("127.0.0.1", port, 5.0);
+  monitor.send_all(encode(make_message("status")), 5.0);
+  std::string line;
+  ASSERT_TRUE(monitor.recv_line(line, 5.0));
+
+  FakeWorker holder(port, "holder");
+  const io::JsonValue lease = holder.acquire_lease();
+  EXPECT_EQ(lease.at("memory_budget_bytes").as_uint(), 1ull << 30)
+      << "idle monitors shrank the compute share";
+
+  monitor.close();
+  lurker.conn.close();
+  compute_and_complete(holder, lease, options);
+  holder.conn.close();
+  master.join();
+  EXPECT_EQ(master_exit, kExitComplete);
+}
+
 }  // namespace
 }  // namespace plurality::service

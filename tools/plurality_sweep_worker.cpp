@@ -21,6 +21,7 @@
 // crash fault.
 #include <iostream>
 
+#include "obs/trace.hpp"
 #include "service/worker.hpp"
 #include "support/cli.hpp"
 #include "sweep/watchdog.hpp"
@@ -40,6 +41,9 @@ int run(int argc, char** argv) {
   cli.add_string("name", "", "worker name in master logs (default w<pid>)");
   cli.add_double("connect-timeout", 10.0,
                  "give up connecting/port-file-polling after this many seconds");
+  cli.add_string("trace-out", "",
+                 "write a Chrome trace-event JSON (cell attempts, trials, checkpoint "
+                 "writes, lease round-trips) to this file on exit");
   cli.add_flag("quiet", "suppress progress lines");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -51,8 +55,13 @@ int run(int argc, char** argv) {
   options.connect_timeout_seconds = cli.get_double("connect-timeout");
   options.verbose = !cli.flag("quiet");
 
+  const std::string trace_out = cli.get_string("trace-out");
+  if (!trace_out.empty()) obs::TraceRecorder::global().enable();
+
   sweep::install_shutdown_signal_handlers();
-  return service::run_worker(std::move(options));
+  const int exit_code = service::run_worker(std::move(options));
+  if (!trace_out.empty()) obs::TraceRecorder::global().write(trace_out);
+  return exit_code;
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 // terminally, 130 drained (resumable).
 #include <iostream>
 
+#include "obs/trace.hpp"
 #include "service/master.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
@@ -79,6 +80,20 @@ int run(int argc, char** argv) {
   cli.add_string("cache-dir", "",
                  "result cache directory: completed cells are stored by resolved-spec "
                  "hash and future sweeps fetch instead of recomputing");
+  cli.add_uint("cache-max-entries", 0,
+               "bound on --cache-dir entries; each store trims the oldest-mtime "
+               "entries past the bound (0 = unbounded)");
+  cli.add_double("progress-seconds", 0.0,
+                 "print an aggregate progress line (cells done/leased/pending, summed "
+                 "worker node-updates/s) every N seconds (0 = off)");
+  cli.add_uint("metrics-port", 0,
+               "serve the Prometheus text exposition over HTTP on this port "
+               "(0 with --metrics-port-file = ephemeral)");
+  cli.add_string("metrics-port-file", "",
+                 "write the bound metrics port here (atomically) once serving");
+  cli.add_string("trace-out", "",
+                 "write a Chrome trace-event JSON (lease round-trips, checkpoint "
+                 "scans) to this file on exit");
   cli.add_flag("quiet", "suppress progress lines");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -107,6 +122,11 @@ int run(int argc, char** argv) {
   options.zero_wall_times = cli.flag("zero-wall-times");
   options.drain_seconds = cli.get_double("drain-seconds");
   options.cache_dir = cli.get_string("cache-dir");
+  options.cache_max_entries = cli.get_uint("cache-max-entries");
+  options.progress_seconds = cli.get_double("progress-seconds");
+  options.metrics_port = static_cast<std::uint16_t>(cli.get_uint("metrics-port"));
+  options.metrics_port_file = cli.get_string("metrics-port-file");
+  options.serve_metrics = cli.provided("metrics-port") || !options.metrics_port_file.empty();
   options.verbose = !cli.flag("quiet");
   if (!cli.get_string("fault-plan").empty()) {
     // Validate locally (bad plans fail HERE, with a line/column message),
@@ -116,8 +136,13 @@ int run(int argc, char** argv) {
     options.fault_plan_text = plan.to_compact_string();
   }
 
+  const std::string trace_out = cli.get_string("trace-out");
+  if (!trace_out.empty()) obs::TraceRecorder::global().enable();
+
   sweep::install_shutdown_signal_handlers();
-  return service::run_master(std::move(options));
+  const int exit_code = service::run_master(std::move(options));
+  if (!trace_out.empty()) obs::TraceRecorder::global().write(trace_out);
+  return exit_code;
 }
 
 }  // namespace
