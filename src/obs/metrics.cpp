@@ -262,9 +262,27 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
 }
 
 std::string MetricsSnapshot::to_exposition_text() const {
+  // Group samples by family: Prometheus allows each family's TYPE header
+  // exactly once, with every sample of the family under it, so interleaved
+  // registration order (e.g. two per-cell families filled row by row) must
+  // not leak into the document. Families keep first-appearance order and
+  // samples keep snapshot order within their family.
+  std::vector<std::size_t> order;
+  order.reserve(samples.size());
+  std::vector<bool> grouped(samples.size(), false);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (grouped[i]) continue;
+    for (std::size_t j = i; j < samples.size(); ++j) {
+      if (!grouped[j] && samples[j].name == samples[i].name) {
+        grouped[j] = true;
+        order.push_back(j);
+      }
+    }
+  }
   std::string out;
   std::string last_family;
-  for (const MetricSample& s : samples) {
+  for (const std::size_t idx : order) {
+    const MetricSample& s = samples[idx];
     if (s.name != last_family) {
       last_family = s.name;
       if (!s.help.empty()) {

@@ -615,34 +615,55 @@ std::string Master::exposition_text() {
     set_counter("sweepd_cache_evictions_total", "Result-cache evictions",
                 cache_.stats().evictions);
   }
+  // Per-cell series are rebuilt from the live status table on every scrape
+  // rather than registered: a registry entry would outlive its lease,
+  // reporting finished/revoked cells as live work forever and growing the
+  // series set with the grid.
+  obs::MetricsSnapshot snap = registry_.snapshot();
+  const auto push_cell_gauge = [&snap](const char* name, const char* help,
+                                       const std::string& cell, double v) {
+    obs::MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.labels = {{"cell", cell}};
+    s.kind = obs::MetricSample::Kind::Gauge;
+    s.gauge = v;
+    snap.samples.push_back(std::move(s));
+  };
   const io::JsonValue& rows = status.at("cells");
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const io::JsonValue& row = rows.item(r);
     if (!row.contains("round")) continue;
-    const obs::Labels labels{{"cell", row.at("cell").as_string()}};
-    registry_.gauge("sweepd_cell_round", "Latest reported round of a leased cell", labels)
-        .set(static_cast<double>(row.at("round").as_uint()));
-    registry_
-        .gauge("sweepd_cell_node_updates_per_sec",
-               "Latest reported node-updates/s of a leased cell", labels)
-        .set(row.at("node_updates_per_sec").as_double());
+    const std::string& cell = row.at("cell").as_string();
+    push_cell_gauge("sweepd_cell_round", "Latest reported round of a leased cell", cell,
+                    static_cast<double>(row.at("round").as_uint()));
+    push_cell_gauge("sweepd_cell_node_updates_per_sec",
+                    "Latest reported node-updates/s of a leased cell", cell,
+                    row.at("node_updates_per_sec").as_double());
   }
-  return registry_.snapshot().to_exposition_text();
+  return snap.to_exposition_text();
 }
 
 /// Minimal HTTP/1.0 exposition endpoint: read the request line, answer
 /// with text/plain, close. Enough for curl / python urllib / Prometheus.
+///
+/// Scrapes are served synchronously on the lease loop's thread, so each
+/// one gets a SMALL I/O budget (far below the lease expiry) and the loop
+/// applies queued heartbeats before its expiry check — a slow or stalled
+/// scraper drops its scrape, never a healthy worker's lease.
 void Master::serve_metrics_scrape(net::TcpConnection scrape) {
+  constexpr double kScrapeRecvSeconds = 0.25;
+  constexpr double kScrapeSendSeconds = 1.0;
   try {
     std::string request_line;
-    (void)scrape.recv_line(request_line, 1.0);
+    (void)scrape.recv_line(request_line, kScrapeRecvSeconds);
     const std::string body = exposition_text();
     std::string response = "HTTP/1.0 200 OK\r\n";
     response += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
     response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
     response += "Connection: close\r\n\r\n";
     response += body;
-    scrape.send_all(response, kIoTimeoutSeconds);
+    scrape.send_all(response, kScrapeSendSeconds);
   } catch (const net::NetError&) {
     // A slow or vanished scraper is its own problem, never the sweep's.
   }
@@ -726,13 +747,6 @@ int Master::run() {
       drain_deadline = now + opt_.drain_seconds;
       log("drain requested: no new leases; waiting up to %.3gs for %zu in-flight lease(s)",
           opt_.drain_seconds, leased_count());
-    }
-
-    // Expire stale leases (missed heartbeats / silent worker death).
-    for (std::size_t i = 0; i < leases_.size(); ++i) {
-      if (leases_[i].leased && now >= leases_[i].expiry) {
-        revoke_lease(i, "missed heartbeats");
-      }
     }
 
     if (draining_) {
@@ -837,6 +851,17 @@ int Master::run() {
       // compute peers are worth a log line.
       if (compute || worker != "?") {
         log("worker %s disconnected (%zu left)", worker.c_str(), conns_.size());
+      }
+    }
+
+    // Expire stale leases (missed heartbeats / silent worker death) LAST,
+    // on a fresh clock: any heartbeat queued while this iteration was busy
+    // (a stalled metrics scrape, a burst of completions) has been applied
+    // above and has already renewed its lease.
+    const double expiry_now = now_s();
+    for (std::size_t i = 0; i < leases_.size(); ++i) {
+      if (leases_[i].leased && expiry_now >= leases_[i].expiry) {
+        revoke_lease(i, "missed heartbeats");
       }
     }
   }

@@ -116,6 +116,9 @@ void ResultCache::store(const sweep::CellOutcome& cell, const fs::path& cell_pat
     trim_to_max_entries();
   } catch (const CheckError&) {
     // Best-effort: a failed store never fails the sweep.
+  } catch (const fs::filesystem_error&) {
+    // Same contract for raw filesystem failures (cache dir removed or
+    // made unreadable mid-run).
   }
 }
 
@@ -123,13 +126,19 @@ void ResultCache::trim_to_max_entries() {
   if (max_entries_ == 0) return;
   // Oldest-mtime-first trim on insert: a bounded cache sheds the entries
   // that have gone longest without a store. Misses after eviction are
-  // harmless — the cell recomputes and re-enters.
+  // harmless — the cell recomputes and re-enters. Every filesystem call
+  // here uses the error_code overloads: a cache dir that vanishes or turns
+  // unreadable mid-run means nothing to trim, never a failed sweep.
   std::vector<std::pair<fs::file_time_type, fs::path>> entries;
-  for (const auto& e : fs::directory_iterator(dir_)) {
-    if (!e.is_regular_file() || e.path().extension() != ".json") continue;
-    std::error_code ec;
-    const fs::file_time_type mtime = fs::last_write_time(e.path(), ec);
-    if (!ec) entries.emplace_back(mtime, e.path());
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec); !ec && it != fs::directory_iterator();
+       it.increment(ec)) {
+    const fs::directory_entry& e = *it;
+    std::error_code entry_ec;
+    if (!e.is_regular_file(entry_ec) || entry_ec) continue;
+    if (e.path().extension() != ".json") continue;
+    const fs::file_time_type mtime = fs::last_write_time(e.path(), entry_ec);
+    if (!entry_ec) entries.emplace_back(mtime, e.path());
   }
   if (entries.size() <= max_entries_) return;
   std::sort(entries.begin(), entries.end());

@@ -196,6 +196,11 @@ LeaseEnd Worker::run_lease(const io::JsonValue& lease, sweep::FaultInjector& inj
   // progress block below is read from these same handles.
   ctx.metrics = &obs::MetricsRegistry::global();
   const obs::EngineMetrics em(obs::MetricsRegistry::global());
+  // The registry outlives leases, so the previous cell's last trial/round
+  // would otherwise leak into this lease's first heartbeats: zero the
+  // position gauges before the compute thread starts observing.
+  em.current_trial.set(0);
+  em.current_round.set(0);
   std::uint64_t last_updates = em.node_updates_total.value();
   auto last_rate_time = std::chrono::steady_clock::now();
 

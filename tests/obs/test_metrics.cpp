@@ -140,6 +140,26 @@ TEST(MetricsSnapshot, ExpositionEscapesLabelValues) {
             "g{path=\"a\\\\b\\\"c\\nd\"} 1\n");
 }
 
+TEST(MetricsSnapshot, ExpositionGroupsInterleavedFamilies) {
+  // Registration order interleaves two families (how per-cell gauges land
+  // when several cells report between scrapes); the exposition must still
+  // emit ONE TYPE header per family with its samples contiguous — a second
+  // "# TYPE" for the same name is an invalid Prometheus document.
+  MetricsRegistry registry;
+  registry.gauge("cell_round", "Round", {{"cell", "c0"}}).set(11);
+  registry.gauge("cell_rate", "", {{"cell", "c0"}}).set(0.5);
+  registry.gauge("cell_round", "Round", {{"cell", "c1"}}).set(22);
+  registry.gauge("cell_rate", "", {{"cell", "c1"}}).set(0.25);
+  EXPECT_EQ(registry.snapshot().to_exposition_text(),
+            "# HELP cell_round Round\n"
+            "# TYPE cell_round gauge\n"
+            "cell_round{cell=\"c0\"} 11\n"
+            "cell_round{cell=\"c1\"} 22\n"
+            "# TYPE cell_rate gauge\n"
+            "cell_rate{cell=\"c0\"} 0.5\n"
+            "cell_rate{cell=\"c1\"} 0.25\n");
+}
+
 TEST(MetricsSnapshot, JsonRoundTrip) {
   MetricsRegistry registry;
   registry.counter("req_total", "Requests", {{"cell", "c1"}}).add(42);

@@ -213,6 +213,33 @@ TEST(ResultCache, MaxEntriesEvictsOldestMtimeFirstAndRecomputesAfter) {
   EXPECT_EQ(cache.stats().hits, 3u);
 }
 
+TEST(ResultCache, StoreSurvivesCacheDirRemovedMidRun) {
+  // "A failed store never fails the sweep" must cover raw filesystem
+  // failures too: a cache dir yanked mid-run (operator cleanup, tmp
+  // reaper) throws fs::filesystem_error — not CheckError — from the write
+  // and the bounded-trim directory scan, and neither may reach the master.
+  const fs::path run_dir = fresh_dir("vanish_run");
+  const fs::path cache_dir = fresh_dir("vanish_cache");
+  const sweep::SweepSpec spec = one_cell_spec();
+  const CellOutcome done = completed_cell(run_dir, spec);
+  const fs::path cell_file = run_dir / "cells" / (done.id + ".json");
+
+  ResultCache cache(cache_dir.string(), spec.observe, /*zero_wall_times=*/true,
+                    /*max_entries=*/1);
+  cache.store(done, cell_file);  // healthy store first: trim path exercised
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  fs::remove_all(cache_dir);
+  EXPECT_NO_THROW(cache.store(done, cell_file));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Replacing the dir with a plain FILE is the nastier variant (ENOTDIR
+  // instead of ENOENT); still never the sweep's problem.
+  { std::ofstream block(cache_dir); }
+  EXPECT_NO_THROW(cache.store(done, cell_file));
+  EXPECT_FALSE(cache.fetch(done, fresh_dir("vanish_target") / "probe.json"));
+}
+
 TEST(ResultCache, UnboundedByDefault) {
   const fs::path run_dir = fresh_dir("unbounded_run");
   const fs::path cache_dir = fresh_dir("unbounded_cache");

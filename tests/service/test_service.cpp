@@ -436,6 +436,93 @@ TEST_F(ServiceTest, StatusReflectsMidRunHeartbeatProgress) {
   EXPECT_EQ(master_exit, kExitComplete);
 }
 
+/// One HTTP/1.0 scrape of the master's exposition endpoint; returns the
+/// body (everything after the blank header/body separator).
+std::string scrape_metrics(std::uint16_t port) {
+  net::TcpConnection conn = net::connect_tcp("127.0.0.1", port, 5.0);
+  conn.send_all("GET /metrics HTTP/1.0\r\n\r\n", 5.0);
+  std::string body, line;
+  bool in_body = false;
+  while (conn.recv_line(line, 5.0)) {
+    if (in_body) {
+      body += line;
+      body += '\n';
+    } else if (line.empty() || line == "\r") {
+      in_body = true;
+    }
+  }
+  return body;
+}
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST_F(ServiceTest, MetricsScrapeStaysValidWithManyCellsAndDropsEndedLeases) {
+  // Two leased cells reporting progress means two series in each per-cell
+  // family. The scraped document must stay a VALID exposition — exactly
+  // one "# TYPE" header per family, samples grouped under it (a duplicate
+  // header is what scripts/check_exposition.py and real Prometheus reject)
+  // — and once the leases end, the per-cell series must vanish instead of
+  // reporting finished cells as live work forever.
+  const fs::path dir = fresh_dir("scrape");
+  MasterOptions options = fast_master(dir);  // k=2,4: a two-cell grid
+  options.heartbeat_seconds = 10.0;          // leases outlive the whole test
+  options.serve_metrics = true;
+  options.metrics_port_file = (dir / "mport").string();
+
+  int master_exit = -1;
+  std::thread master([&] { master_exit = run_master(options); });
+  const std::uint16_t port = wait_for_port(dir / "port");
+  const std::uint16_t mport = wait_for_port(dir / "mport");
+
+  FakeWorker wa(port, "wa");
+  FakeWorker wb(port, "wb");
+  const io::JsonValue lease_a = wa.acquire_lease();
+  const io::JsonValue lease_b = wb.acquire_lease();
+  const auto heartbeat_progress = [](FakeWorker& w, const io::JsonValue& lease,
+                                     std::uint64_t round) {
+    io::JsonValue hb = make_message("heartbeat");
+    hb.set("cell", lease.at("cell").as_string());
+    io::JsonValue& progress = hb.set("progress", io::JsonValue::object());
+    progress.set("trial", std::uint64_t{1});
+    progress.set("round", round);
+    progress.set("node_updates_per_sec", 10.0);
+    EXPECT_EQ(message_type(w.exchange(hb)), "ack");
+  };
+  heartbeat_progress(wa, lease_a, 11);
+  heartbeat_progress(wb, lease_b, 22);
+
+  const std::string mid = scrape_metrics(mport);
+  EXPECT_EQ(count_occurrences(mid, "# TYPE sweepd_cell_round gauge\n"), 1u) << mid;
+  EXPECT_EQ(count_occurrences(mid, "# TYPE sweepd_cell_node_updates_per_sec gauge\n"), 1u)
+      << mid;
+  EXPECT_EQ(count_occurrences(mid, "sweepd_cell_round{cell=\"" +
+                                       lease_a.at("cell").as_string() + "\"} 11\n"),
+            1u)
+      << mid;
+  EXPECT_EQ(count_occurrences(mid, "sweepd_cell_round{cell=\"" +
+                                       lease_b.at("cell").as_string() + "\"} 22\n"),
+            1u)
+      << mid;
+
+  compute_and_complete(wa, lease_a, options);
+  compute_and_complete(wb, lease_b, options);
+  const std::string after = scrape_metrics(mport);
+  EXPECT_EQ(count_occurrences(after, "sweepd_cell_round"), 0u) << after;
+  EXPECT_EQ(count_occurrences(after, "sweepd_cells_done 2\n"), 1u) << after;
+
+  wa.conn.close();
+  wb.conn.close();
+  master.join();
+  EXPECT_EQ(master_exit, kExitComplete);
+}
+
 TEST_F(ServiceTest, IdleMonitorDoesNotShrinkWorkerShares) {
   // The per-worker memory share divides the host budget across peers that
   // RUN cells. An attached monitor (status-only connection, or even one
