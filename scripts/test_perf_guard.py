@@ -104,6 +104,17 @@ class PerfGuardTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("strict_node_updates_per_sec", err)
 
+    def test_push_metric_is_guarded(self):
+        # The locality-sweep voter rows carry push_node_updates_per_sec;
+        # a scatter-path regression must trip the guard like any engine.
+        base = doc([("random 8-regular/rcm", "voter", 100.0, 400.0)])
+        base["topologies"][0]["push_node_updates_per_sec"] = 900.0
+        meas = doc([("random 8-regular/rcm", "voter", 100.0, 400.0)])
+        meas["topologies"][0]["push_node_updates_per_sec"] = 100.0
+        code, out, err = self.run_guard(base, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("push_node_updates_per_sec", err)
+
     def test_no_comparable_cells_fails(self):
         base = doc([("ring", "3-majority", 100.0, 400.0)])
         meas = doc([("torus", "voter", 100.0, 400.0)])

@@ -16,6 +16,8 @@
 // frequencies to the exact dynamics law. Any RNG reordering fails loudly.
 #pragma once
 
+#include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <type_traits>
 
@@ -55,13 +57,18 @@ inline std::uint64_t uniform_below(rng::Xoshiro256pp& gen, std::uint64_t bound) 
 /// engine keeps a uint8_t mirror when the state space fits one byte so the
 /// random sample loads stay L1-resident); the VALUES are identical either
 /// way, so the storage width never affects results.
+/// Every sampler also exposes addr(gen): draw the SAME index the call form
+/// would, but return the gather ADDRESS instead of loading it. The windowed
+/// drivers below use it to split "draw + prefetch" from "load + rule" —
+/// operator() is defined as *addr(gen), so the two forms cannot drift.
 template <typename TNode>
 struct CompleteSampler {
   const TNode* nodes;
   std::uint64_t n;
-  state_t operator()(rng::Xoshiro256pp& gen) const {
-    return nodes[uniform_below(gen, n)];
+  const TNode* addr(rng::Xoshiro256pp& gen) const {
+    return nodes + uniform_below(gen, n);
   }
+  state_t operator()(rng::Xoshiro256pp& gen) const { return *addr(gen); }
 };
 
 /// Explicit CSR neighborhood: uniform with repetition over one node's
@@ -71,9 +78,10 @@ struct CsrSampler {
   const TNode* nodes;
   const std::uint32_t* neighbors;
   std::uint64_t degree;
-  state_t operator()(rng::Xoshiro256pp& gen) const {
-    return nodes[neighbors[uniform_below(gen, degree)]];
+  const TNode* addr(rng::Xoshiro256pp& gen) const {
+    return nodes + neighbors[uniform_below(gen, degree)];
   }
+  state_t operator()(rng::Xoshiro256pp& gen) const { return *addr(gen); }
 };
 
 /// Implicit neighborhood: the neighbor id is arithmetic on the node id
@@ -86,9 +94,10 @@ struct ImplicitSampler {
   const TNode* nodes;
   const ImplicitTopology* topo;
   std::uint64_t v;
-  state_t operator()(rng::Xoshiro256pp& gen) const {
-    return nodes[topo->neighbor(v, uniform_below(gen, topo->degree))];
+  const TNode* addr(rng::Xoshiro256pp& gen) const {
+    return nodes + topo->neighbor(v, uniform_below(gen, topo->degree));
   }
+  state_t operator()(rng::Xoshiro256pp& gen) const { return *addr(gen); }
 };
 
 // --- Rules: inlined clones of each Dynamics::apply_rule. ----------------
@@ -105,22 +114,38 @@ inline state_t select(bool take_first, state_t x, state_t y) {
   return y ^ ((y ^ x) & (state_t{0} - static_cast<state_t>(take_first)));
 }
 
+// Rules whose post-gather work consumes NO generator randomness declare
+// kArity + combine(own, states, samples): combine is the whole rule once
+// the kArity samples are in hand, so the windowed drivers below can run
+// all of a window's draws first (prefetching each gather address) and the
+// loads + rule after — same draw order, same values, bitwise-identical.
+// Rules with mid-node draws (TwoChoices' tie coin, HPlurality's tie pick,
+// GenericRule's virtual body) stay call-form-only and take the unwindowed
+// per-node loop.
+
 /// ThreeMajority::apply_rule — majority of three, first on all-distinct.
 /// Collapsed to one select: the rule returns b exactly when b == c != a;
 /// every other case returns a.
 struct MajorityRule {
+  static constexpr unsigned kArity = 3;
+  static state_t combine(state_t, state_t, const state_t* s) {
+    return select((s[1] == s[2]) & (s[0] != s[1]), s[1], s[0]);
+  }
   template <class Sampler>
-  state_t operator()(state_t, state_t, const Sampler& sample,
+  state_t operator()(state_t own, state_t states, const Sampler& sample,
                      rng::Xoshiro256pp& gen) const {
-    const state_t a = sample(gen);
-    const state_t b = sample(gen);
-    const state_t c = sample(gen);
-    return select((b == c) & (a != b), b, a);
+    state_t s[kArity];
+    s[0] = sample(gen);
+    s[1] = sample(gen);
+    s[2] = sample(gen);
+    return combine(own, states, s);
   }
 };
 
 /// Voter::apply_rule — adopt the single sample.
 struct VoterRule {
+  static constexpr unsigned kArity = 1;
+  static state_t combine(state_t, state_t, const state_t* s) { return s[0]; }
   template <class Sampler>
   state_t operator()(state_t, state_t, const Sampler& sample,
                      rng::Xoshiro256pp& gen) const {
@@ -144,14 +169,19 @@ struct TwoChoicesRule {
 /// UndecidedState::apply_rule — one sample; colored nodes back off on
 /// conflict, undecided nodes adopt what they see. Branch-free selects.
 struct UndecidedRule {
-  template <class Sampler>
-  state_t operator()(state_t own, state_t states, const Sampler& sample,
-                     rng::Xoshiro256pp& gen) const {
+  static constexpr unsigned kArity = 1;
+  static state_t combine(state_t own, state_t states, const state_t* s) {
     const state_t undecided = states - 1;
-    const state_t seen = sample(gen);
+    const state_t seen = s[0];
     const state_t colored_next =
         select((seen == own) | (seen == undecided), own, undecided);
     return select(own == undecided, seen, colored_next);
+  }
+  template <class Sampler>
+  state_t operator()(state_t own, state_t states, const Sampler& sample,
+                     rng::Xoshiro256pp& gen) const {
+    const state_t s[1] = {sample(gen)};
+    return combine(own, states, s);
   }
 };
 
@@ -165,24 +195,34 @@ inline state_t median_of_three(state_t a, state_t b, state_t c) {
 
 /// MedianDynamics::apply_rule — median of three samples.
 struct MedianRule {
+  static constexpr unsigned kArity = 3;
+  static state_t combine(state_t, state_t, const state_t* s) {
+    return median_of_three(s[0], s[1], s[2]);
+  }
   template <class Sampler>
-  state_t operator()(state_t, state_t, const Sampler& sample,
+  state_t operator()(state_t own, state_t states, const Sampler& sample,
                      rng::Xoshiro256pp& gen) const {
-    const state_t a = sample(gen);
-    const state_t b = sample(gen);
-    const state_t c = sample(gen);
-    return median_of_three(a, b, c);
+    state_t s[kArity];
+    s[0] = sample(gen);
+    s[1] = sample(gen);
+    s[2] = sample(gen);
+    return combine(own, states, s);
   }
 };
 
 /// MedianOwnTwo::apply_rule — median of own value and two samples.
 struct MedianOwnTwoRule {
+  static constexpr unsigned kArity = 2;
+  static state_t combine(state_t own, state_t, const state_t* s) {
+    return median_of_three(own, s[0], s[1]);
+  }
   template <class Sampler>
-  state_t operator()(state_t own, state_t, const Sampler& sample,
+  state_t operator()(state_t own, state_t states, const Sampler& sample,
                      rng::Xoshiro256pp& gen) const {
-    const state_t a = sample(gen);
-    const state_t b = sample(gen);
-    return median_of_three(own, a, b);
+    state_t s[kArity];
+    s[0] = sample(gen);
+    s[1] = sample(gen);
+    return combine(own, states, s);
   }
 };
 
@@ -283,16 +323,77 @@ inline void step_one_csr(const Rule& rule, const TNode* nodes, state_t* out,
   publish(out, mirror_out, local, i, rule(nodes[i], states, sample, gen));
 }
 
+/// Detects the windowable-rule contract (kArity + combine, no post-gather
+/// randomness) at compile time.
+template <class Rule>
+inline constexpr bool is_windowable_rule = requires(const state_t* s) {
+  { Rule::kArity } -> std::convertible_to<unsigned>;
+  { Rule::combine(state_t{}, state_t{}, s) } -> std::same_as<state_t>;
+};
+
+/// Largest per-window node count of the strict prefetch driver. The window
+/// lives in a stack address buffer (kMaxPrefetchWindow * kArity pointers,
+/// 1.5 KiB at arity 3); prefetch distances beyond it clamp here — by then
+/// every miss in the window is already in flight, so more buys nothing.
+inline constexpr unsigned kMaxPrefetchWindow = 64;
+
+/// Shared windowed chunk body: per window of up to `prefetch` nodes, draw
+/// all gather addresses in the exact legacy order (issuing a software
+/// prefetch per address), then load + combine + publish. The draw sequence
+/// against `gen` is untouched — uniform_below calls in the same order with
+/// the same bounds — and combine IS the rule's post-gather arithmetic, so
+/// results are bitwise-identical to the unwindowed loop for every
+/// windowable rule (pinned by the golden-trajectory suite, which runs at
+/// the default prefetch distance, and by test_layout's prefetch=0 cross).
+/// `sampler_for(i)` yields the node's sampler (any of the three above).
+template <class Rule, typename TNode, class SamplerFor>
+inline void run_chunk_nodes(const Rule& rule, const TNode* __restrict nodes,
+                            state_t* __restrict out, TNode* __restrict mirror_out,
+                            count_t* __restrict local, std::size_t lo, std::size_t hi,
+                            state_t states, rng::Xoshiro256pp& gen, unsigned prefetch,
+                            SamplerFor&& sampler_for) {
+  if constexpr (is_windowable_rule<Rule>) {
+    if (prefetch > 0) {
+      const std::size_t window = std::min(prefetch, kMaxPrefetchWindow);
+      const TNode* addr[kMaxPrefetchWindow * Rule::kArity];
+      for (std::size_t base = lo; base < hi; base += window) {
+        const std::size_t nb = std::min(window, hi - base);
+        for (std::size_t i = 0; i < nb; ++i) {
+          const auto sample = sampler_for(base + i);
+          for (unsigned a = 0; a < Rule::kArity; ++a) {
+            const TNode* p = sample.addr(gen);
+            addr[i * Rule::kArity + a] = p;
+            __builtin_prefetch(p, 0, 3);
+          }
+        }
+        for (std::size_t i = 0; i < nb; ++i) {
+          state_t s[Rule::kArity];
+          for (unsigned a = 0; a < Rule::kArity; ++a) {
+            s[a] = static_cast<state_t>(*addr[i * Rule::kArity + a]);
+          }
+          publish(out, mirror_out, local, base + i,
+                  Rule::combine(static_cast<state_t>(nodes[base + i]), states, s));
+        }
+      }
+      return;
+    }
+  }
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto sample = sampler_for(i);
+    publish(out, mirror_out, local, i,
+            rule(static_cast<state_t>(nodes[i]), states, sample, gen));
+  }
+}
+
 /// Steps nodes [lo, hi) of the implicit complete graph.
 template <class Rule, typename TNode>
 inline void run_chunk_complete(const Rule& rule, const TNode* __restrict nodes,
                                state_t* __restrict out, TNode* __restrict mirror_out,
                                count_t* __restrict local, std::size_t lo,
                                std::size_t hi, std::uint64_t n, state_t states,
-                               rng::Xoshiro256pp& gen) {
-  for (std::size_t i = lo; i < hi; ++i) {
-    step_one_complete(rule, nodes, out, mirror_out, local, i, n, states, gen);
-  }
+                               rng::Xoshiro256pp& gen, unsigned prefetch = 0) {
+  run_chunk_nodes(rule, nodes, out, mirror_out, local, lo, hi, states, gen, prefetch,
+                  [&](std::size_t) { return CompleteSampler<TNode>{nodes, n}; });
 }
 
 /// Steps nodes [lo, hi) of an explicit CSR graph.
@@ -302,11 +403,13 @@ inline void run_chunk_csr(const Rule& rule, const TNode* __restrict nodes,
                           count_t* __restrict local, std::size_t lo, std::size_t hi,
                           const std::uint64_t* __restrict offsets,
                           const std::uint32_t* __restrict neighbors, state_t states,
-                          rng::Xoshiro256pp& gen) {
-  for (std::size_t i = lo; i < hi; ++i) {
-    step_one_csr(rule, nodes, out, mirror_out, local, i, offsets, neighbors, states,
-                 gen);
-  }
+                          rng::Xoshiro256pp& gen, unsigned prefetch = 0) {
+  run_chunk_nodes(rule, nodes, out, mirror_out, local, lo, hi, states, gen, prefetch,
+                  [&](std::size_t i) {
+                    const std::uint64_t off = offsets[i];
+                    return CsrSampler<TNode>{nodes, neighbors + off,
+                                             offsets[i + 1] - off};
+                  });
 }
 
 /// Steps nodes [lo, hi) of an implicit topology (ring/torus/lattice
@@ -318,11 +421,10 @@ inline void run_chunk_implicit(const Rule& rule, const TNode* __restrict nodes,
                                state_t* __restrict out, TNode* __restrict mirror_out,
                                count_t* __restrict local, std::size_t lo,
                                std::size_t hi, const ImplicitTopology& topo,
-                               state_t states, rng::Xoshiro256pp& gen) {
-  for (std::size_t i = lo; i < hi; ++i) {
-    const ImplicitSampler<TNode> sample{nodes, &topo, i};
-    publish(out, mirror_out, local, i, rule(nodes[i], states, sample, gen));
-  }
+                               state_t states, rng::Xoshiro256pp& gen,
+                               unsigned prefetch = 0) {
+  run_chunk_nodes(rule, nodes, out, mirror_out, local, lo, hi, states, gen, prefetch,
+                  [&](std::size_t i) { return ImplicitSampler<TNode>{nodes, &topo, i}; });
 }
 
 /// Steps nodes [lo, hi) of a degree-uniform CSR graph (cycle, torus,
@@ -336,11 +438,11 @@ inline void run_chunk_regular(const Rule& rule, const TNode* __restrict nodes,
                               count_t* __restrict local, std::size_t lo, std::size_t hi,
                               const std::uint32_t* __restrict neighbors,
                               std::uint64_t degree, state_t states,
-                              rng::Xoshiro256pp& gen) {
-  for (std::size_t i = lo; i < hi; ++i) {
-    const CsrSampler<TNode> sample{nodes, neighbors + i * degree, degree};
-    publish(out, mirror_out, local, i, rule(nodes[i], states, sample, gen));
-  }
+                              rng::Xoshiro256pp& gen, unsigned prefetch = 0) {
+  run_chunk_nodes(rule, nodes, out, mirror_out, local, lo, hi, states, gen, prefetch,
+                  [&](std::size_t i) {
+                    return CsrSampler<TNode>{nodes, neighbors + i * degree, degree};
+                  });
 }
 
 }  // namespace plurality::graph::kernels

@@ -1,0 +1,212 @@
+#include "graph/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/specs.hpp"
+
+namespace plurality::graph {
+namespace {
+
+// Interleaves the low 32 bits of x into the even bit positions.
+std::uint64_t spread_bits(std::uint64_t x) {
+  x &= 0xffffffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+// Morton (Z-order) key of grid cell (r, c).
+std::uint64_t morton_key(std::uint64_t r, std::uint64_t c) {
+  return (spread_bits(r) << 1) | spread_bits(c);
+}
+
+// Index of cell (x=column, y=row) along the Hilbert curve of a side x side
+// grid (side a power of two). Classic iterative quadrant-rotation walk.
+std::uint64_t hilbert_d(std::uint64_t side, std::uint64_t x, std::uint64_t y) {
+  std::uint64_t d = 0;
+  for (std::uint64_t s = side / 2; s > 0; s /= 2) {
+    const std::uint64_t rx = (x & s) ? 1 : 0;
+    const std::uint64_t ry = (y & s) ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+// Ranks `order` (a visit sequence of all node ids) into new_of form.
+std::vector<std::uint32_t> invert_order(const std::vector<std::uint32_t>& order) {
+  std::vector<std::uint32_t> new_of(order.size());
+  for (std::uint32_t pos = 0; pos < order.size(); ++pos) {
+    new_of[order[pos]] = pos;
+  }
+  return new_of;
+}
+
+}  // namespace
+
+GraphLayout parse_graph_layout(const std::string& name) {
+  if (name == "identity") return GraphLayout::Identity;
+  if (name == "degree") return GraphLayout::Degree;
+  if (name == "rcm") return GraphLayout::Rcm;
+  if (name == "hilbert") return GraphLayout::Hilbert;
+  PLURALITY_REQUIRE(false, "unknown graph_layout '" << name
+                    << "' (expected identity, degree, rcm, or hilbert)");
+}
+
+const char* graph_layout_name(GraphLayout layout) {
+  switch (layout) {
+    case GraphLayout::Identity: return "identity";
+    case GraphLayout::Degree: return "degree";
+    case GraphLayout::Rcm: return "rcm";
+    case GraphLayout::Hilbert: return "hilbert";
+  }
+  return "identity";
+}
+
+GraphLayout resolve_auto_layout(const std::string& topology_spec) {
+  const std::string kind = split_spec(topology_spec).kind;
+  if (kind == "regular" || kind == "er" || kind == "gnm") {
+    return GraphLayout::Rcm;
+  }
+  if (kind == "edges") {
+    return GraphLayout::Degree;
+  }
+  // clique, gossip, ring, torus, lattice: identity keeps the arena ==
+  // implicit bitwise contract (and ring/torus/lattice builder numbering is
+  // already banded/blocked enough that reordering buys nothing by default).
+  return GraphLayout::Identity;
+}
+
+std::vector<std::uint32_t> degree_permutation(const Topology& topo) {
+  PLURALITY_REQUIRE(topo.kind() == Topology::Kind::Explicit,
+                    "degree layout requires an explicit topology");
+  const count_t n = topo.num_nodes();
+  PLURALITY_REQUIRE(n <= 0xFFFFFFFFULL, "degree layout: n exceeds u32 ids");
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return topo.degree(a) > topo.degree(b);
+                   });
+  return invert_order(order);
+}
+
+std::vector<std::uint32_t> rcm_permutation(const Topology& topo) {
+  PLURALITY_REQUIRE(topo.kind() == Topology::Kind::Explicit,
+                    "rcm layout requires an explicit topology");
+  const count_t n = topo.num_nodes();
+  PLURALITY_REQUIRE(n <= 0xFFFFFFFFULL, "rcm layout: n exceeds u32 ids");
+
+  // Seeds in (degree ascending, id ascending) order; walking this list and
+  // skipping visited nodes starts each component at a min-degree node.
+  std::vector<std::uint32_t> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), 0U);
+  std::stable_sort(seeds.begin(), seeds.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return topo.degree(a) < topo.degree(b);
+                   });
+
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<std::uint32_t> frontier;
+  for (const std::uint32_t seed : seeds) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    order.push_back(seed);
+    // Plain queue walk over `order` itself: nodes appended become the BFS
+    // queue, so no separate deque is needed.
+    for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
+      const std::uint32_t v = order[head];
+      frontier.clear();
+      for (const count_t u : topo.neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = true;
+          frontier.push_back(static_cast<std::uint32_t>(u));
+        }
+      }
+      std::stable_sort(frontier.begin(), frontier.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return topo.degree(a) < topo.degree(b);
+                       });
+      order.insert(order.end(), frontier.begin(), frontier.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return invert_order(order);
+}
+
+std::vector<std::uint32_t> hilbert_permutation(count_t rows, count_t cols) {
+  const count_t n = rows * cols;
+  PLURALITY_REQUIRE(rows > 0 && cols > 0 && n <= 0xFFFFFFFFULL,
+                    "hilbert layout: invalid grid " << rows << "x" << cols);
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  const bool square_pow2 =
+      rows == cols && (rows & (rows - 1)) == 0;
+  if (square_pow2) {
+    std::vector<std::uint32_t> new_of(n);
+    for (count_t r = 0; r < rows; ++r) {
+      for (count_t c = 0; c < cols; ++c) {
+        new_of[r * cols + c] =
+            static_cast<std::uint32_t>(hilbert_d(rows, c, r));
+      }
+    }
+    return new_of;
+  }
+  // Rectangular / non-power-of-two grids: Morton keys are not contiguous,
+  // but SORTING by them still yields a recursively blocked order.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return morton_key(a / cols, a % cols) <
+                            morton_key(b / cols, b % cols);
+                   });
+  return invert_order(order);
+}
+
+std::uint64_t graph_bandwidth(const Topology& topo,
+                              std::span<const std::uint32_t> new_of) {
+  PLURALITY_REQUIRE(topo.kind() == Topology::Kind::Explicit,
+                    "graph_bandwidth requires an explicit topology");
+  std::uint64_t bw = 0;
+  for (count_t v = 0; v < topo.num_nodes(); ++v) {
+    const std::uint64_t a = new_of.empty() ? v : new_of[v];
+    for (const count_t u : topo.neighbors(v)) {
+      const std::uint64_t b = new_of.empty() ? u : new_of[u];
+      bw = std::max(bw, a > b ? a - b : b - a);
+    }
+  }
+  return bw;
+}
+
+double average_edge_distance(const Topology& topo,
+                             std::span<const std::uint32_t> new_of) {
+  PLURALITY_REQUIRE(topo.kind() == Topology::Kind::Explicit,
+                    "average_edge_distance requires an explicit topology");
+  double sum = 0.0;
+  std::uint64_t arcs = 0;
+  for (count_t v = 0; v < topo.num_nodes(); ++v) {
+    const double a = static_cast<double>(new_of.empty() ? v : new_of[v]);
+    for (const count_t u : topo.neighbors(v)) {
+      const double b = static_cast<double>(new_of.empty() ? u : new_of[u]);
+      sum += std::abs(a - b);
+      ++arcs;
+    }
+  }
+  return arcs == 0 ? 0.0 : sum / static_cast<double>(arcs);
+}
+
+}  // namespace plurality::graph

@@ -1,0 +1,91 @@
+// Graph relabeling layouts — the locality engine's build-time pass.
+//
+// The gather working set of a stepping round is the span of node ids a
+// node's samples touch. On the CSR engine that span is decided once, at
+// graph build, by the node numbering: random constructions (configuration
+// model, G(n,m)) hand out ids that scatter every neighborhood across the
+// whole state array, so each of the ~arity gathers per node update is a
+// cold random load (docs/performance.md measured ~0.45–0.7 ns each — the
+// engine's wall). Relabeling the nodes BEFORE CSR packing shrinks that
+// span:
+//
+//   * degree  — hubs first (degree descending, id ascending on ties): the
+//     ids most often gathered land in one hot prefix of the state array.
+//     The right default for skewed degree distributions (edge lists).
+//   * rcm     — reverse Cuthill–McKee: BFS from a minimum-degree node per
+//     component, neighbors visited in increasing-degree order, the whole
+//     order reversed. The classic bandwidth-minimization heuristic; on
+//     near-uniform random graphs (random-regular, ER/GNM) it converts
+//     "anywhere in [0, n)" gathers into "within a band" gathers.
+//   * hilbert — space-filling-curve order for grid arenas (torus): nodes
+//     that are close on the grid get close ids, so the 4-neighborhood of a
+//     row-major torus (spread over ~2*cols ids) collapses into a compact
+//     2-D block. True Hilbert curve when the grid is a square power of
+//     two, Morton (Z-order) sort otherwise.
+//
+// A permutation is expressed as new_of[orig] = new id. AgentGraph packs a
+// relabeled CSR from (Topology, new_of) and REMEMBERS the inverse map, so
+// both engines can address randomness by ORIGINAL id — that is what makes
+// a relabeled run equal the original run mapped through the permutation
+// (the permutation-equivariance contract, tests/graph/test_layout.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "support/types.hpp"
+
+namespace plurality::graph {
+
+/// Build-time node relabeling applied before CSR packing (scenario spec
+/// field `graph_layout`; "auto" resolves per topology family — see
+/// resolve_auto_layout).
+enum class GraphLayout : std::uint8_t { Identity, Degree, Rcm, Hilbert };
+
+/// Parses "identity" / "degree" / "rcm" / "hilbert" ("auto" is a scenario-
+/// layer concept and is rejected here). Throws CheckError on unknown names.
+GraphLayout parse_graph_layout(const std::string& name);
+
+/// The canonical lowercase name of a layout.
+const char* graph_layout_name(GraphLayout layout);
+
+/// The layout `graph_layout=auto` denotes for a topology spec string:
+/// rcm for the random families (regular, er, gnm), degree for edge lists,
+/// identity for everything with an implicit form (clique, gossip, ring,
+/// torus, lattice — identity preserves the arena == implicit bitwise
+/// contract and the implicit auto threshold).
+GraphLayout resolve_auto_layout(const std::string& topology_spec);
+
+/// Degree ordering: new id = rank under (degree descending, id ascending).
+/// Returns new_of (size n).
+std::vector<std::uint32_t> degree_permutation(const Topology& topo);
+
+/// Reverse Cuthill–McKee: per component, BFS from a minimum-degree seed
+/// with neighbors enqueued in (degree ascending, id ascending) order; the
+/// concatenated visit order is reversed. Returns new_of (size n).
+std::vector<std::uint32_t> rcm_permutation(const Topology& topo);
+
+/// Space-filling-curve order of a rows x cols grid whose row-major cell
+/// (r, c) has node id r*cols + c (the torus builder's numbering). Square
+/// power-of-two grids follow the true Hilbert curve; everything else falls
+/// back to Morton (Z-order) sort, which still blocks 2-D neighborhoods.
+/// Returns new_of (size rows*cols).
+std::vector<std::uint32_t> hilbert_permutation(count_t rows, count_t cols);
+
+/// Bandwidth of the relabeled graph: max |new_of[u] - new_of[v]| over all
+/// arcs. Pass an empty span for the identity labeling. The locality metric
+/// the RCM unit test pins (lower = tighter gather bands).
+std::uint64_t graph_bandwidth(const Topology& topo,
+                              std::span<const std::uint32_t> new_of = {});
+
+/// Mean |new_of[u] - new_of[v]| over all arcs (same conventions as
+/// graph_bandwidth) — the average-case sibling of the max-based bandwidth,
+/// used to quantify Hilbert's win on grids (where the max is pinned by the
+/// wrap-around edges either way).
+double average_edge_distance(const Topology& topo,
+                             std::span<const std::uint32_t> new_of = {});
+
+}  // namespace plurality::graph

@@ -75,7 +75,8 @@ void batched_chunk(const Rule& rule, unsigned arity, unsigned tie_words,
                    const Sampler& sampler, const TNode* nodes, state_t* out,
                    TNode* mirror_out, state_t states, std::size_t lo, std::size_t hi,
                    const simd::Ops* ops, const simd::FusedArgs* fused_proto,
-                   count_t* local, state_t k) {
+                   count_t* local, state_t k, const StepTuning& tuning,
+                   const std::uint32_t* orig) {
   if constexpr (std::is_same_v<TNode, std::uint8_t>) {
     if (fused_proto != nullptr) {
       const auto fused = fused_kernel<Rule, Sampler, TNode>(ops);
@@ -96,10 +97,15 @@ void batched_chunk(const Rule& rule, unsigned arity, unsigned tie_words,
   }
 
   const std::size_t wpn = arity + tie_words;
-  std::size_t tile = g_tile_override.load(std::memory_order_relaxed);
+  // Tile-size precedence: spec/CLI tuning, then the test override, then the
+  // word-budget derivation. Any value yields the same results (the word
+  // addressing is per-node, not per-tile).
+  std::size_t tile = tuning.tile_nodes;
+  if (tile == 0) tile = g_tile_override.load(std::memory_order_relaxed);
   if (tile == 0) tile = kb::tile_nodes_for(static_cast<unsigned>(wpn));
   tile = std::min(tile, kb::kBatchedWordBudget / wpn);
   PLURALITY_CHECK(tile >= 1);
+  const std::size_t prefetch_ahead = tuning.prefetch_distance;
 
   const auto fill = (ops != nullptr && ops->fill_words != nullptr)
                         ? ops->fill_words
@@ -116,18 +122,28 @@ void batched_chunk(const Rule& rule, unsigned arity, unsigned tie_words,
       std::uint64_t* plane_words = words + static_cast<std::size_t>(s) * tile;
       std::uint32_t* plane_index = index + static_cast<std::size_t>(s) * tile;
       TNode* plane_states = st + static_cast<std::size_t>(s) * tile;
-      // Pass 1: block-generate the plane's Philox words.
-      fill(key, round, static_cast<std::uint64_t>(s) * n_pad + base, nb, plane_words);
+      // Pass 1: block-generate the plane's Philox words. On a relabeled
+      // graph each node's word is addressed by its ORIGINAL id (a scattered
+      // per-word fill instead of the contiguous block fill): node new-id i
+      // then consumes exactly the words its pre-relabel twin would, which
+      // is what makes batched results layout-invariant.
+      if (orig == nullptr) {
+        fill(key, round, static_cast<std::uint64_t>(s) * n_pad + base, nb, plane_words);
+      } else {
+        for (std::size_t i = 0; i < nb; ++i) {
+          plane_words[i] = rng::Philox4x32::word<kb::kSamplerRounds>(
+              key, round, static_cast<std::uint64_t>(s) * n_pad + orig[base + i]);
+        }
+      }
       // Pass 2: branch-free bounded-bias index conversion.
       for (std::size_t i = 0; i < nb; ++i) {
         plane_index[i] = kb::scale_word(plane_words[i], sampler.bound(base + i));
       }
       // Pass 3: gather sampled states, prefetching ahead of the random loads.
-      constexpr std::size_t kPrefetchAhead = 16;
       for (std::size_t i = 0; i < nb; ++i) {
-        if (i + kPrefetchAhead < nb) {
-          __builtin_prefetch(sampler.prefetch_target(base + i + kPrefetchAhead,
-                                                     plane_index[i + kPrefetchAhead]),
+        if (prefetch_ahead != 0 && i + prefetch_ahead < nb) {
+          __builtin_prefetch(sampler.prefetch_target(base + i + prefetch_ahead,
+                                                     plane_index[i + prefetch_ahead]),
                              0, 3);
         }
         plane_states[i] = sampler.state(base + i, plane_index[i]);
@@ -135,8 +151,17 @@ void batched_chunk(const Rule& rule, unsigned arity, unsigned tie_words,
     }
     std::uint64_t* tie_base = words + static_cast<std::size_t>(arity) * tile;
     for (unsigned t = 0; t < tie_words; ++t) {
-      fill(key, round, (static_cast<std::uint64_t>(arity) + t) * n_pad + base, nb,
-           tie_base + static_cast<std::size_t>(t) * tile);
+      if (orig == nullptr) {
+        fill(key, round, (static_cast<std::uint64_t>(arity) + t) * n_pad + base, nb,
+             tie_base + static_cast<std::size_t>(t) * tile);
+      } else {
+        std::uint64_t* tw = tie_base + static_cast<std::size_t>(t) * tile;
+        for (std::size_t i = 0; i < nb; ++i) {
+          tw[i] = rng::Philox4x32::word<kb::kSamplerRounds>(
+              key, round,
+              (static_cast<std::uint64_t>(arity) + t) * n_pad + orig[base + i]);
+        }
+      }
     }
     // Pass 4: apply the rule; publish into scratch (+ mirror).
     kb::apply_tile(rule, arity, nodes, out, mirror_out, states, base, nb, st, tile,
@@ -161,10 +186,12 @@ template <class Rule>
 void step_batched_all(const Rule& rule, unsigned arity, unsigned tie_words,
                       const AgentGraph& graph, Configuration& config,
                       const rng::StreamFactory& streams, round_t round,
-                      GraphStepWorkspace& ws) {
+                      GraphStepWorkspace& ws, const StepTuning& tuning) {
   const std::size_t n = graph.num_nodes();
   const state_t k = config.k();
   const std::uint64_t n_pad = kb::pad64(n);
+  const std::uint32_t* orig =
+      graph.is_relabeled() ? graph.orig_of().data() : nullptr;
   const rng::Philox4x32::Key key =
       rng::Philox4x32::key_from_seed(streams.master_seed(), kb::kBatchedKeyTag);
   const std::size_t chunk_size = (n + kGraphChunks - 1) / kGraphChunks;
@@ -189,8 +216,12 @@ void step_batched_all(const Rule& rule, unsigned arity, unsigned tie_words,
       // largest byte offset (n on the clique, n*degree on regular CSR) must
       // fit a signed 32-bit gather index; beyond that the tile pipeline
       // (64-bit scalar addressing) takes over.
+      // Relabeled graphs are excluded: the fused kernels block-fill words by
+      // NEW id, but the relabel contract addresses them by original id (the
+      // scalar pipeline's scattered fill above).
       const std::uint64_t max_offset = complete ? n : n * uniform_degree;
-      if (ops != nullptr && (complete || regular) && max_offset < (1ULL << 31)) {
+      if (ops != nullptr && (complete || regular) && orig == nullptr &&
+          max_offset < (1ULL << 31)) {
         proto.key = key;
         proto.round = round;
         proto.n_pad = n_pad;
@@ -216,22 +247,26 @@ void step_batched_all(const Rule& rule, unsigned arity, unsigned tie_words,
       if (complete) {
         const kb::BatchedCompleteSampler<TNode> sampler{nodes_ptr, n};
         batched_chunk(rule, arity, tie_words, key, round, n_pad, sampler, nodes_ptr, out,
-                      mirror_out, k, lo, hi, ops, fused_proto, local, k);
+                      mirror_out, k, lo, hi, ops, fused_proto, local, k, tuning,
+                      orig);
       } else if (implicit) {
         const kb::BatchedImplicitSampler<TNode> sampler{nodes_ptr,
                                                         graph.implicit_topology()};
         batched_chunk(rule, arity, tie_words, key, round, n_pad, sampler, nodes_ptr, out,
-                      mirror_out, k, lo, hi, ops, fused_proto, local, k);
+                      mirror_out, k, lo, hi, ops, fused_proto, local, k, tuning,
+                      orig);
       } else if (regular) {
         const kb::BatchedRegularSampler<TNode> sampler{nodes_ptr, graph.neighbors(),
                                                        uniform_degree};
         batched_chunk(rule, arity, tie_words, key, round, n_pad, sampler, nodes_ptr, out,
-                      mirror_out, k, lo, hi, ops, fused_proto, local, k);
+                      mirror_out, k, lo, hi, ops, fused_proto, local, k, tuning,
+                      orig);
       } else {
         const kb::BatchedCsrSampler<TNode> sampler{nodes_ptr, graph.offsets(),
                                                    graph.neighbors()};
         batched_chunk(rule, arity, tie_words, key, round, n_pad, sampler, nodes_ptr, out,
-                      mirror_out, k, lo, hi, ops, fused_proto, local, k);
+                      mirror_out, k, lo, hi, ops, fused_proto, local, k, tuning,
+                      orig);
       }
     }
   };
@@ -286,7 +321,8 @@ bool batched_has_kernel(const Dynamics& dynamics) {
 
 void step_graph_batched(const Dynamics& dynamics, const AgentGraph& graph,
                         Configuration& config, const rng::StreamFactory& streams,
-                        round_t round, GraphStepWorkspace& ws) {
+                        round_t round, GraphStepWorkspace& ws,
+                        const StepTuning& tuning) {
   const count_t n = graph.num_nodes();
   PLURALITY_REQUIRE(config.n() == n, "step_graph_batched: configuration has "
                                          << config.n() << " nodes but graph has " << n);
@@ -309,7 +345,7 @@ void step_graph_batched(const Dynamics& dynamics, const AgentGraph& graph,
   // the dispatch.
   const auto run = [&]<class Rule>(const Rule& rule) {
     step_batched_all(rule, Rule::kArity, Rule::kTieWords, graph, config, streams, round,
-                     ws);
+                     ws, tuning);
   };
   if (const auto* d = dynamic_cast<const ThreeMajority*>(&dynamics)) {
     (void)d;
@@ -333,7 +369,8 @@ void step_graph_batched(const Dynamics& dynamics, const AgentGraph& graph,
     const unsigned arity = h->sample_arity();
     PLURALITY_CHECK_MSG(arity <= 64, "graph backend supports sample arity <= 64");
     step_batched_all(kb::BatchedHPlurality{arity}, arity,
-                     kb::BatchedHPlurality::kTieWords, graph, config, streams, round, ws);
+                     kb::BatchedHPlurality::kTieWords, graph, config, streams, round, ws,
+                     tuning);
   } else {
     PLURALITY_CHECK_MSG(false, "step_graph_batched: dynamics '"
                                    << dynamics.name()

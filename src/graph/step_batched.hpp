@@ -28,10 +28,15 @@ class AgentGraph;
 /// the strict step (reads/advances ws.nodes, publishes counts into config)
 /// but randomness is Philox keyed by streams.master_seed() with `round` as
 /// the counter domain — bitwise identical results for any thread count,
-/// chunking, or tile size. Requires batched_has_kernel(dynamics).
+/// chunking, or tile size (so `tuning` never changes results, only speed).
+/// On a relabeled graph (graph.is_relabeled()) every node's words are
+/// addressed by its ORIGINAL id, which makes batched results permutation-
+/// equivariant in the layout: counts and trial summaries are bitwise
+/// invariant under graph_layout. Requires batched_has_kernel(dynamics).
 void step_graph_batched(const Dynamics& dynamics, const AgentGraph& graph,
                         Configuration& config, const rng::StreamFactory& streams,
-                        round_t round, GraphStepWorkspace& ws);
+                        round_t round, GraphStepWorkspace& ws,
+                        const StepTuning& tuning = {});
 
 // --- Test hooks (single-threaded setup only). ---------------------------
 

@@ -1,0 +1,496 @@
+// The locality engine's correctness battery (graph/layout.hpp,
+// graph/step_push.cpp, StepTuning).
+//
+// Four contracts:
+//  * Permutation equivariance: a relabeled run IS the identity-labeled run
+//    mapped through the permutation — same per-round counts, states mapped
+//    node for node — in BOTH engine modes, for every layout builder.
+//  * Push == Batched, bitwise: the scatter stepper consumes the batched
+//    pipeline's randomness word for word, so trajectories are identical on
+//    every topology shape it dispatches over (complete, regular row,
+//    general CSR), for both arity-1 dynamics, relabeled or not.
+//  * Tuning is performance-only: tile size and prefetch distance (strict
+//    AND batched) never change a single bit of the trajectory.
+//  * The layout builders do what their names say: valid permutations, RCM
+//    shrinks bandwidth, Hilbert shrinks grid edge distance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/majority.hpp"
+#include "core/undecided.hpp"
+#include "core/voter.hpp"
+#include "core/workloads.hpp"
+#include "graph/agent_graph.hpp"
+#include "graph/builders.hpp"
+#include "graph/graph_trials.hpp"
+#include "graph/layout.hpp"
+#include "graph/step_push.hpp"
+#include "graph/topology_registry.hpp"
+#include "rng/distributions.hpp"
+#include "support/check.hpp"
+
+#if defined(PLURALITY_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace plurality::graph {
+namespace {
+
+std::vector<std::uint32_t> identity_perm(count_t n) {
+  std::vector<std::uint32_t> ident(n);
+  std::iota(ident.begin(), ident.end(), std::uint32_t{0});
+  return ident;
+}
+
+bool is_permutation(const std::vector<std::uint32_t>& new_of) {
+  std::vector<bool> seen(new_of.size(), false);
+  for (const std::uint32_t id : new_of) {
+    if (id >= new_of.size() || seen[id]) return false;
+    seen[id] = true;
+  }
+  return true;
+}
+
+Topology test_regular(count_t n, count_t d, std::uint64_t seed) {
+  rng::Xoshiro256pp gen(seed);
+  return random_regular(n, d, gen);
+}
+
+Topology test_er(count_t n, std::uint64_t m, std::uint64_t seed) {
+  rng::Xoshiro256pp gen(seed);
+  return erdos_renyi(n, m, gen, /*patch_isolated=*/true);
+}
+
+/// Steps both labelings of `topo` side by side and checks the equivariance
+/// contract every round: equal counts, and state(new id perm[o]) in the
+/// relabeled run == state(o) in the identity-relabeled run.
+void expect_equivariant(const Dynamics& dynamics, const Topology& topo,
+                        const std::vector<std::uint32_t>& perm, EngineMode mode,
+                        state_t k, int rounds) {
+  ASSERT_TRUE(is_permutation(perm));
+  const count_t n = topo.num_nodes();
+  const AgentGraph base = AgentGraph::from_topology(topo, identity_perm(n));
+  const AgentGraph relabeled = AgentGraph::from_topology(topo, perm);
+
+  Configuration start = workloads::parse_workload("bias:50", n, k);
+  if (dynamics.num_states(start.k()) > start.k()) {
+    start = UndecidedState::extend_with_undecided(start);
+  }
+  GraphSimulation sim_base(dynamics, base, start, 77, /*shuffle_layout=*/true, mode);
+  GraphSimulation sim_perm(dynamics, relabeled, start, 77, /*shuffle_layout=*/true, mode);
+
+  // The initial load must already be the mapped image (load_nodes stages in
+  // original-id space).
+  for (count_t o = 0; o < n; ++o) {
+    ASSERT_EQ(sim_perm.states()[perm[o]], sim_base.states()[o]) << "initial, node " << o;
+  }
+  for (int r = 0; r < rounds; ++r) {
+    sim_base.step();
+    sim_perm.step();
+    const auto counts_base = sim_base.configuration().counts();
+    const auto counts_perm = sim_perm.configuration().counts();
+    ASSERT_TRUE(std::equal(counts_base.begin(), counts_base.end(), counts_perm.begin(),
+                           counts_perm.end()))
+        << "round " << r;
+    for (count_t o = 0; o < n; ++o) {
+      ASSERT_EQ(sim_perm.states()[perm[o]], sim_base.states()[o])
+          << "round " << r << ", node " << o;
+    }
+  }
+}
+
+/// Runs `rounds` rounds under `mode` and returns the per-round state
+/// vectors (exact comparison material for the bitwise pins).
+std::vector<std::vector<state_t>> trajectory(const Dynamics& dynamics,
+                                             const AgentGraph& graph,
+                                             const Configuration& start,
+                                             std::uint64_t seed, EngineMode mode,
+                                             int rounds,
+                                             const StepTuning& tuning = {}) {
+  GraphSimulation sim(dynamics, graph, start, seed, /*shuffle_layout=*/true, mode);
+  sim.set_tuning(tuning);
+  std::vector<std::vector<state_t>> out;
+  for (int r = 0; r < rounds; ++r) {
+    sim.step();
+    out.push_back(sim.states());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Layout builders.
+
+TEST(Layout, BuildersProduceValidPermutations) {
+  const Topology reg = test_regular(500, 8, 11);
+  EXPECT_TRUE(is_permutation(degree_permutation(reg)));
+  EXPECT_TRUE(is_permutation(rcm_permutation(reg)));
+
+  const Topology er = test_er(400, 900, 12);  // uneven degrees, maybe several parts
+  EXPECT_TRUE(is_permutation(degree_permutation(er)));
+  EXPECT_TRUE(is_permutation(rcm_permutation(er)));
+
+  EXPECT_TRUE(is_permutation(hilbert_permutation(32, 32)));  // true Hilbert
+  EXPECT_TRUE(is_permutation(hilbert_permutation(24, 40)));  // Morton fallback
+}
+
+TEST(Layout, DegreeOrdersHubsFirst) {
+  const Topology er = test_er(300, 700, 13);
+  const auto new_of = degree_permutation(er);
+  // Walking new ids in order must visit non-increasing degrees.
+  std::vector<std::uint32_t> orig_of(er.num_nodes());
+  for (std::uint32_t o = 0; o < orig_of.size(); ++o) orig_of[new_of[o]] = o;
+  for (std::size_t i = 1; i < orig_of.size(); ++i) {
+    EXPECT_GE(er.degree(orig_of[i - 1]), er.degree(orig_of[i])) << "rank " << i;
+  }
+}
+
+/// Fraction of arcs whose endpoint ids are within `window` of each other —
+/// the cache metric the layouts optimize (an arc inside a window is a
+/// gather that hits the resident tile; the mean is the wrong lens because
+/// rare curve/wrap jumps dominate it).
+double close_arc_fraction(const Topology& topo, std::span<const std::uint32_t> new_of,
+                          std::uint64_t window) {
+  std::uint64_t close = 0, total = 0;
+  for (count_t v = 0; v < topo.num_nodes(); ++v) {
+    const std::uint64_t pv = new_of.empty() ? v : new_of[v];
+    for (const count_t u : topo.neighbors(v)) {
+      const std::uint64_t pu = new_of.empty() ? u : new_of[u];
+      ++total;
+      if ((pv > pu ? pv - pu : pu - pv) <= window) ++close;
+    }
+  }
+  return static_cast<double>(close) / static_cast<double>(total);
+}
+
+TEST(Layout, RcmRecoversBandedStructureFromScrambledIds) {
+  // Golden graph: a circulant lattice (bandwidth d/2 in its natural order)
+  // whose ids have been scrambled. RCM's BFS must rediscover a banded
+  // numbering — near-natural bandwidth — where the scrambled labeling
+  // scatters arcs across the whole id range.
+  const count_t n = 512;
+  const count_t d = 8;
+  const Topology banded = circulant_lattice(n, d);
+  std::vector<std::uint32_t> scramble = identity_perm(n);
+  rng::Xoshiro256pp gen(14);
+  for (count_t i = n - 1; i > 0; --i) {
+    std::swap(scramble[i], scramble[rng::uniform_below(gen, i + 1)]);
+  }
+  std::vector<std::pair<count_t, count_t>> edges;
+  for (count_t v = 0; v < n; ++v) {
+    for (const count_t u : banded.neighbors(v)) {
+      if (v < u) edges.emplace_back(scramble[v], scramble[u]);
+    }
+  }
+  const Topology scrambled = Topology::from_edges(n, edges);
+  const std::uint64_t before = graph_bandwidth(scrambled);
+  const std::uint64_t after = graph_bandwidth(scrambled, rcm_permutation(scrambled));
+  EXPECT_GT(before, n / 4) << "scramble failed to scatter the lattice";
+  EXPECT_LE(after, 6 * d) << "RCM did not recover the band (bandwidth " << after << ")";
+}
+
+TEST(Layout, RcmImprovesLocalityOnRandomGraphs) {
+  // Expanders have Ω(n) bandwidth under ANY ordering, so no halving claim
+  // here — but RCM's banding must still strictly improve both the max and
+  // the short-arc fraction over the generator's labeling.
+  const Topology reg = test_regular(600, 8, 14);
+  const auto reg_perm = rcm_permutation(reg);
+  EXPECT_LT(graph_bandwidth(reg, reg_perm), graph_bandwidth(reg));
+  EXPECT_GT(close_arc_fraction(reg, reg_perm, 64), close_arc_fraction(reg, {}, 64));
+
+  const Topology er = test_er(600, 2400, 15);
+  const auto er_perm = rcm_permutation(er);
+  EXPECT_LT(graph_bandwidth(er, er_perm), graph_bandwidth(er));
+  EXPECT_GT(close_arc_fraction(er, er_perm, 64), close_arc_fraction(er, {}, 64));
+}
+
+TEST(Layout, HilbertImprovesGridWindowLocality) {
+  // Row-major puts every vertical arc at distance cols; the curve order
+  // keeps most 4-neighborhoods inside a small id window (the mean does NOT
+  // improve — rare quadrant-boundary jumps dominate it — which is exactly
+  // why the metric here is the window fraction).
+  const Topology square = torus(64, 64);
+  const auto square_perm = hilbert_permutation(64, 64);
+  const double before = close_arc_fraction(square, {}, 16);
+  const double after = close_arc_fraction(square, square_perm, 16);
+  EXPECT_GT(after, before * 1.2) << "before=" << before << " after=" << after;
+
+  const Topology rect = torus(24, 40);  // Morton fallback path
+  EXPECT_GT(close_arc_fraction(rect, hilbert_permutation(24, 40), 16),
+            close_arc_fraction(rect, {}, 16));
+}
+
+TEST(Layout, ParseAndAutoResolution) {
+  EXPECT_EQ(parse_graph_layout("identity"), GraphLayout::Identity);
+  EXPECT_EQ(parse_graph_layout("degree"), GraphLayout::Degree);
+  EXPECT_EQ(parse_graph_layout("rcm"), GraphLayout::Rcm);
+  EXPECT_EQ(parse_graph_layout("hilbert"), GraphLayout::Hilbert);
+  EXPECT_THROW(parse_graph_layout("auto"), CheckError);      // scenario-layer word
+  EXPECT_THROW(parse_graph_layout("zcurve"), CheckError);
+
+  EXPECT_EQ(resolve_auto_layout("regular:8"), GraphLayout::Rcm);
+  EXPECT_EQ(resolve_auto_layout("er:0.01"), GraphLayout::Rcm);
+  EXPECT_EQ(resolve_auto_layout("gnm:4000"), GraphLayout::Rcm);
+  EXPECT_EQ(resolve_auto_layout("edges:some.txt"), GraphLayout::Degree);
+  EXPECT_EQ(resolve_auto_layout("clique"), GraphLayout::Identity);
+  EXPECT_EQ(resolve_auto_layout("ring"), GraphLayout::Identity);
+  EXPECT_EQ(resolve_auto_layout("torus"), GraphLayout::Identity);
+  EXPECT_EQ(resolve_auto_layout("lattice:8"), GraphLayout::Identity);
+}
+
+TEST(Layout, RelabeledPackingMapsNeighborRows) {
+  const Topology topo = test_regular(64, 4, 16);
+  const auto new_of = rcm_permutation(topo);
+  const AgentGraph graph = AgentGraph::from_topology(topo, new_of);
+  ASSERT_TRUE(graph.is_relabeled());
+  for (count_t o = 0; o < topo.num_nodes(); ++o) {
+    EXPECT_EQ(graph.orig_of()[new_of[o]], o);
+    const auto orig_row = topo.neighbors(o);
+    const auto new_row = graph.neighbors_of(new_of[o]);
+    ASSERT_EQ(orig_row.size(), new_row.size());
+    for (std::size_t j = 0; j < orig_row.size(); ++j) {
+      EXPECT_EQ(new_row[j], new_of[orig_row[j]]);  // same order, mapped ids
+    }
+  }
+
+  std::vector<std::uint32_t> not_a_perm(64, 0);  // duplicate ids
+  EXPECT_THROW(AgentGraph::from_topology(topo, not_a_perm), CheckError);
+}
+
+TEST(Layout, RegistryAppliesLayoutAndGuardsHilbert) {
+  rng::Xoshiro256pp gen(17);
+  EXPECT_TRUE(make_topology("regular:8", 512, gen, GraphLayout::Rcm).is_relabeled());
+  EXPECT_FALSE(make_topology("regular:8", 512, gen).is_relabeled());
+  EXPECT_TRUE(make_topology("torus", 1024, gen, GraphLayout::Hilbert).is_relabeled());
+  // lattice accepts hilbert as the identity relabeling (already banded).
+  const AgentGraph lattice = make_topology("lattice:4", 128, gen, GraphLayout::Hilbert);
+  EXPECT_TRUE(lattice.is_relabeled());
+  for (std::uint32_t i = 0; i < 128; ++i) EXPECT_EQ(lattice.orig_of()[i], i);
+  EXPECT_THROW(make_topology("regular:8", 512, gen, GraphLayout::Hilbert), CheckError);
+  EXPECT_THROW(make_topology("clique", 512, gen, GraphLayout::Degree), CheckError);
+  EXPECT_THROW(make_topology("gossip", 512, gen, GraphLayout::Rcm), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Permutation equivariance, both engines, every layout family.
+
+TEST(LayoutEquivariance, RegularDegreeAndRcm) {
+  const ThreeMajority majority;
+  const Topology topo = test_regular(2000, 8, 21);
+  for (const EngineMode mode : {EngineMode::Strict, EngineMode::Batched}) {
+    expect_equivariant(majority, topo, degree_permutation(topo), mode, 3, 6);
+    expect_equivariant(majority, topo, rcm_permutation(topo), mode, 3, 6);
+  }
+}
+
+TEST(LayoutEquivariance, TorusHilbert) {
+  const ThreeMajority majority;
+  const Topology topo = torus(40, 50);
+  const auto perm = hilbert_permutation(40, 50);
+  expect_equivariant(majority, topo, perm, EngineMode::Strict, 3, 6);
+  expect_equivariant(majority, topo, perm, EngineMode::Batched, 3, 6);
+}
+
+TEST(LayoutEquivariance, ErRcmAndIrregularRows) {
+  // ER rows are ragged, so this also covers the general-CSR relabeled path.
+  const ThreeMajority majority;
+  const Topology topo = test_er(2000, 8000, 22);
+  for (const EngineMode mode : {EngineMode::Strict, EngineMode::Batched}) {
+    expect_equivariant(majority, topo, rcm_permutation(topo), mode, 3, 6);
+  }
+}
+
+TEST(LayoutEquivariance, Arity1DynamicsUnderPush) {
+  // Push mode must be equivariant too (it inherits the property from its
+  // bitwise equality with batched, but pin it directly).
+  const Voter voter;
+  const UndecidedState undecided;
+  const Topology topo = test_regular(2000, 8, 23);
+  const auto perm = rcm_permutation(topo);
+  expect_equivariant(voter, topo, perm, EngineMode::Push, 2, 6);
+  expect_equivariant(undecided, topo, perm, EngineMode::Push, 3, 6);
+}
+
+TEST(LayoutEquivariance, BatchedIsLayoutInvariantBitwise) {
+  // Stronger than equivariance for batched: the identity relabeling is
+  // bitwise THE SAME run as the plain build (the per-word scattered fill
+  // addresses randomness by original id), so layout can be toggled on
+  // batched scenarios without changing any recorded number.
+  const ThreeMajority majority;
+  const Topology topo = test_regular(1500, 6, 24);
+  const AgentGraph plain = AgentGraph::from_topology(topo);
+  const AgentGraph ident = AgentGraph::from_topology(topo, identity_perm(1500));
+  const Configuration start = workloads::parse_workload("bias:40", 1500, 3);
+  EXPECT_EQ(trajectory(majority, plain, start, 31, EngineMode::Batched, 5),
+            trajectory(majority, ident, start, 31, EngineMode::Batched, 5));
+}
+
+TEST(LayoutEquivariance, StrictRelabeledAddressingDiffersByDesign) {
+  // The strict engine's relabeled path draws per-node streams (orig-id
+  // keyed) instead of per-(round, chunk) streams — equivariant across
+  // layouts, but deliberately NOT the plain strict trajectory. Document
+  // that here so a future "simplification" to chunk streams (which would
+  // break equivariance) trips a test.
+  const ThreeMajority majority;
+  const Topology topo = test_regular(1500, 6, 25);
+  const AgentGraph plain = AgentGraph::from_topology(topo);
+  const AgentGraph ident = AgentGraph::from_topology(topo, identity_perm(1500));
+  const Configuration start = workloads::parse_workload("bias:40", 1500, 3);
+  EXPECT_NE(trajectory(majority, plain, start, 31, EngineMode::Strict, 3),
+            trajectory(majority, ident, start, 31, EngineMode::Strict, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Push == Batched, bitwise.
+
+TEST(PushEngine, KernelCoverage) {
+  EXPECT_TRUE(push_has_kernel(Voter{}));
+  EXPECT_TRUE(push_has_kernel(UndecidedState{}));
+  EXPECT_FALSE(push_has_kernel(ThreeMajority{}));
+}
+
+TEST(PushEngine, MatchesBatchedBitwiseAcrossTopologies) {
+  const Voter voter;
+  const UndecidedState undecided;
+  const count_t n = 2000;
+  struct Case {
+    const char* name;
+    AgentGraph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"complete", AgentGraph::complete(n)});
+  cases.push_back({"regular", AgentGraph::from_topology(test_regular(n, 8, 41))});
+  cases.push_back({"torus", AgentGraph::from_topology(torus(40, 50))});
+  cases.push_back({"er", AgentGraph::from_topology(test_er(n, 6000, 42))});
+  {
+    // Relabeled CSR: the push sampler must address words by original id.
+    const Topology topo = test_regular(n, 8, 43);
+    cases.push_back({"regular-rcm", AgentGraph::from_topology(topo, rcm_permutation(topo))});
+  }
+
+  const Configuration start2 = workloads::parse_workload("bias:60", n, 2);
+  const Configuration start3 =
+      UndecidedState::extend_with_undecided(workloads::parse_workload("bias:60", n, 3));
+  for (const Case& c : cases) {
+    EXPECT_EQ(trajectory(voter, c.graph, start2, 91, EngineMode::Push, 5),
+              trajectory(voter, c.graph, start2, 91, EngineMode::Batched, 5))
+        << "voter on " << c.name;
+    EXPECT_EQ(trajectory(undecided, c.graph, start3, 92, EngineMode::Push, 5),
+              trajectory(undecided, c.graph, start3, 92, EngineMode::Batched, 5))
+        << "undecided on " << c.name;
+  }
+}
+
+TEST(PushEngine, MatchesBatchedOnImplicitTopologies) {
+  const Voter voter;
+  const AgentGraph ring_graph = make_topology_implicit("ring", 3000);
+  const AgentGraph lattice_graph = make_topology_implicit("lattice:6", 3000);
+  const Configuration start = workloads::parse_workload("bias:80", 3000, 2);
+  EXPECT_EQ(trajectory(voter, ring_graph, start, 93, EngineMode::Push, 5),
+            trajectory(voter, ring_graph, start, 93, EngineMode::Batched, 5));
+  EXPECT_EQ(trajectory(voter, lattice_graph, start, 94, EngineMode::Push, 5),
+            trajectory(voter, lattice_graph, start, 94, EngineMode::Batched, 5));
+}
+
+TEST(PushEngine, FallsBackToBatchedForHigherArity) {
+  // Push on a rule without a push kernel must run the batched pipeline
+  // (then strict, for rules without either) — silently, like Batched's own
+  // fallback contract.
+  const ThreeMajority majority;
+  const AgentGraph graph = AgentGraph::from_topology(test_regular(1200, 6, 44));
+  const Configuration start = workloads::parse_workload("bias:40", 1200, 3);
+  EXPECT_EQ(trajectory(majority, graph, start, 95, EngineMode::Push, 4),
+            trajectory(majority, graph, start, 95, EngineMode::Batched, 4));
+}
+
+#if defined(PLURALITY_HAVE_OPENMP)
+TEST(PushEngine, ThreadCountInvariant) {
+  const Voter voter;
+  const AgentGraph graph = AgentGraph::from_topology(test_regular(2000, 8, 45));
+  const Configuration start = workloads::parse_workload("bias:60", 2000, 2);
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const auto serial = trajectory(voter, graph, start, 96, EngineMode::Push, 5);
+  omp_set_num_threads(saved);
+  const auto parallel = trajectory(voter, graph, start, 96, EngineMode::Push, 5);
+  EXPECT_EQ(serial, parallel);
+}
+#endif
+
+TEST(PushEngine, ConsensusStatisticsMatchStrict) {
+  // Push and strict are different generators over the same Markov chain;
+  // their trial statistics must agree loosely (the tight pin is the
+  // bitwise push==batched equality plus batched-vs-strict equivalence in
+  // test_graph_batched.cpp — this is an end-to-end smoke over the driver).
+  const Voter voter;
+  const AgentGraph graph = AgentGraph::from_topology(test_regular(600, 8, 46));
+  const Configuration start = workloads::parse_workload("bias:120", 600, 2);
+  CommonTrialOptions options;
+  options.trials = 24;
+  options.seed = 5;
+  options.max_rounds = 60000;
+  options.mode = EngineMode::Push;
+  const TrialSummary push = run_graph_trials(voter, graph, start, options);
+  options.mode = EngineMode::Strict;
+  const TrialSummary strict = run_graph_trials(voter, graph, start, options);
+  ASSERT_GT(push.consensus_count, 20u);
+  ASSERT_GT(strict.consensus_count, 20u);
+  const double ratio = push.rounds_p(0.5) / strict.rounds_p(0.5);
+  EXPECT_GT(ratio, 1.0 / 4.0);
+  EXPECT_LT(ratio, 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tuning is performance-only.
+
+TEST(StepTuningKnobs, StrictPrefetchWindowIsBitwiseInert) {
+  // prefetch_distance=0 runs the legacy per-node loop; the default windowed
+  // path must reproduce it exactly (same draw order, same states).
+  const ThreeMajority majority;
+  const UndecidedState undecided;
+  const AgentGraph graph = AgentGraph::from_topology(test_regular(1500, 8, 51));
+  const Configuration start3 = workloads::parse_workload("bias:40", 1500, 3);
+  const Configuration startu =
+      UndecidedState::extend_with_undecided(workloads::parse_workload("bias:40", 1500, 3));
+  for (const std::uint32_t distance : {0u, 4u, 16u, 300u}) {
+    const StepTuning tuning{0, distance};
+    EXPECT_EQ(trajectory(majority, graph, start3, 61, EngineMode::Strict, 4, tuning),
+              trajectory(majority, graph, start3, 61, EngineMode::Strict, 4))
+        << "prefetch " << distance;
+    EXPECT_EQ(trajectory(undecided, graph, startu, 62, EngineMode::Strict, 4, tuning),
+              trajectory(undecided, graph, startu, 62, EngineMode::Strict, 4))
+        << "prefetch " << distance;
+  }
+}
+
+TEST(StepTuningKnobs, BatchedTileAndPrefetchAreBitwiseInert) {
+  const ThreeMajority majority;
+  const AgentGraph graph = AgentGraph::from_topology(test_regular(1500, 8, 52));
+  const Configuration start = workloads::parse_workload("bias:40", 1500, 3);
+  const auto reference = trajectory(majority, graph, start, 63, EngineMode::Batched, 4);
+  for (const std::uint32_t tile : {0u, 64u, 777u, 8192u}) {
+    for (const std::uint32_t distance : {0u, 16u}) {
+      const StepTuning tuning{tile, distance};
+      EXPECT_EQ(trajectory(majority, graph, start, 63, EngineMode::Batched, 4, tuning),
+                reference)
+          << "tile " << tile << " prefetch " << distance;
+    }
+  }
+}
+
+TEST(StepTuningKnobs, PushIgnoresTuning) {
+  const Voter voter;
+  const AgentGraph graph = AgentGraph::from_topology(test_regular(1500, 8, 53));
+  const Configuration start = workloads::parse_workload("bias:40", 1500, 2);
+  const StepTuning tuning{512, 64};
+  EXPECT_EQ(trajectory(voter, graph, start, 64, EngineMode::Push, 4, tuning),
+            trajectory(voter, graph, start, 64, EngineMode::Push, 4));
+}
+
+}  // namespace
+}  // namespace plurality::graph

@@ -1,0 +1,166 @@
+// The locality-engine axes of ScenarioSpec (spec.hpp): graph_layout,
+// engine=push, and the tile_nodes/prefetch_distance tuning knobs.
+//
+// Pins: field round-trips (string + JSON), the graph_layout=auto per-family
+// resolution rule, every rejected combination (with BOTH offending fields
+// named so the errors are actionable), engine=push gating (graph backend,
+// arity-1 dynamics, u32 ids), the auto topology_backend downgrade to arena
+// under a relabeling, and compile() echoing the resolved layout + threading
+// the tuning into results that still run.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/scenario.hpp"
+#include "scenario/spec.hpp"
+#include "support/check.hpp"
+
+namespace plurality::scenario {
+namespace {
+
+/// EXPECT_THROW plus a substring check on the message, so the "actionable
+/// error" contract is itself pinned.
+void expect_rejects(const std::string& spec_text, const std::string& needle) {
+  try {
+    ScenarioSpec::parse(spec_text).validate();
+    FAIL() << "expected '" << spec_text << "' to be rejected";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message for '" << spec_text << "' lacks '" << needle << "': " << e.what();
+  }
+}
+
+TEST(LayoutSpec, RoundTripsThroughStringAndJson) {
+  ScenarioSpec spec = ScenarioSpec::parse(
+      "topology=regular:8 graph_layout=rcm tile_nodes=512 prefetch_distance=32");
+  EXPECT_EQ(spec.graph_layout, "rcm");
+  EXPECT_EQ(spec.tile_nodes, 512u);
+  EXPECT_EQ(spec.prefetch_distance, 32u);
+  const ScenarioSpec reparsed = ScenarioSpec::parse(spec.to_spec_string());
+  EXPECT_EQ(reparsed.graph_layout, "rcm");
+  EXPECT_EQ(reparsed.tile_nodes, 512u);
+  EXPECT_EQ(reparsed.prefetch_distance, 32u);
+  const ScenarioSpec rejsoned = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(rejsoned.graph_layout, "rcm");
+  EXPECT_EQ(rejsoned.tile_nodes, 512u);
+  EXPECT_EQ(rejsoned.prefetch_distance, 32u);
+  // Defaults: auto layout, derived tile, the measured prefetch sweet spot.
+  const ScenarioSpec def;
+  EXPECT_EQ(def.graph_layout, "auto");
+  EXPECT_EQ(def.tile_nodes, 0u);
+  EXPECT_EQ(def.prefetch_distance, 16u);
+}
+
+TEST(LayoutSpec, AutoResolvesPerTopologyFamily) {
+  EXPECT_EQ(ScenarioSpec::parse("topology=regular:8").resolved_graph_layout(), "rcm");
+  EXPECT_EQ(ScenarioSpec::parse("topology=er:0.01").resolved_graph_layout(), "rcm");
+  EXPECT_EQ(ScenarioSpec::parse("topology=gnm:40000").resolved_graph_layout(), "rcm");
+  EXPECT_EQ(ScenarioSpec::parse("topology=torus n=10000").resolved_graph_layout(),
+            "identity");
+  EXPECT_EQ(ScenarioSpec::parse("topology=ring").resolved_graph_layout(), "identity");
+  EXPECT_EQ(ScenarioSpec::parse("topology=clique").resolved_graph_layout(), "identity");
+  // Explicit values resolve to themselves.
+  EXPECT_EQ(ScenarioSpec::parse("topology=torus n=10000 graph_layout=hilbert")
+                .resolved_graph_layout(),
+            "hilbert");
+  EXPECT_EQ(ScenarioSpec::parse("topology=regular:8 graph_layout=identity")
+                .resolved_graph_layout(),
+            "identity");
+}
+
+TEST(LayoutSpec, NonIdentityLayoutForcesArenaBackend) {
+  // hilbert on a torus large enough for the implicit auto threshold would
+  // normally go implicit; the relabeling needs the arena.
+  ScenarioSpec spec = ScenarioSpec::parse("topology=torus graph_layout=hilbert");
+  spec.n = 4194304;  // 2048 x 2048, above kImplicitAutoThreshold
+  EXPECT_EQ(spec.resolved_topology_backend(), "arena");
+  spec.graph_layout = "identity";
+  EXPECT_EQ(spec.resolved_topology_backend(), "implicit");
+}
+
+TEST(LayoutSpec, RejectsImpossibleLayoutCombinations) {
+  // Unknown names (and the scenario-only "auto" is accepted, not a name).
+  expect_rejects("topology=regular:8 graph_layout=zcurve", "graph_layout");
+  // Uniform-sampling topologies: a permutation cannot change locality.
+  expect_rejects("topology=clique graph_layout=rcm", "graph_layout");
+  expect_rejects("topology=gossip graph_layout=degree", "graph_layout");
+  // Relabelings live in the CSR arena only.
+  expect_rejects("topology=regular:8 graph_layout=rcm topology_backend=implicit",
+                 "topology_backend");
+  // Hilbert needs a grid.
+  expect_rejects("topology=regular:8 graph_layout=hilbert", "grid");
+  // The contradictory pair must name BOTH fields.
+  expect_rejects("topology=regular:8 graph_layout=rcm shuffle_layout=false",
+                 "shuffle_layout");
+  expect_rejects("topology=regular:8 graph_layout=rcm shuffle_layout=false",
+                 "graph_layout");
+  // auto-resolved non-identity contradicts shuffle_layout=false just the same.
+  expect_rejects("topology=regular:8 shuffle_layout=false", "graph_layout");
+  // Tuning bounds.
+  expect_rejects("tile_nodes=8193", "tile_nodes");
+  expect_rejects("prefetch_distance=1025", "prefetch_distance");
+}
+
+TEST(LayoutSpec, IdentityCombinationsStillValidate) {
+  // shuffle_layout=false stays legal wherever the resolved layout is
+  // identity (the pre-locality-engine behavior).
+  ScenarioSpec::parse("topology=regular:8 graph_layout=identity shuffle_layout=false")
+      .validate();
+  ScenarioSpec::parse("topology=ring shuffle_layout=false").validate();
+  ScenarioSpec::parse("topology=clique shuffle_layout=false").validate();
+  ScenarioSpec::parse("topology=torus n=10000 graph_layout=hilbert").validate();
+  ScenarioSpec::parse("topology=lattice:8 graph_layout=hilbert").validate();
+  ScenarioSpec::parse("tile_nodes=8192 prefetch_distance=1024").validate();
+}
+
+TEST(LayoutSpec, PushEngineGating) {
+  // The happy path: arity-1 dynamics on the graph backend.
+  ScenarioSpec::parse("engine=push dynamics=voter k=2 topology=regular:8").validate();
+  ScenarioSpec::parse("engine=push dynamics=undecided topology=torus n=10000").validate();
+  // Push on the clique auto-routes to the graph engine (the implicit
+  // complete graph), never to count/agent.
+  EXPECT_EQ(ScenarioSpec::parse("engine=push dynamics=voter k=2 topology=clique")
+                .resolved_backend(),
+            "graph");
+  // Arity >= 2 rules have no scatter formulation.
+  expect_rejects("engine=push dynamics=3-majority topology=regular:8", "arity-1");
+  // Explicit non-graph backends cannot run it.
+  expect_rejects("engine=push dynamics=voter k=2 topology=clique backend=count",
+                 "backend");
+  expect_rejects("engine=push dynamics=voter k=2 topology=clique backend=agent",
+                 "backend");
+  // The pair buffer packs two u32 ids per word.
+  ScenarioSpec big = ScenarioSpec::parse("engine=push dynamics=voter k=2 topology=gossip");
+  big.n = 8589934592ULL;  // 2^33
+  EXPECT_THROW(big.validate(), CheckError);
+  // Unknown engine names still say what IS known.
+  expect_rejects("engine=scatter", "push");
+}
+
+TEST(LayoutSpec, CompileEchoesResolvedLayoutAndRuns) {
+  ScenarioSpec spec = ScenarioSpec::parse(
+      "dynamics=voter k=2 topology=regular:8 n=2000 trials=3 engine=push "
+      "tile_nodes=256 prefetch_distance=8 max_rounds=40000");
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_EQ(result.resolved.graph_layout, "rcm");       // auto, echoed resolved
+  EXPECT_EQ(result.resolved.backend, "graph");
+  EXPECT_EQ(result.resolved.topology_backend, "arena");
+  EXPECT_EQ(result.summary.trials, 3u);
+
+  // The same spec with the layout pinned to identity still runs and echoes
+  // verbatim; under the batched engine the two trajectories are bitwise
+  // equal (layout invariance), so the summaries must agree exactly.
+  ScenarioSpec batched = spec;
+  batched.engine = "batched";
+  ScenarioSpec pinned = batched;
+  pinned.graph_layout = "identity";
+  const ScenarioResult auto_run = run_scenario(batched);
+  const ScenarioResult pinned_run = run_scenario(pinned);
+  EXPECT_EQ(auto_run.resolved.graph_layout, "rcm");
+  EXPECT_EQ(pinned_run.resolved.graph_layout, "identity");
+  EXPECT_EQ(auto_run.summary.consensus_count, pinned_run.summary.consensus_count);
+  EXPECT_EQ(auto_run.summary.round_samples, pinned_run.summary.round_samples);
+}
+
+}  // namespace
+}  // namespace plurality::scenario
